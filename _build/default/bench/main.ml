@@ -1,0 +1,149 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table the paper reproduction produces (E1-E10)
+   and prints the pass/fail summary — this is the artifact the EXPERIMENTS.md
+   numbers come from.
+
+   Part 2 runs one Bechamel micro-benchmark per experiment, timing the
+   computational kernel behind each table (synthesis flow, STA, placement,
+   dual-rail mapping, Monte Carlo, ...), so regressions in the engines are
+   visible. *)
+
+open Bechamel
+open Toolkit
+
+let regenerate_tables () =
+  print_endline "=== reproduction tables (E1-E10) + extensions (X1-X3) ===";
+  let results =
+    Gap_experiments.Registry.run_all () @ Gap_experiments.Registry.run_extensions ()
+  in
+  List.iter Gap_experiments.Exp.print results;
+  print_newline ();
+  print_string (Gap_experiments.Registry.summary results);
+  print_newline ()
+
+(* ---- shared prebuilt inputs so the staged functions time only the kernel ---- *)
+
+let tech = Gap_tech.Tech.asic_025um
+let rich_lib = Gap_liberty.Libgen.(make tech rich)
+let domino_lib = Gap_liberty.Libgen.(make tech domino)
+let cla8 = Gap_datapath.Adders.cla_adder 8
+let mult8 = Gap_datapath.Multiplier.array_multiplier ~width:8
+let ks16 = Gap_datapath.Adders.kogge_stone_adder 16
+let alu16_netlist = lazy (Gap_synth.Mapper.map_aig ~lib:rich_lib (Gap_datapath.Alu.alu 16))
+let mult6_netlist = lazy (Gap_synth.Mapper.map_aig ~lib:rich_lib (Gap_datapath.Multiplier.array_multiplier ~width:6))
+let factors = lazy (Gap_core.Factors.all ())
+
+let bench_tests =
+  Test.make_grouped ~name:"gap"
+    [
+      Test.make ~name:"e1_processor_table"
+        (Staged.stage (fun () ->
+             List.map Gap_uarch.Processors.modeled_mhz Gap_uarch.Processors.all));
+      Test.make ~name:"e2_factor_flow_kernel"
+        (Staged.stage (fun () ->
+             Gap_synth.Flow.run ~lib:rich_lib
+               ~effort:{ Gap_synth.Flow.default_effort with Gap_synth.Flow.tilos_moves = 50 }
+               cla8));
+      Test.make ~name:"e3_pipelining"
+        (Staged.stage (fun () ->
+             let nl = Gap_synth.Mapper.map_aig ~lib:rich_lib mult8 in
+             Gap_retime.Pipeline.pipeline ~stages:4 nl));
+      Test.make ~name:"e4_fo4_sta"
+        (Staged.stage (fun () -> Gap_sta.Sta.analyze (Lazy.force alu16_netlist)));
+      Test.make ~name:"e5_clock_tree"
+        (Staged.stage (fun () ->
+             ( Gap_clocktree.Htree.build ~tech ~die_side_um:10000. ~sinks:20000
+                 Gap_clocktree.Htree.Asic_automated,
+               Gap_clocktree.Htree.build ~tech ~die_side_um:10000. ~sinks:20000
+                 Gap_clocktree.Htree.Custom_tuned )));
+      Test.make ~name:"e6_placement"
+        (Staged.stage (fun () ->
+             Gap_place.Placer.place
+               ~options:{ Gap_place.Placer.default_options with Gap_place.Placer.sweeps = 5 }
+               (Lazy.force mult6_netlist)));
+      Test.make ~name:"e7_tilos_sizing"
+        (Staged.stage (fun () ->
+             let nl = Gap_synth.Mapper.map_aig ~lib:rich_lib cla8 in
+             Gap_synth.Sizing.tilos ~max_moves:50 nl));
+      Test.make ~name:"e8_dualrail_domino"
+        (Staged.stage (fun () -> Gap_domino.Dualrail.map_aig ~domino_lib ks16));
+      Test.make ~name:"e9_variation_mc"
+        (Staged.stage (fun () ->
+             Gap_variation.Montecarlo.simulate
+               ~model:(Gap_variation.Model.make Gap_variation.Model.mature)
+               ~nominal_mhz:250. ~dies:2000 ()));
+      Test.make ~name:"e10_residual_analysis"
+        (Staged.stage (fun () ->
+             ( Gap_core.Gap_model.residual_analysis (Lazy.force factors),
+               Gap_core.Gap_model.predicted_asic_custom_gap () )));
+      Test.make ~name:"x1_power_estimation"
+        (Staged.stage (fun () ->
+             Gap_netlist.Power_est.estimate ~vectors:100 (Lazy.force mult6_netlist)
+               ~freq_mhz:200.));
+      Test.make ~name:"x2_binning_economics"
+        (Staged.stage (fun () ->
+             let mc =
+               Gap_variation.Montecarlo.simulate
+                 ~model:(Gap_variation.Model.make Gap_variation.Model.mature)
+                 ~nominal_mhz:250. ~dies:5000 ()
+             in
+             Gap_variation.Economics.best_single_rating
+               Gap_variation.Economics.default_pricing mc
+               ~candidates:(Array.init 20 (fun i -> 180. +. (5. *. float_of_int i)))));
+      Test.make ~name:"x3_time_borrowing"
+        (Staged.stage (fun () ->
+             Gap_retime.Borrowing.min_period
+               ~stage_delays:[| 900.; 400.; 700.; 550. |]
+               (Gap_retime.Borrowing.Two_phase_latch 0.5)));
+      Test.make ~name:"x4_fsm_synthesis"
+        (Staged.stage (fun () ->
+             Gap_synth.Mapper.map_aig ~lib:rich_lib
+               (Gap_datapath.Fsm.to_aig Gap_datapath.Fsm.bus_interface)));
+      Test.make ~name:"x5_datapath_tiling"
+        (Staged.stage (fun () -> Gap_place.Tiler.place (Lazy.force mult6_netlist)));
+    ]
+
+let run_benchmarks () =
+  print_endline "=== bechamel micro-benchmarks (one kernel per table) ===";
+  (* force the lazies so setup cost stays out of the measurements *)
+  ignore (Lazy.force alu16_netlist);
+  ignore (Lazy.force mult6_netlist);
+  ignore (Lazy.force factors);
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances bench_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let per_run_ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> est
+        | Some [] | None -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
+      in
+      rows := (name, per_run_ns, r2) :: !rows)
+    results;
+  let rows = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows in
+  Gap_util.Table.print
+    ~header:[ "kernel"; "time/run"; "r^2" ]
+    (List.map
+       (fun (name, ns, r2) ->
+         let time =
+           if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         [ name; time; Printf.sprintf "%.3f" r2 ])
+       rows)
+
+let () =
+  regenerate_tables ();
+  run_benchmarks ()

@@ -1,0 +1,168 @@
+(* repro: command-line driver for the paper reproduction.
+
+   repro list            enumerate experiments (E1..E10 + extensions X1..X3)
+   repro run E3 X1       run selected experiments
+   repro all             run everything and print the summary
+   repro analysis        print the core gap analysis (factor table etc.)
+   repro dump cla16      synthesize a named circuit and emit structural Verilog *)
+
+open Cmdliner
+
+let list_experiments () =
+  List.iter
+    (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title)
+    Gap_experiments.Registry.all;
+  print_endline "--- extensions ---";
+  List.iter
+    (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title)
+    Gap_experiments.Registry.extensions;
+  0
+
+let run_ids ids =
+  let missing = ref [] in
+  List.iter
+    (fun id ->
+      match Gap_experiments.Registry.find id with
+      | Some run -> Gap_experiments.Exp.print (run ())
+      | None -> missing := id :: !missing)
+    ids;
+  if !missing <> [] then begin
+    Printf.eprintf "unknown experiment id(s): %s\n" (String.concat ", " !missing);
+    1
+  end
+  else 0
+
+let run_all with_extensions =
+  let results = Gap_experiments.Registry.run_all () in
+  let results =
+    if with_extensions then results @ Gap_experiments.Registry.run_extensions ()
+    else results
+  in
+  List.iter Gap_experiments.Exp.print results;
+  print_newline ();
+  print_string (Gap_experiments.Registry.summary results);
+  let all_pass =
+    List.for_all
+      (fun r ->
+        let p, c = Gap_experiments.Exp.passes r in
+        p = c)
+      results
+  in
+  if all_pass then 0 else 1
+
+let analysis () =
+  Gap_core.Report.print_full_analysis ();
+  0
+
+(* --- dump: synthesize a named circuit and print Verilog --- *)
+
+let circuits =
+  [
+    ("cla16", fun () -> Gap_datapath.Adders.cla_adder 16);
+    ("cla32", fun () -> Gap_datapath.Adders.cla_adder 32);
+    ("ripple16", fun () -> Gap_datapath.Adders.ripple_adder 16);
+    ("ks32", fun () -> Gap_datapath.Adders.kogge_stone_adder 32);
+    ("mult8", fun () -> Gap_datapath.Multiplier.array_multiplier ~width:8);
+    ("alu16", fun () -> Gap_datapath.Alu.alu ~adder:`Cla 16);
+    ("shift32", fun () -> Gap_datapath.Shifter.barrel_shifter ~width:32);
+    ("popcount16", fun () -> Gap_datapath.Counting.popcount ~width:16);
+    ("decoder5", fun () -> Gap_datapath.Encoders.decoder ~width:5);
+  ]
+
+let dump name lib_profile stages =
+  match List.assoc_opt name circuits with
+  | None ->
+      Printf.eprintf "unknown circuit %s; available: %s\n" name
+        (String.concat ", " (List.map fst circuits));
+      1
+  | Some gen ->
+      let tech = Gap_tech.Tech.asic_025um in
+      let profile =
+        match lib_profile with
+        | "rich" -> Gap_liberty.Libgen.rich
+        | "poor" -> Gap_liberty.Libgen.poor
+        | "typical" -> Gap_liberty.Libgen.typical
+        | "custom" -> Gap_liberty.Libgen.custom
+        | other ->
+            Printf.eprintf "unknown library profile %s, using rich\n" other;
+            Gap_liberty.Libgen.rich
+      in
+      let lib = Gap_liberty.Libgen.make tech profile in
+      let outcome = Gap_synth.Flow.run ~lib ~name (gen ()) in
+      let nl = outcome.Gap_synth.Flow.netlist in
+      if stages > 1 then
+        ignore (Gap_retime.Pipeline.pipeline ~stages nl);
+      Printf.eprintf "// %s\n" (Gap_sta.Report.summary (Gap_sta.Sta.analyze nl) ~lib);
+      print_string (Gap_netlist.Verilog.write nl);
+      0
+
+let libdump profile_name =
+  let tech = Gap_tech.Tech.asic_025um in
+  let profile =
+    match profile_name with
+    | "rich" -> Some Gap_liberty.Libgen.rich
+    | "poor" -> Some Gap_liberty.Libgen.poor
+    | "typical" -> Some Gap_liberty.Libgen.typical
+    | "domino" -> Some Gap_liberty.Libgen.domino
+    | "custom" -> Some Gap_liberty.Libgen.custom
+    | _ -> None
+  in
+  match profile with
+  | None ->
+      Printf.eprintf "unknown profile %s (rich, typical, poor, domino, custom)\n" profile_name;
+      1
+  | Some p ->
+      Gap_liberty.Liberty_io.write_to_channel stdout (Gap_liberty.Libgen.make tech p);
+      0
+
+let list_cmd =
+  let doc = "List the reproduced experiments." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_experiments $ const ())
+
+let run_cmd =
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e.g. E3, X1)") in
+  let doc = "Run selected experiments." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ ids)
+
+let all_cmd =
+  let ext =
+    Arg.(value & flag & info [ "extensions"; "x" ] ~doc:"Also run the X1..X3 extensions.")
+  in
+  let doc = "Run every experiment and print the pass/fail summary." in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run_all $ ext)
+
+let analysis_cmd =
+  let doc = "Print the factor table, residual analysis and methodology comparison." in
+  Cmd.v (Cmd.info "analysis" ~doc) Term.(const analysis $ const ())
+
+let dump_cmd =
+  let circuit_arg =
+    Arg.(required & pos 0 (some string) None
+        & info [] ~docv:"CIRCUIT" ~doc:"Circuit name (see error message for the list).")
+  in
+  let lib_arg =
+    Arg.(value & opt string "rich"
+        & info [ "lib" ] ~docv:"PROFILE" ~doc:"Library profile: rich, typical, poor, custom.")
+  in
+  let stages_arg =
+    Arg.(value & opt int 1
+        & info [ "stages" ] ~docv:"N" ~doc:"Pipeline the circuit into N stages before dumping.")
+  in
+  let doc = "Synthesize a circuit and emit structural Verilog on stdout." in
+  Cmd.v (Cmd.info "dump" ~doc) Term.(const dump $ circuit_arg $ lib_arg $ stages_arg)
+
+let libdump_cmd =
+  let profile_arg =
+    Arg.(value & pos 0 string "rich"
+        & info [] ~docv:"PROFILE" ~doc:"Library profile: rich, typical, poor, domino, custom.")
+  in
+  let doc = "Generate a library and emit it in Liberty format on stdout." in
+  Cmd.v (Cmd.info "libdump" ~doc) Term.(const libdump $ profile_arg)
+
+let main =
+  let doc = "reproduction of Chinnery & Keutzer, 'Closing the Gap Between ASIC and Custom' (DAC 2000)" in
+  Cmd.group
+    (Cmd.info "repro" ~version:"1.0" ~doc)
+    [ list_cmd; run_cmd; all_cmd; analysis_cmd; dump_cmd; libdump_cmd ]
+
+let () = exit (Cmd.eval' main)

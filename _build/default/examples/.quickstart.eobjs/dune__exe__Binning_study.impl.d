@@ -1,0 +1,1 @@
+examples/binning_study.ml: Array Gap_util Gap_variation List Printf

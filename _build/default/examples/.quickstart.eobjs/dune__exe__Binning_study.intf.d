@@ -1,0 +1,1 @@
+examples/binning_study.mli:

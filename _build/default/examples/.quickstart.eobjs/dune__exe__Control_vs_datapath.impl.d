@@ -1,0 +1,1 @@
+examples/control_vs_datapath.ml: Format Gap_datapath Gap_liberty Gap_netlist Gap_retime Gap_synth Gap_tech Gap_util List Printf

@@ -1,0 +1,1 @@
+examples/floorplan_study.ml: Array Gap_datapath Gap_interconnect Gap_liberty Gap_place Gap_sta Gap_synth Gap_tech Gap_util List Printf

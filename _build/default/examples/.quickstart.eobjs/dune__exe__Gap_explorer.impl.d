@@ -1,0 +1,1 @@
+examples/gap_explorer.ml: Gap_core Gap_util List Printf

@@ -1,0 +1,1 @@
+examples/gap_explorer.mli:

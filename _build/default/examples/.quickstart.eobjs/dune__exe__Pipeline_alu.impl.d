@@ -1,0 +1,1 @@
+examples/pipeline_alu.ml: Gap_datapath Gap_liberty Gap_logic Gap_retime Gap_sta Gap_synth Gap_tech Gap_uarch Gap_util List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Gap_datapath Gap_liberty Gap_logic Gap_netlist Gap_sta Gap_synth Gap_tech Gap_util Printf

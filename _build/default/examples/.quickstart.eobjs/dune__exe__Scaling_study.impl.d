@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Gap_datapath Gap_liberty Gap_sta Gap_synth Gap_tech Gap_util List Printf

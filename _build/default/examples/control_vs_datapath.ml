@@ -1,0 +1,63 @@
+(* Control logic vs datapath: why the paper's x4 pipelining factor is a
+   *maximum*.
+
+   Sec. 4.1: "Many designs, such as bus interfaces, have a tight interaction
+   with their environment ... it is not clear how an ASIC may be reorganized
+   to allow pipelining." We synthesize a bus-interface FSM and a multiplier
+   datapath through the same flow and compare what registers can do for each:
+   the FSM's state loop is a hard floor (minimum cycle ratio); the
+   multiplier's floor keeps dropping as pipeline ranks are added.
+
+   Run with: dune exec examples/control_vs_datapath.exe *)
+
+module Fsm = Gap_datapath.Fsm
+module Extract = Gap_retime.Extract
+module Flow = Gap_synth.Flow
+
+let tech = Gap_tech.Tech.asic_025um
+let lib = Gap_liberty.Libgen.(make tech rich)
+let fo4 = Gap_tech.Tech.fo4_ps tech
+
+let () =
+  (* the control side: a request/acknowledge bus controller *)
+  let spec = Fsm.bus_interface in
+  let g = Fsm.to_aig spec in
+  let comb = Gap_synth.Mapper.map_aig ~lib ~name:"bus_interface" g in
+  ignore (Gap_synth.Sizing.tilos comb);
+  let loops =
+    List.init (Fsm.state_bits Fsm.Binary spec.Fsm.n_states) (fun b ->
+        (Printf.sprintf "state%d" b, Printf.sprintf "next%d" b))
+  in
+  let busif = Gap_synth.Sequential.close_loops ~loops comb in
+  Format.printf "%a@." Gap_netlist.Netlist.pp_stats busif;
+  let sta = Extract.sta_period_ps busif in
+  let floor = Extract.retiming_bound_ps busif in
+  Printf.printf
+    "bus interface: clock %s (%.1f FO4), retiming floor %s (%.1f FO4)\n"
+    (Gap_util.Units.pp_time_ps sta) (sta /. fo4)
+    (Gap_util.Units.pp_time_ps floor) (floor /. fo4);
+  Printf.printf
+    "  -> no register placement beats the state loop; extra registers only add latency\n\n";
+
+  (* the datapath side: same flow, progressively deeper pipelines *)
+  print_endline "16x16 multiplier under the same flow:";
+  Gap_util.Table.print ~header:[ "ranks"; "clock"; "retiming floor"; "floor in FO4" ]
+    (List.map
+       (fun stages ->
+         let mult = Gap_datapath.Multiplier.array_multiplier ~width:16 in
+         let effort = { Flow.default_effort with Flow.tilos_moves = 0 } in
+         let nl = (Flow.run ~lib ~effort mult).Flow.netlist in
+         ignore (Gap_retime.Pipeline.pipeline ~stages nl);
+         let sta = Extract.sta_period_ps nl in
+         let floor = Extract.retiming_bound_ps nl in
+         [
+           string_of_int stages;
+           Gap_util.Units.pp_time_ps sta;
+           Gap_util.Units.pp_time_ps floor;
+           Printf.sprintf "%.1f" (floor /. fo4);
+         ])
+       [ 1; 2; 4; 6; 8 ]);
+  Printf.printf
+    "\nthe paper's conclusion in one table: data parallelism pipelines, control loops don't —\n\
+     which is why 'typical ASICs' (control-heavy) sit at 80+ FO4 while pipelined\n\
+     datapath machines reach 13-15 FO4.\n"

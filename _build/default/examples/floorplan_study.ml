@@ -1,0 +1,80 @@
+(* Floorplanning study: three views of the paper's Sec. 5.
+
+   1. chip level (BACPAC-style): a critical path with a cross-chip wire vs a
+      floorplanned, module-local one, across logic depths;
+   2. block level: SA placement of a mapped multiplier vs random scatter,
+      with post-placement wire delays in the STA;
+   3. the slicing floorplanner packing macro blocks.
+
+   Run with: dune exec examples/floorplan_study.exe *)
+
+let tech = Gap_tech.Tech.asic_025um
+
+let chip_level () =
+  let chip = Gap_interconnect.Bacpac.default_chip in
+  Printf.printf "chip-level (100 mm^2 die, 0.25um Al, optimally repeated wires):\n";
+  Gap_util.Table.print
+    ~header:[ "logic depth"; "local path"; "cross-chip path"; "floorplanning buys" ]
+    (List.map
+       (fun depth ->
+         let local =
+           Gap_interconnect.Bacpac.path ~tech ~logic_depth_fo4:depth
+             ~wire_length_um:(Gap_interconnect.Bacpac.local_length_um chip)
+         in
+         let cross =
+           Gap_interconnect.Bacpac.path ~tech ~logic_depth_fo4:depth
+             ~wire_length_um:(Gap_interconnect.Bacpac.cross_chip_length_um chip)
+         in
+         [
+           Printf.sprintf "%.0f FO4" depth;
+           Gap_util.Units.pp_time_ps local.Gap_interconnect.Bacpac.total_ps;
+           Gap_util.Units.pp_time_ps cross.Gap_interconnect.Bacpac.total_ps;
+           Gap_util.Table.fmt_pct
+             ((cross.Gap_interconnect.Bacpac.total_ps /. local.Gap_interconnect.Bacpac.total_ps) -. 1.);
+         ])
+       [ 20.; 30.; 44.; 60.; 80. ])
+
+let block_level () =
+  Printf.printf "\nblock-level: 8x8 multiplier, annealed vs random placement:\n";
+  let lib = Gap_liberty.Libgen.(make tech rich) in
+  let g = Gap_datapath.Multiplier.array_multiplier ~width:8 in
+  let effort = { Gap_synth.Flow.default_effort with Gap_synth.Flow.tilos_moves = 0 } in
+  let build () = (Gap_synth.Flow.run ~lib ~effort g).Gap_synth.Flow.netlist in
+  let measure name place =
+    let nl = build () in
+    let stats = place nl in
+    Gap_place.Wire_estimate.annotate nl;
+    let sta = Gap_sta.Sta.analyze nl in
+    Printf.printf "  %-9s HPWL %8.0f um, period %s\n" name
+      stats.Gap_place.Placer.final_hpwl_um
+      (Gap_util.Units.pp_time_ps sta.Gap_sta.Sta.min_period_ps)
+  in
+  measure "annealed" (fun nl -> Gap_place.Placer.place nl);
+  measure "random" (fun nl -> Gap_place.Placer.place_random nl)
+
+let floorplanner () =
+  Printf.printf "\nslicing floorplanner (Wong-Liu annealing over Polish expressions):\n";
+  let rng = Gap_util.Rng.create ~seed:21L () in
+  let blocks =
+    Array.init 12 (fun i ->
+        {
+          Gap_place.Floorplan.block_name = Printf.sprintf "macro%d" i;
+          w_um = 400. +. Gap_util.Rng.float rng 1600.;
+          h_um = 400. +. Gap_util.Rng.float rng 1600.;
+        })
+  in
+  let fp0 = Gap_place.Floorplan.initial blocks in
+  let r = Gap_place.Floorplan.anneal ~sweeps:250 fp0 in
+  let area0 = r.Gap_place.Floorplan.initial_area_um2 /. 1e6 in
+  let area1 = r.Gap_place.Floorplan.layout.Gap_place.Floorplan.area_um2 /. 1e6 in
+  Printf.printf "  12 macros: %.1f mm^2 (single row) -> %.1f mm^2 annealed, dead space %s\n"
+    area0 area1
+    (Gap_util.Table.fmt_pct (Gap_place.Floorplan.dead_space_frac r.Gap_place.Floorplan.plan));
+  Printf.printf "  bounding box %.1f x %.1f mm\n"
+    (r.Gap_place.Floorplan.layout.Gap_place.Floorplan.width_um /. 1000.)
+    (r.Gap_place.Floorplan.layout.Gap_place.Floorplan.height_um /. 1000.)
+
+let () =
+  chip_level ();
+  block_level ();
+  floorplanner ()

@@ -1,0 +1,58 @@
+(* Pipelining study: a 16x16 multiplier datapath is cutset-pipelined into
+   1..6 stages under ASIC and custom register/skew overheads, reproducing the
+   paper's Sec. 4 trade-off including the CPI cost of depth.
+
+   Run with: dune exec examples/pipeline_alu.exe *)
+
+module Flow = Gap_synth.Flow
+module Sta = Gap_sta.Sta
+module Pipeline = Gap_retime.Pipeline
+module Overhead = Gap_retime.Overhead
+
+let tech = Gap_tech.Tech.asic_025um
+
+let sweep ~lib ~skew_frac ~label g =
+  Printf.printf "\n%s (skew %.0f%% of cycle):\n" label (100. *. skew_frac);
+  let effort = { Flow.default_effort with Flow.tilos_moves = 0 } in
+  let comb =
+    (Sta.analyze (Flow.run ~lib ~effort g).Flow.netlist).Sta.min_period_ps
+  in
+  let reg = Overhead.register_overhead_ps ~lib ~skew_ps:0. in
+  let rows =
+    List.map
+      (fun stages ->
+        let nl = (Flow.run ~lib ~effort g).Flow.netlist in
+        let cycle_est = ((comb /. float_of_int stages) +. reg) /. (1. -. skew_frac) in
+        let config = Sta.config_with_skew (skew_frac *. cycle_est) in
+        let r = Pipeline.pipeline ~config ~stages nl in
+        let freq = Gap_util.Units.mhz_of_period_ps r.Pipeline.period_after_ps in
+        (* performance under a SPEC-like workload: deeper pipes flush more *)
+        let ipc =
+          Gap_uarch.Cpi.ipc ~pipeline_stages:stages ~issue_width:1 Gap_uarch.Cpi.spec_like
+        in
+        [
+          string_of_int stages;
+          Gap_util.Units.pp_time_ps r.Pipeline.period_after_ps;
+          Gap_util.Units.pp_freq_mhz freq;
+          string_of_int r.Pipeline.registers_added;
+          Printf.sprintf "%.2f" ipc;
+          Printf.sprintf "%.0f" (freq *. ipc);
+        ])
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  Gap_util.Table.print
+    ~header:[ "stages"; "cycle"; "clock"; "regs added"; "IPC"; "MIPS" ]
+    rows
+
+let () =
+  let g = Gap_datapath.Multiplier.array_multiplier ~width:16 in
+  Printf.printf "datapath: 16x16 array multiplier, %d AND nodes\n"
+    (Gap_logic.Aig.num_ands g);
+  let asic_lib = Gap_liberty.Libgen.(make tech rich) in
+  let custom_lib = Gap_liberty.Libgen.(make tech custom) in
+  sweep ~lib:asic_lib ~skew_frac:0.10 ~label:"ASIC flops, automated clock tree" g;
+  sweep ~lib:custom_lib ~skew_frac:0.05 ~label:"custom latches, tuned clock tree" g;
+  (* the paper's analytic expectation *)
+  Printf.printf "\npaper arithmetic: 5 stages @ 30%% overhead = x%.2f, 4 @ 20%% = x%.2f\n"
+    (Overhead.paper_speedup ~stages:5 ~overhead_frac:0.30)
+    (Overhead.paper_speedup ~stages:4 ~overhead_frac:0.20)

@@ -1,0 +1,50 @@
+(* Process-generation scaling: the paper's "1.5x per generation" yardstick
+   (Sec. 2), checked by regenerating libraries at each node and re-running
+   the same design through the flow.
+
+   Run with: dune exec examples/scaling_study.exe *)
+
+module Flow = Gap_synth.Flow
+module Tech = Gap_tech.Tech
+
+let () =
+  let design () = Gap_datapath.Alu.alu ~adder:`Cla 16 in
+  let nodes = [ Tech.asic_035um; Tech.asic_025um; Tech.asic_018um ] in
+  print_endline "the same 16-bit ALU, re-mapped to a freshly generated library per node:";
+  let periods =
+    List.map
+      (fun tech ->
+        let lib = Gap_liberty.Libgen.(make tech rich) in
+        let effort = { Flow.default_effort with Flow.tilos_moves = 200 } in
+        let o = Flow.run ~lib ~effort (design ()) in
+        (tech, o.Flow.sta.Gap_sta.Sta.min_period_ps))
+      nodes
+  in
+  Gap_util.Table.print
+    ~header:[ "node"; "FO4"; "min period"; "clock"; "speedup vs prev" ]
+    (List.mapi
+       (fun i (tech, period) ->
+         let speedup =
+           if i = 0 then "-"
+           else
+             let _, prev = List.nth periods (i - 1) in
+             Printf.sprintf "x%.2f" (prev /. period)
+         in
+         [
+           tech.Tech.name;
+           Printf.sprintf "%.0f ps" (Tech.fo4_ps tech);
+           Gap_util.Units.pp_time_ps period;
+           Gap_util.Units.pp_freq_mhz (Gap_util.Units.mhz_of_period_ps period);
+           speedup;
+         ])
+       periods);
+  Printf.printf "\npaper's rule of thumb: %.1fx per generation; the 6-8x ASIC-custom gap\n"
+    Gap_tech.Scaling.speed_per_generation;
+  Printf.printf "is therefore worth ~%.1f generations (%.1f for 7x).\n"
+    (Gap_tech.Scaling.equivalent_generations 8.)
+    (Gap_tech.Scaling.equivalent_generations 7.);
+  (* note: FO4 scaling between our nodes is Leff-driven: 0.25um ASIC (Leff
+     0.18) -> 0.18um ASIC (Leff 0.11) is a 1.64x gate-speed step; the paper's
+     1.5x is the marketing-node average *)
+  let r25 = Tech.fo4_ps Tech.asic_025um /. Tech.fo4_ps Tech.asic_018um in
+  Printf.printf "\ngate-level FO4 step 0.25um -> 0.18um: x%.2f (Leff 0.18 -> 0.11)\n" r25

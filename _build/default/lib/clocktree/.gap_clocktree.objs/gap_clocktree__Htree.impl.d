@@ -1,0 +1,1 @@
+lib/clocktree/htree.ml: Gap_interconnect Gap_tech

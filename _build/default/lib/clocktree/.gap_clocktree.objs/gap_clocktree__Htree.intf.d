@@ -1,0 +1,1 @@
+lib/clocktree/htree.mli: Gap_tech

@@ -1,0 +1,60 @@
+type quality = Asic_automated | Custom_tuned
+
+type t = {
+  levels : int;
+  sinks : int;
+  die_side_um : float;
+  wirelength_um : float;
+  latency_ps : float;
+  skew_ps : float;
+  quality : quality;
+}
+
+let mismatch_fraction = function
+  | Asic_automated -> 0.18
+  | Custom_tuned -> 0.025
+
+let levels_for sinks =
+  (* each H level serves 4x the sinks *)
+  let rec go served levels = if served >= sinks then levels else go (served * 4) (levels + 1) in
+  go 1 0
+
+let build ~tech ~die_side_um ~sinks quality =
+  assert (sinks >= 1 && die_side_um > 0.);
+  let levels = max 1 (levels_for sinks) in
+  let wire = Gap_interconnect.Wire.of_tech tech in
+  let drv = Gap_interconnect.Repeater.default_driver tech in
+  let buffer_stage_ps =
+    (* one clock buffer per level, ~2 FO4 each *)
+    2. *. Gap_tech.Tech.fo4_ps tech
+  in
+  let wirelength = ref 0. and latency = ref 0. in
+  for level = 0 to levels - 1 do
+    (* the H at level i spans a square of side side/2^i; root-to-quadrant
+       wire is ~3/4 of that side *)
+    let seg = 0.75 *. die_side_um /. (2. ** float_of_int level) in
+    wirelength := !wirelength +. seg;
+    latency :=
+      !latency
+      +. Gap_interconnect.Repeater.optimal_delay_ps drv wire ~length_um:seg
+      +. buffer_stage_ps
+  done;
+  {
+    levels;
+    sinks;
+    die_side_um;
+    wirelength_um = !wirelength;
+    latency_ps = !latency;
+    skew_ps = mismatch_fraction quality *. !latency;
+    quality;
+  }
+
+let skew_fraction_of_period t ~period_ps = t.skew_ps /. period_ps
+
+let speed_gain_from_custom_skew ~tech ~die_side_um ~sinks ~period_ps =
+  let asic = build ~tech ~die_side_um ~sinks Asic_automated in
+  let custom = build ~tech ~die_side_um ~sinks Custom_tuned in
+  (* the logic gets the cycle minus skew; same logic, smaller skew -> shorter
+     achievable period *)
+  let logic_time = period_ps -. asic.skew_ps in
+  period_ps /. (logic_time +. custom.skew_ps)

@@ -1,0 +1,33 @@
+(** H-tree clock distribution and skew estimation.
+
+    The tree is a recursive H over a square die: each level splits the
+    serviced square in four, with buffered, optimally-repeated wire segments.
+    Skew is modeled as a calibrated fraction of insertion latency — the
+    calibration anchors are the paper's own numbers: a tuned custom tree
+    achieves ~5% of cycle (Alpha 21264: 75 ps global skew at 600 MHz), an
+    automatically synthesized ASIC tree ~10% or more (Sec. 4.1). *)
+
+type quality =
+  | Asic_automated  (** un-tuned CTS: mismatch ~18% of latency *)
+  | Custom_tuned  (** hand-tuned grid/deskew: mismatch ~2.5% of latency *)
+
+type t = {
+  levels : int;
+  sinks : int;
+  die_side_um : float;
+  wirelength_um : float;  (** root-to-leaf path length *)
+  latency_ps : float;  (** insertion delay *)
+  skew_ps : float;
+  quality : quality;
+}
+
+val build :
+  tech:Gap_tech.Tech.t -> die_side_um:float -> sinks:int -> quality -> t
+
+val skew_fraction_of_period : t -> period_ps:float -> float
+
+val speed_gain_from_custom_skew :
+  tech:Gap_tech.Tech.t -> die_side_um:float -> sinks:int -> period_ps:float -> float
+(** How much faster the same logic could clock if the ASIC tree's skew were
+    replaced by a custom-tuned tree's: [(period - skew_custom) vs
+    (period - skew_asic)] headroom ratio. *)

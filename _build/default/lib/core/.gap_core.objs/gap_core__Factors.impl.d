@@ -1,0 +1,1 @@
+lib/core/factors.ml: Gap_datapath Gap_domino Gap_interconnect Gap_liberty Gap_place Gap_sta Gap_synth Gap_tech Gap_uarch Gap_variation List

@@ -1,0 +1,1 @@
+lib/core/gap_model.ml: Factors Float List Methodology

@@ -1,0 +1,1 @@
+lib/core/gap_model.mli: Factors Methodology

@@ -1,0 +1,1 @@
+lib/core/report.ml: Factors Gap_model Gap_util List Methodology Printf String

@@ -1,0 +1,141 @@
+type t = { factor_name : string; paper_max : float; modeled : float; how : string }
+
+let tech = Gap_tech.Tech.asic_025um
+
+let memo f =
+  let cache = ref None in
+  fun () ->
+    match !cache with
+    | Some v -> v
+    | None ->
+        let v = f () in
+        cache := Some v;
+        v
+
+let microarchitecture =
+  memo (fun () ->
+      (* Unpipelined ASIC datapath: 44 FO4 of logic + one register boundary.
+         Custom restructuring: the same work split over 4 stages with custom
+         latch overhead, as in the IBM PPC. Same FO4 so only
+         micro-architecture moves. *)
+      let asic = { Gap_uarch.Pipeline_model.asic_default with fo4_ps = 90. } in
+      let custom =
+        { Gap_uarch.Pipeline_model.custom_default with fo4_ps = 90. (* isolate uarch *) }
+      in
+      let f_unpiped = Gap_uarch.Pipeline_model.frequency_mhz asic ~stages:1 in
+      let f_custom = Gap_uarch.Pipeline_model.frequency_mhz custom ~stages:4 in
+      {
+        factor_name = "micro-architecture (pipelining, logic levels)";
+        paper_max = 4.00;
+        modeled = f_custom /. f_unpiped;
+        how = "Pipeline_model: 44 FO4 unpipelined ASIC vs 4-stage custom-latch pipeline";
+      })
+
+let floorplanning =
+  memo (fun () ->
+      let speedup =
+        Gap_interconnect.Bacpac.floorplan_speedup ~tech ~logic_depth_fo4:44.
+          ~chip:Gap_interconnect.Bacpac.default_chip
+      in
+      {
+        factor_name = "floorplanning and placement";
+        paper_max = 1.25;
+        modeled = speedup;
+        how = "Bacpac: cross-chip vs module-local critical path, 100 mm^2 die";
+      })
+
+let sizing_and_circuit =
+  memo (fun () ->
+      (* Post-layout sizing, the scenario of Sec. 6.2: initial synthesis picks
+         drives from wire-load estimates; after placement, TILOS resizes
+         against the real wire parasitics. Wire loads make drive strength
+         matter (uniformly scaled gates are load-insensitive under logical
+         effort). *)
+      let g = Gap_datapath.Adders.cla_adder 16 in
+      let rich_lib = Gap_liberty.Libgen.(make tech rich) in
+      let effort = { Gap_synth.Flow.default_effort with tilos_moves = 0 } in
+      let outcome = Gap_synth.Flow.run ~lib:rich_lib ~effort ~name:"cla16" g in
+      let nl = outcome.Gap_synth.Flow.netlist in
+      ignore (Gap_place.Placer.place nl);
+      Gap_place.Wire_estimate.annotate nl;
+      let before = (Gap_sta.Sta.analyze nl).Gap_sta.Sta.min_period_ps in
+      ignore (Gap_synth.Sizing.tilos nl);
+      let after = (Gap_sta.Sta.analyze nl).Gap_sta.Sta.min_period_ps in
+      {
+        factor_name = "transistor/wire sizing, circuit design";
+        paper_max = 1.25;
+        modeled = before /. after;
+        how =
+          "Flow: placed 16-bit CLA with wire loads, synthesis-estimated drives \
+           vs post-layout TILOS resizing";
+      })
+
+let dynamic_logic =
+  memo (fun () ->
+      (* Max contribution: the circuit classes domino favors (parallel-prefix
+         adder carry trees, control cones), with the domino netlist given the
+         same back-end effort (buffering + sizing) as the static flow. *)
+      let rich_lib = Gap_liberty.Libgen.(make tech rich) in
+      let domino_lib = Gap_liberty.Libgen.(make tech domino) in
+      let effort = { Gap_synth.Flow.default_effort with tilos_moves = 0 } in
+      let ratio g =
+        let static = Gap_synth.Flow.run ~lib:rich_lib ~effort g in
+        let dom = Gap_domino.Dualrail.map_aig ~domino_lib g in
+        ignore (Gap_synth.Buffering.buffer_fanout dom);
+        ignore (Gap_synth.Sizing.tilos dom);
+        static.Gap_synth.Flow.sta.Gap_sta.Sta.min_period_ps
+        /. (Gap_sta.Sta.analyze dom).Gap_sta.Sta.min_period_ps
+      in
+      let adder = ratio (Gap_datapath.Adders.kogge_stone_adder 32) in
+      let control =
+        ratio (Gap_datapath.Random_logic.generate ~inputs:48 ~outputs:24 ~gates:1000 ())
+      in
+      {
+        factor_name = "dynamic logic on critical paths";
+        paper_max = 1.50;
+        modeled = sqrt (adder *. control);
+        how =
+          "Dualrail+sizing: 32-bit Kogge-Stone adder and a control cone, static \
+           flow vs dual-rail domino (geomean)";
+      })
+
+let process_variation =
+  memo (fun () ->
+      let nominal = 250. in
+      let custom_model =
+        Gap_variation.Model.make ~fab_mean:Gap_variation.Model.best_fab
+          Gap_variation.Model.mature
+      in
+      let asic_model =
+        Gap_variation.Model.make ~fab_mean:Gap_variation.Model.slow_fab
+          Gap_variation.Model.mature
+      in
+      let custom =
+        Gap_variation.Montecarlo.simulate ~model:custom_model ~nominal_mhz:nominal
+          ~dies:8000 ()
+      in
+      let asic =
+        Gap_variation.Montecarlo.simulate ~model:asic_model ~nominal_mhz:nominal
+          ~dies:8000 ()
+      in
+      {
+        factor_name = "process variation and accessibility";
+        paper_max = 1.90;
+        modeled = Gap_variation.Binning.custom_best_vs_asic_worst ~custom ~asic;
+        how = "Monte Carlo: best-fab p99 bin vs slow-fab worst-case signoff";
+      })
+
+let all () =
+  [
+    microarchitecture ();
+    floorplanning ();
+    sizing_and_circuit ();
+    dynamic_logic ();
+    process_variation ();
+  ]
+
+let ranked factors =
+  List.sort (fun a b -> compare b.modeled a.modeled) factors
+
+let composite factors = List.fold_left (fun acc f -> acc *. f.modeled) 1. factors
+let paper_composite factors = List.fold_left (fun acc f -> acc *. f.paper_max) 1. factors

@@ -1,0 +1,42 @@
+(** The paper's Sec. 3 factor table, re-derived from the substrate models.
+
+    Each factor's "maximum contribution" is measured by running the relevant
+    engine at its two extremes (e.g. mapping the same netlist against the
+    poor and rich libraries) rather than asserted. Results are cached: the
+    heavier factors synthesize real netlists. *)
+
+type t = {
+  factor_name : string;
+  paper_max : float;  (** the value the paper asserts *)
+  modeled : float;  (** what our models produce *)
+  how : string;  (** one-line provenance of [modeled] *)
+}
+
+val microarchitecture : unit -> t
+(** Paper x4.00: deep custom pipelining + fewer logic levels vs an
+    unpipelined ASIC, in FO4-normalized frequency. *)
+
+val floorplanning : unit -> t
+(** Paper x1.25: BACPAC-style localized vs cross-chip critical path. *)
+
+val sizing_and_circuit : unit -> t
+(** Paper x1.25: poor library + minimal sizing vs rich library + TILOS, on a
+    mapped benchmark netlist. *)
+
+val dynamic_logic : unit -> t
+(** Paper x1.50: static vs dual-rail domino mapping of the same logic. *)
+
+val process_variation : unit -> t
+(** Paper x1.90: Monte Carlo best-fab binned custom vs slow-fab worst-case
+    ASIC rating. *)
+
+val all : unit -> t list
+val ranked : t list -> t list
+(** Factors sorted by modeled contribution, largest first — the paper's
+    Sec. 9 ordering ("the two most significant factors are pipelining and
+    process variation"). *)
+
+val composite : t list -> float
+(** Product of [modeled] values. *)
+
+val paper_composite : t list -> float

@@ -1,0 +1,67 @@
+let factor_table factors =
+  let rows =
+    List.map
+      (fun (f : Factors.t) ->
+        [
+          f.Factors.factor_name;
+          Gap_util.Table.fmt_ratio f.Factors.paper_max;
+          Gap_util.Table.fmt_ratio f.Factors.modeled;
+          f.Factors.how;
+        ])
+      factors
+    @ [
+        [
+          "composite (product)";
+          Gap_util.Table.fmt_ratio (Factors.paper_composite factors);
+          Gap_util.Table.fmt_ratio (Factors.composite factors);
+          "";
+        ];
+      ]
+  in
+  Gap_util.Table.render
+    ~aligns:[ Gap_util.Table.Left; Right; Right; Left ]
+    ~header:[ "factor"; "paper max"; "modeled"; "derivation" ]
+    rows
+
+let residual_table steps =
+  let rows =
+    List.map
+      (fun (s : Gap_model.residual_step) ->
+        [
+          String.concat " + "
+            (List.map
+               (fun n -> List.hd (String.split_on_char ' ' n))
+               s.Gap_model.after_factors);
+          Gap_util.Table.fmt_ratio s.Gap_model.explained;
+          Gap_util.Table.fmt_ratio s.Gap_model.residual;
+        ])
+      steps
+  in
+  Gap_util.Table.render
+    ~header:[ "factors applied"; "explained"; "residual of composite" ]
+    rows
+
+let methodology_table meths =
+  let rows =
+    List.map
+      (fun m ->
+        [
+          m.Methodology.meth_name;
+          Gap_util.Table.fmt_ratio (Gap_model.speed_multiplier m);
+        ])
+      meths
+  in
+  Gap_util.Table.render ~header:[ "methodology"; "speed vs worst practice" ] rows
+
+let print_full_analysis () =
+  let fs = Factors.all () in
+  print_string (factor_table fs);
+  print_newline ();
+  print_string (residual_table (Gap_model.residual_analysis fs));
+  print_newline ();
+  print_string
+    (methodology_table
+       [ Methodology.typical_asic; Methodology.good_asic; Methodology.custom ]);
+  Printf.printf "predicted ASIC-custom gap: x%.2f (observed: %.0f-%.0fx)\n"
+    (Gap_model.predicted_asic_custom_gap ())
+    Gap_model.observed_gap_lo Gap_model.observed_gap_hi

@@ -1,0 +1,11 @@
+(** Rendering of the gap analysis as the paper's tables. *)
+
+val factor_table : Factors.t list -> string
+(** The Sec. 3 overview: factor, paper value, modeled value, provenance,
+    with the composite row at the bottom. *)
+
+val residual_table : Gap_model.residual_step list -> string
+val methodology_table : Methodology.t list -> string
+(** Speed multipliers relative to worst practice, plus mutual gaps. *)
+
+val print_full_analysis : unit -> unit

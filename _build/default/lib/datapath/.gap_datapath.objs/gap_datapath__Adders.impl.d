@@ -1,0 +1,1 @@
+lib/datapath/adders.ml: Array Gap_logic List Word

@@ -1,0 +1,1 @@
+lib/datapath/adders.mli: Gap_logic Word

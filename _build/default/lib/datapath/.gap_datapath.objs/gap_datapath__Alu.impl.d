@@ -1,0 +1,1 @@
+lib/datapath/alu.ml: Adders Array Gap_logic Shifter Word

@@ -1,0 +1,1 @@
+lib/datapath/alu.mli: Gap_logic

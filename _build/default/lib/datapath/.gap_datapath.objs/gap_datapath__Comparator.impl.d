@@ -1,0 +1,1 @@
+lib/datapath/comparator.ml: Adders Gap_logic Word

@@ -1,0 +1,1 @@
+lib/datapath/comparator.mli: Gap_logic Word

@@ -1,0 +1,1 @@
+lib/datapath/counting.ml: Array Gap_logic Word

@@ -1,0 +1,1 @@
+lib/datapath/counting.mli: Gap_logic Word

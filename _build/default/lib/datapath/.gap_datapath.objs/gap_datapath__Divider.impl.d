@@ -1,0 +1,1 @@
+lib/datapath/divider.ml: Adders Array Gap_logic Word

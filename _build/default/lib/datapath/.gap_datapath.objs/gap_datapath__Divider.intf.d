@@ -1,0 +1,1 @@
+lib/datapath/divider.mli: Gap_logic Word

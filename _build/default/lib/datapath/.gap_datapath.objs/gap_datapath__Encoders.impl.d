@@ -1,0 +1,1 @@
+lib/datapath/encoders.ml: Array Gap_logic Printf Shifter Word

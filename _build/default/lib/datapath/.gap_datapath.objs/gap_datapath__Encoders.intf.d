@@ -1,0 +1,1 @@
+lib/datapath/encoders.mli: Gap_logic Word

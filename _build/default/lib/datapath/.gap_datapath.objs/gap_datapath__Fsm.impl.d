@@ -1,0 +1,1 @@
+lib/datapath/fsm.ml: Array Gap_logic Printf Word

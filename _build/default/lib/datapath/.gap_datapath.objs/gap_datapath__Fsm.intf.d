@@ -1,0 +1,1 @@
+lib/datapath/fsm.mli: Gap_logic

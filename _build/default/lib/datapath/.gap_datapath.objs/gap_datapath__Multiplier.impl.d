@@ -1,0 +1,1 @@
+lib/datapath/multiplier.ml: Adders Array Gap_logic Word

@@ -1,0 +1,1 @@
+lib/datapath/multiplier.mli: Gap_logic Word

@@ -1,0 +1,1 @@
+lib/datapath/random_logic.ml: Gap_logic Gap_util Printf

@@ -1,0 +1,1 @@
+lib/datapath/random_logic.mli: Gap_logic

@@ -1,0 +1,1 @@
+lib/datapath/shifter.ml: Array Gap_logic Word

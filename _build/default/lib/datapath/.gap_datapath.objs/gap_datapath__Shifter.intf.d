@@ -1,0 +1,1 @@
+lib/datapath/shifter.mli: Gap_logic Word

@@ -1,0 +1,1 @@
+lib/datapath/word.ml: Array Gap_logic Printf

@@ -1,0 +1,1 @@
+lib/datapath/word.mli: Gap_logic

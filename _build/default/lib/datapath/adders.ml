@@ -1,0 +1,156 @@
+module Aig = Gap_logic.Aig
+
+type core = Aig.t -> Word.t -> Word.t -> Aig.lit -> Word.t * Aig.lit
+
+let full_adder g a b c =
+  let s = Aig.xor_ g (Aig.xor_ g a b) c in
+  let carry = Aig.or_ g (Aig.and_ g a b) (Aig.and_ g c (Aig.xor_ g a b)) in
+  (s, carry)
+
+let ripple g a b cin =
+  let width = Array.length a in
+  assert (Array.length b = width);
+  let sum = Array.make width Aig.lit_false in
+  let carry = ref cin in
+  for i = 0 to width - 1 do
+    let s, c = full_adder g a.(i) b.(i) !carry in
+    sum.(i) <- s;
+    carry := c
+  done;
+  (sum, !carry)
+
+(* Block carry-lookahead: every carry inside a block is computed from the
+   block-input carry by the flattened two-level expansion
+
+     c_k = g_{k-1} | p_{k-1} g_{k-2} | ... | p_{k-1}..p_1 g_0
+         | p_{k-1}..p_0 c_in
+
+   so the block contributes a constant number of logic levels; blocks are
+   chained through their carry-out. This is the "carry-lookahead ... in
+   pre-designed libraries" structure of Sec. 4.2. *)
+let carry_lookahead ?(block = 4) () g a b cin =
+  assert (block >= 1);
+  let width = Array.length a in
+  let gen = Array.init width (fun i -> Aig.and_ g a.(i) b.(i)) in
+  let prop = Array.init width (fun i -> Aig.xor_ g a.(i) b.(i)) in
+  let sum = Array.make width Aig.lit_false in
+  let or_tree lits =
+    match lits with
+    | [] -> Aig.lit_false
+    | _ ->
+        let rec level = function
+          | [ x ] -> x
+          | xs ->
+              let rec pair = function
+                | x :: y :: rest -> Aig.or_ g x y :: pair rest
+                | tail -> tail
+              in
+              level (pair xs)
+        in
+        level lits
+  in
+  let block_cin = ref cin in
+  let i = ref 0 in
+  while !i < width do
+    let hi = min (!i + block) width in
+    (* terms.(j) = g_{i+j} & p_{i+j+1} & ... & p_{i+k-1}, updated as k grows;
+       pbar = p_i & ... & p_{i+k-1} *)
+    let terms = ref [] in
+    let pbar = ref Aig.lit_true in
+    for k = 0 to hi - !i - 1 do
+      let bit = !i + k in
+      (* carry into [bit] from the expansion accumulated so far *)
+      let c = or_tree (Aig.and_ g !pbar !block_cin :: !terms) in
+      sum.(bit) <- Aig.xor_ g prop.(bit) c;
+      terms := gen.(bit) :: List.map (fun t -> Aig.and_ g t prop.(bit)) !terms;
+      pbar := Aig.and_ g !pbar prop.(bit)
+    done;
+    block_cin := or_tree (Aig.and_ g !pbar !block_cin :: !terms);
+    i := hi
+  done;
+  (sum, !block_cin)
+
+let carry_select ?(block = 4) () g a b cin =
+  let width = Array.length a in
+  let sum = Array.make width Aig.lit_false in
+  let carry = ref cin in
+  let i = ref 0 in
+  while !i < width do
+    let hi = min (!i + block) width in
+    let sub arr = Array.sub arr !i (hi - !i) in
+    if !i = 0 then begin
+      (* first block: plain ripple from the real carry *)
+      let s, c = ripple g (sub a) (sub b) !carry in
+      Array.blit s 0 sum !i (hi - !i);
+      carry := c
+    end
+    else begin
+      (* speculative blocks for carry-in 0 and 1, then select *)
+      let s0, c0 = ripple g (sub a) (sub b) Aig.lit_false in
+      let s1, c1 = ripple g (sub a) (sub b) Aig.lit_true in
+      let sel = !carry in
+      for j = 0 to hi - !i - 1 do
+        sum.(!i + j) <- Aig.mux_ g ~sel s0.(j) s1.(j)
+      done;
+      carry := Aig.mux_ g ~sel c0 c1
+    end;
+    i := hi
+  done;
+  (sum, !carry)
+
+let kogge_stone g a b cin =
+  let width = Array.length a in
+  let gen = Array.init width (fun i -> Aig.and_ g a.(i) b.(i)) in
+  let prop = Array.init width (fun i -> Aig.xor_ g a.(i) b.(i)) in
+  (* incorporate cin as generate of a virtual bit -1 by adjusting g0 *)
+  let gcur = Array.copy gen and pcur = Array.copy prop in
+  gcur.(0) <- Aig.or_ g gen.(0) (Aig.and_ g prop.(0) cin);
+  let dist = ref 1 in
+  while !dist < width do
+    let gnext = Array.copy gcur and pnext = Array.copy pcur in
+    for i = width - 1 downto !dist do
+      gnext.(i) <- Aig.or_ g gcur.(i) (Aig.and_ g pcur.(i) gcur.(i - !dist));
+      pnext.(i) <- Aig.and_ g pcur.(i) pcur.(i - !dist)
+    done;
+    Array.blit gnext 0 gcur 0 width;
+    Array.blit pnext 0 pcur 0 width;
+    dist := !dist * 2
+  done;
+  (* carry into bit i is gcur.(i-1); carry into bit 0 is cin *)
+  let sum =
+    Array.init width (fun i ->
+        let c = if i = 0 then cin else gcur.(i - 1) in
+        Aig.xor_ g prop.(i) c)
+  in
+  (sum, gcur.(width - 1))
+
+let standalone ~name core width =
+  ignore name;
+  let g = Aig.create () in
+  let a = Word.inputs g "a" width in
+  let b = Word.inputs g "b" width in
+  let cin = Aig.add_input g "cin" in
+  let sum, cout = core g a b cin in
+  Word.outputs g "s" sum;
+  Aig.add_output g "cout" cout;
+  g
+
+let ripple_adder width = standalone ~name:"ripple" ripple width
+let cla_adder ?block width = standalone ~name:"cla" (carry_lookahead ?block ()) width
+
+let carry_select_adder ?block width =
+  standalone ~name:"csel" (carry_select ?block ()) width
+
+let kogge_stone_adder width = standalone ~name:"ks" kogge_stone width
+
+let subtract core g a b cin =
+  let nb = Array.map Aig.negate b in
+  core g a nb cin
+
+let architectures =
+  [
+    ("ripple", ripple_adder);
+    ("carry-lookahead", fun width -> cla_adder width);
+    ("carry-select", fun width -> carry_select_adder width);
+    ("kogge-stone", kogge_stone_adder);
+  ]

@@ -1,0 +1,43 @@
+(** Adder architectures.
+
+    The paper's Sec. 4.2 points out that "fast datapath designs, such as
+    carry-lookahead and carry-select adders ... are not automatically invoked
+    in register-transfer level logic synthesis"; these generators let the
+    experiments compare the architectures directly. All are little-endian.
+
+    Core builders take/return literal arrays inside an existing AIG; the
+    [*_adder] wrappers build a standalone circuit with inputs
+    [a0.., b0.., cin] and outputs [s0.., cout]. *)
+
+type core =
+  Gap_logic.Aig.t ->
+  Word.t ->
+  Word.t ->
+  Gap_logic.Aig.lit ->
+  Word.t * Gap_logic.Aig.lit
+(** [core g a b cin = (sum, cout)] *)
+
+val ripple : core
+val carry_lookahead : ?block:int -> unit -> core
+(** Block propagate/generate lookahead with the given block size
+    (default 4). *)
+
+val carry_select : ?block:int -> unit -> core
+(** Duplicated-block carry select, default block 4. *)
+
+val kogge_stone : core
+(** Logarithmic parallel-prefix adder. *)
+
+val ripple_adder : int -> Gap_logic.Aig.t
+(** Argument is the bit width, for all four standalone generators. *)
+
+val cla_adder : ?block:int -> int -> Gap_logic.Aig.t
+val carry_select_adder : ?block:int -> int -> Gap_logic.Aig.t
+val kogge_stone_adder : int -> Gap_logic.Aig.t
+
+val subtract : core -> core
+(** Wraps an adder core into a subtractor ([a - b], [cin] = borrow-in
+    inverted: pass [lit_true] for plain subtraction). *)
+
+val architectures : (string * (int -> Gap_logic.Aig.t)) list
+(** Named standalone generators, for sweep experiments. *)

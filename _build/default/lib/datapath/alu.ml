@@ -1,0 +1,61 @@
+module Aig = Gap_logic.Aig
+
+type adder_style = [ `Ripple | `Cla | `Kogge_stone ]
+
+let alu ?(adder = `Ripple) width =
+  let g = Aig.create () in
+  let a = Word.inputs g "a" width in
+  let b = Word.inputs g "b" width in
+  let sh = Word.inputs g "sh" (Shifter.shamt_bits width) in
+  let op = Word.inputs g "op" 3 in
+  let core : Adders.core =
+    match adder with
+    | `Ripple -> Adders.ripple
+    | `Cla -> Adders.carry_lookahead ()
+    | `Kogge_stone -> Adders.kogge_stone
+  in
+  (* ADD/SUB share the adder: b is conditionally inverted and cin set by the
+     sub select (op = 1 or op = 5 needs a subtraction). *)
+  let is_sub =
+    (* op=1 (001) or op=5 (101): op0 & !op1 *)
+    Aig.and_ g op.(0) (Aig.negate op.(1))
+  in
+  let b_eff = Array.map (fun l -> Aig.xor_ g l is_sub) b in
+  let sum, cout = core g a b_eff is_sub in
+  let lt = Aig.and_ g is_sub (Aig.negate cout) in
+  let slt_word =
+    Array.init width (fun i -> if i = 0 then lt else Aig.lit_false)
+  in
+  let and_w = Word.logand g a b in
+  let or_w = Word.logor g a b in
+  let xor_w = Word.logxor g a b in
+  let shl = Shifter.shift_left_core g a sh in
+  let shr = Shifter.shift_right_core g a sh in
+  (* 8-way select on op (mux tree); op2 op1 op0 =
+       000 add, 001 sub, 010 and, 011 or, 100 xor, 101 slt, 110 shl, 111 shr *)
+  let sel0 = op.(0) and sel1 = op.(1) and sel2 = op.(2) in
+  let and_or = Word.mux g ~sel:sel0 and_w or_w in
+  let low = Word.mux g ~sel:sel1 sum and_or in
+  let xor_slt = Word.mux g ~sel:sel0 xor_w slt_word in
+  let shifts = Word.mux g ~sel:sel0 shl shr in
+  let high = Word.mux g ~sel:sel1 xor_slt shifts in
+  let y = Word.mux g ~sel:sel2 low high in
+  Word.outputs g "y" y;
+  g
+
+let reference ~width ~op ~a ~b ~sh =
+  let mask = (1 lsl width) - 1 in
+  let a = a land mask and b = b land mask in
+  let result =
+    match op with
+    | 0 -> a + b
+    | 1 -> a - b
+    | 2 -> a land b
+    | 3 -> a lor b
+    | 4 -> a lxor b
+    | 5 -> if a < b then 1 else 0
+    | 6 -> a lsl sh
+    | 7 -> a lsr sh
+    | _ -> invalid_arg "Alu.reference: op out of range"
+  in
+  result land mask

@@ -1,0 +1,25 @@
+(** A small single-cycle ALU: the Xtensa-like "typical ASIC datapath" used by
+    the pipelining and FO4-depth experiments.
+
+    Operations (3-bit [op] input, little-endian):
+    {v
+      0  ADD   a + b
+      1  SUB   a - b
+      2  AND   a & b
+      3  OR    a | b
+      4  XOR   a ^ b
+      5  SLT   unsigned a < b (1-bit result, zero-extended)
+      6  SHL   a << sh
+      7  SHR   a >> sh
+    v} *)
+
+type adder_style = [ `Ripple | `Cla | `Kogge_stone ]
+
+val alu : ?adder:adder_style -> int -> Gap_logic.Aig.t
+(** Argument is the bit width. Inputs [a*], [b*], [sh*], [op0..op2];
+    outputs [y*]. The adder style
+    controls the ADD/SUB/SLT datapath; [`Ripple] is what naive synthesis
+    gives, [`Kogge_stone] what a datapath library would. *)
+
+val reference : width:int -> op:int -> a:int -> b:int -> sh:int -> int
+(** Bit-accurate software model, for tests. *)

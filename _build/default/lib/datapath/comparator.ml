@@ -1,0 +1,19 @@
+module Aig = Gap_logic.Aig
+
+let eq_core g a b =
+  let diffs = Word.logxor g a b in
+  Aig.negate (Word.reduce_or g diffs)
+
+let ult_core g a b =
+  (* a < b  <=>  a - b borrows  <=>  not (carry out of a + ~b + 1) *)
+  let nb = Word.lognot g b in
+  let _, cout = Adders.ripple g a nb Aig.lit_true in
+  Aig.negate cout
+
+let comparator ~width =
+  let g = Aig.create () in
+  let a = Word.inputs g "a" width in
+  let b = Word.inputs g "b" width in
+  Aig.add_output g "eq" (eq_core g a b);
+  Aig.add_output g "lt" (ult_core g a b);
+  g

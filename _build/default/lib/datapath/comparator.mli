@@ -1,0 +1,8 @@
+(** Equality and magnitude comparators. *)
+
+val eq_core : Gap_logic.Aig.t -> Word.t -> Word.t -> Gap_logic.Aig.lit
+val ult_core : Gap_logic.Aig.t -> Word.t -> Word.t -> Gap_logic.Aig.lit
+(** Unsigned [a < b], computed as the borrow of [a - b]. *)
+
+val comparator : width:int -> Gap_logic.Aig.t
+(** Standalone: inputs [a*], [b*]; outputs [eq], [lt]. *)

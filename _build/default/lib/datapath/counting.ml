@@ -1,0 +1,76 @@
+module Aig = Gap_logic.Aig
+
+let result_bits n =
+  let rec go v bits = if v >= n + 1 then bits else go (v * 2) (bits + 1) in
+  if n = 0 then 1 else go 1 0
+
+let full_adder g a b c =
+  let s = Aig.xor_ g (Aig.xor_ g a b) c in
+  let carry = Aig.or_ g (Aig.and_ g a b) (Aig.and_ g c (Aig.xor_ g a b)) in
+  (s, carry)
+
+(* column-compression popcount: bucket bits by weight, compress with full
+   adders until each column holds one bit *)
+let popcount_core g word =
+  let n = Array.length word in
+  let out_w = result_bits n in
+  let cols = Array.make (out_w + 1) [] in
+  Array.iter (fun l -> cols.(0) <- l :: cols.(0)) word;
+  for w = 0 to out_w - 1 do
+    let rec compress () =
+      match cols.(w) with
+      | a :: b :: c :: rest ->
+          let s, carry = full_adder g a b c in
+          cols.(w) <- s :: rest;
+          cols.(w + 1) <- carry :: cols.(w + 1);
+          compress ()
+      | a :: b :: [] ->
+          let s, carry = full_adder g a b Aig.lit_false in
+          cols.(w) <- [ s ];
+          cols.(w + 1) <- carry :: cols.(w + 1)
+      | _ -> ()
+    in
+    compress ()
+  done;
+  Array.init out_w (fun w -> match cols.(w) with l :: _ -> l | [] -> Aig.lit_false)
+
+let popcount ~width =
+  let g = Aig.create () in
+  let x = Word.inputs g "x" width in
+  Word.outputs g "c" (popcount_core g x);
+  g
+
+let parity_core g word =
+  let rec level = function
+    | [] -> Aig.lit_false
+    | [ x ] -> x
+    | xs ->
+        let rec pair = function
+          | a :: b :: rest -> Aig.xor_ g a b :: pair rest
+          | tail -> tail
+        in
+        level (pair xs)
+  in
+  level (Array.to_list word)
+
+let incrementer_core g word =
+  let n = Array.length word in
+  let out = Array.make n Aig.lit_false in
+  let carry = ref Aig.lit_true in
+  for i = 0 to n - 1 do
+    out.(i) <- Aig.xor_ g word.(i) !carry;
+    carry := Aig.and_ g word.(i) !carry
+  done;
+  (out, !carry)
+
+let gray_encode_core g word =
+  let n = Array.length word in
+  Array.init n (fun i -> if i = n - 1 then word.(i) else Aig.xor_ g word.(i) word.(i + 1))
+
+let gray_decode_core g word =
+  let n = Array.length word in
+  let out = Array.make n Aig.lit_false in
+  for i = n - 1 downto 0 do
+    out.(i) <- (if i = n - 1 then word.(i) else Aig.xor_ g word.(i) out.(i + 1))
+  done;
+  out

@@ -1,0 +1,23 @@
+(** Bit-counting and codes: popcount, parity, increment, Gray code. *)
+
+val popcount_core : Gap_logic.Aig.t -> Word.t -> Word.t
+(** Population count as a [ceil(log2(n+1))]-bit word, built from a full-adder
+    reduction tree. *)
+
+val popcount : width:int -> Gap_logic.Aig.t
+(** Standalone: inputs [x*], outputs [c*]. *)
+
+val parity_core : Gap_logic.Aig.t -> Word.t -> Gap_logic.Aig.lit
+(** XOR reduction (balanced tree). *)
+
+val incrementer_core : Gap_logic.Aig.t -> Word.t -> Word.t * Gap_logic.Aig.lit
+(** [x + 1] and the carry out. *)
+
+val gray_encode_core : Gap_logic.Aig.t -> Word.t -> Word.t
+(** Binary to reflected Gray: [g = b xor (b >> 1)]. *)
+
+val gray_decode_core : Gap_logic.Aig.t -> Word.t -> Word.t
+(** Gray back to binary (prefix XOR from the top). *)
+
+val result_bits : int -> int
+(** Width of a popcount result for an [n]-bit input. *)

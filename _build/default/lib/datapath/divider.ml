@@ -1,0 +1,42 @@
+module Aig = Gap_logic.Aig
+
+(* Restoring long division, one row per quotient bit (MSB first): try to
+   subtract the divisor from the current remainder head; keep the difference
+   when it doesn't borrow, restore otherwise. *)
+let core g dividend divisor =
+  let width = Array.length dividend in
+  assert (Array.length divisor = width);
+  let quotient = Array.make width Aig.lit_false in
+  (* remainder register, width+1 bits to hold the shifted-in head *)
+  let rem = Array.make (width + 1) Aig.lit_false in
+  let divisor_ext = Array.append divisor [| Aig.lit_false |] in
+  for step = width - 1 downto 0 do
+    (* shift left, bring in dividend bit [step] *)
+    for k = width downto 1 do
+      rem.(k) <- rem.(k - 1)
+    done;
+    rem.(0) <- dividend.(step);
+    (* trial subtract: rem - divisor *)
+    let ndiv = Array.map Aig.negate divisor_ext in
+    let diff, carry = Adders.ripple g rem ndiv Aig.lit_true in
+    (* carry out = no borrow = subtract succeeded *)
+    quotient.(step) <- carry;
+    for k = 0 to width do
+      rem.(k) <- Aig.mux_ g ~sel:carry rem.(k) diff.(k)
+    done
+  done;
+  (quotient, Array.sub rem 0 width)
+
+let array_divider ~width =
+  let g = Aig.create () in
+  let a = Word.inputs g "a" width in
+  let b = Word.inputs g "b" width in
+  let q, r = core g a b in
+  Word.outputs g "q" q;
+  Word.outputs g "r" r;
+  g
+
+let reference ~width ~a ~b =
+  let mask = (1 lsl width) - 1 in
+  let a = a land mask and b = b land mask in
+  if b = 0 then (mask, a) else (a / b, a mod b)

@@ -1,0 +1,17 @@
+(** Restoring array divider: the deepest of the classic datapath blocks
+    (quadratic depth — each quotient bit's subtract depends on the previous
+    restore decision), which is why real machines iterate it over many
+    cycles instead. Useful here as a worst-case combinational depth
+    benchmark for the pipelining experiments. *)
+
+val core : Gap_logic.Aig.t -> Word.t -> Word.t -> Word.t * Word.t
+(** [core g dividend divisor = (quotient, remainder)], unsigned, equal
+    widths. Division by zero yields all-ones quotient and the dividend as
+    remainder (the conventional array-divider behaviour of our reference). *)
+
+val array_divider : width:int -> Gap_logic.Aig.t
+(** Standalone: inputs [a*] (dividend), [b*] (divisor); outputs [q*], [r*]. *)
+
+val reference : width:int -> a:int -> b:int -> int * int
+(** Software model matching [core], including the division-by-zero
+    convention. *)

@@ -1,0 +1,71 @@
+module Aig = Gap_logic.Aig
+
+let decoder_core g sel =
+  let n = Array.length sel in
+  Array.init (1 lsl n) (fun code ->
+      let terms =
+        Array.mapi (fun i s -> if code land (1 lsl i) <> 0 then s else Aig.negate s) sel
+      in
+      Word.reduce_and g terms)
+
+let decoder ~width =
+  let g = Aig.create () in
+  let sel = Word.inputs g "s" width in
+  let outs = decoder_core g sel in
+  Array.iteri (fun i l -> Aig.add_output g (Printf.sprintf "d%d" i) l) outs;
+  g
+
+let priority_encoder_core g req =
+  let lines = Array.length req in
+  assert (lines > 0 && lines land (lines - 1) = 0);
+  let bits = Shifter.shamt_bits lines in
+  let valid = Word.reduce_or g req in
+  (* grant: highest asserted line wins *)
+  let index =
+    Array.init bits (fun b ->
+        (* bit b of the winning index: OR over lines with bit b set that are
+           not shadowed by any higher line *)
+        let terms = ref [] in
+        for line = 0 to lines - 1 do
+          if line land (1 lsl b) <> 0 then begin
+            (* line wins iff req.(line) and no higher req *)
+            let higher = Array.to_list (Array.sub req (line + 1) (lines - line - 1)) in
+            let no_higher = Aig.negate (Word.reduce_or g (Array.of_list higher)) in
+            terms := Aig.and_ g req.(line) no_higher :: !terms
+          end
+        done;
+        Word.reduce_or g (Array.of_list !terms))
+  in
+  (index, valid)
+
+let priority_encoder ~lines =
+  let g = Aig.create () in
+  let req = Word.inputs g "r" lines in
+  let index, valid = priority_encoder_core g req in
+  Word.outputs g "i" index;
+  Aig.add_output g "valid" valid;
+  g
+
+let rec mux_tree_core g sel data =
+  match Array.length sel with
+  | 0 ->
+      assert (Array.length data = 1);
+      data.(0)
+  | n ->
+      assert (Array.length data = 1 lsl n);
+      let half = Array.length data / 2 in
+      let lo = mux_tree_core g (Array.sub sel 0 (n - 1)) (Array.sub data 0 half) in
+      let hi = mux_tree_core g (Array.sub sel 0 (n - 1)) (Array.sub data half half) in
+      Aig.mux_ g ~sel:sel.(n - 1) lo hi
+
+let onehot_check_core g word =
+  (* exactly one set: some set, and no two set *)
+  let any = Word.reduce_or g word in
+  let pairs = ref [] in
+  Array.iteri
+    (fun i a ->
+      Array.iteri (fun j b -> if i < j then pairs := Aig.and_ g a b :: !pairs) word;
+      ignore a)
+    word;
+  let two = Word.reduce_or g (Array.of_list !pairs) in
+  Aig.and_ g any (Aig.negate two)

@@ -1,0 +1,26 @@
+(** Decoders, encoders and wide muxes: the control-side structures of a
+    datapath (register-file address decode, bypass selects, ...). *)
+
+val decoder_core : Gap_logic.Aig.t -> Word.t -> Word.t
+(** [decoder_core g sel] is the [2^n]-bit one-hot decode of the [n]-bit
+    select. *)
+
+val decoder : width:int -> Gap_logic.Aig.t
+(** Standalone: inputs [s*] ([width] bits), outputs [d0 .. d(2^width-1)]. *)
+
+val priority_encoder_core :
+  Gap_logic.Aig.t -> Word.t -> Word.t * Gap_logic.Aig.lit
+(** [priority_encoder_core g req = (index, valid)]: the index of the
+    highest-numbered asserted request line, and whether any was asserted.
+    [req] length must be a power of two. *)
+
+val priority_encoder : lines:int -> Gap_logic.Aig.t
+(** Standalone: inputs [r*], outputs [i*] plus [valid]. *)
+
+val mux_tree_core :
+  Gap_logic.Aig.t -> Word.t -> Gap_logic.Aig.lit array -> Gap_logic.Aig.lit
+(** [mux_tree_core g sel data] selects [data.(value of sel)];
+    [Array.length data = 2^(length sel)]. *)
+
+val onehot_check_core : Gap_logic.Aig.t -> Word.t -> Gap_logic.Aig.lit
+(** True iff exactly one bit of the word is set. *)

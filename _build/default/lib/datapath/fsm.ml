@@ -1,0 +1,152 @@
+module Aig = Gap_logic.Aig
+
+type spec = {
+  fsm_name : string;
+  n_states : int;
+  n_inputs : int;
+  n_outputs : int;
+  reset_state : int;
+  next : int -> int -> int;
+  out : int -> int -> int;
+}
+
+type encoding = Binary | Onehot
+
+let binary_bits n =
+  let rec go v bits = if v >= n then bits else go (v * 2) (bits + 1) in
+  max 1 (go 1 0)
+
+let state_bits encoding n =
+  match encoding with Binary -> binary_bits n | Onehot -> n
+
+(* Sum-of-minterm construction of an arbitrary tabulated function: OR over
+   (state-decode & input-minterm-decode) terms. The mapper re-optimizes this,
+   so structural quality here only affects runtime. *)
+let to_aig ?(encoding = Binary) spec =
+  assert (spec.n_states >= 1 && spec.reset_state < spec.n_states);
+  assert (spec.n_inputs <= 8);
+  let g = Aig.create () in
+  let ins = Word.inputs g "in" spec.n_inputs in
+  let sbits = state_bits encoding spec.n_states in
+  let state = Word.inputs g "state" sbits in
+  (* state-valid decode per state id *)
+  let state_is =
+    match encoding with
+    | Binary ->
+        Array.init spec.n_states (fun s ->
+            let lits =
+              Array.mapi
+                (fun b l -> if s land (1 lsl b) <> 0 then l else Aig.negate l)
+                state
+            in
+            Word.reduce_and g lits)
+    | Onehot -> Array.init spec.n_states (fun s -> state.(s))
+  in
+  (* recovery: treat invalid codes as reset. valid = OR of state_is *)
+  let valid = Word.reduce_or g state_is in
+  let effective_is =
+    Array.mapi
+      (fun s lit ->
+        if s = spec.reset_state then Aig.or_ g lit (Aig.negate valid) else lit)
+      state_is
+  in
+  (* input minterm decode *)
+  let in_minterms =
+    Array.init (1 lsl spec.n_inputs) (fun m ->
+        let lits =
+          Array.mapi (fun b l -> if m land (1 lsl b) <> 0 then l else Aig.negate l) ins
+        in
+        Word.reduce_and g lits)
+  in
+  let encode_state s =
+    match encoding with
+    | Binary -> Array.init sbits (fun b -> s land (1 lsl b) <> 0)
+    | Onehot -> Array.init sbits (fun b -> b = s)
+  in
+  (* for each output/next bit: OR over (state, minterm) pairs where set *)
+  let build_bit value_of =
+    let terms = ref [] in
+    for s = 0 to spec.n_states - 1 do
+      for m = 0 to (1 lsl spec.n_inputs) - 1 do
+        if value_of s m then
+          terms := Aig.and_ g effective_is.(s) in_minterms.(m) :: !terms
+      done
+    done;
+    Word.reduce_or g (Array.of_list !terms)
+  in
+  for o = 0 to spec.n_outputs - 1 do
+    Aig.add_output g (Printf.sprintf "out%d" o)
+      (build_bit (fun s m -> spec.out s m land (1 lsl o) <> 0))
+  done;
+  for b = 0 to sbits - 1 do
+    Aig.add_output g (Printf.sprintf "next%d" b)
+      (build_bit (fun s m -> (encode_state (spec.next s m)).(b)))
+  done;
+  g
+
+let reference_step spec state ins =
+  assert (Array.length ins = spec.n_inputs);
+  let m = ref 0 in
+  Array.iteri (fun i b -> if b then m := !m lor (1 lsl i)) ins;
+  let next_state = spec.next state !m in
+  let out_bits = spec.out state !m in
+  (next_state, Array.init spec.n_outputs (fun o -> out_bits land (1 lsl o) <> 0))
+
+(* --- the bus-interface controller --- *)
+
+(* states *)
+let idle = 0
+let req = 1
+let wait_ack = 2
+let xfer0 = 3
+let xfer1 = 4
+let xfer2 = 5
+let xfer3 = 6
+let done_ = 7
+
+let bus_interface =
+  let start m = m land 1 <> 0 in
+  let ack m = m land 2 <> 0 in
+  let abort m = m land 4 <> 0 in
+  let next s m =
+    if abort m then idle
+    else
+      match s with
+      | 0 (* idle *) -> if start m then req else idle
+      | 1 (* req *) -> wait_ack
+      | 2 (* wait_ack *) -> if ack m then xfer0 else wait_ack
+      | 3 -> xfer1
+      | 4 -> xfer2
+      | 5 -> xfer3
+      | 6 -> done_
+      | 7 -> idle
+      | _ -> idle
+  in
+  let out s m =
+    let req_o = if s = req || s = wait_ack then 1 else 0 in
+    let busy_o = if s <> idle && not (abort m) then 2 else 0 in
+    let done_o = if s = done_ then 4 else 0 in
+    req_o lor busy_o lor done_o
+  in
+  {
+    fsm_name = "bus_interface";
+    n_states = 8;
+    n_inputs = 3;
+    n_outputs = 3;
+    reset_state = idle;
+    next;
+    out;
+  }
+
+let counter ~bits =
+  assert (bits >= 1 && bits <= 8);
+  let n = 1 lsl bits in
+  {
+    fsm_name = Printf.sprintf "counter%d" bits;
+    n_states = n;
+    n_inputs = 1;
+    n_outputs = bits;
+    reset_state = 0;
+    next = (fun s m -> if m land 1 <> 0 then (s + 1) mod n else s);
+    out = (fun s _ -> s);
+  }

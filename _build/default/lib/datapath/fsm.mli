@@ -1,0 +1,44 @@
+(** Finite-state-machine generation.
+
+    Sec. 4.1's counter-example to pipelining: "many designs, such as bus
+    interfaces, have a tight interaction with their environment in which
+    each execution cycle depends on new primary inputs ... it is not clear
+    how an ASIC may be reorganized to allow pipelining." These generators
+    produce exactly that kind of logic: a Mealy machine compiled to
+    next-state/output truth logic over the chosen state encoding, ready for
+    the mapper (state bits appear as [state<k>] inputs and [next<k>]
+    outputs, closed through flops by [Gap_synth.Sequential.close_loops]). *)
+
+type spec = {
+  fsm_name : string;
+  n_states : int;
+  n_inputs : int;
+  n_outputs : int;
+  reset_state : int;
+  next : int -> int -> int;  (** [next state input_minterm] -> next state *)
+  out : int -> int -> int;  (** [out state input_minterm] -> output bits *)
+}
+
+type encoding = Binary | Onehot
+
+val state_bits : encoding -> int -> int
+(** Register count for an [n]-state machine under the encoding. *)
+
+val to_aig : ?encoding:encoding -> spec -> Gap_logic.Aig.t
+(** Combinational body: inputs [in0..], [state0..]; outputs [out0..],
+    [next0..]. Unreachable state codes (binary encoding with non-power-of-two
+    state counts, or invalid one-hot patterns) recover to the reset state. *)
+
+val reference_step : spec -> int -> bool array -> int * bool array
+(** [reference_step spec state ins = (next_state, outputs)]: the software
+    model, for tests. *)
+
+val bus_interface : spec
+(** The paper's example shape: a request/acknowledge bus controller.
+    Inputs: start, ack, abort. Outputs: req, busy, done.
+    IDLE -> REQ -> (wait for ack) -> 4 transfer beats -> DONE -> IDLE,
+    abort returns to IDLE from anywhere. 8 states. *)
+
+val counter : bits:int -> spec
+(** A [bits]-wide wrapping up-counter with enable: the classic sequential
+    loop whose period retiming cannot shorten. *)

@@ -1,0 +1,49 @@
+module Aig = Gap_logic.Aig
+
+let full_adder g x y z =
+  let s = Aig.xor_ g (Aig.xor_ g x y) z in
+  let c = Aig.or_ g (Aig.and_ g x y) (Aig.and_ g z (Aig.xor_ g x y)) in
+  (s, c)
+
+(* Column-based carry-save reduction: partial-product bits are bucketed per
+   weight, full adders compress each column to at most two rows, and a final
+   carry-propagate adder finishes. Carries that would land beyond the product
+   width are provably constant-0 (the product always fits) and are dropped. *)
+let core g a b =
+  let wa = Array.length a and wb = Array.length b in
+  let out_w = wa + wb in
+  let cols = Array.make out_w [] in
+  for j = 0 to wb - 1 do
+    for i = 0 to wa - 1 do
+      cols.(i + j) <- Aig.and_ g a.(i) b.(j) :: cols.(i + j)
+    done
+  done;
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    for pos = 0 to out_w - 1 do
+      match cols.(pos) with
+      | x :: y :: z :: rest ->
+          let s, c = full_adder g x y z in
+          cols.(pos) <- s :: rest;
+          if pos + 1 < out_w then cols.(pos + 1) <- c :: cols.(pos + 1);
+          continue_ := true
+      | _ :: _ | [] -> ()
+    done
+  done;
+  let row n pos = match cols.(pos) with
+    | x :: rest -> if n = 0 then x else (match rest with y :: _ -> y | [] -> Aig.lit_false)
+    | [] -> Aig.lit_false
+  in
+  let r0 = Array.init out_w (row 0) in
+  let r1 = Array.init out_w (row 1) in
+  let sum, _ = Adders.ripple g r0 r1 Aig.lit_false in
+  sum
+
+let array_multiplier ~width =
+  let g = Aig.create () in
+  let a = Word.inputs g "a" width in
+  let b = Word.inputs g "b" width in
+  let p = core g a b in
+  Word.outputs g "p" p;
+  g

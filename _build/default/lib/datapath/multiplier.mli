@@ -1,0 +1,9 @@
+(** Array multiplier: the classic carry-save array of full adders, one of the
+    "regular structures" (Sec. 4.1) custom designers lay out by hand. *)
+
+val core : Gap_logic.Aig.t -> Word.t -> Word.t -> Word.t
+(** [core g a b] is the full [wa + wb]-bit product. *)
+
+val array_multiplier : width:int -> Gap_logic.Aig.t
+(** Standalone [width x width -> 2*width] multiplier, inputs [a*], [b*],
+    outputs [p*]. *)

@@ -1,0 +1,47 @@
+module Aig = Gap_logic.Aig
+module Rng = Gap_util.Rng
+
+let generate ?(seed = 42L) ~inputs ~outputs ~gates () =
+  assert (inputs >= 2 && outputs >= 1 && gates >= outputs);
+  let rng = Rng.create ~seed () in
+  let g = Aig.create () in
+  let pool = Gap_util.Vec.create () in
+  for i = 0 to inputs - 1 do
+    ignore (Gap_util.Vec.push pool (Aig.add_input g (Printf.sprintf "x%d" i)))
+  done;
+  (* Pick operands with recency bias: a random one of the last [window]
+     nodes half of the time, uniform otherwise. *)
+  let pick () =
+    let n = Gap_util.Vec.length pool in
+    let idx =
+      if Rng.bool rng then begin
+        let window = max 4 (n / 4) in
+        n - 1 - Rng.int rng (min window n)
+      end
+      else Rng.int rng n
+    in
+    let l = Gap_util.Vec.get pool idx in
+    if Rng.int rng 4 = 0 then Aig.negate l else l
+  in
+  let made = ref 0 in
+  while !made < gates do
+    let a = pick () and b = pick () in
+    let l =
+      match Rng.int rng 3 with
+      | 0 -> Aig.and_ g a b
+      | 1 -> Aig.or_ g a b
+      | _ -> Aig.xor_ g a b
+    in
+    (* structural hashing may return an existing node; only count fresh ones *)
+    if Aig.is_and g (Aig.id_of_lit l) then begin
+      ignore (Gap_util.Vec.push pool l);
+      incr made
+    end
+    else incr made
+  done;
+  let n = Gap_util.Vec.length pool in
+  for o = 0 to outputs - 1 do
+    let idx = n - 1 - (o mod n) in
+    Aig.add_output g (Printf.sprintf "y%d" o) (Gap_util.Vec.get pool idx)
+  done;
+  g

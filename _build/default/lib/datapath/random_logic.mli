@@ -1,0 +1,12 @@
+(** Random combinational benchmark circuits.
+
+    Deterministic (seeded) random AIGs stand in for the proprietary benchmark
+    suites the paper's cited library studies used; the library-richness and
+    sizing experiments sweep over a family of these plus the structured
+    datapaths. *)
+
+val generate :
+  ?seed:int64 -> inputs:int -> outputs:int -> gates:int -> unit -> Gap_logic.Aig.t
+(** Builds a random DAG of AND/OR/XOR/NOT-combinations, biased toward
+    recently-created nodes so depth grows (like real control logic, not a
+    flat soup). Every output is a distinct node; inputs all feed something. *)

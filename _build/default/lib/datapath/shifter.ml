@@ -1,0 +1,56 @@
+module Aig = Gap_logic.Aig
+
+let shamt_bits width =
+  let rec go n bits = if n >= width then bits else go (n * 2) (bits + 1) in
+  go 1 0
+
+let stage g ~sel ~offset ~fill a =
+  let width = Array.length a in
+  Array.init width (fun i ->
+      let shifted = if i - offset >= 0 then a.(i - offset) else fill in
+      Aig.mux_ g ~sel a.(i) shifted)
+
+let stage_right g ~sel ~offset ~fill a =
+  let width = Array.length a in
+  Array.init width (fun i ->
+      let shifted = if i + offset < width then a.(i + offset) else fill in
+      Aig.mux_ g ~sel a.(i) shifted)
+
+let shift_left_core g a sh =
+  let result = ref a in
+  Array.iteri
+    (fun k sel -> result := stage g ~sel ~offset:(1 lsl k) ~fill:Aig.lit_false !result)
+    sh;
+  !result
+
+let shift_right_core g a sh =
+  let result = ref a in
+  Array.iteri
+    (fun k sel ->
+      result := stage_right g ~sel ~offset:(1 lsl k) ~fill:Aig.lit_false !result)
+    sh;
+  !result
+
+let rotate_left_core g a sh =
+  let width = Array.length a in
+  assert (width land (width - 1) = 0);
+  let result = ref a in
+  Array.iteri
+    (fun k sel ->
+      let offset = 1 lsl k in
+      let rotated cur =
+        Array.init width (fun i -> cur.((i - offset + width) mod width))
+      in
+      let cur = !result in
+      let rot = rotated cur in
+      result := Array.init width (fun i -> Aig.mux_ g ~sel cur.(i) rot.(i)))
+    sh;
+  !result
+
+let barrel_shifter ~width =
+  let g = Aig.create () in
+  let a = Word.inputs g "a" width in
+  let sh = Word.inputs g "sh" (shamt_bits width) in
+  let y = shift_left_core g a sh in
+  Word.outputs g "y" y;
+  g

@@ -1,0 +1,18 @@
+(** Barrel shifter: logarithmic mux stages, the paper's canonical example of
+    a block where custom circuit techniques look locally impressive
+    (Sec. 9). *)
+
+val shift_left_core : Gap_logic.Aig.t -> Word.t -> Word.t -> Word.t
+(** [shift_left_core g a sh] shifts [a] left by the unsigned value of the
+    [sh] word, filling with zeros; bits shifted past the top are lost. *)
+
+val shift_right_core : Gap_logic.Aig.t -> Word.t -> Word.t -> Word.t
+
+val rotate_left_core : Gap_logic.Aig.t -> Word.t -> Word.t -> Word.t
+(** Requires the width to be a power of two (the rotate amount wraps). *)
+
+val barrel_shifter : width:int -> Gap_logic.Aig.t
+(** Standalone left shifter: inputs [a*], [sh*] ([ceil log2 width] bits),
+    outputs [y*]. *)
+
+val shamt_bits : int -> int

@@ -1,0 +1,51 @@
+module Aig = Gap_logic.Aig
+
+type t = Aig.lit array
+
+let inputs g prefix width =
+  Array.init width (fun i -> Aig.add_input g (Printf.sprintf "%s%d" prefix i))
+
+let outputs g prefix w =
+  Array.iteri (fun i l -> Aig.add_output g (Printf.sprintf "%s%d" prefix i) l) w
+
+let const _g ~width v =
+  Array.init width (fun i ->
+      if v land (1 lsl i) <> 0 then Aig.lit_true else Aig.lit_false)
+
+let value bits =
+  let v = ref 0 in
+  Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) bits;
+  !v
+
+let to_bools ~width v = Array.init width (fun i -> v land (1 lsl i) <> 0)
+let lognot _g a = Array.map Aig.negate a
+
+let map2 f a b =
+  assert (Array.length a = Array.length b);
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let logand g a b = map2 (Aig.and_ g) a b
+let logor g a b = map2 (Aig.or_ g) a b
+let logxor g a b = map2 (Aig.xor_ g) a b
+let mux g ~sel a b = map2 (fun x y -> Aig.mux_ g ~sel x y) a b
+
+let reduce g op a =
+  (* balanced reduction tree *)
+  let rec level = function
+    | [] -> Aig.lit_false
+    | [ x ] -> x
+    | xs ->
+        let rec pair = function
+          | x :: y :: rest -> op x y :: pair rest
+          | [ x ] -> [ x ]
+          | [] -> []
+        in
+        level (pair xs)
+  in
+  ignore g;
+  level (Array.to_list a)
+
+let reduce_or g a = reduce g (Aig.or_ g) a
+
+let reduce_and g a =
+  if Array.length a = 0 then Aig.lit_true else reduce g (Aig.and_ g) a

@@ -1,0 +1,26 @@
+(** Word-level helpers over AIG literals: the little-endian bit-vector layer
+    the datapath generators are written in. Bit 0 is the LSB everywhere. *)
+
+type t = Gap_logic.Aig.lit array
+
+val inputs : Gap_logic.Aig.t -> string -> int -> t
+(** [inputs g "a" 4] declares inputs [a0 .. a3]. *)
+
+val outputs : Gap_logic.Aig.t -> string -> t -> unit
+val const : Gap_logic.Aig.t -> width:int -> int -> t
+(** Little-endian constant; bits beyond [width] are dropped. *)
+
+val value : bool array -> int
+(** Integer value of a little-endian bit pattern (LSB first). *)
+
+val to_bools : width:int -> int -> bool array
+
+val lognot : Gap_logic.Aig.t -> t -> t
+val logand : Gap_logic.Aig.t -> t -> t -> t
+val logor : Gap_logic.Aig.t -> t -> t -> t
+val logxor : Gap_logic.Aig.t -> t -> t -> t
+val mux : Gap_logic.Aig.t -> sel:Gap_logic.Aig.lit -> t -> t -> t
+(** Bitwise select: [a] when [sel]=0, [b] when [sel]=1. *)
+
+val reduce_or : Gap_logic.Aig.t -> t -> Gap_logic.Aig.lit
+val reduce_and : Gap_logic.Aig.t -> t -> Gap_logic.Aig.lit

@@ -1,0 +1,1 @@
+lib/domino/dualrail.ml: Array Gap_liberty Gap_logic Gap_netlist Gap_util Hashtbl Lazy List Option Printf

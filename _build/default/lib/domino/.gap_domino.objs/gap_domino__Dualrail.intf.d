@@ -1,0 +1,1 @@
+lib/domino/dualrail.mli: Gap_liberty Gap_logic Gap_netlist

@@ -1,0 +1,1 @@
+lib/domino/noise.ml: Array Float Gap_netlist Gap_place

@@ -1,0 +1,1 @@
+lib/domino/noise.mli: Gap_netlist Gap_place

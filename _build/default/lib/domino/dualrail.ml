@@ -1,0 +1,148 @@
+module Aig = Gap_logic.Aig
+module Cell = Gap_liberty.Cell
+module Library = Gap_liberty.Library
+module Netlist = Gap_netlist.Netlist
+
+(* Cells for each arity of the monotone tree builders: AND2/3/4, OR2/3/4 at a
+   mid-ladder drive. Missing arities fall back to composing smaller ones. *)
+type kit = {
+  ands : (int * Cell.t) list;  (** arity, cell; descending arity *)
+  ors : (int * Cell.t) list;
+  inv : Cell.t;
+}
+
+let pick lib base =
+  match Library.drives_of lib base with
+  | [] -> None
+  | cells ->
+      let arr = Array.of_list cells in
+      Some arr.(Array.length arr / 2)
+
+let kit_of lib =
+  let bases prefix = List.filter_map
+      (fun arity ->
+        Option.map (fun c -> (arity, c)) (pick lib (Printf.sprintf "%s%d" prefix arity)))
+      [ 4; 3; 2 ]
+  in
+  let ands = bases "AND" and ors = bases "OR" in
+  if not (List.exists (fun (a, _) -> a = 2) ands && List.exists (fun (a, _) -> a = 2) ors)
+  then failwith "Dualrail: domino library needs AND2 and OR2";
+  let inv =
+    match Library.inverters lib with
+    | [] -> failwith "Dualrail: domino library needs a static inverter"
+    | c :: _ -> c
+  in
+  { ands; ors; inv }
+
+let map_aig ~domino_lib ?(name = "domino") g =
+  let kit = kit_of domino_lib in
+  let nl = Netlist.create ~lib:domino_lib name in
+  let input_nets =
+    Array.map (fun (pname, _) -> Netlist.add_input nl pname) (Aig.inputs g)
+  in
+  let const0 = lazy (Netlist.add_const nl false) in
+  let const1 = lazy (Netlist.add_const nl true) in
+  let fanout = Aig.fanout_counts g in
+  (* rail caches: (net, tree depth estimate) per node *)
+  let pos : (int, int * int) Hashtbl.t = Hashtbl.create 256 in
+  let neg : (int, int * int) Hashtbl.t = Hashtbl.create 256 in
+  (* Build a balanced tree of [cells] (arity list) over operand (net, level)
+     pairs; combine lowest-level operands first. *)
+  let tree cells operands =
+    let heap =
+      Gap_util.Heap.of_array
+        ~cmp:(fun (_, l1) (_, l2) -> compare l1 l2)
+        (Array.of_list operands)
+    in
+    let rec reduce () =
+      match Gap_util.Heap.pop heap with
+      | None -> failwith "Dualrail: empty operand list"
+      | Some (net, level) -> (
+          match Gap_util.Heap.peek heap with
+          | None -> (net, level)
+          | Some _ ->
+              (* take up to the widest available arity *)
+              let arity, cell =
+                let remaining = 1 + Gap_util.Heap.length heap in
+                let fits = List.filter (fun (a, _) -> a <= remaining) cells in
+                match fits with
+                | [] -> List.nth cells (List.length cells - 1) (* smallest *)
+                | best :: _ -> best
+              in
+              let ops = ref [ (net, level) ] in
+              for _ = 2 to arity do
+                match Gap_util.Heap.pop heap with
+                | Some op -> ops := op :: !ops
+                | None -> ()
+              done;
+              let nets = Array.of_list (List.map fst !ops) in
+              let max_level = List.fold_left (fun m (_, l) -> max m l) 0 !ops in
+              let inst = Netlist.add_cell nl cell nets in
+              Gap_util.Heap.push heap (Netlist.out_net nl inst, max_level + 1);
+              reduce ())
+    in
+    reduce ()
+  in
+  let rec rail_pos id =
+    match Hashtbl.find_opt pos id with
+    | Some r -> r
+    | None ->
+        let r =
+          if id = 0 then (Lazy.force const0, 0)
+          else
+            match Aig.input_index g id with
+            | Some p -> (input_nets.(p), 0)
+            | None ->
+                (* collect the AND super-gate leaves (single-fanout,
+                   non-complemented AND children expand) *)
+                let leaves = collect_and_leaves id in
+                tree kit.ands (List.map rail_of leaves)
+        in
+        Hashtbl.replace pos id r;
+        r
+  and rail_neg id =
+    match Hashtbl.find_opt neg id with
+    | Some r -> r
+    | None ->
+        let r =
+          if id = 0 then (Lazy.force const1, 0)
+          else
+            match Aig.input_index g id with
+            | Some p ->
+                let inst = Netlist.add_cell nl kit.inv [| input_nets.(p) |] in
+                (Netlist.out_net nl inst, 0)
+            | None ->
+                (* !(/\ leaves) = \/ !leaves *)
+                let leaves = collect_and_leaves id in
+                tree kit.ors (List.map (fun l -> rail_of (Aig.negate l)) leaves)
+        in
+        Hashtbl.replace neg id r;
+        r
+  and collect_and_leaves id =
+    let rec go lit acc =
+      let cid = Aig.id_of_lit lit in
+      if (not (Aig.is_compl lit)) && Aig.is_and g cid && fanout.(cid) <= 1 then begin
+        let a, b = Aig.fanins g cid in
+        go a (go b acc)
+      end
+      else lit :: acc
+    in
+    let a, b = Aig.fanins g id in
+    go a (go b [])
+  and rail_of l =
+    let id = Aig.id_of_lit l in
+    if Aig.is_compl l then rail_neg id else rail_pos id
+  in
+  Array.iter
+    (fun (oname, l) -> ignore (Netlist.set_output nl oname (fst (rail_of l))))
+    (Aig.outputs g);
+  nl
+
+let rails_instantiated nl =
+  let domino = ref 0 and inverters = ref 0 in
+  for i = 0 to Netlist.num_instances nl - 1 do
+    let c = Netlist.cell_of nl i in
+    if c.Cell.family = Cell.Domino then incr domino
+    else if Cell.is_inverter c then incr inverters
+  done;
+  (!domino, !inverters)

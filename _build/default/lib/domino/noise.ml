@@ -1,0 +1,58 @@
+type family_margin = { label : string; margin_frac : float }
+
+let static_cmos = { label = "static CMOS"; margin_frac = 0.45 }
+let domino_unkeepered = { label = "domino (no keeper)"; margin_frac = 0.20 }
+let domino_keeper = { label = "domino (keeper)"; margin_frac = 0.30 }
+
+let glitch_frac ~coupling_ratio = coupling_ratio
+let fails fm ~coupling_ratio = glitch_frac ~coupling_ratio > fm.margin_frac
+let max_safe_coupling fm = fm.margin_frac
+
+type exposure = {
+  nets_at_risk : int;
+  nets_total : int;
+  risk_frac : float;
+  worst_coupling : float;
+}
+
+let coupling_of_usage ~usage ~capacity =
+  assert (capacity >= 1);
+  let neighbours = max 0 (usage - 1) in
+  let raw = 0.6 *. float_of_int neighbours /. float_of_int capacity in
+  Float.min 0.6 raw
+
+let exposure fm nl (r : Gap_place.Router.result) =
+  (* proxy: a net's coupling scales with the router's average cell usage
+     along its length; we approximate with the global max-usage-derived
+     pressure per net length share *)
+  let module Netlist = Gap_netlist.Netlist in
+  let total = ref 0 and at_risk = ref 0 and worst = ref 0. in
+  let avg_usage =
+    (* overall track pressure: overflowed cells push the average up *)
+    let base = float_of_int r.Gap_place.Router.max_usage in
+    Float.min base (float_of_int r.Gap_place.Router.capacity *. 1.5)
+  in
+  for net = 0 to Netlist.num_nets nl - 1 do
+    let len = r.Gap_place.Router.routed_len_um.(net) in
+    if len > 0. then begin
+      incr total;
+      (* longer nets spend more length in congested regions *)
+      let length_share =
+        Float.min 1. (len /. (float_of_int r.Gap_place.Router.grid_side *. 10.))
+      in
+      let usage = 1. +. (avg_usage -. 1.) *. (0.4 +. (0.6 *. length_share)) in
+      let k =
+        coupling_of_usage
+          ~usage:(int_of_float (Float.round usage))
+          ~capacity:r.Gap_place.Router.capacity
+      in
+      if k > !worst then worst := k;
+      if fails fm ~coupling_ratio:k then incr at_risk
+    end
+  done;
+  {
+    nets_at_risk = !at_risk;
+    nets_total = !total;
+    risk_frac = (if !total = 0 then 0. else float_of_int !at_risk /. float_of_int !total);
+    worst_coupling = !worst;
+  }

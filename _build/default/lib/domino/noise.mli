@@ -1,0 +1,50 @@
+(** Noise margins of dynamic versus static logic.
+
+    Sec. 7.1: "Dynamic logic is particularly susceptible to noise, as any
+    glitches on input voltages may cause a discharge of the charge stored."
+    A static gate only propagates noise that exceeds its switching threshold
+    {e and} it self-restores afterwards; a precharged domino node latches any
+    glitch above the pull-down threshold for the rest of the cycle.
+
+    The model: a victim wire couples to aggressors with capacitance ratio
+    [k = Cc / (Cc + Cg)]; a full-swing aggressor injects a glitch of
+    [k x Vdd]. The glitch is fatal when it exceeds the family's noise
+    margin — [~0.45 Vdd] for static CMOS, [~0.20 Vdd] for an unkeepered
+    domino input, [~0.30 Vdd] with a keeper. Coupling ratios per net are
+    estimated from routing congestion (neighbours in the same grid cell). *)
+
+type family_margin = {
+  label : string;
+  margin_frac : float;  (** of Vdd *)
+}
+
+val static_cmos : family_margin
+val domino_unkeepered : family_margin
+val domino_keeper : family_margin
+
+val glitch_frac : coupling_ratio:float -> float
+(** [k] in, glitch as a fraction of Vdd out (identity, named for clarity). *)
+
+val fails : family_margin -> coupling_ratio:float -> bool
+val max_safe_coupling : family_margin -> float
+
+type exposure = {
+  nets_at_risk : int;
+  nets_total : int;
+  risk_frac : float;
+  worst_coupling : float;
+}
+
+val coupling_of_usage : usage:int -> capacity:int -> float
+(** Congestion-derived coupling estimate: a net in a cell with [usage]
+    occupants out of [capacity] tracks sees [usage - 1] potential aggressors;
+    ratio saturates at 0.6. *)
+
+val exposure :
+  family_margin ->
+  Gap_netlist.Netlist.t ->
+  Gap_place.Router.result ->
+  exposure
+(** Fraction of routed nets whose congestion-implied coupling would break the
+    family's noise margin: the quantitative form of "requires careful design
+    of power distribution, and clock distribution as well". *)

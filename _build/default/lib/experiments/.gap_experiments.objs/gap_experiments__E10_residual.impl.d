@@ -1,0 +1,1 @@
+lib/experiments/e10_residual.ml: Exp Gap_core List

@@ -1,0 +1,1 @@
+lib/experiments/e1_processors.ml: Exp Float Gap_tech Gap_uarch List Printf

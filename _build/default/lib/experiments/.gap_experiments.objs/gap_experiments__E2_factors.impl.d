@@ -1,0 +1,1 @@
+lib/experiments/e2_factors.ml: Exp Gap_core List Printf

@@ -1,0 +1,1 @@
+lib/experiments/e3_pipelining.ml: Array Exp Gap_datapath Gap_liberty Gap_retime Gap_sta Gap_synth Gap_tech Printf

@@ -1,0 +1,1 @@
+lib/experiments/e4_fo4_depth.ml: Exp Gap_datapath Gap_liberty Gap_sta Gap_synth Gap_tech Gap_uarch Printf

@@ -1,0 +1,1 @@
+lib/experiments/e5_clock_skew.ml: Exp Gap_clocktree Gap_liberty Gap_retime Gap_tech Gap_util Printf

@@ -1,0 +1,1 @@
+lib/experiments/e6_floorplanning.ml: Array Exp Float Gap_datapath Gap_interconnect Gap_liberty Gap_place Gap_sta Gap_synth Gap_tech Gap_util List Printf

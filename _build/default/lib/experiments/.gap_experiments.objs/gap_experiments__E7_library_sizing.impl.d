@@ -1,0 +1,1 @@
+lib/experiments/e7_library_sizing.ml: Exp Float Gap_datapath Gap_liberty Gap_place Gap_sta Gap_synth Gap_tech List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/e8_dynamic_logic.ml: Exp Gap_datapath Gap_domino Gap_liberty Gap_retime Gap_sta Gap_synth Gap_tech List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/e9_process_variation.ml: Exp Gap_variation Printf

@@ -1,0 +1,1 @@
+lib/experiments/exp.ml: Buffer Float Gap_util List Printf String

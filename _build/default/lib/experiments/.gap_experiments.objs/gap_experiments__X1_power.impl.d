@@ -1,0 +1,1 @@
+lib/experiments/x1_power.ml: Exp Gap_datapath Gap_domino Gap_liberty Gap_netlist Gap_sta Gap_synth Gap_tech Gap_util Printf

@@ -1,0 +1,1 @@
+lib/experiments/x2_economics.ml: Array Exp Gap_variation Printf

@@ -1,0 +1,1 @@
+lib/experiments/x3_ablations.ml: Array Exp Gap_datapath Gap_interconnect Gap_liberty Gap_logic Gap_netlist Gap_retime Gap_sta Gap_synth Gap_tech Gap_variation List Printf String

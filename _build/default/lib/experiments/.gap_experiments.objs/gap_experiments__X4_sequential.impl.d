@@ -1,0 +1,1 @@
+lib/experiments/x4_sequential.ml: Exp Gap_datapath Gap_liberty Gap_retime Gap_synth Gap_tech List Printf

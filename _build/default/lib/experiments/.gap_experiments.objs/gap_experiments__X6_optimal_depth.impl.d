@@ -1,0 +1,1 @@
+lib/experiments/x6_optimal_depth.ml: Exp Gap_datapath Gap_liberty Gap_retime Gap_sta Gap_synth Gap_tech Gap_uarch Printf

@@ -1,0 +1,1 @@
+lib/experiments/x7_noise_hold.ml: Exp Gap_datapath Gap_domino Gap_liberty Gap_netlist Gap_place Gap_retime Gap_sta Gap_synth Gap_tech Printf

@@ -1,0 +1,1 @@
+lib/experiments/x8_scaling_trends.ml: Exp Gap_datapath Gap_interconnect Gap_liberty Gap_sta Gap_synth Gap_tech List Printf String

@@ -1,0 +1,52 @@
+(** E1 (Sec. 2): the processor comparison table and the 6-8x gap.
+
+    Reproduces the paper's opening numbers: each chip's reported frequency is
+    recovered from its FO4 logic depth and effective channel length via the
+    FO4 rule, and the custom/ASIC frequency ratios land in the 6-8x band the
+    paper calls "equivalent to five process generations". *)
+
+module P = Gap_uarch.Processors
+
+let run () =
+  let proc_rows =
+    List.map
+      (fun (p : P.t) ->
+        let modeled = P.modeled_mhz p in
+        Exp.row
+          ~verdict:(Exp.check (Float.abs (P.model_error p)) ~lo:0. ~hi:0.08)
+          ~label:
+            (Printf.sprintf "%s (%.0f FO4 @ Leff %.3fum)" p.P.proc_name p.P.fo4_depth
+               p.P.leff_um)
+          ~paper:(Exp.mhz p.P.reported_mhz) ~measured:(Exp.mhz modeled) ())
+      P.all
+  in
+  let gap_fast_asic = P.gap_vs ~fast:P.ibm_ppc_1ghz ~slow:P.typical_asic in
+  let gap_alpha_asic = P.gap_vs ~fast:P.alpha_21264a ~slow:P.typical_asic in
+  let generations = Gap_tech.Scaling.equivalent_generations gap_fast_asic in
+  let gap_rows =
+    [
+      Exp.row
+        ~verdict:(Exp.check gap_alpha_asic ~lo:5. ~hi:8.)
+        ~label:"Alpha 21264A vs typical ASIC" ~paper:"6-8x"
+        ~measured:(Exp.ratio gap_alpha_asic) ();
+      Exp.row
+        ~verdict:(Exp.check gap_fast_asic ~lo:6. ~hi:8.)
+        ~label:"IBM PPC vs typical ASIC" ~paper:"6-8x"
+        ~measured:(Exp.ratio gap_fast_asic) ();
+      Exp.row
+        ~verdict:(Exp.check generations ~lo:4. ~hi:5.5)
+        ~label:"gap in process generations (1.5x each)" ~paper:"~5"
+        ~measured:(Exp.f1 generations) ();
+    ]
+  in
+  {
+    Exp.id = "E1";
+    title = "processor speeds in 0.25um and the ASIC-custom gap";
+    section = "Sec. 2";
+    rows = proc_rows @ gap_rows;
+    notes =
+      [
+        "modeled MHz = 1 / (FO4 depth x 500 Leff); Leff per the paper's footnotes";
+        "typical ASIC modeled at 82 FO4, the midpoint of the anecdotal 120-150 MHz";
+      ];
+  }

@@ -1,0 +1,63 @@
+(** E5 (Sec. 4.1): clock skew and register overhead.
+
+    H-tree model at ASIC-automated vs custom-tuned quality, on dies matching
+    the paper's chips: skew lands at ~10% of an ASIC cycle vs ~5% of a custom
+    cycle (Alpha: 75 ps at 600 MHz), custom-quality skew is worth ~5-10%
+    speed, and the Alpha's latches cost ~15% of its cycle. *)
+
+module H = Gap_clocktree.Htree
+
+let run () =
+  let tech = Gap_tech.Tech.asic_025um in
+  let custom_tech = Gap_tech.Tech.custom_025um in
+  (* ASIC: 150 MHz part on a 10 mm die *)
+  let asic_period = Gap_util.Units.period_ps_of_mhz 150. in
+  let asic_tree = H.build ~tech ~die_side_um:10000. ~sinks:20000 H.Asic_automated in
+  let asic_frac = H.skew_fraction_of_period asic_tree ~period_ps:asic_period in
+  (* Alpha: 600 MHz, 15 mm die (2.25 cm^2), tuned *)
+  let alpha_period = Gap_util.Units.period_ps_of_mhz 600. in
+  let alpha_tree =
+    H.build ~tech:custom_tech ~die_side_um:15000. ~sinks:100000 H.Custom_tuned
+  in
+  let alpha_frac = H.skew_fraction_of_period alpha_tree ~period_ps:alpha_period in
+  let gain =
+    H.speed_gain_from_custom_skew ~tech ~die_side_um:10000. ~sinks:20000
+      ~period_ps:asic_period
+  in
+  (* Alpha latch overhead: custom latch (2.0 FO4) of a 15 FO4 cycle *)
+  let custom_lib = Gap_liberty.Libgen.(make custom_tech custom) in
+  let latch = Gap_retime.Overhead.register_overhead_ps ~lib:custom_lib ~skew_ps:0. in
+  let latch_frac = latch /. (15. *. Gap_tech.Tech.fo4_ps custom_tech) in
+  {
+    Exp.id = "E5";
+    title = "clock skew and latch overhead";
+    section = "Sec. 4.1";
+    rows =
+      [
+        Exp.row
+          ~verdict:(Exp.check asic_frac ~lo:0.06 ~hi:0.14)
+          ~label:"ASIC tree skew, 10 mm die @ 150 MHz" ~paper:"~10% of cycle"
+          ~measured:(Printf.sprintf "%s (%s)" (Exp.ps asic_tree.H.skew_ps) (Exp.pct asic_frac))
+          ();
+        Exp.row
+          ~verdict:(Exp.check alpha_frac ~lo:0.03 ~hi:0.07)
+          ~label:"custom-tuned tree, Alpha-sized die @ 600 MHz" ~paper:"75 ps, ~5%"
+          ~measured:(Printf.sprintf "%s (%s)" (Exp.ps alpha_tree.H.skew_ps) (Exp.pct alpha_frac))
+          ();
+        Exp.row
+          ~verdict:(Exp.check gain ~lo:1.04 ~hi:1.12)
+          ~label:"speed from custom-quality skew alone" ~paper:"~10%"
+          ~measured:(Exp.ratio gain) ();
+        Exp.row
+          ~verdict:(Exp.check latch_frac ~lo:0.10 ~hi:0.18)
+          ~label:"latch share of Alpha's 15 FO4 cycle" ~paper:"15%"
+          ~measured:(Exp.pct latch_frac) ();
+      ];
+    notes =
+      [
+        Printf.sprintf "ASIC tree: %d levels, %.1f mm root-to-leaf, latency %s"
+          asic_tree.H.levels
+          (asic_tree.H.wirelength_um /. 1000.)
+          (Exp.ps asic_tree.H.latency_ps);
+      ];
+  }

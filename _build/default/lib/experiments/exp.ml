@@ -1,0 +1,87 @@
+type verdict = Pass | Near of string | Info
+
+type row = { label : string; paper : string; measured : string; verdict : verdict }
+
+type result = {
+  id : string;
+  title : string;
+  section : string;
+  rows : row list;
+  notes : string list;
+}
+
+let row ?(verdict = Info) ~label ~paper ~measured () = { label; paper; measured; verdict }
+
+let check x ~lo ~hi =
+  let slop = 0.02 *. (hi -. lo +. Float.abs lo) in
+  if x >= lo -. slop && x <= hi +. slop then Pass
+  else
+    Near
+      (Printf.sprintf "%.2f vs %.2f..%.2f (%+.0f%% off nearest bound)" x lo hi
+         (100.
+         *. (if x < lo then (x -. lo) /. lo else (x -. hi) /. hi)))
+
+let ratio x = Printf.sprintf "x%.2f" x
+let pct x = Printf.sprintf "%.0f%%" (100. *. x)
+let mhz = Gap_util.Units.pp_freq_mhz
+let ps = Gap_util.Units.pp_time_ps
+let f1 x = Printf.sprintf "%.1f" x
+
+let verdict_str = function
+  | Pass -> "ok"
+  | Near s -> "NEAR: " ^ s
+  | Info -> ""
+
+let render r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "=== %s: %s (paper %s) ===\n" r.id r.title r.section);
+  let rows =
+    List.map
+      (fun row -> [ row.label; row.paper; row.measured; verdict_str row.verdict ])
+      r.rows
+  in
+  Buffer.add_string buf
+    (Gap_util.Table.render
+       ~aligns:[ Gap_util.Table.Left; Right; Right; Left ]
+       ~header:[ "claim"; "paper"; "measured"; "verdict" ]
+       rows);
+  List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n)) r.notes;
+  Buffer.contents buf
+
+let print r = print_string (render r)
+
+let csv_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_csv r =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat ","
+           [
+             csv_escape r.id;
+             csv_escape row.label;
+             csv_escape row.paper;
+             csv_escape row.measured;
+             csv_escape (verdict_str row.verdict);
+           ]);
+      Buffer.add_char buf '\n')
+    r.rows;
+  Buffer.contents buf
+
+let passes r =
+  List.fold_left
+    (fun (p, c) row ->
+      match row.verdict with
+      | Pass -> (p + 1, c + 1)
+      | Near _ -> (p, c + 1)
+      | Info -> (p, c))
+    (0, 0) r.rows

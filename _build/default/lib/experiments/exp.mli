@@ -1,0 +1,45 @@
+(** Shared experiment plumbing: every reproduced table/figure is an
+    {!result} of labeled rows carrying the paper's value next to ours, with
+    an in-range verdict where the paper states a checkable range. *)
+
+type row = {
+  label : string;
+  paper : string;  (** the paper's claim, as printed *)
+  measured : string;
+  verdict : verdict;
+}
+
+and verdict =
+  | Pass  (** measured falls in the paper's stated range *)
+  | Near of string  (** outside but close; explanation attached *)
+  | Info  (** context row, nothing to check *)
+
+type result = {
+  id : string;
+  title : string;
+  section : string;  (** paper section the claim comes from *)
+  rows : row list;
+  notes : string list;
+}
+
+val row : ?verdict:verdict -> label:string -> paper:string -> measured:string -> unit -> row
+val check : float -> lo:float -> hi:float -> verdict
+(** [Pass] when within [lo..hi] (inclusive, with 2% slop), else [Near]
+    explaining the miss. *)
+
+val ratio : float -> string
+val pct : float -> string
+val mhz : float -> string
+val ps : float -> string
+val f1 : float -> string
+(** one decimal *)
+
+val render : result -> string
+val print : result -> unit
+
+val to_csv : result -> string
+(** One CSV line per row: [id,label,paper,measured,verdict]; quotes are
+    escaped by doubling. Useful for collecting all tables into a sheet. *)
+
+val passes : result -> int * int
+(** (passing rows, checkable rows). *)

@@ -1,0 +1,67 @@
+(** X2 (extension): binning economics.
+
+    Sec. 8.2: "Fabrication plants won't offer ASIC customers the top chip
+    speed off the production line, as they cannot guarantee a sufficiently
+    high yield for this to be profitable." Priced with the Monte Carlo
+    population: the revenue-maximizing single rating sits far down the
+    distribution, a top-bin-only rating loses money, and per-part speed
+    testing (custom practice) beats any single rating. *)
+
+module V = Gap_variation.Model
+module MC = Gap_variation.Montecarlo
+module E = Gap_variation.Economics
+
+let run () =
+  let nominal = 250. in
+  let run_mc =
+    MC.simulate ~model:(V.make V.mature) ~nominal_mhz:nominal ~dies:30000 ()
+  in
+  let pricing = E.default_pricing in
+  let candidates = Array.init 30 (fun i -> 150. +. (5. *. float_of_int i)) in
+  let best = E.best_single_rating pricing run_mc ~candidates in
+  let top_rating = MC.percentile run_mc 99. in
+  let top_only = E.single_rating pricing run_mc ~rating_mhz:top_rating in
+  let binned =
+    E.binned pricing run_mc ~edges_mhz:[| 200.; 225.; 250.; 275. |]
+  in
+  let best_percentile =
+    100. *. (1. -. MC.fraction_above run_mc best.E.rating_mhz)
+  in
+  {
+    Exp.id = "X2";
+    title = "speed-bin economics (extension)";
+    section = "Sec. 8.2";
+    rows =
+      [
+        Exp.row
+          ~verdict:(Exp.check best_percentile ~lo:0. ~hi:40.)
+          ~label:"revenue-best single rating sits low in the distribution"
+          ~paper:"fabs guarantee worst-case, not top speed"
+          ~measured:
+            (Printf.sprintf "%.0f MHz (p%.0f), %.2f/die" best.E.rating_mhz
+               best_percentile best.E.revenue_per_die)
+          ();
+        Exp.row
+          ~verdict:
+            (Exp.check (top_only.E.revenue_per_die /. best.E.revenue_per_die) ~lo:(-2.)
+               ~hi:0.5)
+          ~label:"selling only the p99 top bin" ~paper:"without sufficient yield"
+          ~measured:
+            (Printf.sprintf "%.2f/die at %s yield" top_only.E.revenue_per_die
+               (Exp.pct top_only.E.sold_fraction))
+          ();
+        Exp.row
+          ~verdict:
+            (Exp.check (binned.E.revenue_per_die /. best.E.revenue_per_die) ~lo:1.0
+               ~hi:3.0)
+          ~label:"per-part speed testing + graded bins vs best single rating"
+          ~paper:"custom practice (Sec. 8.3)"
+          ~measured:(Exp.ratio (binned.E.revenue_per_die /. best.E.revenue_per_die))
+          ();
+      ];
+    notes =
+      [
+        "price model: linear in rated speed (slope 2), fixed die cost; only \
+         the shape of the comparison matters";
+      ];
+  }

@@ -1,0 +1,87 @@
+(** X6 (extension): how deep should the pipeline be?
+
+    Sec. 4.1: "There is a trade-off between issuing more instructions
+    simultaneously and the penalties for branch misprediction and data
+    hazards ... unless there is a high degree of parallelism in
+    instructions." The frequency-vs-IPC model makes the trade-off concrete:
+    frequency keeps rising with depth (saturating at the register overhead)
+    while performance peaks and then falls as branch flushes eat the clock
+    gains — and the peak moves with the workload's branchiness. Hold-time
+    safety is the other side of deep pipelines: more skew means short paths
+    need padding. *)
+
+module PM = Gap_uarch.Pipeline_model
+module Cpi = Gap_uarch.Cpi
+
+let run () =
+  let opt w =
+    PM.optimal_depth ~max_stages:40 { PM.asic_default with PM.workload = w }
+  in
+  let control_depth, _ = opt Cpi.control_dominated in
+  let spec_depth, _ = opt Cpi.spec_like in
+  let dsp_depth, _ = opt Cpi.dsp_like in
+  (* frequency rises monotonically; performance does not *)
+  let c = { PM.asic_default with PM.workload = Cpi.control_dominated } in
+  let f20_over_f5 = PM.frequency_mhz c ~stages:20 /. PM.frequency_mhz c ~stages:5 in
+  let perf40_over_opt =
+    PM.performance_mips c ~stages:40 /. snd (opt Cpi.control_dominated)
+  in
+  (* hold: more skew -> short paths need padding (a pipelined netlist) *)
+  let lib = Gap_liberty.Libgen.(make Gap_tech.Tech.asic_025um rich) in
+  let g = Gap_datapath.Multiplier.array_multiplier ~width:6 in
+  let effort = { Gap_synth.Flow.default_effort with Gap_synth.Flow.tilos_moves = 0 } in
+  let nl = (Gap_synth.Flow.run ~lib ~effort g).Gap_synth.Flow.netlist in
+  ignore (Gap_retime.Pipeline.pipeline ~stages:4 nl);
+  let clean = Gap_sta.Hold.analyze ~skew_ps:0. nl in
+  let skewed = Gap_sta.Hold.analyze ~skew_ps:150. nl in
+  {
+    Exp.id = "X6";
+    title = "optimal pipeline depth and hold safety (extension)";
+    section = "Sec. 4.1";
+    rows =
+      [
+        Exp.row
+          ~verdict:
+            (if control_depth < spec_depth && spec_depth <= dsp_depth then Exp.Pass
+             else
+               Exp.Near
+                 (Printf.sprintf "%d / %d / %d" control_depth spec_depth dsp_depth))
+          ~label:"performance-optimal depth: control < SPEC <= DSP"
+          ~paper:"penalties vs parallelism (Sec. 4.1)"
+          ~measured:
+            (Printf.sprintf "%d / %d / %d stages" control_depth spec_depth dsp_depth)
+          ();
+        Exp.row
+          ~verdict:(Exp.check f20_over_f5 ~lo:1.5 ~hi:4.0)
+          ~label:"frequency alone keeps rising with depth" ~paper:"-"
+          ~measured:(Exp.ratio f20_over_f5) ();
+        Exp.row
+          ~verdict:(Exp.check perf40_over_opt ~lo:0.5 ~hi:0.99)
+          ~label:"but 40-stage control-code performance falls below its optimum"
+          ~paper:"branches diminish performance"
+          ~measured:(Exp.ratio perf40_over_opt) ();
+        Exp.row
+          ~verdict:
+            (if Gap_sta.Hold.violation_count clean = 0 then Exp.Pass
+             else Exp.Near "violations at zero skew")
+          ~label:"pipelined netlist hold-clean at zero skew" ~paper:"-"
+          ~measured:(Printf.sprintf "%d violations" (Gap_sta.Hold.violation_count clean))
+          ();
+        Exp.row
+          ~verdict:
+            (if Gap_sta.Hold.violation_count skewed > 0 then Exp.Pass
+             else Exp.Near "no violations under heavy skew")
+          ~label:"150 ps skew forces hold padding into short paths"
+          ~paper:"ASIC registers made skew-tolerant (Sec. 4.1)"
+          ~measured:
+            (Printf.sprintf "%d violations, worst %.0f ps"
+               (Gap_sta.Hold.violation_count skewed)
+               (Gap_sta.Hold.padding_needed_ps skewed))
+          ();
+      ];
+    notes =
+      [
+        "skew-tolerant ASIC registers are exactly this padding baked into the \
+         cell: hold margin costs either flop complexity or explicit delay cells";
+      ];
+  }

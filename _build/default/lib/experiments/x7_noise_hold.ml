@@ -1,0 +1,100 @@
+(** X7 (extension): the care domino and skew demand, priced.
+
+    Sec. 7.1: "Dynamic logic is particularly susceptible to noise ... These
+    problems become more pronounced with deeper submicron technologies" —
+    measured as the fraction of routed nets whose congestion-implied coupling
+    would break each family's noise margin.
+
+    Sec. 4.1's skew-tolerant registers: we charge the tolerance explicitly by
+    hold-fixing a pipelined netlist under an ASIC skew budget and counting
+    the buffers/area it takes. *)
+
+module Flow = Gap_synth.Flow
+module Noise = Gap_domino.Noise
+
+let tech = Gap_tech.Tech.asic_025um
+
+let run () =
+  let lib = Gap_liberty.Libgen.(make tech rich) in
+  (* a placed & routed block to take coupling statistics from *)
+  let g = Gap_datapath.Multiplier.array_multiplier ~width:8 in
+  let nl = Gap_synth.Mapper.map_aig ~lib g in
+  ignore (Gap_place.Placer.place nl);
+  let routed = Gap_place.Router.route nl in
+  let static_exp = Noise.exposure Noise.static_cmos nl routed in
+  let domino_exp = Noise.exposure Noise.domino_unkeepered nl routed in
+  let keeper_exp = Noise.exposure Noise.domino_keeper nl routed in
+  (* hold fixing under ASIC skew *)
+  let effort = { Flow.default_effort with Flow.tilos_moves = 0 } in
+  let pipe = (Flow.run ~lib ~effort (Gap_datapath.Multiplier.array_multiplier ~width:6)).Flow.netlist in
+  ignore (Gap_retime.Pipeline.pipeline ~stages:4 pipe);
+  let area_before = Gap_netlist.Netlist.area_um2 pipe in
+  let skew = 150. in
+  let violations_before =
+    Gap_sta.Hold.violation_count (Gap_sta.Hold.analyze ~skew_ps:skew pipe)
+  in
+  let fixed = Gap_synth.Hold_fix.fix ~skew_ps:skew pipe in
+  let area_cost = fixed.Gap_synth.Hold_fix.area_added_um2 /. area_before in
+  (* depth context: divider as the worst-case unpipelined datapath *)
+  let div = Gap_datapath.Divider.array_divider ~width:8 in
+  let div_depth =
+    Gap_sta.Sta.fo4_depth (Flow.run ~lib ~effort div).Flow.sta ~lib
+  in
+  {
+    Exp.id = "X7";
+    title = "noise margins and the price of skew tolerance (extension)";
+    section = "Sec. 7.1 / 4.1";
+    rows =
+      [
+        Exp.row
+          ~verdict:
+            (if
+               domino_exp.Noise.risk_frac >= static_exp.Noise.risk_frac
+               && keeper_exp.Noise.risk_frac >= static_exp.Noise.risk_frac
+               && keeper_exp.Noise.risk_frac <= domino_exp.Noise.risk_frac
+             then Exp.Pass
+             else Exp.Near "ordering broken")
+          ~label:"nets at noise risk: static <= keepered domino <= bare domino"
+          ~paper:"domino particularly susceptible (Sec. 7.1)"
+          ~measured:
+            (Printf.sprintf "%s / %s / %s"
+               (Exp.pct static_exp.Noise.risk_frac)
+               (Exp.pct keeper_exp.Noise.risk_frac)
+               (Exp.pct domino_exp.Noise.risk_frac))
+          ();
+        Exp.row
+          ~verdict:
+            (Exp.check (Noise.max_safe_coupling Noise.domino_unkeepered
+                        /. Noise.max_safe_coupling Noise.static_cmos)
+               ~lo:0.3 ~hi:0.6)
+          ~label:"coupling budget: domino vs static" ~paper:"careful design required"
+          ~measured:
+            (Printf.sprintf "%.2f vs %.2f of Vdd"
+               (Noise.max_safe_coupling Noise.domino_unkeepered)
+               (Noise.max_safe_coupling Noise.static_cmos))
+          ();
+        Exp.row
+          ~verdict:(if fixed.Gap_synth.Hold_fix.clean then Exp.Pass else Exp.Near "not clean")
+          ~label:
+            (Printf.sprintf "hold-fixing a 4-stage pipeline under %.0f ps skew" skew)
+          ~paper:"registers made skew-tolerant (Sec. 4.1)"
+          ~measured:
+            (Printf.sprintf "%d violations -> 0, %d buffers" violations_before
+               fixed.Gap_synth.Hold_fix.buffers_inserted)
+          ();
+        Exp.row
+          ~verdict:(Exp.check area_cost ~lo:0.005 ~hi:0.4)
+          ~label:"area cost of that tolerance" ~paper:"ASIC register overhead"
+          ~measured:(Exp.pct area_cost) ();
+        Exp.row ~verdict:Exp.Info
+          ~label:"8-bit restoring divider depth (why divide is multi-cycle)"
+          ~paper:"-"
+          ~measured:(Printf.sprintf "%.0f FO4" div_depth)
+          ();
+      ];
+    notes =
+      [
+        "coupling is estimated from routing congestion (neighbours per grid \
+         cell); margins: static 0.45 Vdd, keepered domino 0.30, bare 0.20";
+      ];
+  }

@@ -1,0 +1,1 @@
+lib/interconnect/bacpac.ml: Gap_tech Repeater Wire

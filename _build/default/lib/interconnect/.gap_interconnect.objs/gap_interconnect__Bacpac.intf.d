@@ -1,0 +1,1 @@
+lib/interconnect/bacpac.mli: Gap_tech

@@ -1,0 +1,1 @@
+lib/interconnect/elmore.mli: Wire

@@ -1,0 +1,1 @@
+lib/interconnect/repeater.ml: Elmore Float Gap_liberty Wire

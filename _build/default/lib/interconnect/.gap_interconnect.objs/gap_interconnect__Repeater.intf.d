@@ -1,0 +1,1 @@
+lib/interconnect/repeater.mli: Gap_liberty Gap_tech Wire

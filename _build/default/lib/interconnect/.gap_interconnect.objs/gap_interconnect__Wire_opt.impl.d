@@ -1,0 +1,1 @@
+lib/interconnect/wire_opt.ml: Repeater Wire

@@ -1,0 +1,25 @@
+type chip = { area_mm2 : float; module_mm : float }
+
+let default_chip = { area_mm2 = 100.; module_mm = 1. }
+let die_side_mm chip = sqrt chip.area_mm2
+
+let cross_chip_length_um chip =
+  (* semi-perimeter of the die: a path that crosses the chip and back up one
+     side, the worst plausible global route *)
+  2. *. die_side_mm chip *. 1000.
+
+let local_length_um chip = 2. *. chip.module_mm *. 1000.
+
+type path_delay = { logic_ps : float; wire_ps : float; total_ps : float }
+
+let path ~tech ~logic_depth_fo4 ~wire_length_um =
+  let logic_ps = logic_depth_fo4 *. Gap_tech.Tech.fo4_ps tech in
+  let wire = Wire.of_tech tech in
+  let drv = Repeater.default_driver tech in
+  let wire_ps = Repeater.optimal_delay_ps drv wire ~length_um:wire_length_um in
+  { logic_ps; wire_ps; total_ps = logic_ps +. wire_ps }
+
+let floorplan_speedup ~tech ~logic_depth_fo4 ~chip =
+  let bad = path ~tech ~logic_depth_fo4 ~wire_length_um:(cross_chip_length_um chip) in
+  let good = path ~tech ~logic_depth_fo4 ~wire_length_um:(local_length_um chip) in
+  bad.total_ps /. good.total_ps

@@ -1,0 +1,41 @@
+(** Chip-level wire-delay model in the spirit of BACPAC (Sylvester's Berkeley
+    Advanced Chip Performance Calculator), which the paper used for its
+    floorplanning experiment (Sec. 5, footnote 3): a critical path made of
+    logic plus a global wire, evaluated localized-within-a-module versus
+    distributed across the die. *)
+
+type chip = {
+  area_mm2 : float;
+  module_mm : float;  (** linear size of one floorplan module *)
+}
+
+val default_chip : chip
+(** 100 mm^2 die (the paper's example) with 1 mm modules. *)
+
+val die_side_mm : chip -> float
+
+val cross_chip_length_um : chip -> float
+(** A badly-placed critical path wanders about one die semi-perimeter. *)
+
+val local_length_um : chip -> float
+(** A well-floorplanned path stays within a module (~one module
+    semi-perimeter). *)
+
+type path_delay = {
+  logic_ps : float;
+  wire_ps : float;
+  total_ps : float;
+}
+
+val path :
+  tech:Gap_tech.Tech.t ->
+  logic_depth_fo4:float ->
+  wire_length_um:float ->
+  path_delay
+(** Logic depth in FO4 plus an optimally-repeated global wire of the given
+    length. *)
+
+val floorplan_speedup :
+  tech:Gap_tech.Tech.t -> logic_depth_fo4:float -> chip:chip -> float
+(** Ratio of cross-chip to localized path delay: the paper's "up to 25%"
+    claim is this number at ~40 FO4 of logic on a 100 mm^2 0.25um die. *)

@@ -1,0 +1,23 @@
+let delay_ps ~r_drv_kohm ~wire ~length_um ~c_load_ff =
+  let r = Wire.total_r_kohm wire ~length_um in
+  let c = Wire.total_c_ff wire ~length_um in
+  (0.69 *. r_drv_kohm *. (c +. c_load_ff))
+  +. (0.38 *. r *. c)
+  +. (0.69 *. r *. c_load_ff)
+
+let segmented ?(sections = 64) ~r_drv_kohm ~wire ~length_um ~c_load_ff () =
+  assert (sections >= 1);
+  let n = sections in
+  let seg_r = Wire.total_r_kohm wire ~length_um /. float_of_int n in
+  let seg_c = Wire.total_c_ff wire ~length_um /. float_of_int n in
+  (* Elmore sum: each capacitor sees the resistance upstream of it. The 0.69
+     factor converts the time constant to a 50% delay for the lumped driver
+     and load; 2x0.38~0.69 emerges for the distributed part automatically as
+     interior segments see roughly half the resistance. *)
+  let acc = ref 0. in
+  for i = 1 to n do
+    let upstream = r_drv_kohm +. (float_of_int i *. seg_r) in
+    acc := !acc +. (upstream *. seg_c)
+  done;
+  acc := !acc +. ((r_drv_kohm +. (float_of_int n *. seg_r)) *. c_load_ff);
+  0.69 *. !acc

@@ -1,0 +1,23 @@
+(** Elmore delay of driver + distributed wire + load.
+
+    The standard first-moment model: a driver of resistance [r_drv] charging
+    a wire of total [R], [C] into a lumped load [c_load]:
+
+    [t = 0.69 r_drv (C + c_load) + 0.38 R C + 0.69 R c_load]
+
+    [segmented] computes the same structure as an N-section RC ladder and is
+    used by the tests to confirm the closed form converges. *)
+
+val delay_ps :
+  r_drv_kohm:float -> wire:Wire.t -> length_um:float -> c_load_ff:float -> float
+
+val segmented :
+  ?sections:int ->
+  r_drv_kohm:float ->
+  wire:Wire.t ->
+  length_um:float ->
+  c_load_ff:float ->
+  unit ->
+  float
+(** Elmore delay of the discretized ladder (default 64 sections), with the
+    0.69/0.38 weighting applied per segment position analytically. *)

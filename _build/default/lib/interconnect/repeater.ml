@@ -1,0 +1,60 @@
+type driver = { r0_kohm : float; c0_ff : float; intrinsic_ps : float }
+
+let driver_of_inverter (c : Gap_liberty.Cell.t) =
+  {
+    r0_kohm = c.drive_res_kohm *. c.drive;
+    c0_ff = c.input_cap_ff /. c.drive;
+    intrinsic_ps = c.intrinsic_ps;
+  }
+
+let default_driver tech =
+  let model = Gap_liberty.Delay_model.of_tech tech in
+  {
+    r0_kohm = Gap_liberty.Delay_model.drive_res_kohm_per_ff model ~drive:1.;
+    c0_ff = Gap_liberty.Delay_model.input_cap_ff model ~g:1. ~drive:1.;
+    intrinsic_ps = Gap_liberty.Delay_model.intrinsic_ps model ~p:1.;
+  }
+
+let optimal_size d (w : Wire.t) =
+  sqrt (d.r0_kohm *. w.c_ff_per_um /. (w.r_kohm_per_um *. d.c0_ff))
+
+let raw_optimal_count d (w : Wire.t) ~length_um =
+  length_um
+  *. sqrt (0.38 *. w.r_kohm_per_um *. w.c_ff_per_um /. (0.69 *. d.r0_kohm *. d.c0_ff))
+
+let delay_with d w ~length_um ~n ~h =
+  assert (n >= 1 && h > 0.);
+  let l = length_um /. float_of_int n in
+  let rw = Wire.total_r_kohm w ~length_um:l in
+  let cw = Wire.total_c_ff w ~length_um:l in
+  let rd = d.r0_kohm /. h in
+  let cin = d.c0_ff *. h in
+  let seg =
+    d.intrinsic_ps
+    +. (0.69 *. rd *. (cw +. cin))
+    +. (0.38 *. rw *. cw)
+    +. (0.69 *. rw *. cin)
+  in
+  float_of_int n *. seg
+
+let bare_delay d w ~length_um =
+  Elmore.delay_ps ~r_drv_kohm:d.r0_kohm ~wire:w ~length_um ~c_load_ff:d.c0_ff
+
+let optimal_count d w ~length_um =
+  let n = int_of_float (Float.round (raw_optimal_count d w ~length_um)) in
+  if n < 1 then 0
+  else begin
+    let h = optimal_size d w in
+    if delay_with d w ~length_um ~n ~h < bare_delay d w ~length_um then n else 0
+  end
+
+let optimal_delay_ps d w ~length_um =
+  match optimal_count d w ~length_um with
+  | 0 -> bare_delay d w ~length_um
+  | n -> delay_with d w ~length_um ~n ~h:(optimal_size d w)
+
+let delay_per_mm_ps d w =
+  let l = 10000. in
+  (* long enough to be in the linear regime *)
+  optimal_delay_ps d w ~length_um:(2. *. l) -. optimal_delay_ps d w ~length_um:l
+  |> fun dd -> dd /. (l /. 1000.)

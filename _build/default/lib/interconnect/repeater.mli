@@ -1,0 +1,37 @@
+(** Repeater (buffer) insertion on long wires, after Bakoglu.
+
+    Long-wire delay is quadratic in length; inserting [n] repeaters of size
+    [h] makes it linear. The optima are the textbook expressions
+
+    [n* = L sqrt(0.38 r c / (0.69 R0 C0))],  [h* = sqrt(R0 c / (r C0))]
+
+    with [r], [c] per-unit wire parasitics and [R0], [C0] the unit repeater's
+    resistance and input capacitance. "Proper driving of a wire depends on
+    sizing of drivers and insertion of repeaters" (Sec. 5). *)
+
+type driver = {
+  r0_kohm : float;
+  c0_ff : float;
+  intrinsic_ps : float;
+}
+
+val driver_of_inverter : Gap_liberty.Cell.t -> driver
+val default_driver : Gap_tech.Tech.t -> driver
+(** Unit inverter of the technology's logical-effort model. *)
+
+val optimal_count : driver -> Wire.t -> length_um:float -> int
+(** At least 1 when repeating helps; 0 when the wire is short enough that no
+    repeater beats the bare wire. *)
+
+val optimal_size : driver -> Wire.t -> float
+
+val delay_with : driver -> Wire.t -> length_um:float -> n:int -> h:float -> float
+(** Total delay through [n] equal segments, each driven by a size-[h]
+    repeater (n >= 1). *)
+
+val optimal_delay_ps : driver -> Wire.t -> length_um:float -> float
+(** Delay at the optimal (integer) repeater count and size; falls back to the
+    bare Elmore wire when repeaters don't help. *)
+
+val delay_per_mm_ps : driver -> Wire.t -> float
+(** Asymptotic repeated-wire delay per millimeter. *)

@@ -1,0 +1,16 @@
+type t = { r_kohm_per_um : float; c_ff_per_um : float }
+
+let of_tech ?(width_mult = 1.) (tech : Gap_tech.Tech.t) =
+  assert (width_mult >= 1.);
+  {
+    r_kohm_per_um = tech.wire_r_kohm_per_um /. width_mult;
+    (* ~60% of minimum-pitch capacitance is area term that scales with width;
+       the rest is fringe/coupling and stays. *)
+    c_ff_per_um = tech.wire_c_ff_per_um *. (0.4 +. (0.6 *. width_mult)) /. 1.0;
+  }
+
+let total_r_kohm t ~length_um = t.r_kohm_per_um *. length_um
+let total_c_ff t ~length_um = t.c_ff_per_um *. length_um
+
+let rc_delay_ps t ~length_um =
+  0.38 *. total_r_kohm t ~length_um *. total_c_ff t ~length_um

@@ -1,0 +1,22 @@
+(** Wire electrical models.
+
+    A wire is characterized by per-micron resistance and capacitance taken
+    from the technology, optionally widened: widening by [w] divides
+    resistance by [w] and grows capacitance (area term scales, fringe does
+    not), the knob behind "wires may be widened to reduce the delays"
+    (Sec. 6). *)
+
+type t = {
+  r_kohm_per_um : float;
+  c_ff_per_um : float;
+}
+
+val of_tech : ?width_mult:float -> Gap_tech.Tech.t -> t
+(** [width_mult] defaults to 1 (minimum-pitch global wire). *)
+
+val total_r_kohm : t -> length_um:float -> float
+val total_c_ff : t -> length_um:float -> float
+
+val rc_delay_ps : t -> length_um:float -> float
+(** Distributed RC delay of the bare wire, [0.38 R C] (step response to
+    50%). Quadratic in length: the reason long wires need repeaters. *)

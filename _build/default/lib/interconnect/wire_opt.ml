@@ -1,0 +1,35 @@
+let delay_at_width tech ~length_um ~width_mult =
+  let wire = Wire.of_tech ~width_mult tech in
+  let drv = Repeater.default_driver tech in
+  Repeater.optimal_delay_ps drv wire ~length_um
+
+let optimal_width ?(max_width = 8.) tech ~length_um =
+  let f w = delay_at_width tech ~length_um ~width_mult:w in
+  (* golden-section search on a unimodal objective *)
+  let phi = (sqrt 5. -. 1.) /. 2. in
+  let a = ref 1. and b = ref max_width in
+  let x1 = ref (!b -. (phi *. (!b -. !a))) in
+  let x2 = ref (!a +. (phi *. (!b -. !a))) in
+  let f1 = ref (f !x1) and f2 = ref (f !x2) in
+  while !b -. !a > 1e-3 do
+    if !f1 <= !f2 then begin
+      b := !x2;
+      x2 := !x1;
+      f2 := !f1;
+      x1 := !b -. (phi *. (!b -. !a));
+      f1 := f !x1
+    end
+    else begin
+      a := !x1;
+      x1 := !x2;
+      f1 := !f2;
+      x2 := !a +. (phi *. (!b -. !a));
+      f2 := f !x2
+    end
+  done;
+  let w = (!a +. !b) /. 2. in
+  (w, f w)
+
+let sizing_gain tech ~length_um =
+  let _, best = optimal_width tech ~length_um in
+  delay_at_width tech ~length_um ~width_mult:1. /. best

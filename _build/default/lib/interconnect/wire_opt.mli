@@ -1,0 +1,19 @@
+(** Wire sizing: "wires may be widened to reduce the delays ... by reducing
+    the resistance" (Sec. 6), with the fringe-capacitance penalty that keeps
+    the optimum finite. "Tools for wire sizing along with transistor sizing
+    may be available in the future (e.g. [6])" — this is a small such tool
+    for a single repeated net: golden-section search over the width
+    multiplier of the optimally-repeated wire delay. *)
+
+val delay_at_width :
+  Gap_tech.Tech.t -> length_um:float -> width_mult:float -> float
+(** Optimally-repeated delay of the net at the given wire width. *)
+
+val optimal_width :
+  ?max_width:float -> Gap_tech.Tech.t -> length_um:float -> float * float
+(** [(width, delay_ps)] minimizing {!delay_at_width} over
+    [1 .. max_width] (default 8). *)
+
+val sizing_gain : Gap_tech.Tech.t -> length_um:float -> float
+(** Minimum-width delay over optimal-width delay: what wire sizing is worth
+    on this net (>= 1). *)

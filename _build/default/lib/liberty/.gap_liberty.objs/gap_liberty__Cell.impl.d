@@ -1,0 +1,1 @@
+lib/liberty/cell.ml: Format Gap_logic Lazy

@@ -1,0 +1,1 @@
+lib/liberty/liberty_io.ml: Array Buffer Cell Char Gap_logic Gap_tech Library List Power Printf String

@@ -1,0 +1,1 @@
+lib/liberty/liberty_io.mli: Buffer Cell Library

@@ -1,0 +1,1 @@
+lib/liberty/libgen.ml: Cell Delay_model Float Gap_logic Gap_tech Library List Printf

@@ -1,0 +1,1 @@
+lib/liberty/libgen.mli: Cell Gap_logic Gap_tech Library

@@ -1,0 +1,1 @@
+lib/liberty/library.ml: Array Cell Float Format Gap_logic Gap_tech Hashtbl List Option

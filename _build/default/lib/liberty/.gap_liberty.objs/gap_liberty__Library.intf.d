@@ -1,0 +1,1 @@
+lib/liberty/library.mli: Cell Format Gap_logic Gap_tech

@@ -1,0 +1,1 @@
+lib/liberty/power.ml: Cell Delay_model

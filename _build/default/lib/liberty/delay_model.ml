@@ -1,0 +1,18 @@
+type t = { tau_ps : float; c1_ff : float }
+
+let unit_input_cap_ff = 2.0
+let of_tech tech = { tau_ps = Gap_tech.Tech.tau_ps tech; c1_ff = unit_input_cap_ff }
+let input_cap_ff t ~g ~drive = g *. drive *. t.c1_ff
+let intrinsic_ps t ~p = p *. t.tau_ps
+
+let drive_res_kohm_per_ff t ~drive =
+  assert (drive > 0.);
+  t.tau_ps /. (drive *. t.c1_ff)
+
+let delay_ps t ~g ~p ~drive ~load_ff =
+  ignore g;
+  intrinsic_ps t ~p +. (drive_res_kohm_per_ff t ~drive *. load_ff)
+
+let fo4_ps t =
+  let load = 4. *. input_cap_ff t ~g:1. ~drive:1. in
+  delay_ps t ~g:1. ~p:1. ~drive:1. ~load_ff:load

@@ -1,0 +1,39 @@
+(** The linear (logical-effort) cell delay model.
+
+    Every combinational cell is characterized by three numbers derived from
+    logical-effort theory (Sutherland/Sproull/Harris): logical effort [g],
+    parasitic delay [p], and drive strength [s]. With [tau] the technology
+    time unit (FO4 / 5) and [c1] the unit inverter input capacitance:
+
+    - input capacitance  [cin  = g * s * c1]
+    - intrinsic delay    [d0   = p * tau]
+    - drive resistance   [r    = tau / (s * c1)]
+    - total delay        [d    = d0 + r * c_load]
+
+    This reproduces FO4 exactly: a unit inverter ([g=1, p=1]) driving four
+    copies of itself sees [d = tau * (1 + 4) = FO4]. The paper's claims about
+    drive-strength granularity (Sec. 6) are claims about the available values
+    of [s], which this model exposes directly. *)
+
+type t = {
+  tau_ps : float;
+  c1_ff : float;  (** unit inverter input capacitance *)
+}
+
+val of_tech : Gap_tech.Tech.t -> t
+(** Standard calibration: [tau = FO4 / 5], [c1 = 2 fF]. *)
+
+val unit_input_cap_ff : float
+
+val input_cap_ff : t -> g:float -> drive:float -> float
+val intrinsic_ps : t -> p:float -> float
+val drive_res_kohm_per_ff : t -> drive:float -> float
+
+val delay_ps :
+  t -> g:float -> p:float -> drive:float -> load_ff:float -> float
+(** [d0 + r * load]; [g] is unused by the delay itself (it only sets input
+    cap) but kept for interface uniformity. *)
+
+val fo4_ps : t -> float
+(** Round-trip check value: the delay of a unit inverter driving 4 unit
+    inverters under this model. *)

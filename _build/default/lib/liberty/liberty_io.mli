@@ -1,0 +1,17 @@
+(** Liberty-format export of generated libraries.
+
+    Emits the industry-standard `.lib` text so generated libraries can be
+    inspected with standard tooling or diffed across profiles. The linear
+    delay model maps directly onto Liberty's generic-CMOS attributes:
+    intrinsic delay and drive resistance per output pin, capacitance per
+    input pin, with the cell function rendered as a boolean expression on
+    the conventional pin names (A, B, C, ... / Y). *)
+
+val function_string : Cell.t -> string
+(** Sum-of-products expression of the cell function over pin names, e.g.
+    ["!(A B)"] for an inverting cell whose complement is simpler, or
+    ["(A B) + (A C) + (B C)"] for MAJ3. *)
+
+val write_cell : Buffer.t -> Cell.t -> unit
+val write : Library.t -> string
+val write_to_channel : out_channel -> Library.t -> unit

@@ -1,0 +1,234 @@
+type flop_style = Asic_flop | Custom_latch
+
+type profile = {
+  profile_name : string;
+  drives : float list;
+  dual_polarity : bool;
+  complex_gates : bool;
+  macro_cells : bool;
+  flop_style : flop_style;
+  family : Cell.family;
+  speed_factor : float;
+}
+
+let rich =
+  {
+    profile_name = "rich";
+    drives = [ 0.5; 1.; 2.; 3.; 4.; 6.; 8.; 12.; 16. ];
+    dual_polarity = true;
+    complex_gates = true;
+    macro_cells = true;
+    flop_style = Asic_flop;
+    family = Static_cmos;
+    speed_factor = 1.0;
+  }
+
+let poor =
+  {
+    profile_name = "poor";
+    drives = [ 1.; 4. ];
+    dual_polarity = false;
+    complex_gates = false;
+    macro_cells = false;
+    flop_style = Asic_flop;
+    family = Static_cmos;
+    speed_factor = 1.0;
+  }
+
+let typical =
+  {
+    profile_name = "typical";
+    drives = [ 1.; 2.; 4.; 8. ];
+    dual_polarity = true;
+    complex_gates = true;
+    macro_cells = false;
+    flop_style = Asic_flop;
+    family = Static_cmos;
+    speed_factor = 1.0;
+  }
+
+let domino =
+  {
+    profile_name = "domino";
+    drives = [ 1.; 2.; 4.; 8. ];
+    dual_polarity = true;
+    complex_gates = false;
+    macro_cells = true;
+    flop_style = Custom_latch;
+    family = Domino;
+    speed_factor = 1.75;
+  }
+
+let custom =
+  {
+    profile_name = "custom";
+    drives = [ 0.5; 1.; 1.5; 2.; 3.; 4.; 6.; 8.; 12.; 16.; 24. ];
+    dual_polarity = true;
+    complex_gates = true;
+    macro_cells = true;
+    flop_style = Custom_latch;
+    family = Static_cmos;
+    speed_factor = 1.0;
+  }
+
+let with_drives p drives = { p with drives }
+let with_speed_factor p speed_factor = { p with speed_factor }
+let with_name p profile_name = { p with profile_name }
+
+(* Gate templates: (base, function, logical effort g, parasitic p). The g/p
+   values are the textbook logical-effort numbers; compound (non-inverting)
+   cells carry the parasitic of their internal inverter stage. *)
+
+let tt vars f = Gap_logic.Truthtable.of_fun ~vars f
+let bit m i = m land (1 lsl i) <> 0
+
+let inverting_templates =
+  [
+    ("INV", tt 1 (fun m -> not (bit m 0)), 1.0, 1.0);
+    ("NAND2", tt 2 (fun m -> not (bit m 0 && bit m 1)), 4. /. 3., 2.0);
+    ("NAND3", tt 3 (fun m -> not (bit m 0 && bit m 1 && bit m 2)), 5. /. 3., 3.0);
+    ("NAND4", tt 4 (fun m -> not (bit m 0 && bit m 1 && bit m 2 && bit m 3)), 2.0, 4.0);
+    ("NOR2", tt 2 (fun m -> not (bit m 0 || bit m 1)), 5. /. 3., 2.0);
+    ("NOR3", tt 3 (fun m -> not (bit m 0 || bit m 1 || bit m 2)), 7. /. 3., 3.0);
+  ]
+
+let noninverting_templates =
+  [
+    ("BUF", tt 1 (fun m -> bit m 0), 1.0, 2.0);
+    ("AND2", tt 2 (fun m -> bit m 0 && bit m 1), 4. /. 3., 4.0);
+    ("AND3", tt 3 (fun m -> bit m 0 && bit m 1 && bit m 2), 5. /. 3., 5.0);
+    ("AND4", tt 4 (fun m -> bit m 0 && bit m 1 && bit m 2 && bit m 3), 2.0, 6.0);
+    ("OR2", tt 2 (fun m -> bit m 0 || bit m 1), 5. /. 3., 4.0);
+    ("OR3", tt 3 (fun m -> bit m 0 || bit m 1 || bit m 2), 7. /. 3., 5.0);
+    ("OR4", tt 4 (fun m -> bit m 0 || bit m 1 || bit m 2 || bit m 3), 7. /. 3., 6.0);
+    ("MUX2", tt 3 (fun m -> if bit m 2 then bit m 1 else bit m 0), 2.0, 5.0);
+  ]
+
+let complex_templates =
+  [
+    ("XOR2", tt 2 (fun m -> bit m 0 <> bit m 1), 4.0, 6.0);
+    ("XNOR2", tt 2 (fun m -> bit m 0 = bit m 1), 4.0, 6.0);
+    ("AOI21", tt 3 (fun m -> not ((bit m 0 && bit m 1) || bit m 2)), 5. /. 3., 3.0);
+    ("OAI21", tt 3 (fun m -> not ((bit m 0 || bit m 1) && bit m 2)), 5. /. 3., 3.0);
+    ("AOI22", tt 4 (fun m -> not ((bit m 0 && bit m 1) || (bit m 2 && bit m 3))), 2.0, 4.0);
+    ("OAI22", tt 4 (fun m -> not ((bit m 0 || bit m 1) && (bit m 2 || bit m 3))), 2.0, 4.0);
+    ("MUXI2", tt 3 (fun m -> not (if bit m 2 then bit m 1 else bit m 0)), 2.0, 4.0);
+  ]
+
+let macro_templates =
+  [
+    (* Datapath helpers: 3-input XOR (full-adder sum) and majority (full-adder
+       carry). Complex static cells of this kind are what "use of predefined
+       macro cells ... can significantly improve the resulting design"
+       (Sec. 4.2) is about. *)
+    ("XOR3", tt 3 (fun m -> bit m 0 <> bit m 1 <> bit m 2), 6.0, 8.0);
+    ("MAJ3", tt 3 (fun m ->
+        (bit m 0 && bit m 1) || (bit m 0 && bit m 2) || (bit m 1 && bit m 2)),
+     2.0, 6.0);
+  ]
+
+let monotone f = Gap_logic.Truthtable.is_monotone f
+
+let templates profile =
+  let base =
+    inverting_templates
+    @ (if profile.dual_polarity then noninverting_templates else [])
+    @ (if profile.complex_gates then complex_templates else [])
+    @ if profile.macro_cells then macro_templates else []
+  in
+  match profile.family with
+  | Cell.Static_cmos -> base
+  | Cell.Domino ->
+      (* Dynamic gates evaluate monotonically: only non-inverting, monotone
+         functions are implementable (Sec. 7.1). Keep a static inverter so
+         support logic can still be built. *)
+      let dynamic = List.filter (fun (_, f, _, _) -> monotone f) base in
+      let inv = List.hd inverting_templates in
+      inv :: dynamic
+
+let drive_name drive =
+  if Float.is_integer drive then Printf.sprintf "X%.0f" drive
+  else
+    let whole = floor drive in
+    Printf.sprintf "X%.0fP%.0f" whole ((drive -. whole) *. 10.)
+
+let area_unit_um2 tech =
+  (* ~12 um^2 per unit-drive 2-input gate at 0.25um, scaling with the square
+     of the drawn feature size. *)
+  let s = Gap_tech.Tech.(tech.drawn_um) /. 0.25 in
+  12. *. s *. s
+
+let make tech profile =
+  let model = Delay_model.of_tech tech in
+  let fo4 = Gap_tech.Tech.fo4_ps tech in
+  let speed = profile.speed_factor in
+  let a0 = area_unit_um2 tech in
+  let comb_cell (base, func, g, p) drive =
+    let n_inputs = Gap_logic.Truthtable.vars func in
+    (* In a domino library only the monotone cells are dynamic; support cells
+       (the static inverter) keep static-CMOS speed. *)
+    let family =
+      match profile.family with
+      | Cell.Static_cmos -> Cell.Static_cmos
+      | Cell.Domino -> if monotone func then Cell.Domino else Cell.Static_cmos
+    in
+    let cell_speed = match family with Cell.Domino -> speed | Cell.Static_cmos -> 1.0 in
+    {
+      Cell.name = Printf.sprintf "%s_%s" base (drive_name drive);
+      base;
+      kind = Comb;
+      family;
+      func;
+      n_inputs;
+      drive;
+      input_cap_ff = Delay_model.input_cap_ff model ~g ~drive;
+      intrinsic_ps = Delay_model.intrinsic_ps model ~p /. cell_speed;
+      drive_res_kohm = Delay_model.drive_res_kohm_per_ff model ~drive /. cell_speed;
+      area_um2 = a0 *. float_of_int (max 1 n_inputs) *. (0.5 +. (0.5 *. drive));
+      logical_effort = g;
+      parasitic = p;
+    }
+  in
+  let seq =
+    match profile.flop_style with
+    | Asic_flop ->
+        (* Guard-banded ASIC flop: total setup + clk->q = 2.5 FO4, the kind of
+           overhead that makes "registers and latches in ASICs ... require a
+           far larger absolute segment of the clock cycle" (Sec. 4.1). *)
+        { Cell.setup_ps = 1.0 *. fo4; hold_ps = 0.1 *. fo4; clk_to_q_ps = 1.5 *. fo4 }
+    | Custom_latch ->
+        (* Tuned custom register: 2.0 FO4 total, matching the ~15% of a
+           15-FO4 cycle the Alpha pays (Sec. 4.1). *)
+        { Cell.setup_ps = 0.8 *. fo4; hold_ps = 0.05 *. fo4; clk_to_q_ps = 1.2 *. fo4 }
+  in
+  let flop_cell drive =
+    let g = 1.5 in
+    {
+      Cell.name = Printf.sprintf "DFF_%s" (drive_name drive);
+      base = "DFF";
+      kind = Flop seq;
+      family = profile.family;
+      func = Gap_logic.Truthtable.var ~vars:1 0;
+      n_inputs = 1;
+      drive;
+      input_cap_ff = Delay_model.input_cap_ff model ~g ~drive;
+      intrinsic_ps = seq.clk_to_q_ps;
+      drive_res_kohm = Delay_model.drive_res_kohm_per_ff model ~drive;
+      area_um2 = area_unit_um2 tech *. 5. *. (0.5 +. (0.5 *. drive));
+      logical_effort = g;
+      parasitic = 2.0;
+    }
+  in
+  let combs =
+    List.concat_map
+      (fun template -> List.map (comb_cell template) profile.drives)
+      (templates profile)
+  in
+  let flop_drives =
+    (* registers come in a reduced ladder *)
+    List.filter (fun d -> d >= 1.) profile.drives
+    |> List.filteri (fun i _ -> i mod 2 = 0)
+  in
+  let flops = List.map flop_cell (if flop_drives = [] then [ 1. ] else flop_drives) in
+  let lib_name = Printf.sprintf "%s-%s" profile.profile_name Gap_tech.Tech.(tech.name) in
+  Library.make ~name:lib_name ~tech (combs @ flops)

@@ -1,0 +1,56 @@
+(** Library generation from logical-effort templates.
+
+    Commercial 0.25um libraries are proprietary, so we synthesize libraries
+    whose *structure* matches the paper's discussion (Sec. 6): number of drive
+    strengths, availability of both gate polarities, availability of complex
+    gates and datapath macro cells, register overhead, and (for Sec. 7) a
+    domino variant restricted to monotone functions with 1.5-2x faster
+    gates. *)
+
+type flop_style =
+  | Asic_flop  (** guard-banded: setup 1.0 FO4, clk->q 1.5 FO4 *)
+  | Custom_latch  (** tuned: setup 0.8 FO4, clk->q 1.2 FO4 *)
+
+type profile = {
+  profile_name : string;
+  drives : float list;  (** available drive strengths, ascending *)
+  dual_polarity : bool;  (** include non-inverting AND/OR/BUF/MUX cells *)
+  complex_gates : bool;  (** include AOI/OAI/XOR cells *)
+  macro_cells : bool;  (** include XOR3/MAJ3 datapath cells *)
+  flop_style : flop_style;
+  family : Cell.family;
+  speed_factor : float;
+      (** divide all delays by this; domino libraries use 1.5-2.0
+          (paper Sec. 7: "50% to 100% faster"). 1.0 for static. *)
+}
+
+val rich : profile
+(** Many drive strengths, dual polarity, complex gates and macros: the
+    "good standard cell library" of Sec. 6.2. *)
+
+val poor : profile
+(** Two drive strengths, single (inverting) polarity, no complex gates: the
+    library the paper says "may be 25% slower" (Sec. 6.1, citing Scott &
+    Keutzer). *)
+
+val typical : profile
+(** Middle ground: four drives, dual polarity, no macros. *)
+
+val domino : profile
+(** Monotone-only dynamic cells at 1.75x speed, plus static inverters for
+    completeness of mapping support logic. *)
+
+val custom : profile
+(** Rich cell set with custom-latch registers; static CMOS (dynamic logic is
+    modeled by {!domino} / [Gap_domino]). *)
+
+val with_drives : profile -> float list -> profile
+val with_speed_factor : profile -> float -> profile
+val with_name : profile -> string -> profile
+
+val make : Gap_tech.Tech.t -> profile -> Library.t
+
+val templates :
+  profile -> (string * Gap_logic.Truthtable.t * float * float) list
+(** The (base, function, g, p) gate templates the profile instantiates;
+    exposed for tests. *)

@@ -1,0 +1,82 @@
+type t = {
+  name : string;
+  tech : Gap_tech.Tech.t;
+  cells : Cell.t array;
+  classes : (int64 * int, Cell.t list) Hashtbl.t; (* (npn key, n_inputs) *)
+  by_base : (string, Cell.t list) Hashtbl.t;
+}
+
+let make ~name ~tech cell_list =
+  let cells = Array.of_list cell_list in
+  let classes = Hashtbl.create 64 in
+  let by_base = Hashtbl.create 64 in
+  let add_to tbl key cell =
+    let existing = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (cell :: existing)
+  in
+  Array.iter
+    (fun (c : Cell.t) ->
+      if c.kind = Comb && c.n_inputs <= 4 then
+        add_to classes (Cell.npn_key c, c.n_inputs) c;
+      add_to by_base c.base c)
+    cells;
+  (* Sort the drive ladders once. *)
+  Hashtbl.iter
+    (fun base cs ->
+      Hashtbl.replace by_base base
+        (List.sort (fun (a : Cell.t) b -> compare a.drive b.drive) cs))
+    (Hashtbl.copy by_base);
+  { name; tech; cells; classes; by_base }
+
+let name t = t.name
+let tech t = t.tech
+let cells t = t.cells
+let size t = Array.length t.cells
+
+let drives_of t base = Option.value ~default:[] (Hashtbl.find_opt t.by_base base)
+
+let find t ~base ~drive =
+  List.find_opt (fun (c : Cell.t) -> Float.abs (c.drive -. drive) < 1e-9) (drives_of t base)
+
+let bases t =
+  Hashtbl.fold (fun base _ acc -> base :: acc) t.by_base []
+  |> List.sort_uniq compare
+
+let cells_matching t f =
+  let key = (Gap_logic.Npn.canonical_key f, Gap_logic.Truthtable.vars f) in
+  Option.value ~default:[] (Hashtbl.find_opt t.classes key)
+
+let inverters t =
+  Array.to_list t.cells |> List.filter Cell.is_inverter
+  |> List.sort (fun (a : Cell.t) b -> compare a.drive b.drive)
+
+let buffers t =
+  Array.to_list t.cells |> List.filter Cell.is_buffer
+  |> List.sort (fun (a : Cell.t) b -> compare a.drive b.drive)
+
+let smallest_inverter t =
+  match inverters t with [] -> raise Not_found | c :: _ -> c
+
+let flops t =
+  Array.to_list t.cells
+  |> List.filter (fun (c : Cell.t) -> match c.kind with Flop _ -> true | _ -> false)
+  |> List.sort (fun (a : Cell.t) b -> compare a.drive b.drive)
+
+let smallest_flop t = match flops t with [] -> raise Not_found | c :: _ -> c
+
+let neighbours t (cell : Cell.t) =
+  let arr = Array.of_list (drives_of t cell.base) in
+  let idx = ref (-1) in
+  Array.iteri (fun i (c : Cell.t) -> if c.name = cell.name then idx := i) arr;
+  if !idx < 0 then (None, None)
+  else
+    ( (if !idx > 0 then Some arr.(!idx - 1) else None),
+      if !idx < Array.length arr - 1 then Some arr.(!idx + 1) else None )
+
+let next_drive_up t cell = snd (neighbours t cell)
+let next_drive_down t cell = fst (neighbours t cell)
+
+let pp_summary ppf t =
+  let n_bases = List.length (bases t) in
+  Format.fprintf ppf "library %s: %d cells, %d bases, tech %s" t.name
+    (Array.length t.cells) n_bases (Gap_tech.Tech.(t.tech.name))

@@ -1,0 +1,10 @@
+let self_cap_ff (c : Cell.t) =
+  0.5 *. c.Cell.parasitic *. c.Cell.drive *. Delay_model.unit_input_cap_ff
+
+let switching_energy_fj c ~vdd_v ~load_ff =
+  0.5 *. (load_ff +. self_cap_ff c) *. vdd_v *. vdd_v
+
+let domino_cycle_energy_fj c ~vdd_v ~load_ff =
+  (load_ff +. self_cap_ff c) *. vdd_v *. vdd_v
+
+let leakage_nw (c : Cell.t) = 0.02 *. c.Cell.area_um2

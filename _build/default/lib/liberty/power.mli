@@ -1,0 +1,26 @@
+(** Cell-level power models.
+
+    The paper scopes power out of its analysis but leans on it qualitatively:
+    dynamic logic "has higher power consumption" (Sec. 7.1) and transistors
+    are "sized minimally to reduce power" off the critical path (Sec. 6.2).
+    This model makes those statements measurable:
+
+    - switching energy per output transition: [0.5 (C_load + C_self) Vdd^2]
+      (fJ with C in fF), with [C_self] the cell's own output parasitic;
+    - domino cells pay the full [C V^2] when they discharge (evaluate +
+      precharge both move the node);
+    - leakage proportional to area (tiny at 0.25um, included for
+      completeness). *)
+
+val self_cap_ff : Cell.t -> float
+(** Output-node parasitic capacitance: half the parasitic-delay-equivalent
+    input capacitance, scaled by drive. *)
+
+val switching_energy_fj : Cell.t -> vdd_v:float -> load_ff:float -> float
+(** Energy of one output transition (static CMOS semantics). *)
+
+val domino_cycle_energy_fj : Cell.t -> vdd_v:float -> load_ff:float -> float
+(** Energy of one discharge/precharge cycle of a dynamic gate: [C V^2]. *)
+
+val leakage_nw : Cell.t -> float
+(** Standby leakage, ~0.02 nW/um^2 at this node. *)

@@ -1,0 +1,1 @@
+lib/logic/aig.ml: Array Expr Format Gap_util Hashtbl Int64 List

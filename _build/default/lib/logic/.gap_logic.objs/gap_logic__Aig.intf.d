@@ -1,0 +1,1 @@
+lib/logic/aig.mli: Expr Format Gap_util

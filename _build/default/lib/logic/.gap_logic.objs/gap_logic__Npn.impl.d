@@ -1,0 +1,1 @@
+lib/logic/npn.ml: Array Int64 Lazy List Truthtable

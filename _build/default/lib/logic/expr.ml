@@ -1,0 +1,54 @@
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let ( ^^^ ) a b = Xor (a, b)
+let not_ a = Not a
+let var i = Var i
+let tru = Const true
+let fls = Const false
+let mux ~sel a b = Or (And (Not sel, a), And (sel, b))
+let majority a b c = Or (And (a, b), Or (And (a, c), And (b, c)))
+
+let rec eval e env =
+  match e with
+  | Const b -> b
+  | Var i -> env i
+  | Not a -> not (eval a env)
+  | And (a, b) -> eval a env && eval b env
+  | Or (a, b) -> eval a env || eval b env
+  | Xor (a, b) -> eval a env <> eval b env
+
+let rec max_var = function
+  | Const _ -> -1
+  | Var i -> i
+  | Not a -> max_var a
+  | And (a, b) | Or (a, b) | Xor (a, b) -> max (max_var a) (max_var b)
+
+let to_truthtable ~vars e =
+  assert (max_var e < vars);
+  Truthtable.of_fun ~vars (fun m -> eval e (fun i -> m land (1 lsl i) <> 0))
+
+let rec size = function
+  | Const _ | Var _ -> 0
+  | Not a -> 1 + size a
+  | And (a, b) | Or (a, b) | Xor (a, b) -> 1 + size a + size b
+
+let rec pp ppf = function
+  | Const b -> Format.fprintf ppf "%b" b
+  | Var i -> Format.fprintf ppf "x%d" i
+  | Not a -> Format.fprintf ppf "!%a" pp_atom a
+  | And (a, b) -> Format.fprintf ppf "%a & %a" pp_atom a pp_atom b
+  | Or (a, b) -> Format.fprintf ppf "%a | %a" pp_atom a pp_atom b
+  | Xor (a, b) -> Format.fprintf ppf "%a ^ %a" pp_atom a pp_atom b
+
+and pp_atom ppf e =
+  match e with
+  | Const _ | Var _ | Not _ -> pp ppf e
+  | _ -> Format.fprintf ppf "(%a)" pp e

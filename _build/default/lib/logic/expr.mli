@@ -1,0 +1,36 @@
+(** Boolean expression trees: the convenient front-end notation for building
+    datapath logic before it is turned into an AIG or a truth table. *)
+
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val ( ^^^ ) : t -> t -> t
+val not_ : t -> t
+val var : int -> t
+val tru : t
+val fls : t
+
+val mux : sel:t -> t -> t -> t
+(** [mux ~sel a b] is [a] when [sel] is false, [b] when [sel] is true. *)
+
+val majority : t -> t -> t -> t
+(** Carry function of a full adder. *)
+
+val eval : t -> (int -> bool) -> bool
+val max_var : t -> int
+(** Highest variable index used, [-1] for constants. *)
+
+val to_truthtable : vars:int -> t -> Truthtable.t
+(** Requires [max_var < vars <= 6]. *)
+
+val size : t -> int
+(** Operator count. *)
+
+val pp : Format.formatter -> t -> unit

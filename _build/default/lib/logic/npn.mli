@@ -1,0 +1,51 @@
+(** NPN classification of small boolean functions.
+
+    Two functions are NPN-equivalent when one can be obtained from the other
+    by Negating inputs, Permuting inputs, and/or Negating the output. The
+    technology mapper matches cut functions against library cells up to NPN,
+    so a library need only store one representative per class. Brute force
+    over all [n! * 2^n * 2] transforms is fine for [n <= 4]. *)
+
+type transform = {
+  perm : int array;
+      (** candidate (cell) input [i] is driven by target (cut) input
+          [perm.(i)] *)
+  input_neg : int;
+      (** bitmask over {e target} (cut) inputs that must be inverted before
+          feeding the cell *)
+  output_neg : bool;  (** whether the cell output must be inverted *)
+}
+
+(** Wiring semantics: if [apply candidate t = target], then
+    [target (x0, ..)] = [(neg if t.output_neg) candidate (y0, ..)] where cell
+    input [i] receives [y_i = x_{t.perm.(i)}], inverted iff bit [t.perm.(i)]
+    of [t.input_neg] is set. *)
+
+val identity : int -> transform
+
+val apply : Truthtable.t -> transform -> Truthtable.t
+(** [apply f t] is the function computed when [f] is wrapped in transform [t]:
+    inputs permuted by [t.perm], inputs in [t.input_neg] inverted, output
+    inverted when [t.output_neg]. *)
+
+val canonical : Truthtable.t -> Truthtable.t
+(** Least (by raw bits) member of the NPN class. Requires [vars <= 4]. *)
+
+val canonical_key : Truthtable.t -> int64
+(** Bits of [canonical]; usable as a hash key. *)
+
+val match_against : target:Truthtable.t -> candidate:Truthtable.t -> transform option
+(** A transform [t] such that [apply candidate t = target], if the two are
+    NPN-equivalent. The mapper uses it to wire a library cell ([candidate]) so
+    that it realizes the cut function ([target]). Requires equal [vars <= 4]. *)
+
+val best_match :
+  target:Truthtable.t -> candidate:Truthtable.t -> transform option
+(** Like {!match_against} but scans all transforms and returns one minimizing
+    the number of inversions (negated inputs + negated output), i.e. the
+    cheapest wiring in inverter count. *)
+
+val negation_cost : transform -> int
+
+val permutations : int -> int array list
+(** All permutations of [0 .. n-1]; exposed for the tests. *)

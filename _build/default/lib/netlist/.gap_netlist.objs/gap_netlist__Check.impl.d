@@ -1,0 +1,1 @@
+lib/netlist/check.ml: Format List Netlist

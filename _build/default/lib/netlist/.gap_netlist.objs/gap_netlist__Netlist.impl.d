@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Format Gap_liberty Gap_util List Printf

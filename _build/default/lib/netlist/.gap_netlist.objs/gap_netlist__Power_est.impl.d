@@ -1,0 +1,1 @@
+lib/netlist/power_est.ml: Array Format Gap_liberty Gap_tech Gap_util Netlist Sim

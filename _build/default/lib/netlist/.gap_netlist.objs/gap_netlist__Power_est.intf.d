@@ -1,0 +1,1 @@
+lib/netlist/power_est.mli: Format Netlist

@@ -1,0 +1,1 @@
+lib/netlist/sim.ml: Array Gap_liberty Gap_logic List Netlist

@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Bytes Char Gap_liberty Hashtbl List Netlist Printf String

@@ -1,0 +1,32 @@
+type issue =
+  | Undriven_net of int
+  | Dangling_net of int
+  | Combinational_cycle
+  | Output_undriven of int
+
+let check t =
+  let issues = ref [] in
+  for n = Netlist.num_nets t - 1 downto 0 do
+    (match Netlist.driver_of t n with
+    | Netlist.Undriven -> issues := Undriven_net n :: !issues
+    | Netlist.From_input _ | Netlist.From_cell _ | Netlist.From_const _ -> ());
+    if Netlist.sinks_of t n = [] then issues := Dangling_net n :: !issues
+  done;
+  for port = Netlist.num_outputs t - 1 downto 0 do
+    match Netlist.driver_of t (Netlist.output_net t port) with
+    | Netlist.Undriven -> issues := Output_undriven port :: !issues
+    | Netlist.From_input _ | Netlist.From_cell _ | Netlist.From_const _ -> ()
+  done;
+  (match Netlist.topo_instances t with
+  | (_ : int array) -> ()
+  | exception Failure _ -> issues := Combinational_cycle :: !issues);
+  !issues
+
+let is_clean t =
+  List.for_all (function Dangling_net _ -> true | _ -> false) (check t)
+
+let pp_issue ppf = function
+  | Undriven_net n -> Format.fprintf ppf "undriven net %d" n
+  | Dangling_net n -> Format.fprintf ppf "dangling net %d" n
+  | Combinational_cycle -> Format.fprintf ppf "combinational cycle"
+  | Output_undriven p -> Format.fprintf ppf "primary output %d undriven" p

@@ -1,0 +1,13 @@
+(** Structural design-rule checks on netlists. *)
+
+type issue =
+  | Undriven_net of int
+  | Dangling_net of int  (** no sinks: usually benign, reported anyway *)
+  | Combinational_cycle
+  | Output_undriven of int  (** primary output port fed by an undriven net *)
+
+val check : Netlist.t -> issue list
+val is_clean : Netlist.t -> bool
+(** No issues other than [Dangling_net]. *)
+
+val pp_issue : Format.formatter -> issue -> unit

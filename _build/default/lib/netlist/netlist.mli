@@ -1,0 +1,112 @@
+(** Mutable gate-level netlist database.
+
+    The netlist is the post-mapping representation: instances of library
+    cells connected by nets, with primary inputs/outputs and a single
+    implicit clock driving all flops. Sizing, buffering, placement
+    back-annotation, and domino conversion all mutate this structure;
+    {!Sta} reads it.
+
+    Cells are single-output. Nets carry optional wire parasitics
+    ([wire_cap_ff], [wire_delay_ps]) that default to zero and are filled in
+    by the placement flow — pre-layout timing is the zero-wire-load model. *)
+
+type t
+
+type driver =
+  | From_input of int  (** primary input port index *)
+  | From_cell of int  (** instance id *)
+  | From_const of bool
+  | Undriven
+
+type sink =
+  | To_pin of int * int  (** instance id, input pin index *)
+  | To_output of int  (** primary output port index *)
+
+val create : lib:Gap_liberty.Library.t -> string -> t
+val name : t -> string
+val lib : t -> Gap_liberty.Library.t
+
+(** {1 Construction} *)
+
+val add_input : t -> string -> int
+(** Declares a primary input; returns the net it drives. *)
+
+val add_const : t -> bool -> int
+(** A constant-driven net. *)
+
+val add_cell : t -> Gap_liberty.Cell.t -> int array -> int
+(** [add_cell t cell fanins] instantiates [cell] with input pin [i] tied to
+    net [fanins.(i)]; returns the instance id. The output net is created
+    alongside and can be fetched with {!out_net}. [fanins] length must equal
+    the cell's input count. *)
+
+val set_output : t -> string -> int -> int
+(** Declares a primary output fed by the given net; returns the port index. *)
+
+(** {1 Topology accessors} *)
+
+val num_nets : t -> int
+val num_instances : t -> int
+val num_inputs : t -> int
+val num_outputs : t -> int
+val input_net : t -> int -> int
+val input_name : t -> int -> string
+val output_net : t -> int -> int
+val output_name : t -> int -> string
+val cell_of : t -> int -> Gap_liberty.Cell.t
+val fanins_of : t -> int -> int array
+val out_net : t -> int -> int
+val driver_of : t -> int -> driver
+val sinks_of : t -> int -> sink list
+val net_name : t -> int -> string
+
+val is_flop : t -> int -> bool
+val flops : t -> int list
+val combinational_instances : t -> int list
+
+(** {1 Parasitics and placement} *)
+
+val wire_cap_ff : t -> int -> float
+val set_wire_cap_ff : t -> int -> float -> unit
+val wire_delay_ps : t -> int -> float
+val set_wire_delay_ps : t -> int -> float -> unit
+val clear_parasitics : t -> unit
+
+val place : t -> int -> x_um:float -> y_um:float -> unit
+val location : t -> int -> (float * float) option
+
+(** {1 Loads} *)
+
+val pin_load_ff : t -> sink -> float
+(** Input capacitance presented by a sink ([0.] for primary outputs, which we
+    treat as ideal). *)
+
+val net_load_ff : t -> int -> float
+(** Total load a driver sees: sink pin caps + wire cap. *)
+
+(** {1 Rewrites (used by sizing / buffering / domino)} *)
+
+val replace_cell : t -> int -> Gap_liberty.Cell.t -> unit
+(** Swap the library cell of an instance; input count must match. *)
+
+val rewire_pin : t -> inst:int -> pin:int -> int -> unit
+(** Reconnect one input pin to another net. *)
+
+val rewire_output : t -> int -> int -> unit
+(** [rewire_output t port net] repoints a primary output. *)
+
+val insert_on_sinks : t -> Gap_liberty.Cell.t -> net:int -> sinks:sink list -> int
+(** Insert a (single-input) cell driven by [net] and move the given sinks of
+    [net] onto the new cell's output net; returns the new instance id. This is
+    the fanout-buffering primitive. *)
+
+(** {1 Aggregates} *)
+
+val area_um2 : t -> float
+val topo_instances : t -> int array
+(** Combinational-topological order: an instance appears after the drivers of
+    all its inputs, except that flop outputs are treated as sources (cycles
+    through registers are fine; purely combinational cycles raise
+    [Failure]). *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Netlist power estimation from simulated switching activity.
+
+    Activity is measured by functional simulation over random input streams:
+    for static cells, the per-cycle toggle probability of their output net;
+    for domino cells, the per-cycle probability of evaluating high (every
+    such cycle discharges and precharges the output). Dynamic power is then
+    [sum over nets of (rate x energy) x frequency], plus area-proportional
+    leakage. *)
+
+type report = {
+  dynamic_mw : float;
+  leakage_mw : float;
+  total_mw : float;
+  mean_activity : float;  (** average static toggle rate over driven nets *)
+  vectors : int;
+}
+
+val activities : ?vectors:int -> ?seed:int64 -> Netlist.t -> float array
+(** Per-net transitions per cycle, from [vectors] random cycles (default
+    500). Deterministic by [seed]. Sequential netlists are driven cycle by
+    cycle through their flops. *)
+
+val estimate :
+  ?vectors:int -> ?seed:int64 -> Netlist.t -> freq_mhz:float -> report
+
+val pp_report : Format.formatter -> report -> unit

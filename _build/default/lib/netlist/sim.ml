@@ -1,0 +1,63 @@
+type state = bool array (* per instance id; meaningful for flops only *)
+
+let initial t = Array.make (max 1 (Netlist.num_instances t)) false
+let flop_value st i = st.(i)
+
+let net_values t st ins =
+  assert (Array.length ins = Netlist.num_inputs t);
+  let values = Array.make (max 1 (Netlist.num_nets t)) false in
+  (* Sources first: primary inputs, constants, flop outputs. *)
+  for n = 0 to Netlist.num_nets t - 1 do
+    match Netlist.driver_of t n with
+    | Netlist.From_input port -> values.(n) <- ins.(port)
+    | Netlist.From_const b -> values.(n) <- b
+    | Netlist.From_cell i when Netlist.is_flop t i -> values.(n) <- st.(i)
+    | Netlist.From_cell _ | Netlist.Undriven -> ()
+  done;
+  let order = Netlist.topo_instances t in
+  Array.iter
+    (fun i ->
+      if not (Netlist.is_flop t i) then begin
+        let cell = Netlist.cell_of t i in
+        let fanins = Netlist.fanins_of t i in
+        let minterm = ref 0 in
+        Array.iteri (fun pin net -> if values.(net) then minterm := !minterm lor (1 lsl pin)) fanins;
+        values.(Netlist.out_net t i) <-
+          Gap_logic.Truthtable.eval cell.Gap_liberty.Cell.func !minterm
+      end)
+    order;
+  values
+
+let eval t st ins =
+  let values = net_values t st ins in
+  Array.init (Netlist.num_outputs t) (fun port -> values.(Netlist.output_net t port))
+
+let step t st ins =
+  let values = net_values t st ins in
+  let outs = Array.init (Netlist.num_outputs t) (fun port -> values.(Netlist.output_net t port)) in
+  let st' = Array.copy st in
+  List.iter
+    (fun i ->
+      let d_net = (Netlist.fanins_of t i).(0) in
+      st'.(i) <- values.(d_net))
+    (Netlist.flops t);
+  (outs, st')
+
+let advance t st ins =
+  let values = net_values t st ins in
+  let st' = Array.copy st in
+  List.iter
+    (fun i ->
+      let d_net = (Netlist.fanins_of t i).(0) in
+      st'.(i) <- values.(d_net))
+    (Netlist.flops t);
+  st'
+
+let run t input_seq =
+  let rec loop st acc = function
+    | [] -> List.rev acc
+    | ins :: rest ->
+        let outs, st' = step t st ins in
+        loop st' (outs :: acc) rest
+  in
+  loop (initial t) [] input_seq

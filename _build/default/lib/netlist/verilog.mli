@@ -1,0 +1,28 @@
+(** Structural Verilog interchange for mapped netlists.
+
+    The writer emits a single flat module using the library's cell names with
+    conventional pin names ([A], [B], [C], [D] for data inputs in pin order,
+    [Y] for the output, plus [CK] on sequential cells). The reader parses the
+    same subset back against a library, so netlists can round-trip to other
+    tools (or between sessions) and be re-timed here.
+
+    Supported subset: one module; [input]/[output]/[wire] declarations
+    (scalar only — buses are emitted bit-blasted); cell instances with named
+    port connections; [1'b0]/[1'b1] constant connections; [//] comments. *)
+
+val write : Netlist.t -> string
+(** Verilog source of the netlist. Net and instance names are sanitized to
+    Verilog identifiers; primary port names are preserved when legal. *)
+
+val write_to_channel : out_channel -> Netlist.t -> unit
+
+exception Parse_error of string * int  (** message, line number *)
+
+val read : lib:Gap_liberty.Library.t -> string -> Netlist.t
+(** Parses Verilog produced by {!write} (or equivalent hand-written
+    structural code) into a netlist over [lib]. Cells are resolved by name;
+    unknown cells, undeclared nets, or pin-count mismatches raise
+    {!Parse_error}. *)
+
+val pin_name : int -> string
+(** The conventional name of data-input pin [i]: A, B, C, D, E... *)

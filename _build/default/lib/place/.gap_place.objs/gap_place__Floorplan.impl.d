@@ -1,0 +1,1 @@
+lib/place/floorplan.ml: Array Float Gap_util List Stack

@@ -1,0 +1,1 @@
+lib/place/hpwl.ml: Gap_netlist List

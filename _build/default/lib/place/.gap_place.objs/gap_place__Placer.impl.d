@@ -1,0 +1,1 @@
+lib/place/placer.ml: Array Float Gap_netlist Gap_util Hpwl List

@@ -1,0 +1,1 @@
+lib/place/router.ml: Array Float Gap_interconnect Gap_liberty Gap_netlist Gap_util Hashtbl Hpwl List

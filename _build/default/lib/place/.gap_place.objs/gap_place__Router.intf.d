@@ -1,0 +1,1 @@
+lib/place/router.mli: Gap_netlist

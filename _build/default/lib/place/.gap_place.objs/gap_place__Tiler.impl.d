@@ -1,0 +1,1 @@
+lib/place/tiler.ml: Array Float Gap_netlist Hashtbl Hpwl List Option String

@@ -1,0 +1,1 @@
+lib/place/tiler.mli: Gap_netlist

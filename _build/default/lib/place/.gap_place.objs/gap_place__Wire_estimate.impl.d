@@ -1,0 +1,1 @@
+lib/place/wire_estimate.ml: Float Gap_interconnect Gap_liberty Gap_netlist Hpwl

@@ -1,0 +1,1 @@
+lib/place/wire_estimate.mli: Gap_netlist

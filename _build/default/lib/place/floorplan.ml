@@ -1,0 +1,184 @@
+type block = { block_name : string; w_um : float; h_um : float }
+type element = Operand of int | Hcut | Vcut
+type t = { blocks : block array; expr : element array }
+
+let initial blocks =
+  assert (Array.length blocks >= 1);
+  let n = Array.length blocks in
+  let expr = Array.make ((2 * n) - 1) (Operand 0) in
+  expr.(0) <- Operand 0;
+  let k = ref 1 in
+  for i = 1 to n - 1 do
+    expr.(!k) <- Operand i;
+    expr.(!k + 1) <- Vcut;
+    k := !k + 2
+  done;
+  { blocks; expr }
+
+let is_valid t =
+  (* balloting: every prefix has more operands than operators; total
+     operators = operands - 1; every operand appears exactly once *)
+  let n = Array.length t.blocks in
+  let seen = Array.make n false in
+  let operands = ref 0 and operators = ref 0 in
+  let ok = ref true in
+  Array.iter
+    (fun e ->
+      match e with
+      | Operand i ->
+          if i < 0 || i >= n || seen.(i) then ok := false else seen.(i) <- true;
+          incr operands
+      | Hcut | Vcut ->
+          incr operators;
+          if !operators >= !operands then ok := false)
+    t.expr;
+  !ok && !operands = n && !operators = n - 1
+
+type layout = {
+  width_um : float;
+  height_um : float;
+  area_um2 : float;
+  positions : (float * float) array;
+}
+
+(* Evaluate by postfix interpretation; each stack entry carries dimensions
+   and a function placing its blocks given the lower-left corner. *)
+let evaluate t =
+  let positions = Array.make (Array.length t.blocks) (0., 0.) in
+  let stack = Stack.create () in
+  Array.iter
+    (fun e ->
+      match e with
+      | Operand i ->
+          let b = t.blocks.(i) in
+          Stack.push (b.w_um, b.h_um, fun x y -> positions.(i) <- (x, y)) stack
+      | Hcut ->
+          (* top is the right/upper operand in postfix order *)
+          let w2, h2, p2 = Stack.pop stack in
+          let w1, h1, p1 = Stack.pop stack in
+          (* horizontal cut: stack vertically *)
+          let place x y =
+            p1 x y;
+            p2 x (y +. h1)
+          in
+          Stack.push (Float.max w1 w2, h1 +. h2, place) stack
+      | Vcut ->
+          let w2, h2, p2 = Stack.pop stack in
+          let w1, h1, p1 = Stack.pop stack in
+          let place x y =
+            p1 x y;
+            p2 (x +. w1) y
+          in
+          Stack.push (w1 +. w2, Float.max h1 h2, place) stack)
+    t.expr;
+  let w, h, place = Stack.pop stack in
+  assert (Stack.is_empty stack);
+  place 0. 0.;
+  { width_um = w; height_um = h; area_um2 = w *. h; positions }
+
+let blocks_area_um2 t =
+  Array.fold_left (fun acc b -> acc +. (b.w_um *. b.h_um)) 0. t.blocks
+
+let dead_space_frac t =
+  let l = evaluate t in
+  1. -. (blocks_area_um2 t /. l.area_um2)
+
+type result = {
+  plan : t;
+  layout : layout;
+  initial_area_um2 : float;
+  moves_tried : int;
+}
+
+let operand_positions expr =
+  let acc = ref [] in
+  Array.iteri (fun i e -> match e with Operand _ -> acc := i :: !acc | _ -> ()) expr;
+  Array.of_list (List.rev !acc)
+
+let operator_positions expr =
+  let acc = ref [] in
+  Array.iteri (fun i e -> match e with Hcut | Vcut -> acc := i :: !acc | _ -> ()) expr;
+  Array.of_list (List.rev !acc)
+
+let anneal ?(seed = 3L) ?(sweeps = 200) t0 =
+  let rng = Gap_util.Rng.create ~seed () in
+  let expr = Array.copy t0.expr in
+  let current = { t0 with expr } in
+  let cost plan = (evaluate plan).area_um2 in
+  let initial_area = cost current in
+  let best = ref (Array.copy expr) in
+  let best_cost = ref initial_area in
+  let cur_cost = ref initial_area in
+  let tried = ref 0 in
+  let n = Array.length expr in
+  let attempt temperature =
+    incr tried;
+    let saved = Array.copy expr in
+    let kind = Gap_util.Rng.int rng 3 in
+    (match kind with
+    | 0 ->
+        (* M1: swap two adjacent operands (adjacent in operand order) *)
+        let ops = operand_positions expr in
+        if Array.length ops >= 2 then begin
+          let k = Gap_util.Rng.int rng (Array.length ops - 1) in
+          let i = ops.(k) and j = ops.(k + 1) in
+          let tmp = expr.(i) in
+          expr.(i) <- expr.(j);
+          expr.(j) <- tmp
+        end
+    | 1 ->
+        (* M2: complement a maximal operator chain *)
+        let ops = operator_positions expr in
+        if Array.length ops >= 1 then begin
+          let k = Gap_util.Rng.int rng (Array.length ops) in
+          let start = ops.(k) in
+          let flip = function Hcut -> Vcut | Vcut -> Hcut | Operand i -> Operand i in
+          let i = ref start in
+          while
+            !i < n && (match expr.(!i) with Hcut | Vcut -> true | Operand _ -> false)
+          do
+            expr.(!i) <- flip expr.(!i);
+            incr i
+          done
+        end
+    | _ ->
+        (* M3: swap an operand with an adjacent operator *)
+        let k = Gap_util.Rng.int rng (n - 1) in
+        let tmp = expr.(k) in
+        expr.(k) <- expr.(k + 1);
+        expr.(k + 1) <- tmp);
+    if not (is_valid current) then Array.blit saved 0 expr 0 n
+    else begin
+      let c = cost current in
+      let delta = c -. !cur_cost in
+      let accept =
+        delta <= 0.
+        || temperature > 0. && Gap_util.Rng.float rng 1. < exp (-.delta /. temperature)
+      in
+      if accept then begin
+        cur_cost := c;
+        if c < !best_cost then begin
+          best_cost := c;
+          best := Array.copy expr
+        end
+      end
+      else Array.blit saved 0 expr 0 n
+    end
+  in
+  let t_start = 0.2 *. initial_area in
+  let moves_per_sweep = max 4 (2 * n) in
+  for sweep = 0 to sweeps - 1 do
+    let temperature =
+      t_start *. (0.001 ** (float_of_int sweep /. float_of_int (max 1 (sweeps - 1))))
+    in
+    for _ = 1 to moves_per_sweep do
+      attempt temperature
+    done
+  done;
+  let final = { t0 with expr = !best } in
+  {
+    plan = final;
+    layout = evaluate final;
+    initial_area_um2 = initial_area;
+    moves_tried = !tried;
+  }

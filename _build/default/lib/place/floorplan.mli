@@ -1,0 +1,48 @@
+(** Slicing floorplans via simulated annealing over Polish expressions
+    (Wong-Liu). "Custom ICs are typically manually floorplanned. A number of
+    tools are now reaching the ASIC market to facilitate chip-level
+    floorplanning" (Sec. 5.2) — this is such a tool.
+
+    A slicing floorplan over [n] blocks is a normalized Polish expression:
+    a sequence of block ids and cut operators ([H]orizontal stacks, [V]ertical
+    abuts) that parses as a postfix slicing tree. Annealing uses the three
+    classic Wong-Liu moves. *)
+
+type block = {
+  block_name : string;
+  w_um : float;
+  h_um : float;
+}
+
+type element = Operand of int | Hcut | Vcut
+
+type t = { blocks : block array; expr : element array }
+
+val initial : block array -> t
+(** [b0 b1 V b2 V ...]: a single row. *)
+
+val is_valid : t -> bool
+(** Balloting property + alternating normalization checks. *)
+
+type layout = {
+  width_um : float;
+  height_um : float;
+  area_um2 : float;
+  positions : (float * float) array;  (** lower-left corner per block *)
+}
+
+val evaluate : t -> layout
+val blocks_area_um2 : t -> float
+val dead_space_frac : t -> float
+
+type result = {
+  plan : t;
+  layout : layout;
+  initial_area_um2 : float;
+  moves_tried : int;
+}
+
+val anneal : ?seed:int64 -> ?sweeps:int -> t -> result
+(** Area-driven annealing with moves M1 (swap adjacent operands), M2
+    (complement an operator chain), M3 (swap operand with adjacent operator,
+    validity-checked). *)

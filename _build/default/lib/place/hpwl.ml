@@ -1,0 +1,37 @@
+module Netlist = Gap_netlist.Netlist
+
+let of_points = function
+  | [] | [ _ ] -> 0.
+  | (x0, y0) :: rest ->
+      let xmin = ref x0 and xmax = ref x0 and ymin = ref y0 and ymax = ref y0 in
+      List.iter
+        (fun (x, y) ->
+          if x < !xmin then xmin := x;
+          if x > !xmax then xmax := x;
+          if y < !ymin then ymin := y;
+          if y > !ymax then ymax := y)
+        rest;
+      !xmax -. !xmin +. (!ymax -. !ymin)
+
+let net_points nl net =
+  let pts = ref [] in
+  (match Netlist.driver_of nl net with
+  | Netlist.From_cell i -> (
+      match Netlist.location nl i with Some p -> pts := p :: !pts | None -> ())
+  | Netlist.From_input _ | Netlist.From_const _ | Netlist.Undriven -> ());
+  List.iter
+    (function
+      | Netlist.To_pin (i, _) -> (
+          match Netlist.location nl i with Some p -> pts := p :: !pts | None -> ())
+      | Netlist.To_output _ -> ())
+    (Netlist.sinks_of nl net);
+  !pts
+
+let net_length_um nl net = of_points (net_points nl net)
+
+let total_um nl =
+  let acc = ref 0. in
+  for net = 0 to Netlist.num_nets nl - 1 do
+    acc := !acc +. net_length_um nl net
+  done;
+  !acc

@@ -1,0 +1,11 @@
+(** Half-perimeter wirelength: the standard placement cost model. *)
+
+val of_points : (float * float) list -> float
+(** Bounding-box semi-perimeter of a set of pin locations (um). Empty or
+    singleton sets cost 0. *)
+
+val net_length_um : Gap_netlist.Netlist.t -> int -> float
+(** HPWL of one net from the placed locations of its driver and sink
+    instances; unplaced pins and port pins are skipped. *)
+
+val total_um : Gap_netlist.Netlist.t -> float

@@ -1,0 +1,174 @@
+module Netlist = Gap_netlist.Netlist
+module Rng = Gap_util.Rng
+
+type options = {
+  utilization : float;
+  sweeps : int;
+  seed : int64;
+  net_weights : (int -> float) option;
+}
+
+let default_options =
+  { utilization = 0.6; sweeps = 50; seed = 7L; net_weights = None }
+
+type stats = {
+  site_pitch_um : float;
+  grid_side : int;
+  initial_hpwl_um : float;
+  final_hpwl_um : float;
+  moves_accepted : int;
+}
+
+let die_side_um ?(utilization = 0.6) nl =
+  sqrt (Netlist.area_um2 nl /. utilization)
+
+(* The grid: side x side sites; slot s -> (x, y). Some slots are empty. *)
+type grid = {
+  pitch : float;
+  side : int;
+  slot_of_inst : int array;
+  inst_of_slot : int array; (* -1 = empty *)
+}
+
+let slot_xy g s =
+  let x = float_of_int (s mod g.side) *. g.pitch in
+  let y = float_of_int (s / g.side) *. g.pitch in
+  (x, y)
+
+let commit nl g =
+  Array.iteri
+    (fun i s ->
+      let x, y = slot_xy g s in
+      Netlist.place nl i ~x_um:x ~y_um:y)
+    g.slot_of_inst
+
+let build_grid ~utilization ~rng ~random_init nl =
+  let n = Netlist.num_instances nl in
+  let avg_area = if n = 0 then 10. else Netlist.area_um2 nl /. float_of_int n in
+  let pitch = sqrt avg_area in
+  let side =
+    let s = int_of_float (ceil (sqrt (float_of_int n /. utilization))) in
+    max 1 s
+  in
+  let slots = side * side in
+  let slot_of_inst = Array.make (max 1 n) 0 in
+  let inst_of_slot = Array.make slots (-1) in
+  let order = Array.init slots (fun s -> s) in
+  if random_init then Rng.shuffle rng order;
+  for i = 0 to n - 1 do
+    let s = order.(i) in
+    slot_of_inst.(i) <- s;
+    inst_of_slot.(s) <- i
+  done;
+  { pitch; side; slot_of_inst; inst_of_slot }
+
+(* Incremental cost bookkeeping: nets touching an instance. *)
+let nets_of_instance nl i =
+  let acc = ref [ Netlist.out_net nl i ] in
+  Array.iter (fun net -> if not (List.mem net !acc) then acc := net :: !acc) (Netlist.fanins_of nl i);
+  !acc
+
+let weighted_length nl weights net = weights net *. Hpwl.net_length_um nl net
+
+let total_cost nl weights =
+  let acc = ref 0. in
+  for net = 0 to Netlist.num_nets nl - 1 do
+    acc := !acc +. weighted_length nl weights net
+  done;
+  !acc
+
+let anneal ?(options = default_options) nl =
+  let rng = Rng.create ~seed:options.seed () in
+  let g = build_grid ~utilization:options.utilization ~rng ~random_init:true nl in
+  commit nl g;
+  let weights = match options.net_weights with Some w -> w | None -> fun _ -> 1. in
+  let n = Netlist.num_instances nl in
+  if n = 0 then
+    {
+      site_pitch_um = g.pitch;
+      grid_side = g.side;
+      initial_hpwl_um = 0.;
+      final_hpwl_um = 0.;
+      moves_accepted = 0;
+    }
+  else begin
+    let inst_nets = Array.init n (nets_of_instance nl) in
+    let initial = Hpwl.total_um nl in
+    let cost = ref (total_cost nl weights) in
+    let accepted = ref 0 in
+    let slots = g.side * g.side in
+    (* move: pick an instance and a random slot; swap or shift *)
+    let try_move temperature =
+      let i = Rng.int rng n in
+      let target = Rng.int rng slots in
+      let src = g.slot_of_inst.(i) in
+      if target <> src then begin
+        let j = g.inst_of_slot.(target) in
+        let affected =
+          if j >= 0 then inst_nets.(i) @ inst_nets.(j) else inst_nets.(i)
+        in
+        let affected = List.sort_uniq compare affected in
+        let before = List.fold_left (fun a net -> a +. weighted_length nl weights net) 0. affected in
+        (* apply *)
+        let apply_slot inst slot =
+          g.slot_of_inst.(inst) <- slot;
+          g.inst_of_slot.(slot) <- inst;
+          let x, y = slot_xy g slot in
+          Netlist.place nl inst ~x_um:x ~y_um:y
+        in
+        g.inst_of_slot.(src) <- (-1);
+        apply_slot i target;
+        if j >= 0 then apply_slot j src;
+        let after = List.fold_left (fun a net -> a +. weighted_length nl weights net) 0. affected in
+        let delta = after -. before in
+        let accept =
+          delta <= 0.
+          || temperature > 0.
+             && Rng.float rng 1. < exp (-.delta /. temperature)
+        in
+        if accept then begin
+          cost := !cost +. delta;
+          incr accepted
+        end
+        else begin
+          (* revert *)
+          g.inst_of_slot.(target) <- (-1);
+          apply_slot i src;
+          if j >= 0 then apply_slot j target
+        end
+      end
+    in
+    (* initial temperature: scale of one move's cost change *)
+    let t0 = Float.max 1. (!cost /. float_of_int (max 1 n)) in
+    let sweeps = max 1 options.sweeps in
+    for sweep = 0 to sweeps - 1 do
+      let temperature =
+        t0 *. (0.002 /. 1.0) ** (float_of_int sweep /. float_of_int (max 1 (sweeps - 1)))
+      in
+      for _ = 1 to n do
+        try_move temperature
+      done
+    done;
+    {
+      site_pitch_um = g.pitch;
+      grid_side = g.side;
+      initial_hpwl_um = initial;
+      final_hpwl_um = Hpwl.total_um nl;
+      moves_accepted = !accepted;
+    }
+  end
+
+let place ?options nl = anneal ?options nl
+
+let place_random ?(seed = 11L) nl =
+  let rng = Rng.create ~seed () in
+  let g = build_grid ~utilization:default_options.utilization ~rng ~random_init:true nl in
+  commit nl g;
+  let h = Hpwl.total_um nl in
+  {
+    site_pitch_um = g.pitch;
+    grid_side = g.side;
+    initial_hpwl_um = h;
+    final_hpwl_um = h;
+    moves_accepted = 0;
+  }

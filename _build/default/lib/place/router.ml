@@ -1,0 +1,173 @@
+module Netlist = Gap_netlist.Netlist
+
+type result = {
+  routed_len_um : float array;
+  total_len_um : float;
+  overflowed_cells : int;
+  max_usage : int;
+  capacity : int;
+  grid_side : int;
+}
+
+(* pins of a net as placed instance locations *)
+let net_pins nl net =
+  let pts = ref [] in
+  (match Netlist.driver_of nl net with
+  | Netlist.From_cell i -> (
+      match Netlist.location nl i with Some p -> pts := p :: !pts | None -> ())
+  | _ -> ());
+  List.iter
+    (function
+      | Netlist.To_pin (i, _) -> (
+          match Netlist.location nl i with Some p -> pts := p :: !pts | None -> ())
+      | Netlist.To_output _ -> ())
+    (Netlist.sinks_of nl net);
+  !pts
+
+let route ?(capacity = 8) nl =
+  assert (capacity >= 1);
+  (* grid geometry from the placement extent *)
+  let max_x = ref 0. and max_y = ref 0. and pitch = ref 0. in
+  let placed = ref 0 in
+  for i = 0 to Netlist.num_instances nl - 1 do
+    match Netlist.location nl i with
+    | Some (x, y) ->
+        incr placed;
+        if x > !max_x then max_x := x;
+        if y > !max_y then max_y := y
+    | None -> ()
+  done;
+  if !placed = 0 then invalid_arg "Router.route: netlist is not placed";
+  (* infer pitch as the smallest non-zero coordinate step; fall back to area *)
+  pitch := sqrt (Netlist.area_um2 nl /. float_of_int (max 1 !placed));
+  let pitch = Float.max 1. !pitch in
+  let side = 2 + int_of_float (Float.max !max_x !max_y /. pitch) in
+  let cell_of (x, y) =
+    let cx = min (side - 1) (max 0 (int_of_float (x /. pitch))) in
+    let cy = min (side - 1) (max 0 (int_of_float (y /. pitch))) in
+    (cx, cy)
+  in
+  let usage = Array.make (side * side) 0 in
+  let idx cx cy = (cy * side) + cx in
+  (* Dijkstra between two grid cells; cost 1 + congestion penalty per step *)
+  let dist = Array.make (side * side) infinity in
+  let touched = ref [] in
+  let route_two (sx, sy) (tx, ty) =
+    List.iter (fun i -> dist.(i) <- infinity) !touched;
+    touched := [];
+    let heap = Gap_util.Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+    let push d cell =
+      if d < dist.(cell) then begin
+        if dist.(cell) = infinity then touched := cell :: !touched;
+        dist.(cell) <- d;
+        Gap_util.Heap.push heap (d, cell)
+      end
+    in
+    let prev = Hashtbl.create 64 in
+    push 0. (idx sx sy);
+    let target = idx tx ty in
+    let found = ref false in
+    while (not !found) && not (Gap_util.Heap.is_empty heap) do
+      match Gap_util.Heap.pop heap with
+      | None -> ()
+      | Some (d, cell) ->
+          if cell = target then found := true
+          else if d <= dist.(cell) then begin
+            let cx = cell mod side and cy = cell / side in
+            let consider nx ny =
+              if nx >= 0 && nx < side && ny >= 0 && ny < side then begin
+                let ncell = idx nx ny in
+                let u = usage.(ncell) in
+                let penalty =
+                  if u < capacity then float_of_int u /. float_of_int capacity
+                  else 4. *. float_of_int (u - capacity + 1)
+                in
+                let nd = d +. 1. +. penalty in
+                if nd < dist.(ncell) then begin
+                  Hashtbl.replace prev ncell cell;
+                  push nd ncell
+                end
+              end
+            in
+            consider (cx + 1) cy;
+            consider (cx - 1) cy;
+            consider cx (cy + 1);
+            consider cx (cy - 1)
+          end
+    done;
+    if not !found then 0
+    else begin
+      (* walk back, bump usage, count steps *)
+      let steps = ref 0 in
+      let cur = ref target in
+      let src = idx sx sy in
+      while !cur <> src do
+        usage.(!cur) <- usage.(!cur) + 1;
+        incr steps;
+        cur := Hashtbl.find prev !cur
+      done;
+      usage.(src) <- usage.(src) + 1;
+      !steps
+    end
+  in
+  let routed = Array.make (max 1 (Netlist.num_nets nl)) 0. in
+  for net = 0 to Netlist.num_nets nl - 1 do
+    let pins = List.map cell_of (net_pins nl net) in
+    let pins = List.sort_uniq compare pins in
+    match pins with
+    | [] | [ _ ] -> ()
+    | first :: rest ->
+        (* connect each remaining pin to the nearest already-connected one *)
+        let connected = ref [ first ] in
+        let remaining = ref rest in
+        let total = ref 0 in
+        while !remaining <> [] do
+          (* nearest (connected, remaining) pair *)
+          let best = ref None in
+          List.iter
+            (fun (rx, ry) ->
+              List.iter
+                (fun (cx, cy) ->
+                  let d = abs (rx - cx) + abs (ry - cy) in
+                  match !best with
+                  | Some (bd, _, _) when bd <= d -> ()
+                  | _ -> best := Some (d, (cx, cy), (rx, ry)))
+                !connected)
+            !remaining;
+          match !best with
+          | None -> remaining := []
+          | Some (_, from_cell, to_cell) ->
+              total := !total + route_two from_cell to_cell;
+              connected := to_cell :: !connected;
+              remaining := List.filter (fun p -> p <> to_cell) !remaining
+        done;
+        routed.(net) <- float_of_int !total *. pitch
+  done;
+  let overflowed = Array.fold_left (fun acc u -> if u > capacity then acc + 1 else acc) 0 usage in
+  let max_usage = Array.fold_left max 0 usage in
+  {
+    routed_len_um = routed;
+    total_len_um = Array.fold_left ( +. ) 0. routed;
+    overflowed_cells = overflowed;
+    max_usage;
+    capacity;
+    grid_side = side;
+  }
+
+let annotate nl r =
+  let tech = Gap_liberty.Library.tech (Netlist.lib nl) in
+  let wire = Gap_interconnect.Wire.of_tech tech in
+  let drv = Gap_interconnect.Repeater.default_driver tech in
+  for net = 0 to Netlist.num_nets nl - 1 do
+    let len = r.routed_len_um.(net) in
+    if len > 0. then begin
+      Netlist.set_wire_cap_ff nl net (Gap_interconnect.Wire.total_c_ff wire ~length_um:len);
+      let bare = Gap_interconnect.Wire.rc_delay_ps wire ~length_um:len in
+      Netlist.set_wire_delay_ps nl net
+        (Float.min bare (Gap_interconnect.Repeater.optimal_delay_ps drv wire ~length_um:len))
+    end
+  done
+
+let detour_factor nl r =
+  let hpwl = Hpwl.total_um nl in
+  if hpwl <= 0. then 1. else r.total_len_um /. hpwl

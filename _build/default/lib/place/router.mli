@@ -1,0 +1,32 @@
+(** Congestion-aware global routing on a grid.
+
+    "Wire length is obviously dependent on placement ... but is also
+    influenced by the quality of routing" (Sec. 5). This maze router turns
+    placed instance locations into actual routed wire lengths: each net is
+    decomposed into two-pin connections (nearest-unconnected-sink order) and
+    each connection is routed with Dijkstra over the routing grid, paying a
+    growing penalty for cells already near capacity. The routed lengths are
+    at least the half-perimeter bound and exceed it under congestion —
+    exactly the degradation the paper attributes to routing quality. *)
+
+type result = {
+  routed_len_um : float array;  (** per net; 0 for unrouted/single-pin nets *)
+  total_len_um : float;
+  overflowed_cells : int;  (** grid cells loaded beyond capacity *)
+  max_usage : int;
+  capacity : int;
+  grid_side : int;
+}
+
+val route : ?capacity:int -> Gap_netlist.Netlist.t -> result
+(** Routes every multi-pin net of a placed netlist. [capacity] is the number
+    of wires a grid cell accommodates per layer direction (default 8).
+    Instances must be placed ({!Placer.place} or {!Placer.place_random}). *)
+
+val annotate : Gap_netlist.Netlist.t -> result -> unit
+(** Writes routed lengths into the netlist's wire parasitics (same RC model
+    as {!Wire_estimate.annotate}, but with routed rather than estimated
+    lengths). *)
+
+val detour_factor : Gap_netlist.Netlist.t -> result -> float
+(** Total routed length over total HPWL (>= ~1; grows with congestion). *)

@@ -1,0 +1,31 @@
+(** Regular datapath tiling.
+
+    Sec. 5.2: "tools with the capacity to identify similar structures that may
+    be abutted ... will reduce area, reducing wire lengths and increasing
+    performance. A bit slice may be laid out automatically then tiled, rather
+    than the circuitry being placed without considering that it may be
+    abutted."
+
+    The tiler recovers bit-slice structure from a mapped word-oriented
+    netlist: each instance is assigned a {e row} (the index of the first
+    output bit it transitively feeds, i.e. its slice) and a {e column} (its
+    topological level within the slice), then placed on that regular grid.
+    For ripple-style datapaths this reproduces the hand-tiled layout custom
+    designers use; compare against {!Placer.place} (general-purpose
+    annealing) and {!Placer.place_random}. *)
+
+type stats = {
+  rows : int;
+  cols : int;
+  hpwl_um : float;
+  unassigned : int;  (** instances with no reachable indexed output *)
+}
+
+val slice_of_instances : Gap_netlist.Netlist.t -> int array
+(** Per-instance slice index: the smallest trailing integer parsed from the
+    names of the primary outputs the instance reaches ([s0], [s12], [p3],
+    ...); [-1] when it reaches none. *)
+
+val place : Gap_netlist.Netlist.t -> stats
+(** Places every instance at (column x pitch, row x pitch); instances mapping
+    to the same (row, column) are spread along a sub-column offset. *)

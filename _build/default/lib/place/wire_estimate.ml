@@ -1,0 +1,22 @@
+module Netlist = Gap_netlist.Netlist
+
+let annotate ?(use_repeaters = true) nl =
+  let tech = Gap_liberty.Library.tech (Netlist.lib nl) in
+  let wire = Gap_interconnect.Wire.of_tech tech in
+  let drv = Gap_interconnect.Repeater.default_driver tech in
+  for net = 0 to Netlist.num_nets nl - 1 do
+    let len = Hpwl.net_length_um nl net in
+    if len > 0. then begin
+      Netlist.set_wire_cap_ff nl net (Gap_interconnect.Wire.total_c_ff wire ~length_um:len);
+      let bare = Gap_interconnect.Wire.rc_delay_ps wire ~length_um:len in
+      let delay =
+        if use_repeaters then
+          Float.min bare
+            (Gap_interconnect.Repeater.optimal_delay_ps drv wire ~length_um:len)
+        else bare
+      in
+      Netlist.set_wire_delay_ps nl net delay
+    end
+  done
+
+let clear nl = Netlist.clear_parasitics nl

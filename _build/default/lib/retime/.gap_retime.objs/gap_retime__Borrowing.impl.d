@@ -1,0 +1,1 @@
+lib/retime/borrowing.ml: Array Float Gap_liberty Gap_netlist Gap_sta Hashtbl List

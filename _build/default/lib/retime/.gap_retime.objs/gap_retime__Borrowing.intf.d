@@ -1,0 +1,1 @@
+lib/retime/borrowing.mli: Gap_netlist Gap_sta

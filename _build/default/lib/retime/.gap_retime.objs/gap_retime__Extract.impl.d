@@ -1,0 +1,1 @@
+lib/retime/extract.ml: Array Float Gap_liberty Gap_netlist Gap_sta Gap_util List

@@ -1,0 +1,1 @@
+lib/retime/extract.mli: Gap_netlist Gap_util

@@ -1,0 +1,1 @@
+lib/retime/overhead.ml: Gap_liberty

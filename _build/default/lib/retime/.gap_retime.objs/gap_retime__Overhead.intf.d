@@ -1,0 +1,1 @@
+lib/retime/overhead.mli: Gap_liberty

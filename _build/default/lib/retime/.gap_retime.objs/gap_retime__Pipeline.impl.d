@@ -1,0 +1,1 @@
+lib/retime/pipeline.ml: Array Gap_liberty Gap_netlist Gap_sta Hashtbl List Option

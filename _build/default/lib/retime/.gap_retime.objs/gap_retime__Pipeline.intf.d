@@ -1,0 +1,1 @@
+lib/retime/pipeline.mli: Gap_netlist Gap_sta

@@ -1,0 +1,1 @@
+lib/retime/retime.ml: Array Float Gap_util List

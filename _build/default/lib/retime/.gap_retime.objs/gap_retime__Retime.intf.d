@@ -1,0 +1,1 @@
+lib/retime/retime.mli:

@@ -1,0 +1,21 @@
+let register_overhead_ps ~lib ~skew_ps =
+  let flop = Gap_liberty.Library.smallest_flop lib in
+  match Gap_liberty.Cell.seq_timing flop with
+  | Some seq -> seq.Gap_liberty.Cell.setup_ps +. seq.Gap_liberty.Cell.clk_to_q_ps +. skew_ps
+  | None -> skew_ps
+
+let overhead_fraction ~lib ~skew_frac ~stage_logic_ps =
+  assert (skew_frac >= 0. && skew_frac < 1.);
+  let reg = register_overhead_ps ~lib ~skew_ps:0. in
+  (* period = logic + reg + skew_frac * period  =>  period = (logic + reg) / (1 - skew_frac) *)
+  let period = (stage_logic_ps +. reg) /. (1. -. skew_frac) in
+  (period -. stage_logic_ps) /. stage_logic_ps
+
+let paper_speedup ~stages ~overhead_frac =
+  float_of_int stages /. (1. +. overhead_frac)
+
+let period_ps ~total_logic_ps ~stages ~overhead_ps =
+  (total_logic_ps /. float_of_int stages) +. overhead_ps
+
+let exact_speedup ~total_logic_ps ~stages ~overhead_ps =
+  (total_logic_ps +. overhead_ps) /. period_ps ~total_logic_ps ~stages ~overhead_ps

@@ -1,0 +1,28 @@
+(** Analytic pipelining-overhead model (paper Sec. 4).
+
+    The paper's estimate: a pipeline of [N] stages with per-stage overhead
+    fraction [v] (latch setup + clk->q + skew, as a fraction of the stage's
+    logic time) speeds a design up by [N / (1 + v)] — e.g. the 5-stage
+    Tensilica with ~30% ASIC overhead is "about 3.8 times faster", the
+    4-stage IBM PPC with ~20% custom overhead "about 3.4 times faster". *)
+
+val register_overhead_ps :
+  lib:Gap_liberty.Library.t -> skew_ps:float -> float
+(** Absolute overhead of one register boundary: smallest flop's setup +
+    clk->q + skew. *)
+
+val overhead_fraction :
+  lib:Gap_liberty.Library.t -> skew_frac:float -> stage_logic_ps:float -> float
+(** Overhead as a fraction of stage logic time, with skew given as a fraction
+    of the resulting cycle (solved self-consistently). *)
+
+val paper_speedup : stages:int -> overhead_frac:float -> float
+(** The paper's [N / (1 + v)] approximation. *)
+
+val exact_speedup :
+  total_logic_ps:float -> stages:int -> overhead_ps:float -> float
+(** [(T + o) / (T/N + o)]: speedup over the registered single-stage design
+    with ideal stage balancing. *)
+
+val period_ps :
+  total_logic_ps:float -> stages:int -> overhead_ps:float -> float

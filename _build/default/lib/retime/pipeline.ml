@@ -1,0 +1,92 @@
+module Netlist = Gap_netlist.Netlist
+module Sta = Gap_sta.Sta
+
+type result = {
+  stages : int;
+  registers_added : int;
+  period_before_ps : float;
+  period_after_ps : float;
+  speedup : float;
+}
+
+let latency_cycles r = r.stages - 1
+
+let pipeline ?(config = Sta.default_config) ~stages nl =
+  assert (stages >= 1);
+  assert (Netlist.flops nl = []);
+  let before = Sta.analyze ~config nl in
+  let total = before.Sta.min_period_ps in
+  let registers_added = ref 0 in
+  if stages > 1 && total > 0. then begin
+    let lib = Netlist.lib nl in
+    let flop = Gap_liberty.Library.smallest_flop lib in
+    let n = float_of_int stages in
+    let stage_of net =
+      let a = before.Sta.arrival.(net) in
+      let s = int_of_float (floor (a /. total *. n)) in
+      min (stages - 1) (max 0 s)
+    in
+    (* Register chains are memoized per source net: chain.(net) is a list of
+       nets where element [j] (1-based depth) is the net delayed j times. *)
+    let chains : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+    let delayed net depth =
+      if depth = 0 then net
+      else begin
+        let chain =
+          match Hashtbl.find_opt chains net with
+          | Some c -> c
+          | None ->
+              let c = ref [] in
+              Hashtbl.replace chains net c;
+              c
+        in
+        while List.length !chain < depth do
+          let src = match !chain with [] -> net | last :: _ -> last in
+          let inst = Netlist.add_cell nl flop [| src |] in
+          incr registers_added;
+          chain := Netlist.out_net nl inst :: !chain
+        done;
+        List.nth !chain (List.length !chain - depth)
+      end
+    in
+    (* Snapshot the instance/output lists before mutation: new flop instances
+       must not be revisited. *)
+    let comb_insts = Netlist.combinational_instances nl in
+    let out_ports = List.init (Netlist.num_outputs nl) (fun p -> p) in
+    List.iter
+      (fun inst ->
+        let s_out = stage_of (Netlist.out_net nl inst) in
+        let fanins = Netlist.fanins_of nl inst in
+        Array.iteri
+          (fun pin fnet ->
+            let k = s_out - stage_of fnet in
+            assert (k >= 0);
+            if k > 0 then Netlist.rewire_pin nl ~inst ~pin (delayed fnet k))
+          fanins)
+      comb_insts;
+    List.iter
+      (fun port ->
+        let net = Netlist.output_net nl port in
+        let k = stages - 1 - stage_of net in
+        assert (k >= 0);
+        if k > 0 then Netlist.rewire_output nl port (delayed net k))
+      out_ports
+  end;
+  let after = Sta.analyze ~config nl in
+  let period_after =
+    if stages = 1 then
+      (* charge one register boundary even without inserted flops, so the
+         1-stage baseline is comparable to deeper pipelines *)
+      let flop = Gap_liberty.Library.smallest_flop (Netlist.lib nl) in
+      let seq = Option.get (Gap_liberty.Cell.seq_timing flop) in
+      after.Sta.min_period_ps +. seq.Gap_liberty.Cell.setup_ps
+      +. seq.Gap_liberty.Cell.clk_to_q_ps +. config.Sta.clock_skew_ps
+    else after.Sta.min_period_ps
+  in
+  {
+    stages;
+    registers_added = !registers_added;
+    period_before_ps = total;
+    period_after_ps = period_after;
+    speedup = (if period_after > 0. then total /. period_after else 1.);
+  }

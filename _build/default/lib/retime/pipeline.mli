@@ -1,0 +1,29 @@
+(** Cutset pipelining of combinational netlists.
+
+    Splits a mapped combinational netlist into [stages] pipeline stages by
+    arrival time: every input-to-output path receives exactly [stages - 1]
+    registers, so the pipelined circuit computes the same function with
+    [stages - 1] cycles of latency and a clock period of roughly
+    [logic / stages + register overhead] — the mechanism behind the paper's
+    dominant x4 factor (Sec. 4).
+
+    Register ranks are placed at equal-delay thresholds; register chains on a
+    net are shared among sinks that need the same depth. *)
+
+type result = {
+  stages : int;
+  registers_added : int;
+  period_before_ps : float;
+  period_after_ps : float;
+  speedup : float;
+}
+
+val pipeline :
+  ?config:Gap_sta.Sta.config -> stages:int -> Gap_netlist.Netlist.t -> result
+(** Mutates the netlist. Requires a flop-free netlist and [stages >= 1]
+    (1 = just register the outputs' timing view; no registers inserted).
+    The STA [config]'s skew is charged in both the before and after
+    periods. *)
+
+val latency_cycles : result -> int
+(** [stages - 1]. *)

@@ -1,0 +1,97 @@
+type edge = { src : int; dst : int; w : int }
+
+type t = {
+  delays : float Gap_util.Vec.t;
+  mutable edges : edge list;
+}
+
+let create () = { delays = Gap_util.Vec.create (); edges = [] }
+
+let add_node t ~delay =
+  assert (delay >= 0.);
+  Gap_util.Vec.push t.delays delay
+
+let add_edge t ~src ~dst ~regs =
+  assert (regs >= 0);
+  assert (src >= 0 && src < Gap_util.Vec.length t.delays);
+  assert (dst >= 0 && dst < Gap_util.Vec.length t.delays);
+  t.edges <- { src; dst; w = regs } :: t.edges
+
+let node_count t = Gap_util.Vec.length t.delays
+
+let retimed_weight retiming e =
+  match retiming with None -> e.w | Some r -> e.w + r.(e.dst) - r.(e.src)
+
+let legal t r =
+  List.for_all (fun e -> retimed_weight (Some r) e >= 0) t.edges
+
+(* Longest register-free path: Delta(v) = d(v) + max over 0-weight incoming
+   edges of Delta(src). Computed over the 0-weight subgraph topologically. *)
+let deltas ?retiming t =
+  let n = node_count t in
+  let g = Gap_util.Digraph.create () in
+  Gap_util.Digraph.add_nodes g n;
+  List.iter
+    (fun e ->
+      let w = retimed_weight retiming e in
+      if w < 0 then invalid_arg "Retime: negative retimed edge weight";
+      if w = 0 then Gap_util.Digraph.add_edge g e.src e.dst)
+    t.edges;
+  match Gap_util.Digraph.longest_path g ~node_delay:(Gap_util.Vec.get t.delays) with
+  | Some arr -> arr
+  | None -> failwith "Retime: register-free cycle"
+
+let well_formed t =
+  match deltas t with _ -> true | exception Failure _ -> false
+
+let clock_period ?retiming t =
+  let retiming = retiming in
+  let d = deltas ?retiming t in
+  Array.fold_left Float.max 0. d
+
+let feasible t ~period =
+  let n = node_count t in
+  let r = Array.make n 0 in
+  let ok = ref false in
+  (* |V| - 1 FEAS iterations *)
+  (try
+     for _ = 1 to max 1 (n - 1) do
+       let d = deltas ~retiming:r t in
+       let any = ref false in
+       Array.iteri
+         (fun v dv ->
+           if dv > period +. 1e-9 then begin
+             r.(v) <- r.(v) + 1;
+             any := true
+           end)
+         d;
+       if not !any then raise Exit
+     done
+   with Exit -> ());
+  (* final check *)
+  (match deltas ~retiming:r t with
+  | d -> if Array.for_all (fun dv -> dv <= period +. 1e-9) d && legal t r then ok := true
+  | exception (Failure _ | Invalid_argument _) -> ());
+  if !ok then Some r else None
+
+let min_period ?(epsilon = 1e-3) t =
+  let upper = clock_period t in
+  let lower =
+    let acc = ref 0. in
+    Gap_util.Vec.iter (fun d -> if d > !acc then acc := d) t.delays;
+    !acc
+  in
+  let best = ref (upper, Array.make (node_count t) 0) in
+  let lo = ref lower and hi = ref upper in
+  while !hi -. !lo > epsilon do
+    let mid = (!lo +. !hi) /. 2. in
+    match feasible t ~period:mid with
+    | Some r ->
+        best := (clock_period ~retiming:r t, r);
+        hi := mid
+    | None -> lo := mid
+  done;
+  !best
+
+let registers ?retiming t =
+  List.fold_left (fun acc e -> acc + retimed_weight retiming e) 0 t.edges

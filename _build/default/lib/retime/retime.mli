@@ -1,0 +1,39 @@
+(** Leiserson-Saxe retiming: moving registers across logic to minimize the
+    clock period without changing I/O behaviour.
+
+    The circuit is a directed graph with a propagation delay per node and a
+    register count per edge. A retiming assigns an integer lag [r(v)] to each
+    node; edge weights become [w(e) + r(dst) - r(src)] and must stay
+    non-negative. The achievable clock period is the longest register-free
+    combinational path. Feasibility for a candidate period uses the classic
+    FEAS iteration; the minimum period is found by binary search between the
+    largest node delay and the unretimed period. *)
+
+type t
+
+val create : unit -> t
+val add_node : t -> delay:float -> int
+val add_edge : t -> src:int -> dst:int -> regs:int -> unit
+val node_count : t -> int
+
+val well_formed : t -> bool
+(** Every directed cycle carries at least one register (otherwise no clock
+    period exists). *)
+
+val clock_period : ?retiming:int array -> t -> float
+(** Longest register-free path delay under the (default zero) retiming.
+    Raises [Invalid_argument] if the retiming makes an edge weight negative,
+    [Failure] if a register-free cycle exists. *)
+
+val legal : t -> int array -> bool
+(** All retimed edge weights non-negative. *)
+
+val feasible : t -> period:float -> int array option
+(** FEAS: a legal retiming achieving [period], if one exists. *)
+
+val min_period : ?epsilon:float -> t -> float * int array
+(** Binary search over [feasible]; returns the best period found (within
+    [epsilon], default 1e-3) and its retiming. *)
+
+val registers : ?retiming:int array -> t -> int
+(** Total registers on edges under a retiming. *)

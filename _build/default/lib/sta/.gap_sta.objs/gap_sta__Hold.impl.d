@@ -1,0 +1,1 @@
+lib/sta/hold.ml: Array Float Gap_liberty Gap_netlist List

@@ -1,0 +1,1 @@
+lib/sta/hold.mli: Gap_netlist

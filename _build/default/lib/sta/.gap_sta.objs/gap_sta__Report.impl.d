@@ -1,0 +1,1 @@
+lib/sta/report.ml: Gap_util List Printf Sta

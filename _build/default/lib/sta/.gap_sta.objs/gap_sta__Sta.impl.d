@@ -1,0 +1,1 @@
+lib/sta/sta.ml: Array Float Gap_liberty Gap_netlist Gap_tech Gap_util List Printf

@@ -1,0 +1,1 @@
+lib/sta/sta.mli: Gap_liberty Gap_netlist

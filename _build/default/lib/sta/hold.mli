@@ -1,0 +1,37 @@
+(** Hold (min-delay) analysis.
+
+    Sec. 4.1: "Registers and latches in ASICs have additional overheads as
+    they have to be more tolerant to clock skew". Tolerance means hold
+    margin: after a clock edge, every flop's D input must stay stable for
+    [hold + skew]; the earliest the fastest register-to-register path can
+    change it is [clk->q(min) + shortest combinational delay]. This pass
+    computes minimum arrivals (intrinsic cell delays, no load — the fast
+    corner of the linear model) and reports the violations that force ASIC
+    flops to carry padding. *)
+
+type violation = {
+  flop : int;  (** capturing flop instance *)
+  min_arrival_ps : float;
+  required_ps : float;  (** hold + skew *)
+  slack_ps : float;  (** negative = violation *)
+}
+
+type t = {
+  min_arrival : float array;  (** earliest-change time per net *)
+  violations : violation list;  (** negative-slack endpoints, worst first *)
+  worst_slack_ps : float;
+  checked_endpoints : int;
+}
+
+val analyze :
+  ?skew_ps:float -> ?input_min_arrival_ps:float -> Gap_netlist.Netlist.t -> t
+(** Min-delay analysis against the given skew budget (default 0). Primary
+    inputs are assumed hold-safe by the environment (min arrival infinity)
+    unless [input_min_arrival_ps] gives their earliest change. *)
+
+val violation_count : t -> int
+
+val padding_needed_ps : t -> float
+(** Delay that would have to be padded into the worst short path to fix all
+    violations ([0.] when clean) — the "additional overhead" the paper
+    assigns to skew-tolerant ASIC registers. *)

@@ -1,0 +1,25 @@
+let summary (t : Sta.t) ~lib =
+  Printf.sprintf "%s: min period %s, %s, %.1f FO4, endpoint %s (slack %s)"
+    t.netlist_name
+    (Gap_util.Units.pp_time_ps t.min_period_ps)
+    (Gap_util.Units.pp_freq_mhz (Sta.frequency_mhz t))
+    (Sta.fo4_depth t ~lib)
+    t.critical.endpoint
+    (Gap_util.Units.pp_time_ps t.critical.slack_ps)
+
+let path_table (t : Sta.t) =
+  let rows =
+    List.map
+      (fun (s : Sta.step) ->
+        [
+          s.what;
+          Gap_util.Table.fmt_float ~decimals:1 s.incr_ps;
+          Gap_util.Table.fmt_float ~decimals:1 s.arrival_ps;
+        ])
+      t.critical.steps
+  in
+  Gap_util.Table.render ~header:[ "point"; "incr (ps)"; "arrival (ps)" ] rows
+
+let print t ~lib =
+  print_endline (summary t ~lib);
+  print_string (path_table t)

@@ -1,0 +1,9 @@
+(** Human-readable timing reports. *)
+
+val summary : Sta.t -> lib:Gap_liberty.Library.t -> string
+(** One-line period / frequency / FO4-depth summary. *)
+
+val path_table : Sta.t -> string
+(** The critical path as an ASCII table (point, incr, arrival). *)
+
+val print : Sta.t -> lib:Gap_liberty.Library.t -> unit

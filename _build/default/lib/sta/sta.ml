@@ -1,0 +1,192 @@
+module Netlist = Gap_netlist.Netlist
+module Cell = Gap_liberty.Cell
+
+type config = {
+  clock_period_ps : float option;
+  clock_skew_ps : float;
+  input_arrival_ps : float;
+  derate : float;
+}
+
+let default_config =
+  { clock_period_ps = None; clock_skew_ps = 0.; input_arrival_ps = 0.; derate = 1.0 }
+let config_with_skew skew = { default_config with clock_skew_ps = skew }
+
+type step = {
+  what : string;
+  inst : int option;
+  net : int;
+  arrival_ps : float;
+  incr_ps : float;
+}
+
+type path = { steps : step list; endpoint : string; required_ps : float; slack_ps : float }
+
+type t = {
+  netlist_name : string;
+  arrival : float array;
+  required : float array;
+  min_period_ps : float;
+  period_ps : float;
+  critical : path;
+  endpoint_count : int;
+}
+
+(* Setup requirement of a flop endpoint: data must arrive [setup + skew]
+   before the capturing edge. *)
+let endpoint_margin cfg cell =
+  match Cell.seq_timing cell with
+  | Some seq -> seq.Cell.setup_ps +. cfg.clock_skew_ps
+  | None -> 0.
+
+let analyze ?(config = default_config) nl =
+  let cfg = config in
+  let nnets = Netlist.num_nets nl in
+  let arrival = Array.make (max 1 nnets) neg_infinity in
+  (* predecessor for path tracing: the instance whose output set this net's
+     arrival, and the fanin net through which the worst path came *)
+  let pred = Array.make (max 1 nnets) None in
+  (* Sources. *)
+  for n = 0 to nnets - 1 do
+    match Netlist.driver_of nl n with
+    | Netlist.From_input _ -> arrival.(n) <- cfg.input_arrival_ps
+    | Netlist.From_const _ -> arrival.(n) <- 0.
+    | Netlist.From_cell i when Netlist.is_flop nl i ->
+        (* launch path: clk->q plus the flop output driving its load *)
+        let cell = Netlist.cell_of nl i in
+        let clk_to_q =
+          match Cell.seq_timing cell with Some s -> s.Cell.clk_to_q_ps | None -> 0.
+        in
+        let drive = cell.Cell.drive_res_kohm *. Netlist.net_load_ff nl n in
+        arrival.(n) <- (cfg.derate *. (clk_to_q +. drive)) +. Netlist.wire_delay_ps nl n
+    | Netlist.From_cell _ -> ()
+    | Netlist.Undriven -> arrival.(n) <- 0.
+  done;
+  let order = Netlist.topo_instances nl in
+  let inst_delay = Array.make (max 1 (Netlist.num_instances nl)) 0. in
+  Array.iter
+    (fun i ->
+      if not (Netlist.is_flop nl i) then begin
+        let cell = Netlist.cell_of nl i in
+        let onet = Netlist.out_net nl i in
+        let load = Netlist.net_load_ff nl onet in
+        let d = cfg.derate *. Cell.delay_ps cell ~load_ff:load in
+        inst_delay.(i) <- d;
+        let fanins = Netlist.fanins_of nl i in
+        let worst = ref neg_infinity and worst_net = ref (-1) in
+        Array.iter
+          (fun fnet ->
+            if arrival.(fnet) > !worst then begin
+              worst := arrival.(fnet);
+              worst_net := fnet
+            end)
+          fanins;
+        let base = if !worst = neg_infinity then 0. else !worst in
+        let a = base +. d +. Netlist.wire_delay_ps nl onet in
+        if a > arrival.(onet) then begin
+          arrival.(onet) <- a;
+          pred.(onet) <- (if !worst_net >= 0 then Some (i, !worst_net) else Some (i, -1))
+        end
+      end)
+    order;
+  Array.iteri (fun n a -> if a = neg_infinity then arrival.(n) <- 0.) arrival;
+  (* Endpoints: required margin against the clock period. *)
+  let endpoints = ref [] in
+  (* flop D pins *)
+  List.iter
+    (fun i ->
+      let cell = Netlist.cell_of nl i in
+      let d_net = (Netlist.fanins_of nl i).(0) in
+      let margin = endpoint_margin cfg cell in
+      endpoints :=
+        (d_net, margin, Printf.sprintf "u%d/D (%s)" i cell.Cell.name) :: !endpoints)
+    (Netlist.flops nl);
+  for port = 0 to Netlist.num_outputs nl - 1 do
+    endpoints :=
+      (Netlist.output_net nl port, 0., Printf.sprintf "out %s" (Netlist.output_name nl port))
+      :: !endpoints
+  done;
+  let min_period = ref 0. in
+  let worst_endpoint = ref None in
+  List.iter
+    (fun (net, margin, ep_name) ->
+      let need = arrival.(net) +. margin in
+      if need > !min_period then begin
+        min_period := need;
+        worst_endpoint := Some (net, margin, ep_name)
+      end)
+    !endpoints;
+  let period = match cfg.clock_period_ps with Some p -> p | None -> !min_period in
+  (* Backward required-time pass. *)
+  let required = Array.make (max 1 nnets) infinity in
+  List.iter
+    (fun (net, margin, _) -> required.(net) <- Float.min required.(net) (period -. margin))
+    !endpoints;
+  let rev_order = Array.of_list (List.rev (Array.to_list order)) in
+  Array.iter
+    (fun i ->
+      if not (Netlist.is_flop nl i) then begin
+        let onet = Netlist.out_net nl i in
+        let r = required.(onet) -. inst_delay.(i) -. Netlist.wire_delay_ps nl onet in
+        Array.iter
+          (fun fnet -> required.(fnet) <- Float.min required.(fnet) r)
+          (Netlist.fanins_of nl i)
+      end)
+    rev_order;
+  (* Critical path trace from the worst endpoint. *)
+  let critical =
+    match !worst_endpoint with
+    | None ->
+        { steps = []; endpoint = "(no endpoints)"; required_ps = period; slack_ps = 0. }
+    | Some (net, margin, ep_name) ->
+        let rec trace net acc =
+          let step_of ~what ~inst ~incr =
+            { what; inst; net; arrival_ps = arrival.(net); incr_ps = incr }
+          in
+          match pred.(net) with
+          | Some (i, from_net) when from_net >= 0 ->
+              let cell = Netlist.cell_of nl i in
+              let incr = arrival.(net) -. arrival.(from_net) in
+              trace from_net (step_of ~what:(Printf.sprintf "u%d:%s" i cell.Cell.name) ~inst:(Some i) ~incr :: acc)
+          | Some (i, _) ->
+              let cell = Netlist.cell_of nl i in
+              step_of ~what:(Printf.sprintf "u%d:%s" i cell.Cell.name) ~inst:(Some i) ~incr:arrival.(net) :: acc
+          | None ->
+              let what =
+                match Netlist.driver_of nl net with
+                | Netlist.From_input port -> Printf.sprintf "in %s" (Netlist.input_name nl port)
+                | Netlist.From_cell i -> Printf.sprintf "u%d/Q" i
+                | Netlist.From_const _ -> "const"
+                | Netlist.Undriven -> "undriven"
+              in
+              step_of ~what ~inst:None ~incr:arrival.(net) :: acc
+        in
+        let steps = trace net [] in
+        let required_ps = period -. margin in
+        { steps; endpoint = ep_name; required_ps; slack_ps = required_ps -. arrival.(net) }
+  in
+  {
+    netlist_name = Netlist.name nl;
+    arrival;
+    required;
+    min_period_ps = !min_period;
+    period_ps = period;
+    critical;
+    endpoint_count = List.length !endpoints;
+  }
+
+let slack t net = t.required.(net) -. t.arrival.(net)
+
+let net_criticality t net =
+  let s = slack t net in
+  if t.period_ps <= 0. then 0.
+  else Float.max 0. (1. -. (Float.max 0. s /. t.period_ps))
+
+let frequency_mhz t = Gap_util.Units.mhz_of_period_ps t.min_period_ps
+
+let fo4_depth t ~lib =
+  let fo4 = Gap_tech.Tech.fo4_ps (Gap_liberty.Library.tech lib) in
+  t.min_period_ps /. fo4
+
+let instance_on_critical_path t i =
+  List.exists (fun s -> s.inst = Some i) t.critical.steps

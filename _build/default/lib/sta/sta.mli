@@ -1,0 +1,69 @@
+(** Static timing analysis.
+
+    Single-clock, worst-case (late) analysis over the linear delay model:
+
+    - timing sources are primary inputs (arriving at [input_arrival_ps]) and
+      flop outputs (arriving at clk->q);
+    - a combinational instance adds [cell delay under its output load] plus
+      the output net's annotated wire delay;
+    - timing endpoints are primary outputs and flop D pins (which must meet
+      setup); the clock skew budget is charged once per register-to-register
+      transfer, as in the paper's overhead accounting ("there is typically 10%
+      clock skew or more for ASICs", Sec. 4.1).
+
+    [min_period_ps] is the smallest period at which every endpoint meets
+    timing; combinational designs report their critical delay through primary
+    outputs the same way. *)
+
+type config = {
+  clock_period_ps : float option;  (** for slack reporting; [None] = use min period *)
+  clock_skew_ps : float;
+  input_arrival_ps : float;
+  derate : float;
+      (** process/voltage/temperature corner multiplier on every cell delay
+          (1.0 = nominal). Library signoff at the slow corner corresponds to
+          [1 /. Gap_variation.Model.signoff_speed] — see Sec. 8.2's
+          "worst case speeds quoted by ASIC library estimates". *)
+}
+
+val default_config : config
+val config_with_skew : float -> config
+
+type step = {
+  what : string;  (** human-readable point, e.g. ["u12:NAND2_X2"] *)
+  inst : int option;
+  net : int;
+  arrival_ps : float;
+  incr_ps : float;
+}
+
+type path = {
+  steps : step list;  (** source first *)
+  endpoint : string;
+  required_ps : float;
+  slack_ps : float;
+}
+
+type t = {
+  netlist_name : string;
+  arrival : float array;  (** per net *)
+  required : float array;  (** per net, against the analysis period *)
+  min_period_ps : float;
+  period_ps : float;  (** the period slacks are reported against *)
+  critical : path;
+  endpoint_count : int;
+}
+
+val analyze : ?config:config -> Gap_netlist.Netlist.t -> t
+
+val slack : t -> int -> float
+(** Per-net slack. *)
+
+val net_criticality : t -> int -> float
+(** [1.] on the critical path, decreasing with slack; used by placement. *)
+
+val frequency_mhz : t -> float
+val fo4_depth : t -> lib:Gap_liberty.Library.t -> float
+(** Logic depth of the critical path in technology FO4 units. *)
+
+val instance_on_critical_path : t -> int -> bool

@@ -1,0 +1,1 @@
+lib/synth/balance.ml: Array Gap_logic Gap_util Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/synth/buffering.ml: Gap_liberty Gap_netlist List Option

@@ -1,0 +1,1 @@
+lib/synth/buffering.mli: Gap_netlist

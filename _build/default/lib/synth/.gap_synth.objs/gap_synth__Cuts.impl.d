@@ -1,0 +1,1 @@
+lib/synth/cuts.ml: Array Gap_logic Hashtbl List

@@ -1,0 +1,1 @@
+lib/synth/cuts.mli: Gap_logic

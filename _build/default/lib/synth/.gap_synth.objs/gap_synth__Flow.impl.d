@@ -1,0 +1,1 @@
+lib/synth/flow.ml: Balance Buffering Gap_netlist Gap_sta Mapper Sizing

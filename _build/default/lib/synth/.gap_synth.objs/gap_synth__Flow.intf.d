@@ -1,0 +1,1 @@
+lib/synth/flow.mli: Gap_liberty Gap_logic Gap_netlist Gap_sta Mapper Sizing

@@ -1,0 +1,1 @@
+lib/synth/hold_fix.mli: Gap_netlist

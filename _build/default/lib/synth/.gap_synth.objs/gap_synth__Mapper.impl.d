@@ -1,0 +1,1 @@
+lib/synth/mapper.ml: Array Cuts Float Gap_liberty Gap_logic Gap_netlist Hashtbl Lazy List Option Printf

@@ -1,0 +1,1 @@
+lib/synth/mapper.mli: Gap_liberty Gap_logic Gap_netlist

@@ -1,0 +1,1 @@
+lib/synth/sequential.ml: Array Gap_liberty Gap_netlist Hashtbl List Printf

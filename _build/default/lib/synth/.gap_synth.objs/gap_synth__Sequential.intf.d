@@ -1,0 +1,1 @@
+lib/synth/sequential.mli: Gap_liberty Gap_netlist

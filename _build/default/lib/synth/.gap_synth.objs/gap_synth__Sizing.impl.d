@@ -1,0 +1,1 @@
+lib/synth/sizing.ml: Array Float Gap_liberty Gap_netlist Gap_sta List

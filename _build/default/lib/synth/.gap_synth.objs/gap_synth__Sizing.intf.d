@@ -1,0 +1,1 @@
+lib/synth/sizing.mli: Gap_netlist Gap_sta

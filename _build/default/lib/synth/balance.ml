@@ -1,0 +1,69 @@
+module Aig = Gap_logic.Aig
+
+let balance g =
+  let g' = Aig.create () in
+  let in_map = Array.map (fun (name, _) -> Aig.add_input g' name) (Aig.inputs g) in
+  let fanout = Aig.fanout_counts g in
+  let memo : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  (* level of a node in the new AIG, tracked incrementally *)
+  let level : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let level_of_lit l =
+    Option.value ~default:0 (Hashtbl.find_opt level (Aig.id_of_lit l))
+  in
+  let and_tracked a b =
+    let l = Aig.and_ g' a b in
+    let id = Aig.id_of_lit l in
+    if Aig.is_and g' id && not (Hashtbl.mem level id) then
+      Hashtbl.replace level id (1 + max (level_of_lit a) (level_of_lit b));
+    l
+  in
+  let rec build id =
+    match Hashtbl.find_opt memo id with
+    | Some l -> l
+    | None ->
+        let result =
+          if id = 0 then Aig.lit_false
+          else
+            match Aig.input_index g id with
+            | Some pos -> in_map.(pos)
+            | None ->
+                let a, b = Aig.fanins g id in
+                (* Collect the super-gate leaves: expand through
+                   non-complemented, single-fanout AND children. *)
+                let rec collect lit acc =
+                  let cid = Aig.id_of_lit lit in
+                  if (not (Aig.is_compl lit)) && Aig.is_and g cid && fanout.(cid) <= 1
+                  then begin
+                    let fa, fb = Aig.fanins g cid in
+                    collect fa (collect fb acc)
+                  end
+                  else lit :: acc
+                in
+                let leaves = collect a (collect b []) in
+                let new_lits = List.map build_lit leaves in
+                (* Combine smallest levels first for minimum depth. *)
+                let heap =
+                  Gap_util.Heap.of_array
+                    ~cmp:(fun x y -> compare (level_of_lit x) (level_of_lit y))
+                    (Array.of_list new_lits)
+                in
+                let rec reduce () =
+                  match Gap_util.Heap.pop heap with
+                  | None -> Aig.lit_true (* empty conjunction *)
+                  | Some x -> (
+                      match Gap_util.Heap.pop heap with
+                      | None -> x
+                      | Some y ->
+                          Gap_util.Heap.push heap (and_tracked x y);
+                          reduce ())
+                in
+                reduce ()
+        in
+        Hashtbl.replace memo id result;
+        result
+  and build_lit l =
+    let nl = build (Aig.id_of_lit l) in
+    if Aig.is_compl l then Aig.negate nl else nl
+  in
+  Array.iter (fun (name, l) -> Aig.add_output g' name (build_lit l)) (Aig.outputs g);
+  g'

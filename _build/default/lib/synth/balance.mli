@@ -1,0 +1,13 @@
+(** AIG depth balancing.
+
+    Long AND chains produced by word-level construction (e.g. a ripple of
+    [a0 & a1 & a2 & ...]) are re-associated into minimum-depth trees: the
+    leaves of each maximal single-fanout AND tree are re-combined
+    smallest-level-first (the Huffman-style heuristic used by ABC's
+    [balance]). Logic function is preserved; depth typically drops from O(n)
+    to O(log n), which is the "fewer logic levels" lever of the paper's
+    Sec. 4. *)
+
+val balance : Gap_logic.Aig.t -> Gap_logic.Aig.t
+(** Returns a fresh AIG with identical inputs (same names and order) and
+    outputs, balanced for depth. *)

@@ -1,0 +1,80 @@
+module Netlist = Gap_netlist.Netlist
+module Cell = Gap_liberty.Cell
+module Library = Gap_liberty.Library
+
+(* Pick the buffer (or inverter) whose drive best suits [load]: smallest cell
+   with delay within 5% of the best, to avoid wasting area. *)
+let pick_for_load candidates load =
+  match candidates with
+  | [] -> None
+  | cells ->
+      let delay c = Cell.delay_ps c ~load_ff:load in
+      let best = List.fold_left (fun a c -> if delay c < delay a then c else a) (List.hd cells) cells in
+      let threshold = 1.05 *. delay best in
+      Some
+        (List.fold_left
+           (fun acc c ->
+             if delay c <= threshold && c.Cell.area_um2 < acc.Cell.area_um2 then c else acc)
+           best cells)
+
+let chunks n lst =
+  let rec go acc cur k = function
+    | [] -> if cur = [] then List.rev acc else List.rev (List.rev cur :: acc)
+    | x :: rest ->
+        if k = n then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 lst
+
+let buffer_fanout ?(max_fanout = 8) nl =
+  assert (max_fanout >= 2);
+  let lib = Netlist.lib nl in
+  let buffers = Library.buffers lib in
+  let inverters = Library.inverters lib in
+  let inserted = ref 0 in
+  let sink_load sinks = List.fold_left (fun acc s -> acc +. Netlist.pin_load_ff nl s) 0. sinks in
+  (* One pass splits a net into <= max_fanout groups; repeat to fix up the
+     driver side and any group nets that are still too wide. *)
+  let split_net net =
+    let sinks = Netlist.sinks_of nl net in
+    if List.length sinks > max_fanout then begin
+      let groups = chunks max_fanout sinks in
+      List.iter
+        (fun group ->
+          let load = sink_load group in
+          match pick_for_load buffers load with
+          | Some buf ->
+              ignore (Netlist.insert_on_sinks nl buf ~net ~sinks:group);
+              incr inserted
+          | None -> (
+              (* no buffers: inverter pair *)
+              match pick_for_load inverters load with
+              | Some inv2 ->
+                  let inv1 =
+                    Option.value ~default:inv2 (pick_for_load inverters inv2.Cell.input_cap_ff)
+                  in
+                  let i1 = Netlist.insert_on_sinks nl inv1 ~net ~sinks:group in
+                  let mid = Netlist.out_net nl i1 in
+                  let i2 =
+                    Netlist.insert_on_sinks nl inv2 ~net:mid
+                      ~sinks:(Netlist.sinks_of nl mid |> List.filter (function
+                        | Netlist.To_pin (i, _) -> i <> i1
+                        | Netlist.To_output _ -> true))
+                  in
+                  ignore i2;
+                  inserted := !inserted + 2
+              | None -> ()))
+        groups;
+      true
+    end
+    else false
+  in
+  let rec fixpoint () =
+    let changed = ref false in
+    for net = 0 to Netlist.num_nets nl - 1 do
+      if split_net net then changed := true
+    done;
+    if !changed then fixpoint ()
+  in
+  fixpoint ();
+  !inserted

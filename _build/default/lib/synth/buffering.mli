@@ -1,0 +1,11 @@
+(** Fanout buffering: splits heavily-loaded nets behind buffer trees.
+
+    "Additional buffers may be included to drive large capacitive loads that
+    would be charged and discharged too slowly otherwise" (Sec. 6). Libraries
+    without buffer cells (the paper's impoverished-library case) fall back to
+    inverter pairs, paying two stages instead of one. *)
+
+val buffer_fanout : ?max_fanout:int -> Gap_netlist.Netlist.t -> int
+(** Rebuilds every net with more than [max_fanout] sinks (default 8) into a
+    tree of buffers, choosing drives by load. Returns the number of cells
+    inserted. Mutates the netlist; logic function is preserved. *)

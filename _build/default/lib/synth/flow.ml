@@ -1,0 +1,48 @@
+type effort = {
+  balance : bool;
+  mode : Mapper.mode;
+  buffer_max_fanout : int option;
+  tilos_moves : int;
+  sta_config : Gap_sta.Sta.config;
+}
+
+let default_effort =
+  {
+    balance = true;
+    mode = Mapper.Delay;
+    buffer_max_fanout = Some 8;
+    tilos_moves = 2000;
+    sta_config = Gap_sta.Sta.default_config;
+  }
+
+let low_effort =
+  {
+    balance = false;
+    mode = Mapper.Area;
+    buffer_max_fanout = None;
+    tilos_moves = 0;
+    sta_config = Gap_sta.Sta.default_config;
+  }
+
+type outcome = {
+  netlist : Gap_netlist.Netlist.t;
+  sta : Gap_sta.Sta.t;
+  sizing : Sizing.result option;
+  buffers_inserted : int;
+}
+
+let run ~lib ?(effort = default_effort) ?name g =
+  let g = if effort.balance then Balance.balance g else g in
+  let netlist = Mapper.map_aig ~lib ~mode:effort.mode ?name g in
+  let buffers_inserted =
+    match effort.buffer_max_fanout with
+    | Some max_fanout -> Buffering.buffer_fanout ~max_fanout netlist
+    | None -> 0
+  in
+  let sizing =
+    if effort.tilos_moves > 0 then
+      Some (Sizing.tilos ~config:effort.sta_config ~max_moves:effort.tilos_moves netlist)
+    else None
+  in
+  let sta = Gap_sta.Sta.analyze ~config:effort.sta_config netlist in
+  { netlist; sta; sizing; buffers_inserted }

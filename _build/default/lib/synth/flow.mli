@@ -1,0 +1,35 @@
+(** The full ASIC synthesis flow: AIG -> balance -> map -> buffer -> size.
+
+    This is the "register-transfer level logic synthesis" pipeline the paper
+    contrasts with custom design; the effort knobs correspond to the
+    methodology choices the paper prices (library, sizing, buffering). *)
+
+type effort = {
+  balance : bool;
+  mode : Mapper.mode;
+  buffer_max_fanout : int option;
+  tilos_moves : int;  (** 0 disables sizing *)
+  sta_config : Gap_sta.Sta.config;
+}
+
+val default_effort : effort
+(** Balanced, delay-mode mapping, fanout 8 buffering, sizing enabled, no
+    skew. *)
+
+val low_effort : effort
+(** No balancing, area-mode mapping, no buffering, no sizing: the
+    careless-flow baseline. *)
+
+type outcome = {
+  netlist : Gap_netlist.Netlist.t;
+  sta : Gap_sta.Sta.t;
+  sizing : Sizing.result option;
+  buffers_inserted : int;
+}
+
+val run :
+  lib:Gap_liberty.Library.t ->
+  ?effort:effort ->
+  ?name:string ->
+  Gap_logic.Aig.t ->
+  outcome

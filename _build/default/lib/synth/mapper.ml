@@ -1,0 +1,254 @@
+module Aig = Gap_logic.Aig
+module Tt = Gap_logic.Truthtable
+module Npn = Gap_logic.Npn
+module Cell = Gap_liberty.Cell
+module Library = Gap_liberty.Library
+module Netlist = Gap_netlist.Netlist
+
+type mode = Delay | Area
+
+type choice = {
+  cut : Cuts.cut;
+  cell : Cell.t;
+  tf : Npn.transform;
+}
+
+type node_best = {
+  mutable arrival : float;
+  mutable area_flow : float;
+  mutable choice : choice option;
+}
+
+(* Average X1 input capacitance: the load estimate unit. *)
+let avg_cin lib =
+  let cells = Library.cells lib in
+  let sum = ref 0. and n = ref 0 in
+  Array.iter
+    (fun (c : Cell.t) ->
+      if c.kind = Comb && c.drive <= 1. then begin
+        sum := !sum +. c.input_cap_ff;
+        incr n
+      end)
+    cells;
+  if !n = 0 then 2.5 else !sum /. float_of_int !n
+
+(* A mid-size inverter used for negations during matching. *)
+let mapping_inverter lib =
+  match Library.inverters lib with
+  | [] -> failwith "Mapper: library has no inverter"
+  | invs ->
+      let target = 2. in
+      List.fold_left
+        (fun best (c : Cell.t) ->
+          if Float.abs (c.Cell.drive -. target) < Float.abs (best.Cell.drive -. target)
+          then c
+          else best)
+        (List.hd invs) invs
+
+type ctx = {
+  lib : Library.t;
+  g : Aig.t;
+  mode : mode;
+  cuts : Cuts.cut list array;
+  best : node_best array;
+  fanout : int array;
+  load_override : float array option;
+      (* realized loads from a previous mapping pass, per AIG node *)
+  cin : float;
+  r_est_kohm : float;
+      (* typical driver resistance: charges a candidate cell's input
+         capacitance back onto the (not-yet-chosen) leaf drivers, so the DP
+         does not pick huge-cin cells that would slow their fanins *)
+  inv : Cell.t;
+  (* transform cache keyed by (cut function bits, cell name) *)
+  match_cache : (int64 * string, Npn.transform option) Hashtbl.t;
+}
+
+let load_estimate ctx id =
+  match ctx.load_override with
+  | Some loads when loads.(id) > 0. -> loads.(id)
+  | _ -> float_of_int (max 1 ctx.fanout.(id)) *. ctx.cin
+let inv_delay ctx = Cell.delay_ps ctx.inv ~load_ff:ctx.cin
+
+let cached_match ctx ~target ~(cell : Cell.t) =
+  let key = (Tt.bits target, cell.name) in
+  match Hashtbl.find_opt ctx.match_cache key with
+  | Some r -> r
+  | None ->
+      let r = Npn.best_match ~target ~candidate:cell.func in
+      Hashtbl.replace ctx.match_cache key r;
+      r
+
+let leaf_cost ctx leaf negated =
+  let b = ctx.best.(leaf) in
+  let arr = b.arrival +. if negated then inv_delay ctx else 0. in
+  let af = b.area_flow +. if negated then ctx.inv.Cell.area_um2 else 0. in
+  (arr, af)
+
+let evaluate_choice ctx id (cut : Cuts.cut) (cell : Cell.t) tf =
+  let input_load_penalty = ctx.r_est_kohm *. cell.Cell.input_cap_ff in
+  let worst_arr = ref 0. and area_acc = ref 0. in
+  Array.iteri
+    (fun leaf_idx leaf ->
+      let negated = tf.Npn.input_neg land (1 lsl leaf_idx) <> 0 in
+      let arr, af = leaf_cost ctx leaf negated in
+      let arr = arr +. input_load_penalty in
+      if arr > !worst_arr then worst_arr := arr;
+      area_acc := !area_acc +. af)
+    cut.leaves;
+  let gate_delay = Cell.delay_ps cell ~load_ff:(load_estimate ctx id) in
+  let out_inv = if tf.Npn.output_neg then inv_delay ctx else 0. in
+  let arrival = !worst_arr +. gate_delay +. out_inv in
+  let raw_area =
+    cell.Cell.area_um2
+    +. (if tf.Npn.output_neg then ctx.inv.Cell.area_um2 else 0.)
+    +. !area_acc
+  in
+  let area_flow = raw_area /. float_of_int (max 1 ctx.fanout.(id)) in
+  (arrival, area_flow)
+
+let better ctx (arr1, af1) (arr2, af2) =
+  match ctx.mode with
+  | Delay -> arr1 < arr2 -. 1e-9 || (Float.abs (arr1 -. arr2) <= 1e-9 && af1 < af2)
+  | Area -> af1 < af2 -. 1e-9 || (Float.abs (af1 -. af2) <= 1e-9 && arr1 < arr2)
+
+let compute_best ctx =
+  let n = Aig.num_nodes ctx.g in
+  for id = 0 to n - 1 do
+    if Aig.is_and ctx.g id then begin
+      let b = ctx.best.(id) in
+      List.iter
+        (fun (cut : Cuts.cut) ->
+          (* The trivial cut {id} is not implementable. *)
+          if not (Cuts.size cut = 1 && cut.leaves.(0) = id) then begin
+            let f = Cuts.cut_function ctx.g id cut in
+            let candidates = Library.cells_matching ctx.lib f in
+            List.iter
+              (fun (cell : Cell.t) ->
+                match cached_match ctx ~target:f ~cell with
+                | None -> ()
+                | Some tf ->
+                    let arr, af = evaluate_choice ctx id cut cell tf in
+                    if b.choice = None || better ctx (arr, af) (b.arrival, b.area_flow)
+                    then begin
+                      b.arrival <- arr;
+                      b.area_flow <- af;
+                      b.choice <- Some { cut; cell; tf }
+                    end)
+              candidates
+          end)
+        ctx.cuts.(id);
+      if b.choice = None then
+        failwith
+          (Printf.sprintf "Mapper: no library match for node %d (library %s)" id
+             (Library.name ctx.lib))
+    end
+  done
+
+let make_ctx ?load_override ~lib ~mode g =
+  let cuts = Cuts.enumerate g in
+  let n = Aig.num_nodes g in
+  let best =
+    Array.init n (fun _ -> { arrival = 0.; area_flow = 0.; choice = None })
+  in
+  let ctx =
+    {
+      lib;
+      g;
+      mode;
+      cuts;
+      best;
+      fanout = Aig.fanout_counts g;
+      load_override;
+      cin = avg_cin lib;
+      r_est_kohm = (mapping_inverter lib).Cell.drive_res_kohm;
+      inv = mapping_inverter lib;
+      match_cache = Hashtbl.create 1024;
+    }
+  in
+  compute_best ctx;
+  ctx
+
+let estimated_arrival_ps ~lib ?(mode = Delay) g =
+  let ctx = make_ctx ~lib ~mode g in
+  Array.fold_left
+    (fun acc (_, l) ->
+      let id = Aig.id_of_lit l in
+      let b = ctx.best.(id) in
+      let a = b.arrival +. if Aig.is_compl l then inv_delay ctx else 0. in
+      Float.max acc a)
+    0. (Aig.outputs g)
+
+let cover ctx ?name () =
+  let nl_name = Option.value ~default:"mapped" name in
+  let nl = Netlist.create ~lib:ctx.lib nl_name in
+  let input_nets =
+    Array.map (fun (pname, _) -> Netlist.add_input nl pname) (Aig.inputs ctx.g)
+  in
+  let const0 = lazy (Netlist.add_const nl false) in
+  let node_net : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let inv_net : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec materialize id =
+    match Hashtbl.find_opt node_net id with
+    | Some net -> net
+    | None ->
+        let net =
+          if id = 0 then Lazy.force const0
+          else
+            match Aig.input_index ctx.g id with
+            | Some pos -> input_nets.(pos)
+            | None -> (
+                match ctx.best.(id).choice with
+                | None -> failwith "Mapper: unmapped node reached"
+                | Some { cut; cell; tf } ->
+                    let fanin_nets =
+                      Array.init cell.Cell.n_inputs (fun cell_pin ->
+                          let leaf_idx = tf.Npn.perm.(cell_pin) in
+                          let leaf = cut.leaves.(leaf_idx) in
+                          let negated = tf.Npn.input_neg land (1 lsl leaf_idx) <> 0 in
+                          let leaf_net = materialize leaf in
+                          if negated then inverted leaf_net else leaf_net)
+                    in
+                    let inst = Netlist.add_cell nl cell fanin_nets in
+                    let out = Netlist.out_net nl inst in
+                    if tf.Npn.output_neg then inverted out else out)
+        in
+        Hashtbl.replace node_net id net;
+        net
+  and inverted net =
+    match Hashtbl.find_opt inv_net net with
+    | Some n -> n
+    | None ->
+        let inst = Netlist.add_cell nl ctx.inv [| net |] in
+        let out = Netlist.out_net nl inst in
+        Hashtbl.replace inv_net net out;
+        out
+  in
+  Array.iter
+    (fun (oname, l) ->
+      let id = Aig.id_of_lit l in
+      let net = materialize id in
+      let net = if Aig.is_compl l then inverted net else net in
+      ignore (Netlist.set_output nl oname net))
+    (Aig.outputs ctx.g);
+  (nl, node_net)
+
+let map_aig ~lib ?(mode = Delay) ?(passes = 1) ?name g =
+  assert (passes >= 1);
+  let rec go pass load_override =
+    let ctx = make_ctx ?load_override ~lib ~mode g in
+    let nl, node_net = cover ctx ?name () in
+    if pass >= passes then nl
+    else begin
+      (* feed the realized loads of this cover back into the next DP pass,
+         damped against the structural estimate to avoid oscillation *)
+      let loads = Array.make (Aig.num_nodes g) 0. in
+      Hashtbl.iter
+        (fun id net ->
+          let est = load_estimate ctx id in
+          loads.(id) <- 0.5 *. (Netlist.net_load_ff nl net +. est))
+        node_net;
+      go (pass + 1) (Some loads)
+    end
+  in
+  go 1 None

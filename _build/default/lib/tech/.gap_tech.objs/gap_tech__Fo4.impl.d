@@ -1,0 +1,1 @@
+lib/tech/fo4.ml: Gap_util

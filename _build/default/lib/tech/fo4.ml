@@ -1,0 +1,10 @@
+let of_leff_um leff = 500. *. leff
+
+let depth_of_period ~period_ps ~fo4_ps =
+  assert (fo4_ps > 0.);
+  period_ps /. fo4_ps
+
+let period_of_depth ~depth ~fo4_ps = depth *. fo4_ps
+
+let frequency_mhz ~depth ~fo4_ps =
+  Gap_util.Units.mhz_of_period_ps (period_of_depth ~depth ~fo4_ps)

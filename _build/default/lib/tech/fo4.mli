@@ -1,0 +1,16 @@
+(** FO4 (fanout-of-four inverter delay) arithmetic.
+
+    The paper expresses every design's logic depth in FO4 delays so that chips
+    in different variants of "the same" technology can be compared; this
+    module centralizes those conversions. *)
+
+val of_leff_um : float -> float
+(** FO4 delay in ps from effective channel length, by the 0.5 ns/um rule
+    (paper footnote 1: Leff 0.15um -> 75 ps). *)
+
+val depth_of_period : period_ps:float -> fo4_ps:float -> float
+(** How many FO4 delays fit in a clock period. *)
+
+val period_of_depth : depth:float -> fo4_ps:float -> float
+val frequency_mhz : depth:float -> fo4_ps:float -> float
+(** Clock frequency of a design with [depth] FO4 delays per cycle. *)

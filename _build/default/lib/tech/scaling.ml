@@ -1,0 +1,16 @@
+let generations = [ 0.6; 0.5; 0.35; 0.25; 0.18; 0.13 ]
+let speed_per_generation = 1.5
+
+let speedup_over_generations n = speed_per_generation ** float_of_int n
+
+let equivalent_generations ratio =
+  assert (ratio > 0.);
+  log ratio /. log speed_per_generation
+
+let next_generation drawn =
+  let rec loop = function
+    | a :: (b :: _ as rest) ->
+        if Float.abs (a -. drawn) < 1e-9 then Some b else loop rest
+    | _ -> None
+  in
+  loop generations

@@ -1,0 +1,20 @@
+(** Process-generation scaling arithmetic (paper Sec. 2: "If we put the speed
+    improvement due to one process generation ... as 1.5x then this gap is
+    equivalent to that of five process generations"). *)
+
+val generations : float list
+(** The drawn feature sizes of successive generations, coarsest first:
+    0.6, 0.5, 0.35, 0.25, 0.18, 0.13. *)
+
+val speed_per_generation : float
+(** 1.5x, the paper's assumption. *)
+
+val speedup_over_generations : int -> float
+(** [speedup_over_generations n] = 1.5^n. *)
+
+val equivalent_generations : float -> float
+(** How many process generations a speed ratio corresponds to:
+    [log ratio / log 1.5]. The paper's 6-8x gap maps to ~4.4-5.1. *)
+
+val next_generation : float -> float option
+(** Next finer drawn size after the given one, if tabulated. *)

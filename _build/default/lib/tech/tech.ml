@@ -1,0 +1,88 @@
+type interconnect = Aluminum | Copper
+
+type t = {
+  name : string;
+  drawn_um : float;
+  leff_um : float;
+  vdd_v : float;
+  interconnect : interconnect;
+  wire_r_kohm_per_um : float;
+  wire_c_ff_per_um : float;
+  metal_layers : int;
+}
+
+let fo4_ps t = 500. *. t.leff_um
+let tau_ps t = fo4_ps t /. 5.
+
+(* Global-layer wire parasitics. Aluminum at 0.25um: ~0.12 ohm/um and
+   ~0.25 fF/um for a minimum-pitch global wire; copper at 0.18um is about
+   40% less resistive. These feed the Elmore/repeater models; only ratios
+   matter for the paper's claims. *)
+
+let asic_025um =
+  {
+    name = "0.25um ASIC (Al)";
+    drawn_um = 0.25;
+    leff_um = 0.18;
+    vdd_v = 2.5;
+    interconnect = Aluminum;
+    wire_r_kohm_per_um = 0.12e-3;
+    wire_c_ff_per_um = 0.25;
+    metal_layers = 5;
+  }
+
+let custom_025um =
+  {
+    name = "0.25um custom (Al)";
+    drawn_um = 0.25;
+    leff_um = 0.15;
+    vdd_v = 1.8;
+    interconnect = Aluminum;
+    wire_r_kohm_per_um = 0.12e-3;
+    wire_c_ff_per_um = 0.25;
+    metal_layers = 6;
+  }
+
+let asic_018um =
+  {
+    name = "0.18um ASIC (Cu, CMOS7SF)";
+    drawn_um = 0.18;
+    leff_um = 0.11;
+    vdd_v = 1.8;
+    interconnect = Copper;
+    wire_r_kohm_per_um = 0.07e-3;
+    wire_c_ff_per_um = 0.23;
+    metal_layers = 6;
+  }
+
+let custom_018um =
+  {
+    name = "0.18um custom (Cu, CMOS7S)";
+    drawn_um = 0.18;
+    leff_um = 0.12;
+    vdd_v = 1.8;
+    interconnect = Copper;
+    wire_r_kohm_per_um = 0.07e-3;
+    wire_c_ff_per_um = 0.23;
+    metal_layers = 6;
+  }
+
+let asic_035um =
+  {
+    name = "0.35um ASIC (Al)";
+    drawn_um = 0.35;
+    leff_um = 0.25;
+    vdd_v = 3.3;
+    interconnect = Aluminum;
+    wire_r_kohm_per_um = 0.09e-3;
+    wire_c_ff_per_um = 0.27;
+    metal_layers = 4;
+  }
+
+let all_presets = [ asic_035um; asic_025um; custom_025um; asic_018um; custom_018um ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s: Leff %.2fum, FO4 %.0f ps, Vdd %.1f V, %s, %d metal"
+    t.name t.leff_um (fo4_ps t) t.vdd_v
+    (match t.interconnect with Aluminum -> "Al" | Copper -> "Cu")
+    t.metal_layers

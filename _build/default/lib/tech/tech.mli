@@ -1,0 +1,53 @@
+(** Process-technology descriptions.
+
+    A technology here is what the paper means by one: a fabrication process
+    with given design rules, effective channel length, and interconnect stack
+    ("aluminum interconnect for the 0.25um technology considered", Sec. 2).
+    All delay modeling is normalized through the FO4 rule of thumb the paper
+    uses: FO4 delay [ns] = 0.5 x Leff [um]. *)
+
+type interconnect = Aluminum | Copper
+
+type t = {
+  name : string;
+  drawn_um : float;  (** drawn (marketing) feature size, e.g. 0.25 *)
+  leff_um : float;  (** effective transistor channel length *)
+  vdd_v : float;
+  interconnect : interconnect;
+  wire_r_kohm_per_um : float;  (** global-layer wire resistance *)
+  wire_c_ff_per_um : float;  (** global-layer wire capacitance *)
+  metal_layers : int;
+}
+
+val fo4_ps : t -> float
+(** Fanout-of-4 inverter delay from the 0.5 ns/um rule: [500. *. leff_um]. *)
+
+val tau_ps : t -> float
+(** Logical-effort time unit: FO4 = (p_inv + 4 g_inv) tau = 5 tau. *)
+
+(** {1 Presets}
+
+    The processes the paper compares. ASIC and custom variants of the same
+    0.25um node differ in effective channel length: ASIC libraries were
+    characterized at Leff ~ 0.18um while aggressive custom processes reached
+    0.15um (paper footnotes 1-2). *)
+
+val asic_025um : t
+(** Typical 0.25um ASIC process: Leff 0.18um, FO4 90 ps, aluminum. *)
+
+val custom_025um : t
+(** High-speed custom 0.25um process (IBM 1 GHz PowerPC): Leff 0.15um,
+    FO4 75 ps. *)
+
+val asic_018um : t
+(** IBM CMOS7SF SA-27E-class 0.18um ASIC process: Leff 0.11um, copper. *)
+
+val custom_018um : t
+(** IBM CMOS7S 0.18um: Leff 0.12um, FO4 55 ps (paper Sec. 8.3). *)
+
+val asic_035um : t
+(** Previous-generation 0.35um ASIC process, for scaling comparisons. *)
+
+val all_presets : t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/uarch/cpi.ml: Float

@@ -1,0 +1,1 @@
+lib/uarch/pipeline_model.ml: Cpi Gap_util List

@@ -1,0 +1,1 @@
+lib/uarch/pipeline_model.mli: Cpi

@@ -1,0 +1,1 @@
+lib/uarch/processors.ml: Gap_tech

@@ -1,0 +1,55 @@
+type workload = {
+  branch_freq : float;
+  mispredict_rate : float;
+  load_freq : float;
+  load_use_stall : float;
+  cache_miss_rate : float;
+  miss_penalty_cycles : float;
+  ilp : float;
+}
+
+let spec_like =
+  {
+    branch_freq = 0.20;
+    mispredict_rate = 0.08;
+    load_freq = 0.25;
+    load_use_stall = 0.35;
+    cache_miss_rate = 0.02;
+    miss_penalty_cycles = 20.;
+    ilp = 2.5;
+  }
+
+let dsp_like =
+  {
+    branch_freq = 0.05;
+    mispredict_rate = 0.02;
+    load_freq = 0.30;
+    load_use_stall = 0.10;
+    cache_miss_rate = 0.005;
+    miss_penalty_cycles = 20.;
+    ilp = 6.;
+  }
+
+let control_dominated =
+  {
+    branch_freq = 0.35;
+    mispredict_rate = 0.25;
+    load_freq = 0.20;
+    load_use_stall = 0.5;
+    cache_miss_rate = 0.01;
+    miss_penalty_cycles = 20.;
+    ilp = 1.2;
+  }
+
+let flush_penalty ~pipeline_stages = 0.6 *. float_of_int (max 1 pipeline_stages)
+
+let cpi ~pipeline_stages ~issue_width w =
+  assert (issue_width >= 1);
+  let effective_issue = Float.min (float_of_int issue_width) w.ilp in
+  let base = 1. /. effective_issue in
+  let branch = w.branch_freq *. w.mispredict_rate *. flush_penalty ~pipeline_stages in
+  let load_use = w.load_freq *. w.load_use_stall in
+  let memory = w.cache_miss_rate *. w.miss_penalty_cycles in
+  base +. branch +. load_use +. memory
+
+let ipc ~pipeline_stages ~issue_width w = 1. /. cpi ~pipeline_stages ~issue_width w

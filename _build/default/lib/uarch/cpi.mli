@@ -1,0 +1,36 @@
+(** Cycles-per-instruction model (Hennessy & Patterson style, the paper's
+    [16]): pipelining only pays when work can be overlapped, and "branches in
+    execution will diminish performance" (Sec. 4.1).
+
+    CPI = issue-limited base
+        + branch flush penalty (grows with pipeline depth)
+        + load-use and memory stalls. *)
+
+type workload = {
+  branch_freq : float;  (** fraction of instructions that branch *)
+  mispredict_rate : float;
+  load_freq : float;
+  load_use_stall : float;  (** cycles lost per dependent load *)
+  cache_miss_rate : float;
+  miss_penalty_cycles : float;
+  ilp : float;  (** available instruction-level parallelism *)
+}
+
+val spec_like : workload
+(** General-purpose code: 20% branches, 8% mispredicts with a decent
+    predictor, ILP ~2.5. *)
+
+val dsp_like : workload
+(** Streaming kernels: few branches, abundant parallelism — the "large
+    amounts of data processed in parallel" case of Sec. 4.2. *)
+
+val control_dominated : workload
+(** Bus-interface-style code: every cycle depends on new inputs
+    (Sec. 4.1); branches frequent and poorly predictable. *)
+
+val flush_penalty : pipeline_stages:int -> float
+(** Cycles lost on a mispredicted branch: the front of the pipe refills
+    (~60% of the stages). *)
+
+val cpi : pipeline_stages:int -> issue_width:int -> workload -> float
+val ipc : pipeline_stages:int -> issue_width:int -> workload -> float

@@ -1,0 +1,51 @@
+type config = {
+  logic_fo4 : float;
+  overhead_fo4 : float;
+  fo4_ps : float;
+  issue_width : int;
+  workload : Cpi.workload;
+}
+
+let asic_default =
+  {
+    logic_fo4 = 44.;
+    overhead_fo4 = 3.5;
+    fo4_ps = 90.;
+    issue_width = 1;
+    workload = Cpi.spec_like;
+  }
+
+let custom_default =
+  {
+    logic_fo4 = 44.;
+    overhead_fo4 = 2.4;
+    fo4_ps = 75.;
+    issue_width = 1;
+    workload = Cpi.spec_like;
+  }
+
+let period_ps c ~stages =
+  assert (stages >= 1);
+  ((c.logic_fo4 /. float_of_int stages) +. c.overhead_fo4) *. c.fo4_ps
+
+let frequency_mhz c ~stages = Gap_util.Units.mhz_of_period_ps (period_ps c ~stages)
+
+let performance_mips c ~stages =
+  frequency_mhz c ~stages
+  *. Cpi.ipc ~pipeline_stages:stages ~issue_width:c.issue_width c.workload
+
+let speedup_vs_unpipelined c ~stages = period_ps c ~stages:1 /. period_ps c ~stages
+
+let sweep ?(max_stages = 20) c =
+  List.init max_stages (fun i ->
+      let stages = i + 1 in
+      ( stages,
+        frequency_mhz c ~stages,
+        Cpi.ipc ~pipeline_stages:stages ~issue_width:c.issue_width c.workload,
+        performance_mips c ~stages ))
+
+let optimal_depth ?(max_stages = 20) c =
+  List.fold_left
+    (fun (bs, bp) (stages, _, _, mips) -> if mips > bp then (stages, mips) else (bs, bp))
+    (1, performance_mips c ~stages:1)
+    (sweep ~max_stages c)

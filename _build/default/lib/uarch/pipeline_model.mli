@@ -1,0 +1,36 @@
+(** Frequency/performance versus pipeline depth, in FO4-normalized units.
+
+    A design with [logic_fo4] of total work split over [stages] stages clocks
+    at [logic_fo4 / stages + overhead_fo4] per cycle. Performance is
+    frequency x IPC; deeper pipelines buy frequency but pay branch-flush CPI,
+    so performance has an interior optimum — the reason the paper's x4
+    pipelining factor is a {e maximum}, not a free lunch. *)
+
+type config = {
+  logic_fo4 : float;  (** total logic depth of one "instruction's" work *)
+  overhead_fo4 : float;  (** per-stage register + skew overhead *)
+  fo4_ps : float;
+  issue_width : int;
+  workload : Cpi.workload;
+}
+
+val asic_default : config
+(** 44 FO4 of work (Xtensa-like), 3.5 FO4 overhead (ASIC registers + 10%
+    skew), 90 ps FO4, single issue, SPEC-like code. *)
+
+val custom_default : config
+(** Same work, 2.4 FO4 overhead (custom latches + 5% skew), 75 ps FO4. *)
+
+val period_ps : config -> stages:int -> float
+val frequency_mhz : config -> stages:int -> float
+val performance_mips : config -> stages:int -> float
+(** Million instructions/s: frequency x IPC under the config's workload. *)
+
+val speedup_vs_unpipelined : config -> stages:int -> float
+(** Frequency ratio versus the 1-stage version of the same config. *)
+
+val optimal_depth : ?max_stages:int -> config -> int * float
+(** Performance-optimal stage count and its MIPS. *)
+
+val sweep : ?max_stages:int -> config -> (int * float * float * float) list
+(** Per depth: (stages, frequency MHz, IPC, MIPS). *)

@@ -1,0 +1,85 @@
+type style = Custom | Asic
+
+type t = {
+  proc_name : string;
+  style : style;
+  fo4_depth : float;
+  leff_um : float;
+  pipeline_stages : int;
+  issue_width : int;
+  reported_mhz : float;
+  area_mm2 : float;
+  notes : string;
+}
+
+let alpha_21264a =
+  {
+    proc_name = "Alpha 21264A";
+    style = Custom;
+    fo4_depth = 15.;
+    leff_um = 0.178;
+    pipeline_stages = 7;
+    issue_width = 6;
+    reported_mhz = 750.;
+    area_mm2 = 225.;
+    notes = "dynamic logic, out-of-order, 2.1 V, 90 W";
+  }
+
+let ibm_ppc_1ghz =
+  {
+    proc_name = "IBM 1.0 GHz PPC";
+    style = Custom;
+    fo4_depth = 13.;
+    leff_um = 0.15;
+    pipeline_stages = 4;
+    issue_width = 1;
+    reported_mhz = 1000.;
+    area_mm2 = 9.8;
+    notes = "single-issue integer core, dynamic logic, 1.8 V, 6.3 W";
+  }
+
+let tensilica_xtensa =
+  {
+    proc_name = "Tensilica Xtensa";
+    style = Asic;
+    fo4_depth = 44.;
+    leff_um = 0.18;
+    pipeline_stages = 5;
+    issue_width = 1;
+    reported_mhz = 250.;
+    area_mm2 = 4.;
+    notes = "configurable ASIC processor, static CMOS";
+  }
+
+let typical_asic =
+  {
+    proc_name = "typical ASIC";
+    style = Asic;
+    fo4_depth = 82.;
+    leff_um = 0.18;
+    pipeline_stages = 1;
+    issue_width = 1;
+    reported_mhz = 135.;
+    area_mm2 = 25.;
+    notes = "anecdotal 120-150 MHz midpoint, little pipelining";
+  }
+
+let network_asic =
+  {
+    proc_name = "high-speed network ASIC";
+    style = Asic;
+    fo4_depth = 55.;
+    leff_um = 0.18;
+    pipeline_stages = 2;
+    issue_width = 1;
+    reported_mhz = 200.;
+    area_mm2 = 50.;
+    notes = "the fast end of ASIC practice";
+  }
+
+let all = [ alpha_21264a; ibm_ppc_1ghz; tensilica_xtensa; network_asic; typical_asic ]
+
+let fo4_ps t = Gap_tech.Fo4.of_leff_um t.leff_um
+let modeled_mhz t = Gap_tech.Fo4.frequency_mhz ~depth:t.fo4_depth ~fo4_ps:(fo4_ps t)
+let model_error t = (modeled_mhz t -. t.reported_mhz) /. t.reported_mhz
+let gap_vs ~fast ~slow = fast.reported_mhz /. slow.reported_mhz

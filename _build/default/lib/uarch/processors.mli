@@ -1,0 +1,39 @@
+(** The processors the paper compares (Sec. 2 and 4), normalized the way the
+    paper normalizes them: cycle time expressed in FO4 delays at the chip's
+    effective channel length.
+
+    The [leff_um] values are the paper's: IBM PPC 0.15um (footnote 1),
+    Xtensa/typical ASIC 0.18um (footnote 2); for the Alpha 21264A the
+    effective FO4 delay is back-computed from its 750 MHz / 15 FO4 operating
+    point, reflecting Compaq's aggressive 0.25um process. *)
+
+type style = Custom | Asic
+
+type t = {
+  proc_name : string;
+  style : style;
+  fo4_depth : float;  (** logic depth per cycle, in FO4 *)
+  leff_um : float;
+  pipeline_stages : int;
+  issue_width : int;
+  reported_mhz : float;
+  area_mm2 : float;
+  notes : string;
+}
+
+val alpha_21264a : t
+val ibm_ppc_1ghz : t
+val tensilica_xtensa : t
+val typical_asic : t
+val network_asic : t
+val all : t list
+
+val fo4_ps : t -> float
+val modeled_mhz : t -> float
+(** [1 / (fo4_depth x fo4_ps)]: the FO4 model's frequency prediction. *)
+
+val model_error : t -> float
+(** [(modeled - reported) / reported]. *)
+
+val gap_vs : fast:t -> slow:t -> float
+(** Reported-frequency ratio. *)

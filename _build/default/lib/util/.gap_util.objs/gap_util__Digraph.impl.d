@@ -1,0 +1,1 @@
+lib/util/digraph.ml: Array Float List Queue Stack Vec

@@ -1,0 +1,155 @@
+type t = {
+  succs : (int * float) list Vec.t;
+  preds : (int * float) list Vec.t;
+  mutable edges : int;
+}
+
+let create () = { succs = Vec.create (); preds = Vec.create (); edges = 0 }
+
+let add_node g =
+  let id = Vec.push g.succs [] in
+  let id' = Vec.push g.preds [] in
+  assert (id = id');
+  id
+
+let add_nodes g n =
+  while Vec.length g.succs < n do
+    ignore (add_node g)
+  done
+
+let node_count g = Vec.length g.succs
+let edge_count g = g.edges
+
+let add_edge g ?(weight = 0.) u v =
+  Vec.set g.succs u ((v, weight) :: Vec.get g.succs u);
+  Vec.set g.preds v ((u, weight) :: Vec.get g.preds v);
+  g.edges <- g.edges + 1
+
+let succ g u = Vec.get g.succs u
+let pred g v = Vec.get g.preds v
+let out_degree g u = List.length (succ g u)
+let in_degree g v = List.length (pred g v)
+
+let topo_order g =
+  let n = node_count g in
+  let indeg = Array.init n (in_degree g) in
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = Array.make n 0 in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order.(!filled) <- u;
+    incr filled;
+    let relax (v, _) =
+      indeg.(v) <- indeg.(v) - 1;
+      if indeg.(v) = 0 then Queue.add v queue
+    in
+    List.iter relax (succ g u)
+  done;
+  if !filled = n then Some order else None
+
+let is_acyclic g = topo_order g <> None
+
+let longest_path g ~node_delay =
+  match topo_order g with
+  | None -> None
+  | Some order ->
+      let n = node_count g in
+      let arr = Array.make n 0. in
+      let visit u =
+        let best =
+          List.fold_left
+            (fun acc (p, w) -> Float.max acc (arr.(p) +. w))
+            0. (pred g u)
+        in
+        arr.(u) <- best +. node_delay u
+      in
+      Array.iter visit order;
+      Some arr
+
+(* Bellman-Ford over an explicit initial distance vector; shared by
+   [bellman_ford] and [feasible_potentials]. *)
+let bellman_ford_from g dist =
+  let n = node_count g in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    for u = 0 to n - 1 do
+      if dist.(u) < infinity then
+        let relax (v, w) =
+          if dist.(u) +. w < dist.(v) then begin
+            dist.(v) <- dist.(u) +. w;
+            changed := true
+          end
+        in
+        List.iter relax (succ g u)
+    done
+  done;
+  if !changed then None else Some dist
+
+let bellman_ford g ~source =
+  let dist = Array.make (node_count g) infinity in
+  dist.(source) <- 0.;
+  bellman_ford_from g dist
+
+let feasible_potentials g =
+  (* A virtual source with 0-weight edges to all nodes is equivalent to
+     starting every distance at 0. *)
+  bellman_ford_from g (Array.make (node_count g) 0.)
+
+let scc g =
+  let n = node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  (* Iterative Tarjan to survive deep netlists without stack overflow. *)
+  let strongconnect v0 =
+    let call_stack = Stack.create () in
+    Stack.push (v0, succ g v0) call_stack;
+    index.(v0) <- !next_index;
+    lowlink.(v0) <- !next_index;
+    incr next_index;
+    Stack.push v0 stack;
+    on_stack.(v0) <- true;
+    while not (Stack.is_empty call_stack) do
+      let v, remaining = Stack.pop call_stack in
+      match remaining with
+      | (w, _) :: rest ->
+          Stack.push (v, rest) call_stack;
+          if index.(w) = -1 then begin
+            index.(w) <- !next_index;
+            lowlink.(w) <- !next_index;
+            incr next_index;
+            Stack.push w stack;
+            on_stack.(w) <- true;
+            Stack.push (w, succ g w) call_stack
+          end
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+      | [] ->
+          if lowlink.(v) = index.(v) then begin
+            let continue = ref true in
+            while !continue do
+              let w = Stack.pop stack in
+              on_stack.(w) <- false;
+              comp.(w) <- !next_comp;
+              if w = v then continue := false
+            done;
+            incr next_comp
+          end;
+          if not (Stack.is_empty call_stack) then begin
+            let parent, _ = Stack.top call_stack in
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  comp

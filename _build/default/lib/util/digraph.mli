@@ -1,0 +1,53 @@
+(** Directed graphs over dense integer node ids.
+
+    This is the shared graph machinery behind the netlist timing graph, the
+    retiming graph, and the AIG levelizer: topological ordering, cycle
+    detection, longest paths, Bellman-Ford (needed by Leiserson-Saxe
+    retiming), and Tarjan strongly-connected components. *)
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> int
+(** Returns the id of the new node; ids are consecutive from 0. *)
+
+val add_nodes : t -> int -> unit
+(** Ensures the graph has at least [n] nodes. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val add_edge : t -> ?weight:float -> int -> int -> unit
+(** [add_edge g u v] adds a directed edge [u -> v]. Parallel edges are kept. *)
+
+val succ : t -> int -> (int * float) list
+(** Successors with edge weights. *)
+
+val pred : t -> int -> (int * float) list
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val topo_order : t -> int array option
+(** Kahn's algorithm; [None] if the graph has a cycle. *)
+
+val is_acyclic : t -> bool
+
+val longest_path : t -> node_delay:(int -> float) -> float array option
+(** For a DAG, per-node longest-path arrival: [arr v = node_delay v + max over
+    predecessors u of (arr u + weight (u,v))]; [None] on cyclic graphs. *)
+
+val bellman_ford : t -> source:int -> float array option
+(** Shortest distances from [source] treating edge weights as lengths;
+    [None] when a negative cycle is reachable. Unreachable nodes get
+    [infinity]. *)
+
+val feasible_potentials : t -> float array option
+(** Solves the difference-constraint system [x(v) - x(u) <= weight (u,v)] for
+    all edges, via Bellman-Ford from a virtual source connected to every node
+    with weight 0. [None] if the system is infeasible (negative cycle). This
+    is the core feasibility test of Leiserson-Saxe retiming. *)
+
+val scc : t -> int array
+(** Tarjan strongly-connected components: returns a component id per node,
+    numbered in reverse topological order of the condensation. *)

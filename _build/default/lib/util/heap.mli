@@ -1,0 +1,19 @@
+(** Binary min-heap with a caller-supplied ordering. Used by the placer's
+    net-queue and the sizing engine's candidate selection. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the smallest element. *)
+
+val of_array : cmp:('a -> 'a -> int) -> 'a array -> 'a t
+val drain : 'a t -> 'a list
+(** Pops everything, smallest first. *)

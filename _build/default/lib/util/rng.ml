@@ -1,0 +1,102 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable spare : float option; (* cached second Box-Muller output *)
+}
+
+let default_seed = 0x9E3779B97F4A7C15L
+
+(* splitmix64: used only to expand a single seed into the four xoshiro words,
+   as recommended by the xoshiro authors. *)
+let splitmix64 state =
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed seed =
+  let st = ref seed in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3; spare = None }
+
+let create ?(seed = default_seed) () = of_seed seed
+let copy t = { t with spare = t.spare }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed (int64 t)
+let bits30 t = Int64.to_int (Int64.shift_right_logical (int64 t) 34)
+
+let int t n =
+  assert (n > 0);
+  if n land (n - 1) = 0 then bits30 t land (n - 1)
+  else begin
+    (* rejection sampling to avoid modulo bias *)
+    let rec draw () =
+      let v = bits30 t in
+      let bound = (1 lsl 30) - ((1 lsl 30) mod n) in
+      if v < bound then v mod n else draw ()
+    in
+    draw ()
+  end
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+(* 53 uniform bits mapped to [0,1) *)
+let unit_float t =
+  let bits = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bits *. 0x1p-53
+
+let float t x = unit_float t *. x
+let float_in t lo hi = lo +. (unit_float t *. (hi -. lo))
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let normal t ~mean ~sigma =
+  match t.spare with
+  | Some z ->
+      t.spare <- None;
+      mean +. (sigma *. z)
+  | None ->
+      let rec pair () =
+        let u = unit_float t in
+        if u <= 1e-300 then pair () else (u, unit_float t)
+      in
+      let u1, u2 = pair () in
+      let r = sqrt (-2.0 *. log u1) in
+      let theta = 2.0 *. Float.pi *. u2 in
+      t.spare <- Some (r *. sin theta);
+      mean +. (sigma *. (r *. cos theta))
+
+let lognormal t ~mu ~sigma = exp (normal t ~mean:mu ~sigma)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

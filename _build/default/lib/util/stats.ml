@@ -1,0 +1,93 @@
+type running = {
+  mutable n : int;
+  mutable mu : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let running () = { n = 0; mu = 0.; m2 = 0.; lo = infinity; hi = neg_infinity }
+
+let add r x =
+  r.n <- r.n + 1;
+  let delta = x -. r.mu in
+  r.mu <- r.mu +. (delta /. float_of_int r.n);
+  r.m2 <- r.m2 +. (delta *. (x -. r.mu));
+  if x < r.lo then r.lo <- x;
+  if x > r.hi then r.hi <- x
+
+let count r = r.n
+let mean r = r.mu
+let variance r = if r.n < 2 then 0. else r.m2 /. float_of_int (r.n - 1)
+let stddev r = sqrt (variance r)
+let running_min r = r.lo
+let running_max r = r.hi
+
+let mean_of xs =
+  assert (Array.length xs > 0);
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let stddev_of xs =
+  let r = running () in
+  Array.iter (add r) xs;
+  stddev r
+
+let percentile xs p =
+  assert (Array.length xs > 0 && p >= 0. && p <= 100.);
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = percentile xs 50.
+let minimum xs = Array.fold_left min infinity xs
+let maximum xs = Array.fold_left max neg_infinity xs
+
+let histogram ?(bins = 20) xs =
+  assert (bins > 0 && Array.length xs > 0);
+  let lo = minimum xs and hi = maximum xs in
+  let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+  let counts = Array.make bins 0 in
+  let index x =
+    let i = int_of_float ((x -. lo) /. width) in
+    if i >= bins then bins - 1 else if i < 0 then 0 else i
+  in
+  Array.iter (fun x -> counts.(index x) <- counts.(index x) + 1) xs;
+  Array.mapi
+    (fun i c ->
+      let l = lo +. (float_of_int i *. width) in
+      (l, l +. width, c))
+    counts
+
+let correlation xs ys =
+  assert (Array.length xs = Array.length ys && Array.length xs > 1);
+  let mx = mean_of xs and my = mean_of ys in
+  let num = ref 0. and dx2 = ref 0. and dy2 = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      num := !num +. (dx *. dy);
+      dx2 := !dx2 +. (dx *. dx);
+      dy2 := !dy2 +. (dy *. dy))
+    xs;
+  if !dx2 = 0. || !dy2 = 0. then 0. else !num /. sqrt (!dx2 *. !dy2)
+
+let linear_fit xs ys =
+  assert (Array.length xs = Array.length ys && Array.length xs > 1);
+  let mx = mean_of xs and my = mean_of ys in
+  let num = ref 0. and den = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx in
+      num := !num +. (dx *. (ys.(i) -. my));
+      den := !den +. (dx *. dx))
+    xs;
+  let slope = if !den = 0. then 0. else !num /. !den in
+  (slope, my -. (slope *. mx))

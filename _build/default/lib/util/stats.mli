@@ -1,0 +1,41 @@
+(** Descriptive statistics used by the Monte Carlo experiments and the
+    benchmark harness. *)
+
+(** {1 Running (Welford) accumulator} *)
+
+type running
+(** Single-pass accumulator for mean and variance. *)
+
+val running : unit -> running
+val add : running -> float -> unit
+val count : running -> int
+val mean : running -> float
+val variance : running -> float
+(** Unbiased sample variance; [0.] when fewer than two samples. *)
+
+val stddev : running -> float
+val running_min : running -> float
+val running_max : running -> float
+
+(** {1 Whole-sample statistics} *)
+
+val mean_of : float array -> float
+val stddev_of : float array -> float
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], by linear interpolation between
+    order statistics. The input array is not modified. Requires a non-empty
+    array. *)
+
+val median : float array -> float
+val minimum : float array -> float
+val maximum : float array -> float
+
+val histogram : ?bins:int -> float array -> (float * float * int) array
+(** [histogram xs] buckets samples into [bins] equal-width bins over
+    [\[min, max\]]; each entry is [(lo, hi, count)]. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient of two equal-length arrays. *)
+
+val linear_fit : float array -> float array -> float * float
+(** [linear_fit xs ys] is the least-squares [(slope, intercept)]. *)

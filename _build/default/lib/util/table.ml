@@ -1,0 +1,55 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?aligns ~header rows =
+  let cols = List.length header in
+  assert (List.for_all (fun r -> List.length r = cols) rows);
+  let aligns =
+    match aligns with
+    | Some a ->
+        assert (List.length a = cols);
+        a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths = Array.make cols 0 in
+  let feed row = List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row in
+  feed header;
+  List.iter feed rows;
+  let buf = Buffer.create 256 in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line row =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad (List.nth aligns i) widths.(i) cell);
+        Buffer.add_string buf " |")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  sep ();
+  line header;
+  sep ();
+  List.iter line rows;
+  sep ();
+  Buffer.contents buf
+
+let print ?aligns ~header rows = print_string (render ?aligns ~header rows)
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let fmt_ratio x = Printf.sprintf "x%.2f" x
+let fmt_pct x = Printf.sprintf "%.1f%%" (100. *. x)

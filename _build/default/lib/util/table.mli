@@ -1,0 +1,19 @@
+(** Plain-text table rendering for experiment reports and benchmark output. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the rows out in a boxed ASCII table; columns are
+    padded to the widest cell. [aligns] defaults to left for the first column
+    and right for the rest (the usual label-then-numbers layout). *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper, default 2 decimals. *)
+
+val fmt_ratio : float -> string
+(** Renders a speedup factor like ["x3.85"]. *)
+
+val fmt_pct : float -> string
+(** Renders a fraction as a percentage, e.g. [0.25 -> "25.0%"]. *)

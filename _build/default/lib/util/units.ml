@@ -1,0 +1,21 @@
+let ps_of_ns ns = ns *. 1000.
+let ns_of_ps ps = ps /. 1000.
+let mhz_of_period_ps ps = 1e6 /. ps
+let period_ps_of_mhz mhz = 1e6 /. mhz
+let ghz_of_period_ps ps = 1e3 /. ps
+let um_of_mm mm = mm *. 1000.
+let mm_of_um um = um /. 1000.
+let ff_of_pf pf = pf *. 1000.
+let kohm_of_ohm ohm = ohm /. 1000.
+
+let pp_time_ps ps =
+  if Float.abs ps >= 1000. then Printf.sprintf "%.2f ns" (ns_of_ps ps)
+  else Printf.sprintf "%.0f ps" ps
+
+let pp_freq_mhz mhz =
+  if mhz >= 1000. then Printf.sprintf "%.2f GHz" (mhz /. 1000.)
+  else Printf.sprintf "%.0f MHz" mhz
+
+let pp_length_um um =
+  if Float.abs um >= 1000. then Printf.sprintf "%.2f mm" (mm_of_um um)
+  else Printf.sprintf "%.1f um" um

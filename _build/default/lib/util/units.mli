@@ -1,0 +1,33 @@
+(** Unit conventions and formatting.
+
+    The whole library uses one consistent set of base units:
+    - time: picoseconds (ps)
+    - capacitance: femtofarads (fF)
+    - resistance: kilo-ohms (kOhm)  — so [r *. c] is directly in ps
+    - length: microns (um)
+    - area: square microns (um^2)
+    - frequency: megahertz (MHz)
+
+    These helpers convert and pretty-print; they exist so magnitude mistakes
+    show up as type-in-the-name errors at review time. *)
+
+val ps_of_ns : float -> float
+val ns_of_ps : float -> float
+val mhz_of_period_ps : float -> float
+(** [mhz_of_period_ps 1000.] = 1000 MHz. *)
+
+val period_ps_of_mhz : float -> float
+val ghz_of_period_ps : float -> float
+val um_of_mm : float -> float
+val mm_of_um : float -> float
+val ff_of_pf : float -> float
+val kohm_of_ohm : float -> float
+
+val pp_time_ps : float -> string
+(** Chooses ps/ns for readability, e.g. ["842 ps"], ["4.23 ns"]. *)
+
+val pp_freq_mhz : float -> string
+(** Chooses MHz/GHz, e.g. ["250 MHz"], ["1.00 GHz"]. *)
+
+val pp_length_um : float -> string
+(** Chooses um/mm. *)

@@ -1,0 +1,1 @@
+lib/variation/binning.ml: Array Model Montecarlo

@@ -1,0 +1,1 @@
+lib/variation/binning.mli: Montecarlo

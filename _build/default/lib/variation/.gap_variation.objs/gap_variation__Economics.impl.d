@@ -1,0 +1,1 @@
+lib/variation/economics.ml: Array Float Montecarlo Printf

@@ -1,0 +1,1 @@
+lib/variation/economics.mli: Montecarlo

@@ -1,0 +1,1 @@
+lib/variation/model.mli: Gap_util

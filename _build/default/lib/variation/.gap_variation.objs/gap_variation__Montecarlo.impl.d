@@ -1,0 +1,1 @@
+lib/variation/montecarlo.ml: Array Gap_util Model

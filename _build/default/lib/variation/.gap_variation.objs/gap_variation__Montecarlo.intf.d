@@ -1,0 +1,1 @@
+lib/variation/montecarlo.mli: Model

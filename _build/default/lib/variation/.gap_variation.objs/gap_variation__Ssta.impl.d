@@ -1,0 +1,1 @@
+lib/variation/ssta.ml: Array Float Gap_liberty Gap_netlist Gap_sta Gap_util List

@@ -1,0 +1,1 @@
+lib/variation/ssta.mli: Gap_netlist Gap_sta

@@ -1,0 +1,37 @@
+type bins = { edges_mhz : float array; counts : int array }
+
+let bin (run : Montecarlo.run) ~edges_mhz =
+  let n_edges = Array.length edges_mhz in
+  assert (n_edges >= 1);
+  for i = 1 to n_edges - 1 do
+    assert (edges_mhz.(i) >= edges_mhz.(i - 1))
+  done;
+  let counts = Array.make (n_edges + 1) 0 in
+  Array.iter
+    (fun f ->
+      (* index of the highest edge <= f, shifted by one; 0 = scrap *)
+      let rec find i = if i >= 0 && edges_mhz.(i) <= f then i + 1 else if i < 0 then 0 else find (i - 1) in
+      let idx = find (n_edges - 1) in
+      counts.(idx) <- counts.(idx) + 1)
+    run.Montecarlo.fmax_mhz;
+  { edges_mhz; counts }
+
+let yield_at run ~mhz = Montecarlo.fraction_above run mhz
+
+let signoff_mhz (run : Montecarlo.run) =
+  run.Montecarlo.nominal_mhz *. Model.signoff_speed run.Montecarlo.model
+
+let typical_vs_signoff run = Montecarlo.percentile run 50. /. signoff_mhz run
+
+let speed_test_gain run =
+  (* sell each tested part at its own speed; compare the 85%-yield binned
+     speed against the blanket worst-case rating *)
+  Montecarlo.percentile run 15. /. signoff_mhz run
+
+let top_bin_vs_typical run =
+  Montecarlo.percentile run 99. /. Montecarlo.percentile run 50.
+
+let custom_best_vs_asic_worst ~custom ~asic =
+  Montecarlo.percentile custom 99. /. signoff_mhz asic
+
+let fab_to_fab_span = (Model.best_fab /. Model.slow_fab) -. 1.

@@ -1,0 +1,37 @@
+(** Speed binning and the process-accessibility ratios of Sec. 8.
+
+    A fab quotes ASIC customers a worst-case ("signoff") speed it can
+    guarantee at high yield; actual dies are faster, and custom vendors
+    speed-test and bin each part. These functions compute the paper's derived
+    ratios from Monte Carlo runs. *)
+
+type bins = {
+  edges_mhz : float array;  (** ascending bin thresholds *)
+  counts : int array;  (** dies whose fmax falls between successive edges;
+                           [counts.(0)] is below [edges.(0)] (scrap) *)
+}
+
+val bin : Montecarlo.run -> edges_mhz:float array -> bins
+val yield_at : Montecarlo.run -> mhz:float -> float
+
+val typical_vs_signoff : Montecarlo.run -> float
+(** Median die speed over the library's quoted worst-case speed on this fab
+    (paper: 1.6-1.7x when the signoff is for the worse plants). *)
+
+val speed_test_gain : Montecarlo.run -> float
+(** Gain from testing each chip instead of trusting the signoff rating, at
+    85% yield: p15 / signoff (paper Sec. 8.3: "30% to 40%"). *)
+
+val top_bin_vs_typical : Montecarlo.run -> float
+(** p99 / p50: what the fastest parts off the line give you
+    (paper: 20-40% on a new process, without ASIC-usable yield). *)
+
+val custom_best_vs_asic_worst :
+  custom:Montecarlo.run -> asic:Montecarlo.run -> float
+(** Fastest custom parts from the best fab versus the ASIC design's
+    worst-case rating on its (slower) fab: the paper's overall ~1.9x process
+    factor. The custom run should use [Model.best_fab], the ASIC run
+    [Model.slow_fab]. *)
+
+val fab_to_fab_span : float
+(** [Model.best_fab / Model.slow_fab] - 1: the 20-25% fab-to-fab claim. *)

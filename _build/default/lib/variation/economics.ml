@@ -1,0 +1,70 @@
+type pricing = { base_price : float; price_slope : float; die_cost : float }
+
+let default_pricing = { base_price = 10.; price_slope = 2.0; die_cost = 3.0 }
+
+let price_at p ~nominal_mhz ~mhz =
+  let rel = (mhz -. nominal_mhz) /. nominal_mhz in
+  Float.max (0.2 *. p.base_price) (p.base_price *. (1. +. (p.price_slope *. rel)))
+
+type strategy_result = {
+  strategy : string;
+  revenue_per_die : float;
+  sold_fraction : float;
+  rating_mhz : float;
+}
+
+let single_rating p (run : Montecarlo.run) ~rating_mhz =
+  let nominal_mhz = run.Montecarlo.nominal_mhz in
+  let price = price_at p ~nominal_mhz ~mhz:rating_mhz in
+  let n = Array.length run.Montecarlo.fmax_mhz in
+  let sold =
+    Array.fold_left (fun acc f -> if f >= rating_mhz then acc + 1 else acc) 0
+      run.Montecarlo.fmax_mhz
+  in
+  let frac = float_of_int sold /. float_of_int n in
+  {
+    strategy = Printf.sprintf "single rating @ %.0f MHz" rating_mhz;
+    revenue_per_die = (frac *. price) -. p.die_cost;
+    sold_fraction = frac;
+    rating_mhz;
+  }
+
+let binned p (run : Montecarlo.run) ~edges_mhz =
+  assert (Array.length edges_mhz >= 1);
+  let nominal_mhz = run.Montecarlo.nominal_mhz in
+  let n = Array.length run.Montecarlo.fmax_mhz in
+  let revenue = ref 0. and sold = ref 0 in
+  Array.iter
+    (fun f ->
+      (* highest edge this die meets *)
+      let best = ref None in
+      Array.iter (fun e -> if f >= e then best := Some e) edges_mhz;
+      match !best with
+      | Some e ->
+          revenue := !revenue +. price_at p ~nominal_mhz ~mhz:e;
+          incr sold
+      | None -> ())
+    run.Montecarlo.fmax_mhz;
+  {
+    strategy =
+      Printf.sprintf "speed-binned (%d bins from %.0f MHz)" (Array.length edges_mhz)
+        edges_mhz.(0);
+    revenue_per_die = (!revenue /. float_of_int n) -. p.die_cost;
+    sold_fraction = float_of_int !sold /. float_of_int n;
+    rating_mhz = edges_mhz.(0);
+  }
+
+let die_yield ~area_mm2 ~defects_per_cm2 =
+  assert (area_mm2 >= 0. && defects_per_cm2 >= 0.);
+  let alpha = 2. in
+  let ad = area_mm2 /. 100. *. defects_per_cm2 in
+  (1. +. (ad /. alpha)) ** -.alpha
+
+let best_single_rating p run ~candidates =
+  assert (Array.length candidates >= 1);
+  Array.fold_left
+    (fun best rating ->
+      let r = single_rating p run ~rating_mhz:rating in
+      if r.revenue_per_die > best.revenue_per_die then r else best)
+    (single_rating p run ~rating_mhz:candidates.(0))
+    candidates

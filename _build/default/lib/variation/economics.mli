@@ -1,0 +1,52 @@
+(** Speed-binning economics.
+
+    Sec. 8.2: "Fabrication plants won't offer ASIC customers the top chip
+    speed off the production line, as they cannot guarantee a sufficiently
+    high yield for this to be profitable." This module prices that statement:
+    given a Monte Carlo fmax population, die cost, and a price curve over
+    frequency, compare the revenue of (a) rating every die at a guaranteed
+    worst-case speed, (b) binning tested dies into graded speed/price bins,
+    and (c) trying to sell only a top-speed rating. *)
+
+type pricing = {
+  base_price : float;  (** price of a part at the nominal frequency *)
+  price_slope : float;
+      (** relative price increase per relative speed increase, e.g. 2.0:
+          a part 10% faster sells for 20% more *)
+  die_cost : float;  (** manufacturing cost per die, sold or not *)
+}
+
+val default_pricing : pricing
+(** base 10.0, slope 2.0, die cost 3.0 — the shape, not a market survey. *)
+
+val price_at : pricing -> nominal_mhz:float -> mhz:float -> float
+(** Price of a part rated at [mhz], linear in relative speed, floored at
+    20% of base. *)
+
+type strategy_result = {
+  strategy : string;
+  revenue_per_die : float;  (** expected revenue net of die cost *)
+  sold_fraction : float;
+  rating_mhz : float;  (** the (lowest) speed rating offered *)
+}
+
+val single_rating :
+  pricing -> Montecarlo.run -> rating_mhz:float -> strategy_result
+(** Sell every die meeting [rating_mhz] at that one rating; dies below are
+    scrap. *)
+
+val binned :
+  pricing -> Montecarlo.run -> edges_mhz:float array -> strategy_result
+(** Speed-test each die and sell it in the highest bin it meets; dies below
+    the lowest edge are scrap. [rating_mhz] reports the lowest edge. *)
+
+val die_yield : area_mm2:float -> defects_per_cm2:float -> float
+(** Negative-binomial (clustered) defect yield,
+    [(1 + A D / alpha)^-alpha] with alpha = 2: the area side of a speed
+    technique also costs working dies — why the dual-rail domino's ~2x area
+    is not free even before power. *)
+
+val best_single_rating :
+  pricing -> Montecarlo.run -> candidates:float array -> strategy_result
+(** The revenue-maximizing single rating among [candidates] — this lands far
+    below the top of the distribution, which is the paper's point. *)

@@ -1,0 +1,15 @@
+let shrink_speed_gain ~linear_shrink =
+  assert (linear_shrink >= 0. && linear_shrink < 1.);
+  (* delay ~ Leff^1 directly, but a shrink also comes with oxide/Vt tuning;
+     empirically (Intel 856) 5% shrink -> 18% speed: (1/0.95)^3.5 = 1.197 *)
+  ((1. /. (1. -. linear_shrink)) ** 3.5) -. 1.
+
+let initial_spread =
+  (* shipped-part spread p5..p95 of the new-process distribution *)
+  let s = Model.total_sigma Model.new_process in
+  let lo = 1. -. (1.645 *. s) and hi = 1. +. (1.645 *. s) in
+  (hi /. lo) -. 1.
+
+let library_update_gain ~months =
+  assert (months >= 0.);
+  0.20 *. (1. -. exp (-.months /. 9.))

@@ -1,0 +1,21 @@
+(** Process maturity effects within one technology generation (Sec. 8.1.1).
+
+    A process improves after introduction: optical shrinks, transistor
+    tuning, and library re-characterization recover speed. Anchors from the
+    paper: Intel's 0.25um "856" process shrank dimensions 5% for an 18% speed
+    gain; initial 0.18um parts spanned 533-733 MHz; fabs release faster ASIC
+    libraries as Leff shortens. *)
+
+val shrink_speed_gain : linear_shrink:float -> float
+(** Speed gain from an optical shrink, calibrated so a 5% shrink gives ~18%
+    (gate delay ~ Leff, plus voltage/tuning headroom: exponent ~3.5 on the
+    shrink factor). *)
+
+val initial_spread : float
+(** Relative spread (max/min - 1) of shipped speeds when a process is new:
+    modeled from {!Model.new_process} at p5..p95 (+/-1.645 sigma), ~0.3-0.4. *)
+
+val library_update_gain : months:float -> float
+(** Speed recovered by re-characterized libraries as the process matures:
+    saturating exponential approaching 20% (Sec. 8.2: "potentially as much
+    as a 20% possible improvement in speed is lost" by not updating). *)

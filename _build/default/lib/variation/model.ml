@@ -1,0 +1,26 @@
+type sigmas = { lot : float; wafer : float; die : float; intra : float }
+
+let mature = { lot = 0.035; wafer = 0.025; die = 0.04; intra = 0.03 }
+let new_process = { lot = 0.05; wafer = 0.035; die = 0.06; intra = 0.045 }
+
+let total_sigma s = sqrt ((s.lot *. s.lot) +. (s.wafer *. s.wafer) +. (s.die *. s.die))
+
+type t = { sigmas : sigmas; fab_mean : float }
+
+let make ?(fab_mean = 1.0) sigmas = { sigmas; fab_mean }
+
+let sample_speed_factor t rng =
+  let s = t.sigmas in
+  let g sigma = Gap_util.Rng.normal rng ~mean:0. ~sigma in
+  let dtd = 1. +. g s.lot +. g s.wafer +. g s.die in
+  let intra_penalty = Float.abs (g s.intra) in
+  Float.max 0.05 (t.fab_mean *. dtd *. (1. -. intra_penalty))
+
+let best_fab = 1.05
+let typical_fab = 1.0
+let slow_fab = 0.85
+let voltage_temp_derate = 0.85
+let worst_case_sigma_count = 3.0
+
+let signoff_speed t =
+  t.fab_mean *. (1. -. (worst_case_sigma_count *. total_sigma t.sigmas)) *. voltage_temp_derate

@@ -1,0 +1,20 @@
+type run = { nominal_mhz : float; fmax_mhz : float array; model : Model.t }
+
+let simulate ?(seed = 2024L) ~model ~nominal_mhz ~dies () =
+  assert (dies > 0);
+  let rng = Gap_util.Rng.create ~seed () in
+  let fmax_mhz =
+    Array.init dies (fun _ -> nominal_mhz *. Model.sample_speed_factor model rng)
+  in
+  { nominal_mhz; fmax_mhz; model }
+
+let percentile run p = Gap_util.Stats.percentile run.fmax_mhz p
+let mean run = Gap_util.Stats.mean_of run.fmax_mhz
+
+let spread run =
+  (percentile run 99. -. percentile run 1.) /. percentile run 50.
+
+let fraction_above run mhz =
+  let n = Array.length run.fmax_mhz in
+  let above = Array.fold_left (fun acc f -> if f >= mhz then acc + 1 else acc) 0 run.fmax_mhz in
+  float_of_int above /. float_of_int n

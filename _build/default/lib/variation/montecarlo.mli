@@ -1,0 +1,18 @@
+(** Monte Carlo fmax sampling over a variation model. *)
+
+type run = {
+  nominal_mhz : float;
+  fmax_mhz : float array;  (** one entry per die, unsorted *)
+  model : Model.t;
+}
+
+val simulate :
+  ?seed:int64 -> model:Model.t -> nominal_mhz:float -> dies:int -> unit -> run
+
+val percentile : run -> float -> float
+val mean : run -> float
+val spread : run -> float
+(** (p99 - p1) / p50: the visible speed spread of shipped parts. *)
+
+val fraction_above : run -> float -> float
+(** Yield at a frequency: fraction of dies at or above [mhz]. *)

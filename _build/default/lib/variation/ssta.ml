@@ -1,0 +1,37 @@
+module Netlist = Gap_netlist.Netlist
+module Sta = Gap_sta.Sta
+module Cell = Gap_liberty.Cell
+
+type run = { nominal_ps : float; periods_ps : float array; sigma_cell : float }
+
+let simulate ?(seed = 51L) ?(samples = 200) ?(config = Sta.default_config) ~sigma_cell nl =
+  assert (sigma_cell >= 0. && sigma_cell < 0.5);
+  let rng = Gap_util.Rng.create ~seed () in
+  let nominal = (Sta.analyze ~config nl).Sta.min_period_ps in
+  (* stash the pre-existing wire delays so we can restore them *)
+  let saved = Array.init (Netlist.num_nets nl) (Netlist.wire_delay_ps nl) in
+  let comb = Netlist.combinational_instances nl in
+  let periods =
+    Array.init samples (fun _ ->
+        List.iter
+          (fun inst ->
+            let cell = Netlist.cell_of nl inst in
+            let onet = Netlist.out_net nl inst in
+            let load = Netlist.net_load_ff nl onet in
+            let d = Cell.delay_ps cell ~load_ff:load in
+            let factor =
+              Float.max 0.5 (Gap_util.Rng.normal rng ~mean:1.0 ~sigma:sigma_cell)
+            in
+            (* model the variation as extra (possibly negative) wire delay on
+               the cell's output, leaving cell data intact *)
+            Netlist.set_wire_delay_ps nl onet (saved.(onet) +. ((factor -. 1.) *. d)))
+          comb;
+        (Sta.analyze ~config nl).Sta.min_period_ps)
+  in
+  Array.iteri (fun net d -> Netlist.set_wire_delay_ps nl net d) saved;
+  { nominal_ps = nominal; periods_ps = periods; sigma_cell }
+
+let mean_period_ps r = Gap_util.Stats.mean_of r.periods_ps
+let sigma_period_ps r = Gap_util.Stats.stddev_of r.periods_ps
+let mean_shift r = (mean_period_ps r -. r.nominal_ps) /. r.nominal_ps
+let relative_sigma r = sigma_period_ps r /. mean_period_ps r

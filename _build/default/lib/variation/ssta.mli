@@ -1,0 +1,38 @@
+(** Statistical timing: intra-die variation at netlist granularity.
+
+    Sec. 8.1.1 lists intra-die variation among the process components; the
+    chip-level model ({!Model}) treats it as a lumped penalty. This module
+    derives that penalty from the netlist itself: each Monte Carlo sample
+    draws an independent delay factor per cell instance, re-runs STA, and
+    the resulting period distribution shows the two classic effects —
+    the mean period exceeds the nominal (a maximum over random paths) and
+    the relative spread shrinks with logic depth (averaging along paths). *)
+
+type run = {
+  nominal_ps : float;  (** STA period with all factors at 1 *)
+  periods_ps : float array;
+  sigma_cell : float;
+}
+
+val simulate :
+  ?seed:int64 ->
+  ?samples:int ->
+  ?config:Gap_sta.Sta.config ->
+  sigma_cell:float ->
+  Gap_netlist.Netlist.t ->
+  run
+(** [samples] defaults to 200. Each sample scales every combinational
+    instance's delay by an independent [N(1, sigma_cell)] factor (clamped to
+    [>= 0.5]) through per-net extra wire delay, leaving the netlist unchanged
+    afterwards. *)
+
+val mean_period_ps : run -> float
+val sigma_period_ps : run -> float
+
+val mean_shift : run -> float
+(** [(mean - nominal) / nominal]: the systematic slowdown intra-die
+    variation inflicts on the worst path (always >= ~0). *)
+
+val relative_sigma : run -> float
+(** [sigma / mean]: the chip-level sigma this netlist's depth implies —
+    feeds back into {!Model.sigmas}' [intra] component. *)

@@ -1,0 +1,1 @@
+test/test_clocktree.ml: Alcotest Gap_clocktree Gap_tech

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Gap_core Lazy List Printf String

@@ -1,0 +1,1 @@
+test/test_datapath.ml: Alcotest Array Gap_datapath Gap_logic Gap_util List Printf QCheck QCheck_alcotest

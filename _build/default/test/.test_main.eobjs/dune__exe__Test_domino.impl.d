@@ -1,0 +1,1 @@
+test/test_domino.ml: Alcotest Array Gap_datapath Gap_domino Gap_liberty Gap_logic Gap_netlist Gap_place Gap_sta Gap_synth Gap_tech Gap_util Int64 Lazy QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Gap_experiments List Printf String

@@ -1,0 +1,1 @@
+test/test_interconnect.ml: Alcotest Float Gap_interconnect Gap_tech

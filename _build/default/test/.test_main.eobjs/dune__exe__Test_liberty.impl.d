@@ -1,0 +1,1 @@
+test/test_liberty.ml: Alcotest Array Gap_liberty Gap_logic Gap_tech Lazy List Option Printf String

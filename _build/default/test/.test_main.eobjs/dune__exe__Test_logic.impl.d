@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Format Gap_datapath Gap_logic Gap_util Int64 List QCheck QCheck_alcotest

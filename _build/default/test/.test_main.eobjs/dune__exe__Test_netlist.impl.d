@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Gap_liberty Gap_netlist Gap_tech Lazy List Option

@@ -1,0 +1,1 @@
+test/test_place.ml: Alcotest Array Gap_datapath Gap_liberty Gap_netlist Gap_place Gap_sta Gap_synth Gap_tech Gap_util Hashtbl Int64 Lazy Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Gap_datapath Gap_domino Gap_liberty Gap_netlist Gap_retime Gap_synth Gap_tech Gap_util Lazy Option

@@ -1,0 +1,1 @@
+test/test_retime.ml: Alcotest Array Float Fun Gap_datapath Gap_liberty Gap_logic Gap_netlist Gap_retime Gap_sta Gap_synth Gap_tech Gap_util Gen Int64 Lazy List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sequential.ml: Alcotest Array Gap_datapath Gap_liberty Gap_netlist Gap_retime Gap_synth Gap_tech Gap_util Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Float Gap_datapath Gap_liberty Gap_netlist Gap_sta Gap_synth Gap_tech Gap_variation Lazy List Option Printf String

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Gap_datapath Gap_liberty Gap_logic Gap_netlist Gap_retime Gap_sta Gap_synth Gap_tech Gap_util Int64 Lazy List Option Printf QCheck QCheck_alcotest

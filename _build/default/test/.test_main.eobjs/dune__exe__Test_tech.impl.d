@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Float Format Gap_tech List String

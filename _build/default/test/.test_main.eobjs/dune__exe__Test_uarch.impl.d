@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Float Gap_uarch List

@@ -1,0 +1,1 @@
+test/test_variation.ml: Alcotest Array Gap_datapath Gap_liberty Gap_sta Gap_synth Gap_tech Gap_util Gap_variation Lazy

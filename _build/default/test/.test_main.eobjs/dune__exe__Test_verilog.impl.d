@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Array Bytes Gap_datapath Gap_liberty Gap_netlist Gap_retime Gap_sta Gap_synth Gap_tech Gap_util Int64 Lazy List Option QCheck QCheck_alcotest String

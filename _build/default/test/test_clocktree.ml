@@ -1,0 +1,50 @@
+(* Tests for Gap_clocktree: H-tree construction and skew model. *)
+
+module H = Gap_clocktree.Htree
+
+let tech = Gap_tech.Tech.asic_025um
+
+let test_levels_scale_with_sinks () =
+  let t1 = H.build ~tech ~die_side_um:10000. ~sinks:16 H.Asic_automated in
+  let t2 = H.build ~tech ~die_side_um:10000. ~sinks:16384 H.Asic_automated in
+  Alcotest.(check int) "16 sinks = 2 levels" 2 t1.H.levels;
+  Alcotest.(check int) "16k sinks = 7 levels" 7 t2.H.levels;
+  Alcotest.(check bool) "more levels, more latency" true (t2.H.latency_ps > t1.H.latency_ps)
+
+let test_latency_grows_with_die () =
+  let small = H.build ~tech ~die_side_um:2000. ~sinks:1000 H.Asic_automated in
+  let big = H.build ~tech ~die_side_um:15000. ~sinks:1000 H.Asic_automated in
+  Alcotest.(check bool) "bigger die slower tree" true (big.H.latency_ps > small.H.latency_ps);
+  Alcotest.(check bool) "wirelength grows" true (big.H.wirelength_um > small.H.wirelength_um)
+
+let test_custom_beats_asic () =
+  let asic = H.build ~tech ~die_side_um:10000. ~sinks:10000 H.Asic_automated in
+  let custom = H.build ~tech ~die_side_um:10000. ~sinks:10000 H.Custom_tuned in
+  Alcotest.(check (float 1e-9)) "same latency" asic.H.latency_ps custom.H.latency_ps;
+  Alcotest.(check bool) "much less skew" true (custom.H.skew_ps < asic.H.skew_ps /. 4.)
+
+let test_skew_fraction () =
+  let t = H.build ~tech ~die_side_um:10000. ~sinks:10000 H.Asic_automated in
+  let f = H.skew_fraction_of_period t ~period_ps:6666. in
+  Alcotest.(check (float 1e-9)) "fraction arithmetic" (t.H.skew_ps /. 6666.) f
+
+let test_speed_gain () =
+  let gain =
+    H.speed_gain_from_custom_skew ~tech ~die_side_um:10000. ~sinks:20000 ~period_ps:6666.
+  in
+  Alcotest.(check bool) "gain in 1.0 .. 1.2" true (gain > 1.0 && gain < 1.2)
+
+let test_root_to_leaf_bounded_by_die () =
+  let t = H.build ~tech ~die_side_um:10000. ~sinks:100000 H.Asic_automated in
+  (* geometric series of 0.75 * side halvings converges below 1.5 x side *)
+  Alcotest.(check bool) "wirelength below 1.5 die sides" true (t.H.wirelength_um < 15000.)
+
+let suite =
+  [
+    ("levels scale with sinks", `Quick, test_levels_scale_with_sinks);
+    ("latency grows with die", `Quick, test_latency_grows_with_die);
+    ("custom tuning beats ASIC CTS", `Quick, test_custom_beats_asic);
+    ("skew fraction", `Quick, test_skew_fraction);
+    ("speed gain from custom skew", `Quick, test_speed_gain);
+    ("wirelength bounded", `Quick, test_root_to_leaf_bounded_by_die);
+  ]

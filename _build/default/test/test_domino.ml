@@ -1,0 +1,149 @@
+(* Tests for Gap_domino: dual-rail domino synthesis. *)
+
+module Aig = Gap_logic.Aig
+module Dualrail = Gap_domino.Dualrail
+module Netlist = Gap_netlist.Netlist
+module Sim = Gap_netlist.Sim
+module Cell = Gap_liberty.Cell
+module Libgen = Gap_liberty.Libgen
+
+let tech = Gap_tech.Tech.asic_025um
+let domino_lib = lazy (Libgen.make tech Libgen.domino)
+let static_lib = lazy (Libgen.make tech Libgen.rich)
+
+let equivalent ?(vectors = 200) g nl =
+  let rng = Gap_util.Rng.create ~seed:123L () in
+  let n = Aig.num_inputs g in
+  let ok = ref true in
+  for _ = 1 to vectors do
+    let ins = Array.init n (fun _ -> Gap_util.Rng.bool rng) in
+    if Aig.eval g ins <> Sim.eval nl (Sim.initial nl) ins then ok := false
+  done;
+  !ok
+
+let test_dualrail_equivalence_adder () =
+  let g = Gap_datapath.Adders.cla_adder 8 in
+  let nl = Dualrail.map_aig ~domino_lib:(Lazy.force domino_lib) g in
+  Alcotest.(check bool) "domino adder equivalent" true (equivalent g nl);
+  Alcotest.(check bool) "clean" true (Gap_netlist.Check.is_clean nl)
+
+let test_dualrail_equivalence_xor_heavy () =
+  (* XOR forces both rails everywhere: the stress case for the De Morgan
+     bookkeeping *)
+  let g = Aig.create () in
+  let a = Aig.add_input g "a" and b = Aig.add_input g "b" and c = Aig.add_input g "c" in
+  Aig.add_output g "x" (Aig.xor_ g (Aig.xor_ g a b) c);
+  Aig.add_output g "nx" (Aig.negate (Aig.xor_ g a b));
+  let nl = Dualrail.map_aig ~domino_lib:(Lazy.force domino_lib) g in
+  Alcotest.(check bool) "xor3 equivalent" true (equivalent ~vectors:8 g nl)
+
+let dualrail_random_equivalence =
+  QCheck.Test.make ~name:"dual-rail preserves random logic" ~count:15
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let g =
+        Gap_datapath.Random_logic.generate ~seed:(Int64.of_int seed) ~inputs:10
+          ~outputs:5 ~gates:100 ()
+      in
+      let nl = Dualrail.map_aig ~domino_lib:(Lazy.force domino_lib) g in
+      equivalent ~vectors:100 g nl)
+
+let test_dualrail_cells_are_monotone_or_input_inverters () =
+  let g = Gap_datapath.Adders.kogge_stone_adder 8 in
+  let nl = Dualrail.map_aig ~domino_lib:(Lazy.force domino_lib) g in
+  for i = 0 to Netlist.num_instances nl - 1 do
+    let c = Netlist.cell_of nl i in
+    if c.Cell.family = Cell.Domino then
+      Alcotest.(check bool) "domino cell monotone" true
+        (Gap_logic.Truthtable.is_monotone c.Cell.func)
+    else if Cell.is_inverter c then
+      (* static inverters only complement primary inputs *)
+      Array.iter
+        (fun net ->
+          match Netlist.driver_of nl net with
+          | Netlist.From_input _ -> ()
+          | _ -> Alcotest.fail "inverter not at a primary input")
+        (Netlist.fanins_of nl i)
+  done
+
+let test_dualrail_area_cost () =
+  let g = Gap_datapath.Adders.cla_adder 8 in
+  let static = Gap_synth.Mapper.map_aig ~lib:(Lazy.force static_lib) g in
+  let dom = Dualrail.map_aig ~domino_lib:(Lazy.force domino_lib) g in
+  let dom_cells, invs = Dualrail.rails_instantiated dom in
+  Alcotest.(check bool) "uses domino cells" true (dom_cells > 0);
+  Alcotest.(check bool) "some input inverters" true (invs > 0);
+  (* dual-rail costs gates: between 1x and ~3x the static cover *)
+  let ratio = float_of_int (Netlist.num_instances dom) /. float_of_int (Netlist.num_instances static) in
+  Alcotest.(check bool) "rail duplication visible" true (ratio > 0.8 && ratio < 4.)
+
+let test_dualrail_speed_on_adder () =
+  let g = Gap_datapath.Adders.kogge_stone_adder 16 in
+  let effort = { Gap_synth.Flow.default_effort with Gap_synth.Flow.tilos_moves = 0 } in
+  let static = Gap_synth.Flow.run ~lib:(Lazy.force static_lib) ~effort g in
+  let dom = Dualrail.map_aig ~domino_lib:(Lazy.force domino_lib) g in
+  ignore (Gap_synth.Buffering.buffer_fanout dom);
+  ignore (Gap_synth.Sizing.tilos dom);
+  let sp = static.Gap_synth.Flow.sta.Gap_sta.Sta.min_period_ps in
+  let dp = (Gap_sta.Sta.analyze dom).Gap_sta.Sta.min_period_ps in
+  Alcotest.(check bool) "domino wins on the prefix adder" true (dp < sp)
+
+let test_dualrail_inverter_sharing () =
+  (* both rails of the same input complement share one static inverter *)
+  let g = Aig.create () in
+  let a = Aig.add_input g "a" and b = Aig.add_input g "b" in
+  Aig.add_output g "y1" (Aig.and_ g (Aig.negate a) b);
+  Aig.add_output g "y2" (Aig.or_ g (Aig.negate a) b);
+  let nl = Dualrail.map_aig ~domino_lib:(Lazy.force domino_lib) g in
+  let _, invs = Dualrail.rails_instantiated nl in
+  Alcotest.(check int) "one inverter for !a" 1 invs
+
+(* --- noise margins --- *)
+
+module Noise = Gap_domino.Noise
+
+let test_noise_margin_ordering () =
+  Alcotest.(check bool) "static most robust" true
+    (Noise.max_safe_coupling Noise.static_cmos > Noise.max_safe_coupling Noise.domino_keeper);
+  Alcotest.(check bool) "keeper helps" true
+    (Noise.max_safe_coupling Noise.domino_keeper > Noise.max_safe_coupling Noise.domino_unkeepered)
+
+let test_noise_fails_threshold () =
+  Alcotest.(check bool) "under margin safe" false
+    (Noise.fails Noise.static_cmos ~coupling_ratio:0.3);
+  Alcotest.(check bool) "same coupling kills bare domino" true
+    (Noise.fails Noise.domino_unkeepered ~coupling_ratio:0.3)
+
+let test_coupling_of_usage () =
+  Alcotest.(check (float 1e-9)) "single occupant no coupling" 0.
+    (Noise.coupling_of_usage ~usage:1 ~capacity:8);
+  Alcotest.(check bool) "more neighbours more coupling" true
+    (Noise.coupling_of_usage ~usage:6 ~capacity:8 > Noise.coupling_of_usage ~usage:3 ~capacity:8);
+  Alcotest.(check bool) "saturates" true (Noise.coupling_of_usage ~usage:100 ~capacity:8 <= 0.6)
+
+let test_noise_exposure () =
+  let lib = Lazy.force static_lib in
+  let nl = Gap_synth.Mapper.map_aig ~lib (Gap_datapath.Adders.cla_adder 8) in
+  ignore (Gap_place.Placer.place nl);
+  let routed = Gap_place.Router.route nl in
+  let s = Noise.exposure Noise.static_cmos nl routed in
+  let d = Noise.exposure Noise.domino_unkeepered nl routed in
+  Alcotest.(check bool) "domino at least as exposed" true (d.Noise.risk_frac >= s.Noise.risk_frac);
+  Alcotest.(check bool) "fractions bounded" true
+    (s.Noise.risk_frac >= 0. && d.Noise.risk_frac <= 1.);
+  Alcotest.(check int) "totals agree" s.Noise.nets_total d.Noise.nets_total
+
+let suite =
+  [
+    ("dual-rail adder equivalence", `Quick, test_dualrail_equivalence_adder);
+    ("dual-rail xor equivalence", `Quick, test_dualrail_equivalence_xor_heavy);
+    QCheck_alcotest.to_alcotest dualrail_random_equivalence;
+    ("monotone cells / input inverters only", `Quick, test_dualrail_cells_are_monotone_or_input_inverters);
+    ("area cost of rails", `Quick, test_dualrail_area_cost);
+    ("domino wins on prefix adder", `Quick, test_dualrail_speed_on_adder);
+    ("inverter sharing", `Quick, test_dualrail_inverter_sharing);
+    ("noise margin ordering", `Quick, test_noise_margin_ordering);
+    ("noise failure threshold", `Quick, test_noise_fails_threshold);
+    ("coupling from congestion", `Quick, test_coupling_of_usage);
+    ("noise exposure on routed block", `Quick, test_noise_exposure);
+  ]

@@ -1,0 +1,146 @@
+(* Tests for Gap_interconnect: wire RC, Elmore, repeaters, BACPAC model. *)
+
+module Wire = Gap_interconnect.Wire
+module Elmore = Gap_interconnect.Elmore
+module Repeater = Gap_interconnect.Repeater
+module Bacpac = Gap_interconnect.Bacpac
+
+let tech = Gap_tech.Tech.asic_025um
+let check_close msg tol expected actual = Alcotest.(check (float tol)) msg expected actual
+
+let test_wire_scaling () =
+  let w1 = Wire.of_tech tech in
+  let w2 = Wire.of_tech ~width_mult:2. tech in
+  Alcotest.(check bool) "wider wire less resistive" true (w2.Wire.r_kohm_per_um < w1.Wire.r_kohm_per_um);
+  Alcotest.(check bool) "wider wire more capacitive" true (w2.Wire.c_ff_per_um > w1.Wire.c_ff_per_um);
+  Alcotest.(check bool) "RC product improves" true
+    (w2.Wire.r_kohm_per_um *. w2.Wire.c_ff_per_um < w1.Wire.r_kohm_per_um *. w1.Wire.c_ff_per_um)
+
+let test_wire_totals_linear () =
+  let w = Wire.of_tech tech in
+  check_close "R linear" 1e-9
+    (2. *. Wire.total_r_kohm w ~length_um:500.)
+    (Wire.total_r_kohm w ~length_um:1000.);
+  check_close "C linear" 1e-9
+    (2. *. Wire.total_c_ff w ~length_um:500.)
+    (Wire.total_c_ff w ~length_um:1000.)
+
+let test_rc_delay_quadratic () =
+  let w = Wire.of_tech tech in
+  let d1 = Wire.rc_delay_ps w ~length_um:1000. in
+  let d2 = Wire.rc_delay_ps w ~length_um:2000. in
+  check_close "quadratic in length" 1e-6 (4. *. d1) d2
+
+let test_elmore_closed_vs_segmented () =
+  let w = Wire.of_tech tech in
+  let closed = Elmore.delay_ps ~r_drv_kohm:1. ~wire:w ~length_um:3000. ~c_load_ff:10. in
+  let seg = Elmore.segmented ~sections:256 ~r_drv_kohm:1. ~wire:w ~length_um:3000. ~c_load_ff:10. () in
+  (* the discretized ladder converges to within ~12% (0.345RC vs 0.38RC on
+     the distributed term) *)
+  Alcotest.(check bool) "within 12%" true (Float.abs (seg -. closed) /. closed < 0.12)
+
+let test_elmore_monotone () =
+  let w = Wire.of_tech tech in
+  let d len = Elmore.delay_ps ~r_drv_kohm:2. ~wire:w ~length_um:len ~c_load_ff:5. in
+  Alcotest.(check bool) "monotone in length" true (d 100. < d 200. && d 200. < d 1000.);
+  let dl load = Elmore.delay_ps ~r_drv_kohm:2. ~wire:w ~length_um:500. ~c_load_ff:load in
+  Alcotest.(check bool) "monotone in load" true (dl 1. < dl 100.)
+
+let test_repeater_count_grows () =
+  let w = Wire.of_tech tech in
+  let d = Repeater.default_driver tech in
+  let n1 = Repeater.optimal_count d w ~length_um:2000. in
+  let n2 = Repeater.optimal_count d w ~length_um:10000. in
+  Alcotest.(check bool) "longer wire wants more repeaters" true (n2 > n1);
+  Alcotest.(check int) "short wire wants none" 0 (Repeater.optimal_count d w ~length_um:100.)
+
+let test_repeater_beats_bare_wire () =
+  let w = Wire.of_tech tech in
+  let d = Repeater.default_driver tech in
+  let bare = Elmore.delay_ps ~r_drv_kohm:d.Repeater.r0_kohm ~wire:w ~length_um:10000. ~c_load_ff:d.Repeater.c0_ff in
+  let rep = Repeater.optimal_delay_ps d w ~length_um:10000. in
+  Alcotest.(check bool) "repeated 10mm much faster" true (rep < bare /. 4.)
+
+let test_repeated_delay_linear () =
+  let w = Wire.of_tech tech in
+  let d = Repeater.default_driver tech in
+  let d5 = Repeater.optimal_delay_ps d w ~length_um:5000. in
+  let d10 = Repeater.optimal_delay_ps d w ~length_um:10000. in
+  let ratio = d10 /. d5 in
+  Alcotest.(check bool) "roughly linear (1.8..2.2x)" true (ratio > 1.8 && ratio < 2.2)
+
+let test_delay_per_mm_plausible () =
+  let w = Wire.of_tech tech in
+  let d = Repeater.default_driver tech in
+  let per_mm = Repeater.delay_per_mm_ps d w in
+  (* 0.25um aluminum: tens of ps per mm with optimal repeaters *)
+  Alcotest.(check bool) "30..150 ps/mm" true (per_mm > 30. && per_mm < 150.)
+
+let test_optimal_size_positive () =
+  let w = Wire.of_tech tech in
+  let d = Repeater.default_driver tech in
+  let h = Repeater.optimal_size d w in
+  Alcotest.(check bool) "sensible repeater size" true (h > 5. && h < 500.)
+
+let test_bacpac_geometry () =
+  let chip = Bacpac.default_chip in
+  check_close "die side" 1e-9 10. (Bacpac.die_side_mm chip);
+  check_close "cross-chip wire" 1e-6 20000. (Bacpac.cross_chip_length_um chip);
+  check_close "local wire" 1e-6 2000. (Bacpac.local_length_um chip)
+
+let test_bacpac_speedup_shape () =
+  let chip = Bacpac.default_chip in
+  let s d = Bacpac.floorplan_speedup ~tech ~logic_depth_fo4:d ~chip in
+  Alcotest.(check bool) "speedup > 1" true (s 44. > 1.);
+  Alcotest.(check bool) "shallower logic suffers more from wires" true (s 20. > s 80.);
+  let p = Bacpac.path ~tech ~logic_depth_fo4:44. ~wire_length_um:10000. in
+  check_close "total = logic + wire" 1e-9
+    p.Bacpac.total_ps
+    (p.Bacpac.logic_ps +. p.Bacpac.wire_ps)
+
+let test_bacpac_vs_paper_band () =
+  let s =
+    Bacpac.floorplan_speedup ~tech ~logic_depth_fo4:44. ~chip:Bacpac.default_chip
+  in
+  Alcotest.(check bool) "44 FO4 speedup in 1.15..1.40" true (s > 1.15 && s < 1.40)
+
+(* --- wire sizing --- *)
+
+let test_wire_opt_beats_minimum () =
+  let w, d = Gap_interconnect.Wire_opt.optimal_width tech ~length_um:10000. in
+  Alcotest.(check bool) "width above minimum" true (w > 1.);
+  let d1 = Gap_interconnect.Wire_opt.delay_at_width tech ~length_um:10000. ~width_mult:1. in
+  Alcotest.(check bool) "optimum no slower" true (d <= d1 +. 1e-9)
+
+let test_wire_opt_is_local_minimum () =
+  let len = 8000. in
+  let w, d = Gap_interconnect.Wire_opt.optimal_width ~max_width:6. tech ~length_um:len in
+  let at x = Gap_interconnect.Wire_opt.delay_at_width tech ~length_um:len ~width_mult:x in
+  if w > 1.05 && w < 5.95 then begin
+    Alcotest.(check bool) "left neighbour worse" true (at (w *. 0.9) >= d -. 1e-6);
+    Alcotest.(check bool) "right neighbour worse" true (at (w *. 1.1) >= d -. 1e-6)
+  end
+
+let test_wire_opt_gain_reasonable () =
+  let gain = Gap_interconnect.Wire_opt.sizing_gain tech ~length_um:10000. in
+  Alcotest.(check bool) "gain in 1..2" true (gain >= 1. && gain < 2.)
+
+let suite =
+  [
+    ("wire width scaling", `Quick, test_wire_scaling);
+    ("wire totals linear", `Quick, test_wire_totals_linear);
+    ("bare RC quadratic", `Quick, test_rc_delay_quadratic);
+    ("elmore closed vs segmented", `Quick, test_elmore_closed_vs_segmented);
+    ("elmore monotone", `Quick, test_elmore_monotone);
+    ("repeater count grows with length", `Quick, test_repeater_count_grows);
+    ("repeaters beat bare wire", `Quick, test_repeater_beats_bare_wire);
+    ("repeated delay linear", `Quick, test_repeated_delay_linear);
+    ("delay per mm plausible", `Quick, test_delay_per_mm_plausible);
+    ("optimal repeater size", `Quick, test_optimal_size_positive);
+    ("bacpac geometry", `Quick, test_bacpac_geometry);
+    ("bacpac speedup shape", `Quick, test_bacpac_speedup_shape);
+    ("bacpac vs paper band", `Quick, test_bacpac_vs_paper_band);
+    ("wire sizing beats minimum", `Quick, test_wire_opt_beats_minimum);
+    ("wire sizing local minimum", `Quick, test_wire_opt_is_local_minimum);
+    ("wire sizing gain", `Quick, test_wire_opt_gain_reasonable);
+  ]

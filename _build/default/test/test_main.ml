@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "asic-custom-gap"
+    [
+      ("util", Test_util.suite);
+      ("tech", Test_tech.suite);
+      ("logic", Test_logic.suite);
+      ("liberty", Test_liberty.suite);
+      ("netlist", Test_netlist.suite);
+      ("verilog", Test_verilog.suite);
+      ("power", Test_power.suite);
+      ("datapath", Test_datapath.suite);
+      ("sta", Test_sta.suite);
+      ("synth", Test_synth.suite);
+      ("interconnect", Test_interconnect.suite);
+      ("place", Test_place.suite);
+      ("clocktree", Test_clocktree.suite);
+      ("retime", Test_retime.suite);
+      ("sequential", Test_sequential.suite);
+      ("domino", Test_domino.suite);
+      ("variation", Test_variation.suite);
+      ("uarch", Test_uarch.suite);
+      ("core", Test_core.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,188 @@
+(* Tests for Gap_netlist: database operations, checks, simulation. *)
+
+module Netlist = Gap_netlist.Netlist
+module Check = Gap_netlist.Check
+module Sim = Gap_netlist.Sim
+module Library = Gap_liberty.Library
+module Cell = Gap_liberty.Cell
+module Libgen = Gap_liberty.Libgen
+
+let lib = lazy (Libgen.make Gap_tech.Tech.asic_025um Libgen.rich)
+let cell base drive = Option.get (Library.find (Lazy.force lib) ~base ~drive)
+
+(* y = !(a & b) & c, plus a registered copy of y *)
+let build_example () =
+  let nl = Netlist.create ~lib:(Lazy.force lib) "example" in
+  let a = Netlist.add_input nl "a" in
+  let b = Netlist.add_input nl "b" in
+  let c = Netlist.add_input nl "c" in
+  let nand = Netlist.add_cell nl (cell "NAND2" 1.) [| a; b |] in
+  let and2 = Netlist.add_cell nl (cell "AND2" 1.) [| Netlist.out_net nl nand; c |] in
+  let flop = Netlist.add_cell nl (Library.smallest_flop (Lazy.force lib)) [| Netlist.out_net nl and2 |] in
+  ignore (Netlist.set_output nl "y" (Netlist.out_net nl and2));
+  ignore (Netlist.set_output nl "q" (Netlist.out_net nl flop));
+  (nl, nand, and2, flop)
+
+let test_structure () =
+  let nl, nand, and2, flop = build_example () in
+  Alcotest.(check int) "instances" 3 (Netlist.num_instances nl);
+  Alcotest.(check int) "inputs" 3 (Netlist.num_inputs nl);
+  Alcotest.(check int) "outputs" 2 (Netlist.num_outputs nl);
+  Alcotest.(check bool) "flop detected" true (Netlist.is_flop nl flop);
+  Alcotest.(check bool) "comb not flop" false (Netlist.is_flop nl nand);
+  Alcotest.(check (list int)) "flops list" [ flop ] (Netlist.flops nl);
+  Alcotest.(check (list int)) "comb list" [ nand; and2 ] (Netlist.combinational_instances nl);
+  Alcotest.(check string) "input name" "a" (Netlist.input_name nl 0);
+  Alcotest.(check string) "output name" "y" (Netlist.output_name nl 0)
+
+let test_check_clean () =
+  let nl, _, _, _ = build_example () in
+  Alcotest.(check bool) "clean" true (Check.is_clean nl)
+
+let test_check_detects_undriven () =
+  (* simulate an undriven net by constructing one directly: add_cell then
+     rewire a pin to a net that exists but has no driver is impossible through
+     the API, so check the Undriven classification on an input net whose
+     driver was never set... instead: an output fed by an undriven net can't
+     be built, so we just confirm a clean netlist reports no issues and a
+     dangling net is reported. *)
+  let nl = Netlist.create ~lib:(Lazy.force lib) "dangling" in
+  let a = Netlist.add_input nl "a" in
+  let inv = Netlist.add_cell nl (cell "INV" 1.) [| a |] in
+  ignore inv;
+  (* inverter output drives nothing: dangling *)
+  let issues = Check.check nl in
+  Alcotest.(check bool) "dangling reported" true
+    (List.exists (function Check.Dangling_net _ -> true | _ -> false) issues);
+  Alcotest.(check bool) "still clean (dangling is benign)" true (Check.is_clean nl)
+
+let test_topo_order () =
+  let nl, nand, and2, _ = build_example () in
+  let order = Array.to_list (Netlist.topo_instances nl) in
+  let pos x =
+    let rec go i = function
+      | [] -> -1
+      | y :: rest -> if x = y then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  Alcotest.(check bool) "nand before and2" true (pos nand < pos and2)
+
+let test_net_load () =
+  let nl, nand, and2, _ = build_example () in
+  ignore nand;
+  let a_net = Netlist.input_net nl 0 in
+  let nand_cell = Netlist.cell_of nl 0 in
+  Alcotest.(check (float 1e-9)) "a loads one NAND pin" nand_cell.Cell.input_cap_ff
+    (Netlist.net_load_ff nl a_net);
+  Netlist.set_wire_cap_ff nl a_net 5.;
+  Alcotest.(check (float 1e-9)) "wire cap adds" (nand_cell.Cell.input_cap_ff +. 5.)
+    (Netlist.net_load_ff nl a_net);
+  ignore and2
+
+let test_sim_comb () =
+  let nl, _, _, _ = build_example () in
+  let st = Sim.initial nl in
+  for m = 0 to 7 do
+    let bit i = m land (1 lsl i) <> 0 in
+    let outs = Sim.eval nl st [| bit 0; bit 1; bit 2 |] in
+    let expect = (not (bit 0 && bit 1)) && bit 2 in
+    Alcotest.(check bool) "y = !(a&b) & c" expect outs.(0)
+  done
+
+let test_sim_sequential () =
+  let nl, _, _, _ = build_example () in
+  (* q lags y by one cycle *)
+  let inputs =
+    [ [| true; false; true |]; [| true; true; true |]; [| false; false; false |] ]
+  in
+  let outs = Sim.run nl inputs in
+  let y_values = List.map (fun o -> o.(0)) outs in
+  let q_values = List.map (fun o -> o.(1)) outs in
+  Alcotest.(check (list bool)) "y" [ true; false; false ] y_values;
+  Alcotest.(check (list bool)) "q delayed" [ false; true; false ] q_values
+
+let test_replace_cell () =
+  let nl, nand, _, _ = build_example () in
+  let before = (Netlist.cell_of nl nand).Cell.drive in
+  Netlist.replace_cell nl nand (cell "NAND2" 4.);
+  Alcotest.(check bool) "drive changed" true ((Netlist.cell_of nl nand).Cell.drive <> before);
+  (* function unchanged *)
+  let st = Sim.initial nl in
+  let outs = Sim.eval nl st [| true; true; true |] in
+  Alcotest.(check bool) "logic preserved" false outs.(0)
+
+let test_rewire_pin () =
+  let nl, _, and2, _ = build_example () in
+  let c_net = Netlist.input_net nl 2 in
+  let a_net = Netlist.input_net nl 0 in
+  Netlist.rewire_pin nl ~inst:and2 ~pin:1 a_net;
+  Alcotest.(check int) "pin now on a" a_net (Netlist.fanins_of nl and2).(1);
+  let sinks_c = Netlist.sinks_of nl c_net in
+  Alcotest.(check bool) "old sink removed" false
+    (List.exists (function Gap_netlist.Netlist.To_pin (i, p) -> i = and2 && p = 1 | _ -> false) sinks_c)
+
+let test_insert_on_sinks_preserves_function () =
+  let nl, _, and2, _ = build_example () in
+  let y_before =
+    let st = Sim.initial nl in
+    List.map (fun m ->
+        let bit i = m land (1 lsl i) <> 0 in
+        (Sim.eval nl st [| bit 0; bit 1; bit 2 |]).(0))
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  let nand_out = (Netlist.fanins_of nl and2).(0) in
+  let buf = List.hd (Library.buffers (Lazy.force lib)) in
+  let sinks = Netlist.sinks_of nl nand_out in
+  ignore (Netlist.insert_on_sinks nl buf ~net:nand_out ~sinks);
+  let y_after =
+    let st = Sim.initial nl in
+    List.map (fun m ->
+        let bit i = m land (1 lsl i) <> 0 in
+        (Sim.eval nl st [| bit 0; bit 1; bit 2 |]).(0))
+      [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  Alcotest.(check (list bool)) "buffer preserves logic" y_before y_after;
+  Alcotest.(check bool) "still clean" true (Check.is_clean nl)
+
+let test_area_and_parasitics () =
+  let nl, _, _, _ = build_example () in
+  Alcotest.(check bool) "area positive" true (Netlist.area_um2 nl > 0.);
+  Netlist.set_wire_delay_ps nl 0 42.;
+  Alcotest.(check (float 1e-9)) "wire delay set" 42. (Netlist.wire_delay_ps nl 0);
+  Netlist.clear_parasitics nl;
+  Alcotest.(check (float 1e-9)) "cleared" 0. (Netlist.wire_delay_ps nl 0)
+
+let test_placement_roundtrip () =
+  let nl, nand, _, _ = build_example () in
+  Alcotest.(check bool) "unplaced" true (Netlist.location nl nand = None);
+  Netlist.place nl nand ~x_um:10. ~y_um:20.;
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9)))) "placed" (Some (10., 20.))
+    (Netlist.location nl nand)
+
+let test_const_nets () =
+  let nl = Netlist.create ~lib:(Lazy.force lib) "const" in
+  let one = Netlist.add_const nl true in
+  let a = Netlist.add_input nl "a" in
+  let and2 = Netlist.add_cell nl (cell "AND2" 1.) [| a; one |] in
+  ignore (Netlist.set_output nl "y" (Netlist.out_net nl and2));
+  let st = Sim.initial nl in
+  Alcotest.(check bool) "a & 1 = a (true)" true (Sim.eval nl st [| true |]).(0);
+  Alcotest.(check bool) "a & 1 = a (false)" false (Sim.eval nl st [| false |]).(0)
+
+let suite =
+  [
+    ("structure accessors", `Quick, test_structure);
+    ("check clean", `Quick, test_check_clean);
+    ("check dangling", `Quick, test_check_detects_undriven);
+    ("topological order", `Quick, test_topo_order);
+    ("net load", `Quick, test_net_load);
+    ("combinational simulation", `Quick, test_sim_comb);
+    ("sequential simulation", `Quick, test_sim_sequential);
+    ("replace cell", `Quick, test_replace_cell);
+    ("rewire pin", `Quick, test_rewire_pin);
+    ("insert_on_sinks preserves function", `Quick, test_insert_on_sinks_preserves_function);
+    ("area and parasitics", `Quick, test_area_and_parasitics);
+    ("placement roundtrip", `Quick, test_placement_roundtrip);
+    ("constant nets", `Quick, test_const_nets);
+  ]

@@ -1,0 +1,326 @@
+(* Tests for Gap_place: HPWL, annealing placer, slicing floorplanner, wire
+   estimation. *)
+
+module Hpwl = Gap_place.Hpwl
+module Placer = Gap_place.Placer
+module Floorplan = Gap_place.Floorplan
+module Netlist = Gap_netlist.Netlist
+module Libgen = Gap_liberty.Libgen
+
+let lib = lazy (Libgen.make Gap_tech.Tech.asic_025um Libgen.rich)
+
+let mapped_circuit () =
+  Gap_synth.Mapper.map_aig ~lib:(Lazy.force lib) (Gap_datapath.Adders.cla_adder 8)
+
+let check_close msg tol expected actual = Alcotest.(check (float tol)) msg expected actual
+
+let test_hpwl_points () =
+  check_close "empty" 1e-9 0. (Hpwl.of_points []);
+  check_close "singleton" 1e-9 0. (Hpwl.of_points [ (3., 4.) ]);
+  check_close "rectangle" 1e-9 7. (Hpwl.of_points [ (0., 0.); (3., 4.); (1., 1.) ]);
+  check_close "line" 1e-9 5. (Hpwl.of_points [ (0., 0.); (5., 0.) ])
+
+let test_hpwl_netlist () =
+  let nl = mapped_circuit () in
+  check_close "unplaced = 0" 1e-9 0. (Hpwl.total_um nl);
+  ignore (Placer.place_random nl);
+  Alcotest.(check bool) "placed > 0" true (Hpwl.total_um nl > 0.)
+
+let test_placer_improves () =
+  let nl = mapped_circuit () in
+  let stats = Placer.place ~options:{ Placer.default_options with Placer.sweeps = 30 } nl in
+  Alcotest.(check bool) "final <= initial" true
+    (stats.Placer.final_hpwl_um <= stats.Placer.initial_hpwl_um);
+  Alcotest.(check bool) "substantial improvement" true
+    (stats.Placer.final_hpwl_um < 0.8 *. stats.Placer.initial_hpwl_um);
+  Alcotest.(check bool) "moves accepted" true (stats.Placer.moves_accepted > 0)
+
+let test_placer_places_everything () =
+  let nl = mapped_circuit () in
+  ignore (Placer.place ~options:{ Placer.default_options with Placer.sweeps = 5 } nl);
+  for i = 0 to Netlist.num_instances nl - 1 do
+    Alcotest.(check bool) "instance placed" true (Netlist.location nl i <> None)
+  done
+
+let test_placer_deterministic () =
+  let run () =
+    let nl = mapped_circuit () in
+    let s = Placer.place ~options:{ Placer.default_options with Placer.sweeps = 10 } nl in
+    s.Placer.final_hpwl_um
+  in
+  check_close "same seed same result" 1e-9 (run ()) (run ())
+
+let test_placer_no_slot_collision () =
+  let nl = mapped_circuit () in
+  ignore (Placer.place ~options:{ Placer.default_options with Placer.sweeps = 10 } nl);
+  let seen = Hashtbl.create 64 in
+  for i = 0 to Netlist.num_instances nl - 1 do
+    match Netlist.location nl i with
+    | Some (x, y) ->
+        let key = (int_of_float x, int_of_float y) in
+        Alcotest.(check bool) "one cell per site" false (Hashtbl.mem seen key);
+        Hashtbl.add seen key ()
+    | None -> Alcotest.fail "unplaced"
+  done
+
+let test_die_side () =
+  let nl = mapped_circuit () in
+  let side = Placer.die_side_um nl in
+  Alcotest.(check bool) "die fits area" true
+    (side *. side >= Netlist.area_um2 nl)
+
+(* --- floorplan --- *)
+
+let blocks n =
+  let rng = Gap_util.Rng.create ~seed:17L () in
+  Array.init n (fun i ->
+      {
+        Floorplan.block_name = Printf.sprintf "b%d" i;
+        w_um = 100. +. Gap_util.Rng.float rng 400.;
+        h_um = 100. +. Gap_util.Rng.float rng 400.;
+      })
+
+let test_floorplan_initial_valid () =
+  let fp = Floorplan.initial (blocks 8) in
+  Alcotest.(check bool) "valid" true (Floorplan.is_valid fp);
+  let layout = Floorplan.evaluate fp in
+  Alcotest.(check bool) "area covers blocks" true
+    (layout.Floorplan.area_um2 >= Floorplan.blocks_area_um2 fp -. 1e-6)
+
+let rects_overlap (x1, y1, w1, h1) (x2, y2, w2, h2) =
+  x1 < x2 +. w2 -. 1e-9 && x2 < x1 +. w1 -. 1e-9 && y1 < y2 +. h2 -. 1e-9
+  && y2 < y1 +. h1 -. 1e-9
+
+let check_no_overlap (fp : Floorplan.t) =
+  let layout = Floorplan.evaluate fp in
+  let rects =
+    Array.mapi
+      (fun i (x, y) -> (x, y, fp.Floorplan.blocks.(i).Floorplan.w_um, fp.Floorplan.blocks.(i).Floorplan.h_um))
+      layout.Floorplan.positions
+  in
+  Array.iteri
+    (fun i r1 ->
+      Array.iteri
+        (fun j r2 ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "blocks %d,%d overlap-free" i j)
+              false (rects_overlap r1 r2))
+        rects)
+    rects;
+  (* all blocks inside the bounding box *)
+  Array.iter
+    (fun (x, y, w, h) ->
+      Alcotest.(check bool) "inside bbox" true
+        (x >= -1e-9 && y >= -1e-9
+        && x +. w <= layout.Floorplan.width_um +. 1e-6
+        && y +. h <= layout.Floorplan.height_um +. 1e-6))
+    rects
+
+let test_floorplan_no_overlap_initial () = check_no_overlap (Floorplan.initial (blocks 10))
+
+let test_floorplan_anneal_improves () =
+  let fp = Floorplan.initial (blocks 12) in
+  let r = Floorplan.anneal ~sweeps:120 fp in
+  Alcotest.(check bool) "area reduced" true
+    (r.Floorplan.layout.Floorplan.area_um2 < r.Floorplan.initial_area_um2);
+  Alcotest.(check bool) "result valid" true (Floorplan.is_valid r.Floorplan.plan);
+  check_no_overlap r.Floorplan.plan;
+  Alcotest.(check bool) "dead space bounded" true
+    (Floorplan.dead_space_frac r.Floorplan.plan < 0.35)
+
+let test_floorplan_single_block () =
+  let fp = Floorplan.initial (blocks 1) in
+  Alcotest.(check bool) "valid" true (Floorplan.is_valid fp);
+  let layout = Floorplan.evaluate fp in
+  check_close "area = block" 1e-6 (Floorplan.blocks_area_um2 fp) layout.Floorplan.area_um2
+
+(* --- wire estimation --- *)
+
+let test_wire_estimate_annotates () =
+  let nl = mapped_circuit () in
+  ignore (Placer.place ~options:{ Placer.default_options with Placer.sweeps = 10 } nl);
+  Gap_place.Wire_estimate.annotate nl;
+  let total_cap = ref 0. in
+  for net = 0 to Netlist.num_nets nl - 1 do
+    total_cap := !total_cap +. Netlist.wire_cap_ff nl net
+  done;
+  Alcotest.(check bool) "wire caps set" true (!total_cap > 0.);
+  Gap_place.Wire_estimate.clear nl;
+  let after = ref 0. in
+  for net = 0 to Netlist.num_nets nl - 1 do
+    after := !after +. Netlist.wire_cap_ff nl net
+  done;
+  check_close "cleared" 1e-9 0. !after
+
+let test_wire_estimate_slows_timing () =
+  let nl = mapped_circuit () in
+  let before = (Gap_sta.Sta.analyze nl).Gap_sta.Sta.min_period_ps in
+  ignore (Placer.place_random nl);
+  Gap_place.Wire_estimate.annotate nl;
+  let after = (Gap_sta.Sta.analyze nl).Gap_sta.Sta.min_period_ps in
+  Alcotest.(check bool) "wires slow the design" true (after > before)
+
+(* --- router --- *)
+
+module Router = Gap_place.Router
+
+let placed_circuit () =
+  let nl = mapped_circuit () in
+  ignore (Placer.place ~options:{ Placer.default_options with Placer.sweeps = 15 } nl);
+  nl
+
+let test_router_routes_everything () =
+  let nl = placed_circuit () in
+  let r = Router.route nl in
+  (* every multi-pin net with distinct cells gets a non-zero length unless
+     its pins share a grid cell *)
+  Alcotest.(check bool) "total length positive" true (r.Router.total_len_um > 0.);
+  Alcotest.(check bool) "grid sized" true (r.Router.grid_side > 2)
+
+let test_router_at_least_hpwl_two_pin () =
+  (* a straight two-pin connection routes at Manhattan distance: build one *)
+  let lib = Lazy.force lib in
+  let nl = Netlist.create ~lib "wire2" in
+  let a = Netlist.add_input nl "a" in
+  let inv_cell = Option.get (Gap_liberty.Library.find lib ~base:"INV" ~drive:1.) in
+  let u0 = Netlist.add_cell nl inv_cell [| a |] in
+  let u1 = Netlist.add_cell nl inv_cell [| Netlist.out_net nl u0 |] in
+  ignore (Netlist.set_output nl "y" (Netlist.out_net nl u1));
+  Netlist.place nl u0 ~x_um:0. ~y_um:0.;
+  Netlist.place nl u1 ~x_um:50. ~y_um:30.;
+  let r = Router.route nl in
+  let net = Netlist.out_net nl u0 in
+  let hpwl = Hpwl.net_length_um nl net in
+  Alcotest.(check bool) "routed >= ~hpwl" true
+    (r.Router.routed_len_um.(net) >= 0.8 *. hpwl)
+
+let test_router_deterministic () =
+  let run () =
+    let nl = placed_circuit () in
+    (Router.route nl).Router.total_len_um
+  in
+  check_close "deterministic" 1e-9 (run ()) (run ())
+
+let test_router_capacity_pressure () =
+  let nl = placed_circuit () in
+  let tight = Router.route ~capacity:1 nl in
+  let loose = Router.route ~capacity:64 nl in
+  Alcotest.(check bool) "loose grid has less overflow" true
+    (loose.Router.overflowed_cells <= tight.Router.overflowed_cells);
+  Alcotest.(check bool) "detour at least 1" true (Router.detour_factor nl loose >= 0.99)
+
+let test_router_annotate_slows_timing () =
+  let nl = placed_circuit () in
+  Gap_netlist.Netlist.clear_parasitics nl;
+  let before = (Gap_sta.Sta.analyze nl).Gap_sta.Sta.min_period_ps in
+  let r = Router.route nl in
+  Router.annotate nl r;
+  let after = (Gap_sta.Sta.analyze nl).Gap_sta.Sta.min_period_ps in
+  Alcotest.(check bool) "routed wires slow the design" true (after > before)
+
+let test_router_rejects_unplaced () =
+  let nl = mapped_circuit () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Router.route nl);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- tiler --- *)
+
+module Tiler = Gap_place.Tiler
+
+let test_tiler_recovers_slices () =
+  let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force lib) (Gap_datapath.Adders.ripple_adder 8) in
+  let stats = Tiler.place nl in
+  Alcotest.(check int) "8 slices" 8 stats.Tiler.rows;
+  Alcotest.(check bool) "columns follow levels" true (stats.Tiler.cols > 4);
+  for i = 0 to Netlist.num_instances nl - 1 do
+    Alcotest.(check bool) "placed" true (Netlist.location nl i <> None)
+  done
+
+let test_tiler_slice_assignment () =
+  let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force lib) (Gap_datapath.Adders.ripple_adder 4) in
+  let slice = Tiler.slice_of_instances nl in
+  (* s0's driver must be in slice 0 *)
+  (match Netlist.driver_of nl (Netlist.output_net nl 0) with
+  | Netlist.From_cell i -> Alcotest.(check int) "s0 driver slice" 0 slice.(i)
+  | _ -> Alcotest.fail "s0 undriven");
+  Array.iteri
+    (fun i s ->
+      if s >= 0 then
+        Alcotest.(check bool) (Printf.sprintf "slice %d of u%d sane" s i) true (s < 5))
+    slice
+
+let test_tiler_beats_random_timing () =
+  let build () =
+    Gap_synth.Mapper.map_aig ~lib:(Lazy.force lib) (Gap_datapath.Adders.ripple_adder 12)
+  in
+  let tiled = build () in
+  ignore (Tiler.place tiled);
+  Gap_place.Wire_estimate.annotate tiled;
+  let t = (Gap_sta.Sta.analyze tiled).Gap_sta.Sta.min_period_ps in
+  let rand = build () in
+  ignore (Placer.place_random rand);
+  Gap_place.Wire_estimate.annotate rand;
+  let r = (Gap_sta.Sta.analyze rand).Gap_sta.Sta.min_period_ps in
+  Alcotest.(check bool) "tiling beats scatter" true (t < r)
+
+let floorplan_random_property =
+  QCheck.Test.make ~name:"floorplan anneal: valid, overlap-free, not worse" ~count:10
+    QCheck.(pair (int_range 2 9) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Gap_util.Rng.create ~seed:(Int64.of_int seed) () in
+      let bs =
+        Array.init n (fun i ->
+            {
+              Floorplan.block_name = Printf.sprintf "b%d" i;
+              w_um = 50. +. Gap_util.Rng.float rng 500.;
+              h_um = 50. +. Gap_util.Rng.float rng 500.;
+            })
+      in
+      let fp0 = Floorplan.initial bs in
+      let r = Floorplan.anneal ~sweeps:60 fp0 in
+      let layout = Floorplan.evaluate r.Floorplan.plan in
+      let rects =
+        Array.mapi
+          (fun i (x, y) -> (x, y, bs.(i).Floorplan.w_um, bs.(i).Floorplan.h_um))
+          layout.Floorplan.positions
+      in
+      let overlap_free = ref true in
+      Array.iteri
+        (fun i r1 ->
+          Array.iteri (fun j r2 -> if i < j && rects_overlap r1 r2 then overlap_free := false) rects)
+        rects;
+      Floorplan.is_valid r.Floorplan.plan
+      && !overlap_free
+      && layout.Floorplan.area_um2 <= r.Floorplan.initial_area_um2 +. 1e-6
+      && layout.Floorplan.area_um2 >= Floorplan.blocks_area_um2 r.Floorplan.plan -. 1e-6)
+
+let suite =
+  [
+    ("hpwl of points", `Quick, test_hpwl_points);
+    ("hpwl of netlist", `Quick, test_hpwl_netlist);
+    ("placer improves wirelength", `Quick, test_placer_improves);
+    ("placer places everything", `Quick, test_placer_places_everything);
+    ("placer deterministic", `Quick, test_placer_deterministic);
+    ("placer slot exclusivity", `Quick, test_placer_no_slot_collision);
+    ("die side", `Quick, test_die_side);
+    ("floorplan initial valid", `Quick, test_floorplan_initial_valid);
+    ("floorplan no overlap (initial)", `Quick, test_floorplan_no_overlap_initial);
+    ("floorplan anneal improves", `Quick, test_floorplan_anneal_improves);
+    ("floorplan single block", `Quick, test_floorplan_single_block);
+    ("wire estimate annotates", `Quick, test_wire_estimate_annotates);
+    ("wire estimate slows timing", `Quick, test_wire_estimate_slows_timing);
+    ("router routes everything", `Quick, test_router_routes_everything);
+    ("router two-pin lower bound", `Quick, test_router_at_least_hpwl_two_pin);
+    ("router deterministic", `Quick, test_router_deterministic);
+    ("router capacity pressure", `Quick, test_router_capacity_pressure);
+    ("router annotate slows timing", `Quick, test_router_annotate_slows_timing);
+    ("router rejects unplaced", `Quick, test_router_rejects_unplaced);
+    ("tiler recovers slices", `Quick, test_tiler_recovers_slices);
+    ("tiler slice assignment", `Quick, test_tiler_slice_assignment);
+    ("tiler beats random timing", `Quick, test_tiler_beats_random_timing);
+    QCheck_alcotest.to_alcotest floorplan_random_property;
+  ]

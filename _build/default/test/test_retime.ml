@@ -1,0 +1,307 @@
+(* Tests for Gap_retime: Leiserson-Saxe retiming, cutset pipelining, the
+   overhead model. *)
+
+module Retime = Gap_retime.Retime
+module Pipeline = Gap_retime.Pipeline
+module Overhead = Gap_retime.Overhead
+module Netlist = Gap_netlist.Netlist
+module Sim = Gap_netlist.Sim
+module Libgen = Gap_liberty.Libgen
+
+let lib = lazy (Libgen.make Gap_tech.Tech.asic_025um Libgen.rich)
+let check_close msg tol expected actual = Alcotest.(check (float tol)) msg expected actual
+
+(* --- retiming --- *)
+
+let ring delays regs =
+  let g = Retime.create () in
+  let nodes = Array.map (fun d -> Retime.add_node g ~delay:d) delays in
+  Array.iteri
+    (fun i r ->
+      Retime.add_edge g ~src:nodes.(i) ~dst:nodes.((i + 1) mod Array.length nodes) ~regs:r)
+    regs;
+  g
+
+let test_clock_period_zero_retiming () =
+  let g = ring [| 2.; 2.; 2. |] [| 1; 0; 0 |] in
+  (* register-free path: n1 -> n2 (through the two 0-weight edges): 2+2+2?
+     n0 -> n1 edge has the register, so the longest 0-weight chain is
+     n1 -> n2 -> n0: 6 *)
+  check_close "period" 1e-9 6. (Retime.clock_period g)
+
+let test_retiming_balances_ring () =
+  let g = ring [| 2.; 2.; 2.; 2.; 2.; 2. |] [| 0; 0; 0; 0; 0; 3 |] in
+  check_close "unbalanced" 1e-9 12. (Retime.clock_period g);
+  let period, r = Retime.min_period g in
+  check_close "balanced to 4" 1e-2 4. period;
+  Alcotest.(check bool) "retiming legal" true (Retime.legal g r);
+  (* registers on a cycle are conserved by retiming *)
+  Alcotest.(check int) "register count preserved" (Retime.registers g)
+    (Retime.registers ~retiming:r g)
+
+let test_retiming_cannot_split_nodes () =
+  let g = ring [| 9.; 3.; 3. |] [| 1; 1; 1 |] in
+  let period, _ = Retime.min_period g in
+  check_close "bounded by biggest node" 1e-2 9. period
+
+let test_well_formed () =
+  let good = ring [| 1.; 1. |] [| 1; 0 |] in
+  Alcotest.(check bool) "cycle with register ok" true (Retime.well_formed good);
+  let bad = ring [| 1.; 1. |] [| 0; 0 |] in
+  Alcotest.(check bool) "register-free cycle rejected" false (Retime.well_formed bad)
+
+let test_feasible_bounds () =
+  let g = ring [| 2.; 2.; 2.; 2. |] [| 0; 0; 2; 0 |] in
+  Alcotest.(check bool) "period below max node infeasible" true
+    (Retime.feasible g ~period:1.9 = None);
+  Alcotest.(check bool) "generous period feasible" true (Retime.feasible g ~period:8. <> None)
+
+let test_retiming_dag_with_io_chain () =
+  (* a pipeline-like chain: src -(1 reg)-> a -> b -(1 reg)-> c, delays 1/5/1;
+     moving the first register right shortens the critical chain *)
+  let g = Retime.create () in
+  let src = Retime.add_node g ~delay:1. in
+  let a = Retime.add_node g ~delay:5. in
+  let b = Retime.add_node g ~delay:1. in
+  Retime.add_edge g ~src ~dst:a ~regs:1;
+  Retime.add_edge g ~src:a ~dst:b ~regs:0;
+  check_close "initial" 1e-9 6. (Retime.clock_period g);
+  let period, _ = Retime.min_period g in
+  Alcotest.(check bool) "improved" true (period <= 6.)
+
+(* --- pipelining --- *)
+
+let alu_netlist () =
+  let g = Gap_datapath.Alu.alu 6 in
+  let effort = { Gap_synth.Flow.default_effort with Gap_synth.Flow.tilos_moves = 0 } in
+  ((Gap_synth.Flow.run ~lib:(Lazy.force lib) ~effort g).Gap_synth.Flow.netlist, g)
+
+let test_pipeline_speeds_up () =
+  (* a deep datapath, so 4 stages have room to pay the register overhead *)
+  let g = Gap_datapath.Multiplier.array_multiplier ~width:8 in
+  let effort = { Gap_synth.Flow.default_effort with Gap_synth.Flow.tilos_moves = 0 } in
+  let nl = (Gap_synth.Flow.run ~lib:(Lazy.force lib) ~effort g).Gap_synth.Flow.netlist in
+  let r = Pipeline.pipeline ~stages:4 nl in
+  Alcotest.(check bool) "registers inserted" true (r.Pipeline.registers_added > 0);
+  Alcotest.(check bool) "period shrank" true (r.Pipeline.period_after_ps < r.Pipeline.period_before_ps);
+  Alcotest.(check bool) "speedup over 2x at 4 stages" true (r.Pipeline.speedup > 2.);
+  Alcotest.(check int) "latency" 3 (Pipeline.latency_cycles r)
+
+let test_pipeline_functional_equivalence () =
+  (* the pipelined circuit computes the same function with stages-1 cycles of
+     latency *)
+  let nl, g = alu_netlist () in
+  let stages = 3 in
+  ignore (Pipeline.pipeline ~stages nl);
+  Alcotest.(check bool) "netlist clean" true (Gap_netlist.Check.is_clean nl);
+  let rng = Gap_util.Rng.create ~seed:4L () in
+  let n_in = Gap_logic.Aig.num_inputs g in
+  let vectors = List.init 40 (fun _ -> Array.init n_in (fun _ -> Gap_util.Rng.bool rng)) in
+  (* drive the pipeline cycle by cycle *)
+  let outs = Sim.run nl vectors in
+  let latency = stages - 1 in
+  List.iteri
+    (fun cycle out ->
+      if cycle >= latency then begin
+        let expect = Gap_logic.Aig.eval g (List.nth vectors (cycle - latency)) in
+        Alcotest.(check bool)
+          (Printf.sprintf "cycle %d matches input %d" cycle (cycle - latency))
+          true (out = expect)
+      end)
+    outs
+
+let test_pipeline_single_stage_baseline () =
+  let nl, _ = alu_netlist () in
+  let r = Pipeline.pipeline ~stages:1 nl in
+  Alcotest.(check int) "no registers" 0 r.Pipeline.registers_added;
+  Alcotest.(check bool) "baseline charges a register boundary" true
+    (r.Pipeline.period_after_ps > r.Pipeline.period_before_ps)
+
+let test_pipeline_deeper_is_faster () =
+  let build () = fst (alu_netlist ()) in
+  let p stages =
+    (Pipeline.pipeline ~stages (build ())).Pipeline.period_after_ps
+  in
+  let p2 = p 2 and p5 = p 5 in
+  Alcotest.(check bool) "5 stages beat 2" true (p5 < p2)
+
+let test_pipeline_rejects_sequential () =
+  let nl, _ = alu_netlist () in
+  ignore (Pipeline.pipeline ~stages:2 nl);
+  (* pipelining an already-sequential netlist is a programming error *)
+  Alcotest.(check bool) "raises on flops" true
+    (try
+       ignore (Pipeline.pipeline ~stages:2 nl);
+       false
+     with Assert_failure _ -> true)
+
+let pipeline_random_equivalence =
+  QCheck.Test.make ~name:"pipelining preserves random logic (any depth)" ~count:6
+    QCheck.(pair (int_range 0 5000) (int_range 2 5))
+    (fun (seed, stages) ->
+      let g =
+        Gap_datapath.Random_logic.generate ~seed:(Int64.of_int seed) ~inputs:8
+          ~outputs:4 ~gates:120 ()
+      in
+      let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force lib) g in
+      ignore (Pipeline.pipeline ~stages nl);
+      let rng = Gap_util.Rng.create ~seed:(Int64.of_int (seed + 1)) () in
+      let vectors = List.init 25 (fun _ -> Array.init 8 (fun _ -> Gap_util.Rng.bool rng)) in
+      let outs = Sim.run nl vectors in
+      let latency = stages - 1 in
+      List.for_all2
+        (fun cycle out ->
+          cycle < latency
+          || out = Gap_logic.Aig.eval g (List.nth vectors (cycle - latency)))
+        (List.init (List.length outs) Fun.id)
+        outs)
+
+(* --- time borrowing --- *)
+
+module Borrowing = Gap_retime.Borrowing
+
+let test_borrowing_ff_is_worst_stage () =
+  let d = [| 10.; 2.; 6. |] in
+  check_close "ff period = worst stage" 1e-2 10.
+    (Borrowing.min_period ~stage_delays:d Borrowing.Edge_ff)
+
+let test_borrowing_balanced_no_gain () =
+  (* a balanced RING cannot gain: borrowed time must be repaid around the
+     loop. (A balanced linear pipeline still gains slightly from phase
+     sliding — useful skew — which is correct behaviour.) *)
+  let d = [| 5.; 5.; 5.; 5. |] in
+  check_close "balanced ring: no gain" 1e-2 1.0
+    (Borrowing.borrowing_gain ~ring:true ~stage_delays:d ~duty:0.5 ());
+  let linear = Borrowing.borrowing_gain ~stage_delays:d ~duty:0.5 () in
+  Alcotest.(check bool) "linear phase sliding gain is small" true
+    (linear >= 1.0 && linear < 1.2)
+
+let test_borrowing_recovers_imbalance () =
+  let d = [| 10.; 2. |] in
+  let latch = Borrowing.min_period ~stage_delays:d (Borrowing.Two_phase_latch 0.5) in
+  (* binding constraint: stage 1 must land in the window, 10 - P <= 0.5 P,
+     so P = 10 / 1.5 = 6.67 *)
+  check_close "borrowing down to 6.67" 5e-2 (10. /. 1.5) latch;
+  Alcotest.(check bool) "gain > 1.4" true
+    (Borrowing.borrowing_gain ~stage_delays:d ~duty:0.5 () > 1.4)
+
+let test_borrowing_bounded_by_average () =
+  let d = [| 9.; 1.; 9.; 1. |] in
+  let latch = Borrowing.min_period ~stage_delays:d (Borrowing.Two_phase_latch 0.5) in
+  let avg = 5. in
+  Alcotest.(check bool) "never below average" true (latch >= avg -. 1e-2);
+  Alcotest.(check bool) "better than ff" true
+    (latch < Borrowing.min_period ~stage_delays:d Borrowing.Edge_ff)
+
+let test_borrowing_window_limits () =
+  (* a narrow window can't absorb a big imbalance *)
+  let d = [| 10.; 2. |] in
+  let narrow = Borrowing.min_period ~stage_delays:d (Borrowing.Two_phase_latch 0.1) in
+  let wide = Borrowing.min_period ~stage_delays:d (Borrowing.Two_phase_latch 0.5) in
+  Alcotest.(check bool) "wider window borrows more" true (wide < narrow);
+  Alcotest.(check bool) "narrow still beats ff" true (narrow <= 10. +. 1e-6)
+
+let test_borrowing_ring () =
+  (* in a ring the borrowed time must be paid back around the loop *)
+  let d = [| 8.; 4. |] in
+  let linear = Borrowing.min_period ~stage_delays:d (Borrowing.Two_phase_latch 0.5) in
+  let ring = Borrowing.min_period ~ring:true ~stage_delays:d (Borrowing.Two_phase_latch 0.5) in
+  Alcotest.(check bool) "ring at least linear" true (ring >= linear -. 1e-6);
+  (* loop throughput bound: (8+4)/2 = 6 *)
+  Alcotest.(check bool) "ring >= loop average" true (ring >= 6. -. 1e-2)
+
+let test_borrowing_feasible_consistent () =
+  let d = [| 7.; 3.; 5. |] in
+  let p = Borrowing.min_period ~stage_delays:d (Borrowing.Two_phase_latch 0.5) in
+  Alcotest.(check bool) "min period feasible" true
+    (Borrowing.feasible ~stage_delays:d ~period:(p +. 1e-3) (Borrowing.Two_phase_latch 0.5));
+  Alcotest.(check bool) "below min infeasible" false
+    (Borrowing.feasible ~stage_delays:d ~period:(p -. 0.2) (Borrowing.Two_phase_latch 0.5))
+
+let test_stage_delays_extraction () =
+  (* pipeline a multiplier and pull the per-stage profile back out *)
+  let g = Gap_datapath.Multiplier.array_multiplier ~width:6 in
+  let effort = { Gap_synth.Flow.default_effort with Gap_synth.Flow.tilos_moves = 0 } in
+  let nl = (Gap_synth.Flow.run ~lib:(Lazy.force lib) ~effort g).Gap_synth.Flow.netlist in
+  let r = Pipeline.pipeline ~stages:3 nl in
+  let stages = Borrowing.stage_delays_of_pipeline nl ~config:Gap_sta.Sta.default_config in
+  Alcotest.(check int) "three stages" 3 (Array.length stages);
+  Array.iter (fun d -> Alcotest.(check bool) "stage delay positive" true (d > 0.)) stages;
+  (* the worst stage matches the pipelined STA period *)
+  let worst = Array.fold_left Float.max 0. stages in
+  check_close "worst stage = pipeline period" 1e-3 r.Pipeline.period_after_ps worst
+
+let borrowing_laws =
+  QCheck.Test.make ~name:"borrowing laws on random stage profiles" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 6) (float_range 1. 20.))
+    (fun stages ->
+      let d = Array.of_list stages in
+      let ff = Borrowing.min_period ~stage_delays:d Borrowing.Edge_ff in
+      let latch = Borrowing.min_period ~stage_delays:d (Borrowing.Two_phase_latch 0.5) in
+      let worst = Array.fold_left Float.max 0. d in
+      let total = Array.fold_left ( +. ) 0. d in
+      let n = float_of_int (Array.length d) in
+      (* latch never worse than ff; ff pinned at the worst stage; a linear
+         pipeline can use the last window too, so the floor is
+         total/(n + duty); and the reported optimum is feasible *)
+      latch <= ff +. 1e-6
+      && Float.abs (ff -. worst) < 1e-2
+      && latch >= (total /. (n +. 0.5)) -. 1e-2
+      && Borrowing.feasible ~stage_delays:d ~period:(latch +. 1e-3)
+           (Borrowing.Two_phase_latch 0.5))
+
+(* --- overhead model --- *)
+
+let test_paper_speedups () =
+  check_close "5 stages 30%" 1e-3 3.846 (Overhead.paper_speedup ~stages:5 ~overhead_frac:0.30);
+  check_close "4 stages 20%" 1e-3 3.333 (Overhead.paper_speedup ~stages:4 ~overhead_frac:0.20)
+
+let test_register_overhead () =
+  let o = Overhead.register_overhead_ps ~lib:(Lazy.force lib) ~skew_ps:50. in
+  let fo4 = Gap_tech.Tech.fo4_ps Gap_tech.Tech.asic_025um in
+  check_close "setup + clkq + skew" 1e-6 ((2.5 *. fo4) +. 50.) o
+
+let test_exact_speedup_saturates () =
+  (* with overhead, speedup is sublinear in stages *)
+  let s n = Overhead.exact_speedup ~total_logic_ps:4000. ~stages:n ~overhead_ps:300. in
+  Alcotest.(check bool) "monotone" true (s 2 < s 4 && s 4 < s 8);
+  Alcotest.(check bool) "sublinear" true (s 8 < 8.);
+  check_close "period formula" 1e-9 800.
+    (Overhead.period_ps ~total_logic_ps:4000. ~stages:8 ~overhead_ps:300.)
+
+let test_overhead_fraction_self_consistent () =
+  let lib = Lazy.force lib in
+  let v = Overhead.overhead_fraction ~lib ~skew_frac:0.10 ~stage_logic_ps:1170. in
+  (* period = (logic + reg) / 0.9; fraction = (period - logic)/logic *)
+  let reg = Overhead.register_overhead_ps ~lib ~skew_ps:0. in
+  let period = (1170. +. reg) /. 0.9 in
+  check_close "matches closed form" 1e-6 ((period -. 1170.) /. 1170.) v
+
+let suite =
+  [
+    ("clock period under zero retiming", `Quick, test_clock_period_zero_retiming);
+    ("retiming balances ring", `Quick, test_retiming_balances_ring);
+    ("retiming cannot split nodes", `Quick, test_retiming_cannot_split_nodes);
+    ("well-formedness", `Quick, test_well_formed);
+    ("feasibility bounds", `Quick, test_feasible_bounds);
+    ("retiming a chain", `Quick, test_retiming_dag_with_io_chain);
+    ("pipeline speeds up", `Quick, test_pipeline_speeds_up);
+    ("pipeline functional equivalence", `Quick, test_pipeline_functional_equivalence);
+    ("pipeline 1-stage baseline", `Quick, test_pipeline_single_stage_baseline);
+    ("pipeline deeper is faster", `Quick, test_pipeline_deeper_is_faster);
+    ("pipeline rejects sequential", `Quick, test_pipeline_rejects_sequential);
+    QCheck_alcotest.to_alcotest pipeline_random_equivalence;
+    QCheck_alcotest.to_alcotest borrowing_laws;
+    ("borrowing: ff = worst stage", `Quick, test_borrowing_ff_is_worst_stage);
+    ("borrowing: balanced ring no gain", `Quick, test_borrowing_balanced_no_gain);
+    ("borrowing: recovers imbalance", `Quick, test_borrowing_recovers_imbalance);
+    ("borrowing: bounded by average", `Quick, test_borrowing_bounded_by_average);
+    ("borrowing: window limits", `Quick, test_borrowing_window_limits);
+    ("borrowing: ring", `Quick, test_borrowing_ring);
+    ("borrowing: feasibility consistent", `Quick, test_borrowing_feasible_consistent);
+    ("borrowing: stage extraction", `Quick, test_stage_delays_extraction);
+    ("paper speedup arithmetic", `Quick, test_paper_speedups);
+    ("register overhead", `Quick, test_register_overhead);
+    ("exact speedup saturates", `Quick, test_exact_speedup_saturates);
+    ("overhead fraction self-consistent", `Quick, test_overhead_fraction_self_consistent);
+  ]

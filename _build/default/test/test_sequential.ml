@@ -1,0 +1,142 @@
+(* Tests for FSM generation, loop closure (Gap_synth.Sequential), and the
+   retiming bound extraction (Gap_retime.Extract). *)
+
+module Fsm = Gap_datapath.Fsm
+module Netlist = Gap_netlist.Netlist
+module Sim = Gap_netlist.Sim
+module Libgen = Gap_liberty.Libgen
+
+let lib = lazy (Libgen.make Gap_tech.Tech.asic_025um Libgen.rich)
+
+let synthesize_fsm ?(encoding = Fsm.Binary) spec =
+  let g = Fsm.to_aig ~encoding spec in
+  let comb = Gap_synth.Mapper.map_aig ~lib:(Lazy.force lib) ~name:spec.Fsm.fsm_name g in
+  let sbits = Fsm.state_bits encoding spec.Fsm.n_states in
+  let loops =
+    List.init sbits (fun b -> (Printf.sprintf "state%d" b, Printf.sprintf "next%d" b))
+  in
+  Gap_synth.Sequential.close_loops ~loops comb
+
+(* drive the netlist and the reference side by side *)
+let check_against_reference ?(cycles = 400) ?(seed = 13L) spec nl =
+  let rng = Gap_util.Rng.create ~seed () in
+  let state = ref spec.Fsm.reset_state in
+  let st = ref (Sim.initial nl) in
+  for cycle = 1 to cycles do
+    let ins = Array.init spec.Fsm.n_inputs (fun _ -> Gap_util.Rng.bool rng) in
+    let outs, st' = Sim.step nl !st ins in
+    let next_state, ref_outs = Fsm.reference_step spec !state ins in
+    if outs <> ref_outs then
+      Alcotest.failf "%s: output mismatch at cycle %d" spec.Fsm.fsm_name cycle;
+    state := next_state;
+    st := st'
+  done
+
+let test_bus_interface_binary () =
+  let nl = synthesize_fsm Fsm.bus_interface in
+  Alcotest.(check int) "interface ports" 3 (Netlist.num_inputs nl);
+  Alcotest.(check int) "outputs" 3 (Netlist.num_outputs nl);
+  Alcotest.(check int) "three state flops (8 states)" 3 (List.length (Netlist.flops nl));
+  Alcotest.(check bool) "clean" true (Gap_netlist.Check.is_clean nl);
+  check_against_reference Fsm.bus_interface nl
+
+let test_bus_interface_onehot () =
+  let nl = synthesize_fsm ~encoding:Fsm.Onehot Fsm.bus_interface in
+  Alcotest.(check int) "eight one-hot flops" 8 (List.length (Netlist.flops nl));
+  (* one-hot reset state: all-zero registers decode as reset via the
+     recovery term, so behaviour still matches from power-up *)
+  check_against_reference Fsm.bus_interface nl
+
+let test_counter_fsm () =
+  let spec = Fsm.counter ~bits:4 in
+  let nl = synthesize_fsm spec in
+  check_against_reference ~cycles:200 spec nl;
+  (* count 40 enabled cycles from reset: output = 40 mod 16 = 8 *)
+  let st = ref (Sim.initial nl) in
+  let last = ref [||] in
+  for _ = 1 to 40 do
+    let outs, st' = Sim.step nl !st [| true |] in
+    last := outs;
+    st := st'
+  done;
+  (* output during cycle k shows the state after k-1 increments *)
+  Alcotest.(check int) "counter value during cycle 40" (39 mod 16)
+    (Gap_datapath.Word.value !last)
+
+let test_fsm_invalid_state_recovery () =
+  (* force an invalid binary code (states 8..15 unused would need 4 bits;
+     with 8 states all 3-bit codes are used, so use a 5-state machine) *)
+  let spec =
+    {
+      Fsm.fsm_name = "mod5";
+      n_states = 5;
+      n_inputs = 1;
+      n_outputs = 3;
+      reset_state = 0;
+      next = (fun s m -> if m = 1 then (s + 1) mod 5 else s);
+      out = (fun s _ -> s);
+    }
+  in
+  let nl = synthesize_fsm spec in
+  check_against_reference ~cycles:100 spec nl
+
+let test_close_loops_rejects_unknown_ports () =
+  let g = Fsm.to_aig Fsm.bus_interface in
+  let comb = Gap_synth.Mapper.map_aig ~lib:(Lazy.force lib) g in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Gap_synth.Sequential.close_loops ~loops:[ ("nope", "next0") ] comb);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- retiming bounds --- *)
+
+module Extract = Gap_retime.Extract
+
+let test_fsm_loop_pins_retiming () =
+  let nl = synthesize_fsm Fsm.bus_interface in
+  let bound = Extract.retiming_bound_ps nl in
+  let sta = Extract.sta_period_ps nl in
+  Alcotest.(check bool) "bound positive and below STA" true (bound > 100. && bound <= sta);
+  (* the loop floor: several gate delays, not collapsible to one cell *)
+  let fo4 = Gap_tech.Tech.fo4_ps Gap_tech.Tech.asic_025um in
+  Alcotest.(check bool) "loop costs multiple FO4" true (bound > 3. *. fo4)
+
+let test_pipeline_headroom_and_depth () =
+  let build stages =
+    let g = Gap_datapath.Multiplier.array_multiplier ~width:6 in
+    let effort = { Gap_synth.Flow.default_effort with Gap_synth.Flow.tilos_moves = 0 } in
+    let nl = (Gap_synth.Flow.run ~lib:(Lazy.force lib) ~effort g).Gap_synth.Flow.netlist in
+    ignore (Gap_retime.Pipeline.pipeline ~stages nl);
+    nl
+  in
+  let b3 = Extract.retiming_bound_ps (build 3) in
+  let b5 = Extract.retiming_bound_ps (build 5) in
+  Alcotest.(check bool) "more ranks, lower retiming floor" true (b5 < b3);
+  Alcotest.(check bool) "cutset pipeline leaves rebalancing headroom" true
+    (Extract.retiming_headroom (build 3) > 1.05)
+
+let test_extract_headroom_at_least_one () =
+  let nl = synthesize_fsm (Fsm.counter ~bits:3) in
+  Alcotest.(check bool) "headroom >= 1" true (Extract.retiming_headroom nl >= 1. -. 1e-6)
+
+let test_extract_feasibility_monotone () =
+  let nl = synthesize_fsm Fsm.bus_interface in
+  let t = Extract.of_netlist nl in
+  let bound = Extract.retiming_bound_ps nl in
+  Alcotest.(check bool) "above bound feasible" true (Extract.feasible t ~period_ps:(bound +. 5.));
+  Alcotest.(check bool) "below bound infeasible" false
+    (Extract.feasible t ~period_ps:(bound /. 2.))
+
+let suite =
+  [
+    ("bus interface (binary)", `Quick, test_bus_interface_binary);
+    ("bus interface (one-hot)", `Quick, test_bus_interface_onehot);
+    ("counter fsm", `Quick, test_counter_fsm);
+    ("invalid-state recovery", `Quick, test_fsm_invalid_state_recovery);
+    ("close_loops rejects unknown ports", `Quick, test_close_loops_rejects_unknown_ports);
+    ("fsm loop pins retiming", `Quick, test_fsm_loop_pins_retiming);
+    ("pipeline headroom and depth", `Quick, test_pipeline_headroom_and_depth);
+    ("headroom at least one", `Quick, test_extract_headroom_at_least_one);
+    ("feasibility monotone", `Quick, test_extract_feasibility_monotone);
+  ]

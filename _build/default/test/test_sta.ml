@@ -1,0 +1,237 @@
+(* Tests for Gap_sta: hand-computed arrivals, slack/required invariants,
+   sequential timing with setup/clk->q/skew. *)
+
+module Netlist = Gap_netlist.Netlist
+module Sta = Gap_sta.Sta
+module Library = Gap_liberty.Library
+module Cell = Gap_liberty.Cell
+module Libgen = Gap_liberty.Libgen
+
+let lib = lazy (Libgen.make Gap_tech.Tech.asic_025um Libgen.rich)
+let cell base drive = Option.get (Library.find (Lazy.force lib) ~base ~drive)
+let check_close msg tol expected actual = Alcotest.(check (float tol)) msg expected actual
+
+(* chain of n X1 inverters, input -> out *)
+let inv_chain n =
+  let nl = Netlist.create ~lib:(Lazy.force lib) "chain" in
+  let cur = ref (Netlist.add_input nl "in") in
+  for _ = 1 to n do
+    let i = Netlist.add_cell nl (cell "INV" 1.) [| !cur |] in
+    cur := Netlist.out_net nl i
+  done;
+  ignore (Netlist.set_output nl "out" !cur);
+  nl
+
+let test_inverter_chain_arrival () =
+  (* each stage drives one X1 inverter input except the last (port, no load):
+     stage delay = intrinsic + R * cin; hand-compute from the cell data *)
+  let nl = inv_chain 4 in
+  let sta = Sta.analyze nl in
+  let inv = cell "INV" 1. in
+  let loaded = inv.Cell.intrinsic_ps +. (inv.Cell.drive_res_kohm *. inv.Cell.input_cap_ff) in
+  let unloaded = inv.Cell.intrinsic_ps in
+  check_close "4-stage chain" 1e-6 ((3. *. loaded) +. unloaded) sta.Sta.min_period_ps
+
+let test_fo4_of_inverter_chain () =
+  (* an inverter driving 4 inverters has delay exactly one FO4 *)
+  let nl = Netlist.create ~lib:(Lazy.force lib) "fo4" in
+  let input = Netlist.add_input nl "in" in
+  let drv = Netlist.add_cell nl (cell "INV" 1.) [| input |] in
+  let mid = Netlist.out_net nl drv in
+  for k = 0 to 3 do
+    let i = Netlist.add_cell nl (cell "INV" 1.) [| mid |] in
+    ignore (Netlist.set_output nl (Printf.sprintf "o%d" k) (Netlist.out_net nl i))
+  done;
+  let sta = Sta.analyze nl in
+  (* first stage = FO4, second stage unloaded = intrinsic *)
+  let inv = cell "INV" 1. in
+  let fo4 = Gap_tech.Tech.fo4_ps Gap_tech.Tech.asic_025um in
+  check_close "FO4 + unloaded stage" 1e-6 (fo4 +. inv.Cell.intrinsic_ps) sta.Sta.min_period_ps
+
+let test_slack_invariants () =
+  let g = Gap_datapath.Adders.cla_adder 8 in
+  let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force lib) g in
+  let sta = Sta.analyze nl in
+  (* slack is never negative against the min period, and ~0 on the critical
+     endpoint *)
+  check_close "critical slack zero" 1e-6 0. sta.Sta.critical.Sta.slack_ps;
+  for net = 0 to Netlist.num_nets nl - 1 do
+    Alcotest.(check bool) "no negative slack at min period" true (Sta.slack sta net >= -1e-6)
+  done
+
+let test_criticality_bounds () =
+  let g = Gap_datapath.Adders.ripple_adder 8 in
+  let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force lib) g in
+  let sta = Sta.analyze nl in
+  for net = 0 to Netlist.num_nets nl - 1 do
+    let c = Sta.net_criticality sta net in
+    Alcotest.(check bool) "0 <= c <= 1" true (c >= 0. && c <= 1. +. 1e-9)
+  done
+
+let test_critical_path_structure () =
+  let nl = inv_chain 5 in
+  let sta = Sta.analyze nl in
+  (* the path visits the input then every inverter *)
+  Alcotest.(check int) "path steps" 6 (List.length sta.Sta.critical.Sta.steps);
+  let arrivals = List.map (fun (s : Sta.step) -> s.Sta.arrival_ps) sta.Sta.critical.Sta.steps in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "arrivals increase" true (increasing arrivals);
+  (* every instance on the path is flagged *)
+  List.iter
+    (fun (s : Sta.step) ->
+      match s.Sta.inst with
+      | Some i -> Alcotest.(check bool) "on critical path" true (Sta.instance_on_critical_path sta i)
+      | None -> ())
+    sta.Sta.critical.Sta.steps
+
+let with_flops () =
+  (* in -> INV -> DFF -> INV -> out *)
+  let nl = Netlist.create ~lib:(Lazy.force lib) "seq" in
+  let input = Netlist.add_input nl "in" in
+  let i1 = Netlist.add_cell nl (cell "INV" 1.) [| input |] in
+  let flop = Netlist.add_cell nl (Library.smallest_flop (Lazy.force lib)) [| Netlist.out_net nl i1 |] in
+  let i2 = Netlist.add_cell nl (cell "INV" 1.) [| Netlist.out_net nl flop |] in
+  ignore (Netlist.set_output nl "out" (Netlist.out_net nl i2));
+  nl
+
+let test_sequential_endpoints () =
+  let nl = with_flops () in
+  let sta = Sta.analyze nl in
+  Alcotest.(check int) "two endpoints (flop D + output)" 2 sta.Sta.endpoint_count;
+  (* min period covers the slower of: in->D + setup, clk->q -> out *)
+  let inv = cell "INV" 1. in
+  let flop = Library.smallest_flop (Lazy.force lib) in
+  let seq = Option.get (Cell.seq_timing flop) in
+  let stage1 = inv.Cell.intrinsic_ps +. (inv.Cell.drive_res_kohm *. flop.Cell.input_cap_ff) in
+  let launch =
+    seq.Cell.clk_to_q_ps +. (flop.Cell.drive_res_kohm *. inv.Cell.input_cap_ff)
+    +. inv.Cell.intrinsic_ps
+  in
+  let expect = Float.max (stage1 +. seq.Cell.setup_ps) launch in
+  check_close "min period" 1e-5 expect sta.Sta.min_period_ps
+
+let test_skew_charges_flop_paths () =
+  let nl = with_flops () in
+  let no_skew = (Sta.analyze nl).Sta.min_period_ps in
+  let skewed = (Sta.analyze ~config:(Sta.config_with_skew 100.) nl).Sta.min_period_ps in
+  (* skew is charged only at flop endpoints, so the min period grows by at
+     most the skew (exactly the skew when the register path dominates) *)
+  Alcotest.(check bool) "skew increases min period" true (skewed > no_skew);
+  Alcotest.(check bool) "by at most the skew" true (skewed -. no_skew <= 100. +. 1e-6)
+
+let test_wire_delay_included () =
+  let nl = inv_chain 3 in
+  let base = (Sta.analyze nl).Sta.min_period_ps in
+  (* annotate some wire delay on the middle net *)
+  Netlist.set_wire_delay_ps nl 2 50.;
+  let with_wire = (Sta.analyze nl).Sta.min_period_ps in
+  check_close "wire delay added" 1e-6 (base +. 50.) with_wire
+
+let test_input_arrival_config () =
+  let nl = inv_chain 2 in
+  let base = (Sta.analyze nl).Sta.min_period_ps in
+  let cfg = { Sta.default_config with Sta.input_arrival_ps = 200. } in
+  let shifted = (Sta.analyze ~config:cfg nl).Sta.min_period_ps in
+  check_close "input arrival shifts" 1e-6 (base +. 200.) shifted
+
+let test_derate_scales_delays () =
+  let nl = inv_chain 4 in
+  let base = (Sta.analyze nl).Sta.min_period_ps in
+  let cfg = { Sta.default_config with Sta.derate = 1.25 } in
+  check_close "comb path scales linearly" 1e-6 (1.25 *. base)
+    ((Sta.analyze ~config:cfg nl).Sta.min_period_ps)
+
+let test_derate_signoff_corner () =
+  (* the library's quoted worst-case speed: nominal x signoff_speed *)
+  let nl = with_flops () in
+  let base = (Sta.analyze nl).Sta.min_period_ps in
+  let signoff = Gap_variation.Model.signoff_speed
+      (Gap_variation.Model.make ~fab_mean:Gap_variation.Model.slow_fab
+         Gap_variation.Model.mature)
+  in
+  let cfg = { Sta.default_config with Sta.derate = 1. /. signoff } in
+  let slow = (Sta.analyze ~config:cfg nl).Sta.min_period_ps in
+  (* setup margins don't scale, so the period grows by at most the derate *)
+  Alcotest.(check bool) "slower at the corner" true (slow > base);
+  Alcotest.(check bool) "bounded by full derate" true (slow <= base /. signoff +. 1e-6)
+
+(* --- hold analysis --- *)
+
+module Hold = Gap_sta.Hold
+
+let test_hold_clean_combinational () =
+  let nl = inv_chain 3 in
+  let h = Hold.analyze nl in
+  Alcotest.(check int) "no flops, nothing to check" 0 h.Hold.checked_endpoints;
+  Alcotest.(check int) "no violations" 0 (Hold.violation_count h)
+
+let test_hold_flop_chain () =
+  (* DFF -> DFF direct connection: min path = clk->q, hold tiny: clean at
+     zero skew, violated when skew exceeds clk->q - hold *)
+  let nl = Netlist.create ~lib:(Lazy.force lib) "shift" in
+  let input = Netlist.add_input nl "in" in
+  let flop_cell = Library.smallest_flop (Lazy.force lib) in
+  let f1 = Netlist.add_cell nl flop_cell [| input |] in
+  let f2 = Netlist.add_cell nl flop_cell [| Netlist.out_net nl f1 |] in
+  ignore (Netlist.set_output nl "q" (Netlist.out_net nl f2));
+  let seq = Option.get (Cell.seq_timing flop_cell) in
+  let clean = Hold.analyze ~skew_ps:0. nl in
+  Alcotest.(check int) "two endpoints" 2 clean.Hold.checked_endpoints;
+  Alcotest.(check int) "clean at zero skew" 0 (Hold.violation_count clean);
+  let margin = seq.Cell.clk_to_q_ps -. seq.Cell.hold_ps in
+  let bad = Hold.analyze ~skew_ps:(margin +. 50.) nl in
+  Alcotest.(check bool) "violated under excess skew" true (Hold.violation_count bad >= 1);
+  check_close "padding equals the shortfall" 1e-6 50. (Hold.padding_needed_ps bad)
+
+let test_hold_min_arrival_is_min () =
+  (* two parallel paths of different depth into a flop: min arrival takes the
+     short one *)
+  let nl = Netlist.create ~lib:(Lazy.force lib) "paths" in
+  let input = Netlist.add_input nl "in" in
+  let inv1 = Netlist.add_cell nl (cell "INV" 1.) [| input |] in
+  let inv2 = Netlist.add_cell nl (cell "INV" 1.) [| Netlist.out_net nl inv1 |] in
+  let and2 = Netlist.add_cell nl (cell "AND2" 1.) [| Netlist.out_net nl inv1; Netlist.out_net nl inv2 |] in
+  let f = Netlist.add_cell nl (Library.smallest_flop (Lazy.force lib)) [| Netlist.out_net nl and2 |] in
+  ignore (Netlist.set_output nl "q" (Netlist.out_net nl f));
+  (* pin the inputs to the edge so the combinational min path is exercised *)
+  let h = Hold.analyze ~input_min_arrival_ps:0. nl in
+  let inv = cell "INV" 1. in
+  let a2 = cell "AND2" 1. in
+  (* min path: input -> inv1 -> and2 (intrinsic-only delays) *)
+  check_close "min arrival" 1e-6
+    (inv.Cell.intrinsic_ps +. a2.Cell.intrinsic_ps)
+    h.Hold.min_arrival.(Netlist.out_net nl and2)
+
+let test_report_renders () =
+  let nl = inv_chain 3 in
+  let sta = Sta.analyze nl in
+  let s = Gap_sta.Report.summary sta ~lib:(Lazy.force lib) in
+  Alcotest.(check bool) "summary nonempty" true (String.length s > 10);
+  let table = Gap_sta.Report.path_table sta in
+  Alcotest.(check bool) "table mentions arrival" true
+    (let sub = "arrival" in
+     let n = String.length sub and m = String.length table in
+     let rec go i = i + n <= m && (String.sub table i n = sub || go (i + 1)) in
+     go 0)
+
+let suite =
+  [
+    ("inverter chain arrival", `Quick, test_inverter_chain_arrival);
+    ("FO4 via netlist", `Quick, test_fo4_of_inverter_chain);
+    ("slack invariants", `Quick, test_slack_invariants);
+    ("criticality bounds", `Quick, test_criticality_bounds);
+    ("critical path structure", `Quick, test_critical_path_structure);
+    ("sequential endpoints", `Quick, test_sequential_endpoints);
+    ("skew charges flop paths", `Quick, test_skew_charges_flop_paths);
+    ("wire delay included", `Quick, test_wire_delay_included);
+    ("input arrival config", `Quick, test_input_arrival_config);
+    ("report renders", `Quick, test_report_renders);
+    ("derate scales delays", `Quick, test_derate_scales_delays);
+    ("derate signoff corner", `Quick, test_derate_signoff_corner);
+    ("hold: combinational clean", `Quick, test_hold_clean_combinational);
+    ("hold: flop chain vs skew", `Quick, test_hold_flop_chain);
+    ("hold: min arrival", `Quick, test_hold_min_arrival_is_min);
+  ]

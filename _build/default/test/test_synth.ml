@@ -1,0 +1,338 @@
+(* Tests for Gap_synth: cuts, balancing, mapping, sizing, buffering, flow.
+   The load-bearing property throughout is functional equivalence: every
+   transform must preserve the circuit's function. *)
+
+module Aig = Gap_logic.Aig
+module Cuts = Gap_synth.Cuts
+module Netlist = Gap_netlist.Netlist
+module Sim = Gap_netlist.Sim
+module Sta = Gap_sta.Sta
+module Library = Gap_liberty.Library
+module Libgen = Gap_liberty.Libgen
+
+let tech = Gap_tech.Tech.asic_025um
+let rich = lazy (Libgen.make tech Libgen.rich)
+let poor = lazy (Libgen.make tech Libgen.poor)
+let typical = lazy (Libgen.make tech Libgen.typical)
+
+(* netlist vs aig equivalence on random vectors *)
+let netlist_matches_aig ?(vectors = 300) g nl =
+  let rng = Gap_util.Rng.create ~seed:99L () in
+  let n = Aig.num_inputs g in
+  let ok = ref true in
+  for _ = 1 to vectors do
+    let ins = Array.init n (fun _ -> Gap_util.Rng.bool rng) in
+    let want = Aig.eval g ins in
+    let got = Sim.eval nl (Sim.initial nl) ins in
+    if want <> got then ok := false
+  done;
+  !ok
+
+(* --- cuts --- *)
+
+let test_cuts_trivial_inputs () =
+  let g = Aig.create () in
+  let a = Aig.add_input g "a" and b = Aig.add_input g "b" in
+  let ab = Aig.and_ g a b in
+  Aig.add_output g "y" ab;
+  let cuts = Cuts.enumerate g in
+  let a_id = Aig.id_of_lit a in
+  Alcotest.(check int) "input has only trivial cut" 1 (List.length cuts.(a_id));
+  let node_cuts = cuts.(Aig.id_of_lit ab) in
+  Alcotest.(check bool) "and node has trivial + leaf cut" true (List.length node_cuts >= 2)
+
+let test_cut_function () =
+  let g = Aig.create () in
+  let a = Aig.add_input g "a" and b = Aig.add_input g "b" and c = Aig.add_input g "c" in
+  let ab = Aig.and_ g a b in
+  let abc = Aig.and_ g ab (Aig.negate c) in
+  Aig.add_output g "y" abc;
+  let cut = { Cuts.leaves = [| Aig.id_of_lit a; Aig.id_of_lit b; Aig.id_of_lit c |] } in
+  let f = Cuts.cut_function g (Aig.id_of_lit abc) cut in
+  for m = 0 to 7 do
+    let bit i = m land (1 lsl i) <> 0 in
+    Alcotest.(check bool) "cut function" (bit 0 && bit 1 && not (bit 2)) (Gap_logic.Truthtable.eval f m)
+  done
+
+let test_cuts_k_bound () =
+  let g = Gap_datapath.Adders.ripple_adder 8 in
+  let cuts = Cuts.enumerate ~k:4 g in
+  Array.iter (List.iter (fun c -> Alcotest.(check bool) "cut <= 4 leaves" true (Cuts.size c <= 4))) cuts
+
+(* --- balance --- *)
+
+let test_balance_chain_depth () =
+  (* a long AND chain balances to log depth *)
+  let g = Aig.create () in
+  let inputs = Array.init 16 (fun i -> Aig.add_input g (Printf.sprintf "x%d" i)) in
+  let acc = Array.fold_left (fun acc l -> Aig.and_ g acc l) Aig.lit_true inputs in
+  Aig.add_output g "y" acc;
+  Alcotest.(check int) "chain depth" 15 (Aig.depth g);
+  let b = Gap_synth.Balance.balance g in
+  Alcotest.(check int) "balanced depth" 4 (Aig.depth b);
+  let rng = Gap_util.Rng.create () in
+  Alcotest.(check bool) "equivalent" true (Aig.equivalent_random g b rng)
+
+let balance_preserves_function =
+  QCheck.Test.make ~name:"balance preserves random logic" ~count:30
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let g =
+        Gap_datapath.Random_logic.generate ~seed:(Int64.of_int seed) ~inputs:12
+          ~outputs:6 ~gates:150 ()
+      in
+      let b = Gap_synth.Balance.balance g in
+      let rng = Gap_util.Rng.create () in
+      Aig.depth b <= Aig.depth g + 1 && Aig.equivalent_random g b rng)
+
+let test_balance_preserves_adder () =
+  let g = Gap_datapath.Adders.cla_adder 12 in
+  let b = Gap_synth.Balance.balance g in
+  let rng = Gap_util.Rng.create () in
+  Alcotest.(check bool) "adder equivalent after balance" true (Aig.equivalent_random g b rng)
+
+(* --- mapper --- *)
+
+let test_mapper_equivalence_rich () =
+  let g = Gap_datapath.Adders.cla_adder 10 in
+  let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force rich) g in
+  Alcotest.(check bool) "mapped = aig (rich)" true (netlist_matches_aig g nl);
+  Alcotest.(check bool) "clean" true (Gap_netlist.Check.is_clean nl)
+
+let test_mapper_equivalence_poor () =
+  let g = Gap_datapath.Multiplier.array_multiplier ~width:5 in
+  let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force poor) g in
+  Alcotest.(check bool) "mapped = aig (poor, NAND/NOR/INV only)" true (netlist_matches_aig g nl)
+
+let test_mapper_area_mode () =
+  let g = Gap_datapath.Adders.kogge_stone_adder 12 in
+  let d = Gap_synth.Mapper.map_aig ~lib:(Lazy.force rich) ~mode:Gap_synth.Mapper.Delay g in
+  let a = Gap_synth.Mapper.map_aig ~lib:(Lazy.force rich) ~mode:Gap_synth.Mapper.Area g in
+  Alcotest.(check bool) "area mode equivalent" true (netlist_matches_aig g a);
+  Alcotest.(check bool) "area mode not larger" true
+    (Netlist.area_um2 a <= Netlist.area_um2 d +. 1e-6);
+  let ds = Sta.analyze d and als = Sta.analyze a in
+  Alcotest.(check bool) "delay mode not slower" true
+    (ds.Sta.min_period_ps <= als.Sta.min_period_ps +. 1e-6)
+
+let mapper_random_equivalence =
+  QCheck.Test.make ~name:"mapper preserves random logic" ~count:15
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let g =
+        Gap_datapath.Random_logic.generate ~seed:(Int64.of_int seed) ~inputs:10
+          ~outputs:5 ~gates:120 ()
+      in
+      let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force typical) g in
+      netlist_matches_aig ~vectors:100 g nl)
+
+let test_mapper_constant_outputs () =
+  let g = Aig.create () in
+  let a = Aig.add_input g "a" in
+  Aig.add_output g "zero" (Aig.and_ g a (Aig.negate a));
+  Aig.add_output g "one" Aig.lit_true;
+  Aig.add_output g "pass" a;
+  Aig.add_output g "inv" (Aig.negate a);
+  let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force rich) g in
+  Alcotest.(check bool) "constants and wires map" true (netlist_matches_aig ~vectors:4 g nl)
+
+let test_mapper_two_pass () =
+  let g = Gap_datapath.Adders.kogge_stone_adder 16 in
+  let one = Gap_synth.Mapper.map_aig ~lib:(Lazy.force rich) ~passes:1 g in
+  let two = Gap_synth.Mapper.map_aig ~lib:(Lazy.force rich) ~passes:2 g in
+  Alcotest.(check bool) "two-pass equivalent" true (netlist_matches_aig g two);
+  let p1 = (Sta.analyze one).Sta.min_period_ps in
+  let p2 = (Sta.analyze two).Sta.min_period_ps in
+  (* load feedback should not make things meaningfully worse *)
+  Alcotest.(check bool) "two-pass within 5% or better" true (p2 <= p1 *. 1.05)
+
+let test_mapper_estimate_positive () =
+  let g = Gap_datapath.Adders.ripple_adder 8 in
+  let est = Gap_synth.Mapper.estimated_arrival_ps ~lib:(Lazy.force rich) g in
+  Alcotest.(check bool) "estimate positive" true (est > 0.)
+
+(* --- sizing --- *)
+
+let test_tilos_never_worsens () =
+  let g = Gap_datapath.Adders.ripple_adder 12 in
+  let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force rich) g in
+  let before = (Sta.analyze nl).Sta.min_period_ps in
+  let r = Gap_synth.Sizing.tilos nl in
+  Alcotest.(check bool) "no regression" true (r.Gap_synth.Sizing.final_period_ps <= before +. 1e-6);
+  Alcotest.(check bool) "equivalent after sizing" true (netlist_matches_aig g nl)
+
+let test_tilos_gains_under_wire_load () =
+  let g = Gap_datapath.Adders.cla_adder 12 in
+  let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force rich) g in
+  Gap_synth.Sizing.set_all_drives nl ~drive:1.;
+  (* hang a fat wire on a critical net *)
+  let sta = Sta.analyze nl in
+  let victim =
+    List.find_map (fun (s : Sta.step) -> if s.Sta.inst <> None then Some s.Sta.net else None)
+      sta.Sta.critical.Sta.steps
+  in
+  (match victim with Some net -> Netlist.set_wire_cap_ff nl net 150. | None -> ());
+  let before = (Sta.analyze nl).Sta.min_period_ps in
+  let r = Gap_synth.Sizing.tilos nl in
+  Alcotest.(check bool) "sizing helps with wire load" true
+    (r.Gap_synth.Sizing.final_period_ps < before -. 1.);
+  Alcotest.(check bool) "moves made" true (r.Gap_synth.Sizing.moves > 0)
+
+let test_set_all_drives () =
+  let g = Gap_datapath.Adders.ripple_adder 6 in
+  let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force rich) g in
+  Gap_synth.Sizing.set_all_drives nl ~drive:2.;
+  List.iter
+    (fun i ->
+      let c = Netlist.cell_of nl i in
+      Alcotest.(check (float 1e-9)) ("drive of " ^ c.Gap_liberty.Cell.name) 2. c.Gap_liberty.Cell.drive)
+    (Netlist.combinational_instances nl)
+
+let test_minimize_drives () =
+  let g = Gap_datapath.Adders.ripple_adder 6 in
+  let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force rich) g in
+  Gap_synth.Sizing.minimize_drives nl;
+  List.iter
+    (fun i ->
+      let c = Netlist.cell_of nl i in
+      Alcotest.(check (float 1e-9)) "at smallest" 0.5 c.Gap_liberty.Cell.drive)
+    (Netlist.combinational_instances nl)
+
+let test_downsize_noncritical () =
+  let g = Gap_datapath.Adders.cla_adder 8 in
+  let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force rich) g in
+  Gap_synth.Sizing.set_all_drives nl ~drive:4.;
+  let before_area = Netlist.area_um2 nl in
+  let before_period = (Sta.analyze nl).Sta.min_period_ps in
+  let accepted = Gap_synth.Sizing.downsize_noncritical ~slack_margin_ps:1. nl in
+  Alcotest.(check bool) "some downsizes accepted" true (accepted > 0);
+  Alcotest.(check bool) "area shrank" true (Netlist.area_um2 nl < before_area);
+  Alcotest.(check bool) "period held" true
+    ((Sta.analyze nl).Sta.min_period_ps <= before_period +. 1.1)
+
+(* --- buffering --- *)
+
+let high_fanout_netlist fanout =
+  let lib = Lazy.force rich in
+  let nl = Netlist.create ~lib "fanout" in
+  let a = Netlist.add_input nl "a" in
+  let inv = Netlist.add_cell nl (Option.get (Library.find lib ~base:"INV" ~drive:1.)) [| a |] in
+  let src = Netlist.out_net nl inv in
+  for k = 0 to fanout - 1 do
+    let i = Netlist.add_cell nl (Option.get (Library.find lib ~base:"INV" ~drive:1.)) [| src |] in
+    ignore (Netlist.set_output nl (Printf.sprintf "o%d" k) (Netlist.out_net nl i))
+  done;
+  nl
+
+let test_buffering_limits_fanout () =
+  let nl = high_fanout_netlist 40 in
+  let inserted = Gap_synth.Buffering.buffer_fanout ~max_fanout:6 nl in
+  Alcotest.(check bool) "buffers inserted" true (inserted > 0);
+  for net = 0 to Netlist.num_nets nl - 1 do
+    Alcotest.(check bool) "fanout bounded" true (List.length (Netlist.sinks_of nl net) <= 6)
+  done;
+  Alcotest.(check bool) "clean" true (Gap_netlist.Check.is_clean nl)
+
+let test_buffering_preserves_function () =
+  let nl = high_fanout_netlist 20 in
+  let eval_all n =
+    List.map (fun v -> Sim.eval n (Sim.initial n) [| v |]) [ true; false ]
+  in
+  let before = eval_all nl in
+  ignore (Gap_synth.Buffering.buffer_fanout ~max_fanout:4 nl);
+  Alcotest.(check bool) "function preserved" true (before = eval_all nl)
+
+let test_buffering_inverter_pairs_in_poor_lib () =
+  (* the poor library has no buffers; pairs of inverters must be used *)
+  let lib = Lazy.force poor in
+  let nl = Netlist.create ~lib "fanout-poor" in
+  let a = Netlist.add_input nl "a" in
+  let inv_cell = Option.get (Library.find lib ~base:"INV" ~drive:1.) in
+  let inv = Netlist.add_cell nl inv_cell [| a |] in
+  let src = Netlist.out_net nl inv in
+  for k = 0 to 19 do
+    let i = Netlist.add_cell nl inv_cell [| src |] in
+    ignore (Netlist.set_output nl (Printf.sprintf "o%d" k) (Netlist.out_net nl i))
+  done;
+  let evals n = List.map (fun v -> Sim.eval n (Sim.initial n) [| v |]) [ true; false ] in
+  let before = evals nl in
+  let inserted = Gap_synth.Buffering.buffer_fanout ~max_fanout:6 nl in
+  Alcotest.(check bool) "inserted pairs" true (inserted >= 2);
+  Alcotest.(check bool) "polarity preserved" true (before = evals nl)
+
+(* --- hold fixing --- *)
+
+let test_hold_fix_cleans () =
+  let g = Gap_datapath.Multiplier.array_multiplier ~width:5 in
+  let effort = { Gap_synth.Flow.default_effort with Gap_synth.Flow.tilos_moves = 0 } in
+  let nl = (Gap_synth.Flow.run ~lib:(Lazy.force rich) ~effort g).Gap_synth.Flow.netlist in
+  ignore (Gap_retime.Pipeline.pipeline ~stages:3 nl);
+  let skew = 150. in
+  let before = Gap_sta.Hold.violation_count (Gap_sta.Hold.analyze ~skew_ps:skew nl) in
+  Alcotest.(check bool) "violations exist under heavy skew" true (before > 0);
+  let outputs_before =
+    let rng = Gap_util.Rng.create ~seed:2L () in
+    let n = Gap_logic.Aig.num_inputs g in
+    List.init 15 (fun _ -> Array.init n (fun _ -> Gap_util.Rng.bool rng))
+  in
+  let sim_before = Sim.run nl outputs_before in
+  let r = Gap_synth.Hold_fix.fix ~skew_ps:skew nl in
+  Alcotest.(check bool) "clean afterwards" true r.Gap_synth.Hold_fix.clean;
+  Alcotest.(check bool) "buffers inserted" true (r.Gap_synth.Hold_fix.buffers_inserted > 0);
+  Alcotest.(check int) "hold now clean" 0
+    (Gap_sta.Hold.violation_count (Gap_sta.Hold.analyze ~skew_ps:skew nl));
+  Alcotest.(check bool) "behaviour preserved" true (Sim.run nl outputs_before = sim_before)
+
+let test_hold_fix_noop_when_clean () =
+  let g = Gap_datapath.Adders.ripple_adder 6 in
+  let nl = Gap_synth.Mapper.map_aig ~lib:(Lazy.force rich) g in
+  let r = Gap_synth.Hold_fix.fix ~skew_ps:0. nl in
+  Alcotest.(check int) "nothing inserted" 0 r.Gap_synth.Hold_fix.buffers_inserted;
+  Alcotest.(check bool) "clean" true r.Gap_synth.Hold_fix.clean
+
+(* --- flow --- *)
+
+let test_flow_end_to_end () =
+  let g = Gap_datapath.Alu.alu 8 in
+  let outcome = Gap_synth.Flow.run ~lib:(Lazy.force rich) ~name:"alu8" g in
+  Alcotest.(check bool) "flow result equivalent" true
+    (netlist_matches_aig g outcome.Gap_synth.Flow.netlist);
+  Alcotest.(check bool) "sta present" true (outcome.Gap_synth.Flow.sta.Sta.min_period_ps > 0.);
+  Alcotest.(check bool) "sizing ran" true (outcome.Gap_synth.Flow.sizing <> None)
+
+let test_flow_low_effort_is_worse () =
+  let g = Gap_datapath.Adders.ripple_adder 16 in
+  let hi = Gap_synth.Flow.run ~lib:(Lazy.force rich) g in
+  let lo = Gap_synth.Flow.run ~lib:(Lazy.force rich) ~effort:Gap_synth.Flow.low_effort g in
+  Alcotest.(check bool) "default effort at least as fast" true
+    (hi.Gap_synth.Flow.sta.Sta.min_period_ps
+    <= lo.Gap_synth.Flow.sta.Sta.min_period_ps +. 1e-6)
+
+let suite =
+  [
+    ("cuts: inputs trivial", `Quick, test_cuts_trivial_inputs);
+    ("cuts: cut function", `Quick, test_cut_function);
+    ("cuts: k bound respected", `Quick, test_cuts_k_bound);
+    ("balance: chain to log depth", `Quick, test_balance_chain_depth);
+    QCheck_alcotest.to_alcotest balance_preserves_function;
+    ("balance: adder equivalence", `Quick, test_balance_preserves_adder);
+    ("mapper: equivalence (rich)", `Quick, test_mapper_equivalence_rich);
+    ("mapper: equivalence (poor)", `Quick, test_mapper_equivalence_poor);
+    ("mapper: area mode", `Quick, test_mapper_area_mode);
+    QCheck_alcotest.to_alcotest mapper_random_equivalence;
+    ("mapper: constants and wires", `Quick, test_mapper_constant_outputs);
+    ("mapper: two-pass refinement", `Quick, test_mapper_two_pass);
+    ("mapper: estimate positive", `Quick, test_mapper_estimate_positive);
+    ("tilos: never worsens", `Quick, test_tilos_never_worsens);
+    ("tilos: gains under wire load", `Quick, test_tilos_gains_under_wire_load);
+    ("sizing: set_all_drives", `Quick, test_set_all_drives);
+    ("sizing: minimize_drives", `Quick, test_minimize_drives);
+    ("sizing: downsize non-critical", `Quick, test_downsize_noncritical);
+    ("buffering: limits fanout", `Quick, test_buffering_limits_fanout);
+    ("buffering: preserves function", `Quick, test_buffering_preserves_function);
+    ("buffering: inverter pairs", `Quick, test_buffering_inverter_pairs_in_poor_lib);
+    ("hold fix: cleans violations", `Quick, test_hold_fix_cleans);
+    ("hold fix: no-op when clean", `Quick, test_hold_fix_noop_when_clean);
+    ("flow: end to end", `Quick, test_flow_end_to_end);
+    ("flow: low effort worse", `Quick, test_flow_low_effort_is_worse);
+  ]

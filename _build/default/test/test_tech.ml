@@ -1,0 +1,53 @@
+(* Tests for Gap_tech: process presets, the FO4 rule, generation scaling. *)
+
+module Tech = Gap_tech.Tech
+module Fo4 = Gap_tech.Fo4
+module Scaling = Gap_tech.Scaling
+
+let check_close msg tol expected actual = Alcotest.(check (float tol)) msg expected actual
+
+let test_fo4_rule () =
+  check_close "0.18um Leff -> 90 ps" 1e-9 90. (Fo4.of_leff_um 0.18);
+  check_close "0.15um Leff -> 75 ps" 1e-9 75. (Fo4.of_leff_um 0.15);
+  check_close "paper footnote: 13 FO4 @ 75 ps ~ 1 GHz" 30. 1000.
+    (Fo4.frequency_mhz ~depth:13. ~fo4_ps:75.)
+
+let test_fo4_roundtrip () =
+  let period = Fo4.period_of_depth ~depth:44. ~fo4_ps:90. in
+  check_close "depth roundtrip" 1e-9 44. (Fo4.depth_of_period ~period_ps:period ~fo4_ps:90.)
+
+let test_presets_sane () =
+  List.iter
+    (fun (t : Tech.t) ->
+      Alcotest.(check bool) (t.Tech.name ^ " leff < drawn") true (t.Tech.leff_um < t.Tech.drawn_um);
+      Alcotest.(check bool) "positive wire R" true (t.Tech.wire_r_kohm_per_um > 0.);
+      Alcotest.(check bool) "positive wire C" true (t.Tech.wire_c_ff_per_um > 0.);
+      Alcotest.(check bool) "metal layers" true (t.Tech.metal_layers >= 4);
+      Alcotest.(check bool) "tau = fo4/5" true
+        (Float.abs ((Tech.tau_ps t *. 5.) -. Tech.fo4_ps t) < 1e-9))
+    Tech.all_presets
+
+let test_custom_faster_than_asic_at_same_node () =
+  Alcotest.(check bool) "custom 0.25um FO4 below ASIC 0.25um" true
+    (Tech.fo4_ps Tech.custom_025um < Tech.fo4_ps Tech.asic_025um)
+
+let test_scaling () =
+  check_close "two generations" 1e-9 2.25 (Scaling.speedup_over_generations 2);
+  check_close "7x gap ~ 4.8 generations" 0.05 4.8 (Scaling.equivalent_generations 7.);
+  Alcotest.(check (option (float 1e-9))) "next after 0.25" (Some 0.18)
+    (Scaling.next_generation 0.25);
+  Alcotest.(check (option (float 1e-9))) "end of table" None (Scaling.next_generation 0.13)
+
+let test_pp () =
+  let s = Format.asprintf "%a" Tech.pp Tech.asic_025um in
+  Alcotest.(check bool) "mentions FO4" true (String.length s > 10)
+
+let suite =
+  [
+    ("FO4 rule", `Quick, test_fo4_rule);
+    ("FO4 roundtrip", `Quick, test_fo4_roundtrip);
+    ("presets sane", `Quick, test_presets_sane);
+    ("custom faster at same node", `Quick, test_custom_faster_than_asic_at_same_node);
+    ("generation scaling", `Quick, test_scaling);
+    ("pretty printer", `Quick, test_pp);
+  ]

@@ -1,0 +1,118 @@
+(* Tests for Gap_uarch: processor presets, CPI model, pipeline performance
+   model. *)
+
+module P = Gap_uarch.Processors
+module Cpi = Gap_uarch.Cpi
+module PM = Gap_uarch.Pipeline_model
+
+let check_close msg tol expected actual = Alcotest.(check (float tol)) msg expected actual
+
+let test_processor_model_accuracy () =
+  List.iter
+    (fun (p : P.t) ->
+      Alcotest.(check bool)
+        (p.P.proc_name ^ " within 8%")
+        true
+        (Float.abs (P.model_error p) < 0.08))
+    P.all
+
+let test_processor_gaps () =
+  let gap = P.gap_vs ~fast:P.ibm_ppc_1ghz ~slow:P.typical_asic in
+  Alcotest.(check bool) "IBM vs ASIC in 6..8" true (gap >= 6. && gap <= 8.);
+  Alcotest.(check bool) "custom faster than every ASIC" true
+    (List.for_all
+       (fun (p : P.t) ->
+         match p.P.style with
+         | P.Asic -> p.P.reported_mhz < P.ibm_ppc_1ghz.P.reported_mhz
+         | P.Custom -> true)
+       P.all)
+
+let test_fo4_rule () =
+  check_close "xtensa fo4" 1e-9 90. (P.fo4_ps P.tensilica_xtensa);
+  check_close "ppc fo4" 1e-9 75. (P.fo4_ps P.ibm_ppc_1ghz)
+
+let test_cpi_components () =
+  let w = Cpi.spec_like in
+  let shallow = Cpi.cpi ~pipeline_stages:2 ~issue_width:1 w in
+  let deep = Cpi.cpi ~pipeline_stages:20 ~issue_width:1 w in
+  Alcotest.(check bool) "deeper pipe pays more CPI" true (deep > shallow);
+  Alcotest.(check bool) "cpi >= issue-limited base" true (shallow >= 1.);
+  let wide = Cpi.cpi ~pipeline_stages:5 ~issue_width:4 w in
+  Alcotest.(check bool) "multi-issue lowers CPI" true
+    (wide < Cpi.cpi ~pipeline_stages:5 ~issue_width:1 w)
+
+let test_cpi_ilp_limit () =
+  let w = { Cpi.spec_like with Cpi.ilp = 2.0 } in
+  let cpi4 = Cpi.cpi ~pipeline_stages:5 ~issue_width:4 w in
+  let cpi8 = Cpi.cpi ~pipeline_stages:5 ~issue_width:8 w in
+  check_close "issue beyond ILP is wasted" 1e-9 cpi4 cpi8
+
+let test_workload_ordering () =
+  (* control-dominated code suffers most from depth, DSP least *)
+  let penalty w =
+    Cpi.cpi ~pipeline_stages:15 ~issue_width:1 w -. Cpi.cpi ~pipeline_stages:2 ~issue_width:1 w
+  in
+  Alcotest.(check bool) "control > spec > dsp" true
+    (penalty Cpi.control_dominated > penalty Cpi.spec_like
+    && penalty Cpi.spec_like > penalty Cpi.dsp_like)
+
+let test_flush_penalty () =
+  check_close "penalty scales" 1e-9 6. (Cpi.flush_penalty ~pipeline_stages:10)
+
+let test_pipeline_model_frequency () =
+  let c = PM.asic_default in
+  Alcotest.(check bool) "deeper clocks faster" true
+    (PM.frequency_mhz c ~stages:5 > PM.frequency_mhz c ~stages:1);
+  (* frequency saturates at the overhead bound *)
+  let f_inf = 1e6 /. (c.PM.overhead_fo4 *. c.PM.fo4_ps) in
+  Alcotest.(check bool) "bounded by overhead" true (PM.frequency_mhz c ~stages:100 < f_inf)
+
+let test_pipeline_model_speedup () =
+  let c = PM.asic_default in
+  let s = PM.speedup_vs_unpipelined c ~stages:5 in
+  (* 44 FO4 + 3.5 overhead over 5 stages: (47.5)/(8.8+3.5) = 3.86 *)
+  check_close "5-stage speedup" 0.05 3.86 s
+
+let test_optimal_depth_interior () =
+  let stages, mips = PM.optimal_depth PM.asic_default in
+  Alcotest.(check bool) "deeper than 1" true (stages > 1);
+  Alcotest.(check bool) "perf positive" true (mips > 0.);
+  let opt w =
+    fst (PM.optimal_depth ~max_stages:40 { PM.asic_default with PM.workload = w })
+  in
+  (* branch-heavy control code has an interior optimum; DSP code keeps
+     profiting from depth far longer — the Sec. 4.1 trade-off *)
+  Alcotest.(check bool) "control optimum interior" true
+    (opt Gap_uarch.Cpi.control_dominated < 40);
+  Alcotest.(check bool) "dsp wants deeper pipes than control" true
+    (opt Gap_uarch.Cpi.dsp_like > opt Gap_uarch.Cpi.control_dominated)
+
+let test_sweep_shape () =
+  let rows = PM.sweep ~max_stages:10 PM.asic_default in
+  Alcotest.(check int) "10 rows" 10 (List.length rows);
+  List.iter
+    (fun (stages, f, ipc, mips) ->
+      Alcotest.(check bool) "stages positive" true (stages >= 1);
+      check_close "mips = f * ipc" 1e-6 (f *. ipc) mips)
+    rows
+
+let test_custom_beats_asic_config () =
+  let fa = PM.frequency_mhz PM.asic_default ~stages:5 in
+  let fc = PM.frequency_mhz PM.custom_default ~stages:5 in
+  Alcotest.(check bool) "custom config clocks faster" true (fc > fa)
+
+let suite =
+  [
+    ("processor model accuracy", `Quick, test_processor_model_accuracy);
+    ("processor gaps", `Quick, test_processor_gaps);
+    ("FO4 rule", `Quick, test_fo4_rule);
+    ("CPI components", `Quick, test_cpi_components);
+    ("CPI ILP limit", `Quick, test_cpi_ilp_limit);
+    ("workload ordering", `Quick, test_workload_ordering);
+    ("flush penalty", `Quick, test_flush_penalty);
+    ("pipeline model frequency", `Quick, test_pipeline_model_frequency);
+    ("pipeline model speedup", `Quick, test_pipeline_model_speedup);
+    ("optimal depth interior", `Quick, test_optimal_depth_interior);
+    ("sweep shape", `Quick, test_sweep_shape);
+    ("custom config faster", `Quick, test_custom_beats_asic_config);
+  ]

@@ -1,0 +1,312 @@
+(* Tests for Gap_util: rng, stats, vec, heap, digraph, table, units. *)
+
+module Rng = Gap_util.Rng
+module Stats = Gap_util.Stats
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close msg tolerance expected actual = Alcotest.(check (float tolerance)) msg expected actual
+
+(* --- rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create () and b = Rng.create () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_changes_stream () =
+  let a = Rng.create ~seed:1L () and b = Rng.create ~seed:2L () in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.int64 a) (Rng.int64 b) then incr same
+  done;
+  Alcotest.(check bool) "different streams" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create () in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "0 <= v < 7" true (v >= 0 && v < 7)
+  done
+
+let test_rng_int_in () =
+  let rng = Rng.create () in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng 3 7 in
+    Alcotest.(check bool) "3 <= v <= 7" true (v >= 3 && v <= 7);
+    seen.(v - 3) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_uniformity () =
+  let rng = Rng.create () in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check_close "bucket within 5% of uniform" 500. (float_of_int n /. 10.) (float_of_int c))
+    buckets
+
+let test_rng_normal_moments () =
+  let rng = Rng.create () in
+  let r = Stats.running () in
+  for _ = 1 to 200_000 do
+    Stats.add r (Rng.normal rng ~mean:3. ~sigma:2.)
+  done;
+  check_close "mean" 0.05 3.0 (Stats.mean r);
+  check_close "stddev" 0.05 2.0 (Stats.stddev r)
+
+let test_rng_float_range () =
+  let rng = Rng.create () in
+  for _ = 1 to 1000 do
+    let v = Rng.float_in rng 2. 5. in
+    Alcotest.(check bool) "in [2,5)" true (v >= 2. && v < 5.)
+  done
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create () in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_split_independent () =
+  let parent = Rng.create () in
+  let child = Rng.split parent in
+  let a = Rng.int64 parent and b = Rng.int64 child in
+  Alcotest.(check bool) "parent and child differ" true (not (Int64.equal a b))
+
+(* --- stats --- *)
+
+let test_stats_running_vs_direct () =
+  let xs = [| 1.; 2.; 3.; 4.; 10. |] in
+  let r = Stats.running () in
+  Array.iter (Stats.add r) xs;
+  check_float "mean" (Stats.mean_of xs) (Stats.mean r);
+  check_float "stddev" (Stats.stddev_of xs) (Stats.stddev r);
+  check_float "min" 1. (Stats.running_min r);
+  check_float "max" 10. (Stats.running_max r);
+  Alcotest.(check int) "count" 5 (Stats.count r)
+
+let test_stats_percentile () =
+  let xs = [| 5.; 1.; 3.; 2.; 4. |] in
+  check_float "p0" 1. (Stats.percentile xs 0.);
+  check_float "p100" 5. (Stats.percentile xs 100.);
+  check_float "median" 3. (Stats.median xs);
+  check_float "p25" 2. (Stats.percentile xs 25.);
+  check_float "p50 interpolated" 2.5 (Stats.percentile [| 1.; 2.; 3.; 4. |] 50.)
+
+let test_stats_histogram () =
+  let xs = Array.init 100 (fun i -> float_of_int i) in
+  let h = Stats.histogram ~bins:10 xs in
+  Alcotest.(check int) "bin count" 10 (Array.length h);
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all samples bucketed" 100 total
+
+let test_stats_correlation () =
+  let xs = Array.init 50 (fun i -> float_of_int i) in
+  let ys = Array.map (fun x -> (2. *. x) +. 1.) xs in
+  check_close "perfect correlation" 1e-9 1.0 (Stats.correlation xs ys);
+  let ys_neg = Array.map (fun x -> -.x) xs in
+  check_close "anti correlation" 1e-9 (-1.0) (Stats.correlation xs ys_neg)
+
+let test_stats_linear_fit () =
+  let xs = Array.init 20 (fun i -> float_of_int i) in
+  let ys = Array.map (fun x -> (3. *. x) -. 7. ) xs in
+  let slope, intercept = Stats.linear_fit xs ys in
+  check_close "slope" 1e-9 3. slope;
+  check_close "intercept" 1e-9 (-7.) intercept
+
+(* --- vec --- *)
+
+let test_vec_basic () =
+  let v = Gap_util.Vec.create () in
+  Alcotest.(check bool) "empty" true (Gap_util.Vec.is_empty v);
+  let ids = List.init 100 (fun i -> Gap_util.Vec.push v (i * 2)) in
+  Alcotest.(check (list int)) "stable indices" (List.init 100 Fun.id) ids;
+  Alcotest.(check int) "length" 100 (Gap_util.Vec.length v);
+  Alcotest.(check int) "get" 84 (Gap_util.Vec.get v 42);
+  Gap_util.Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Gap_util.Vec.get v 42);
+  Alcotest.(check int) "fold" ((99 * 100) - 84 - 1) (Gap_util.Vec.fold ( + ) 0 v)
+
+let test_vec_bounds () =
+  let v = Gap_util.Vec.of_array [| 1; 2; 3 |] in
+  Alcotest.check_raises "oob get" (Invalid_argument "Vec: index out of bounds") (fun () ->
+      ignore (Gap_util.Vec.get v 3))
+
+let test_vec_find_index () =
+  let v = Gap_util.Vec.of_array [| 1; 5; 9 |] in
+  Alcotest.(check (option int)) "found" (Some 1) (Gap_util.Vec.find_index (fun x -> x = 5) v);
+  Alcotest.(check (option int)) "missing" None (Gap_util.Vec.find_index (fun x -> x = 7) v)
+
+(* --- heap --- *)
+
+let test_heap_sorts () =
+  let h = Gap_util.Heap.of_array ~cmp:compare [| 5; 1; 4; 1; 3; 9; 2 |] in
+  Alcotest.(check (list int)) "drain sorted" [ 1; 1; 2; 3; 4; 5; 9 ] (Gap_util.Heap.drain h)
+
+let test_heap_peek_pop () =
+  let h = Gap_util.Heap.create ~cmp:compare in
+  Alcotest.(check (option int)) "empty peek" None (Gap_util.Heap.peek h);
+  Gap_util.Heap.push h 3;
+  Gap_util.Heap.push h 1;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Gap_util.Heap.peek h);
+  Alcotest.(check (option int)) "pop min" (Some 1) (Gap_util.Heap.pop h);
+  Alcotest.(check int) "length" 1 (Gap_util.Heap.length h)
+
+let heap_property =
+  QCheck.Test.make ~name:"heap drain is sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Gap_util.Heap.of_array ~cmp:compare (Array.of_list xs) in
+      let drained = Gap_util.Heap.drain h in
+      drained = List.sort compare xs)
+
+(* --- digraph --- *)
+
+let diamond () =
+  let g = Gap_util.Digraph.create () in
+  Gap_util.Digraph.add_nodes g 4;
+  Gap_util.Digraph.add_edge g 0 1;
+  Gap_util.Digraph.add_edge g 0 2;
+  Gap_util.Digraph.add_edge g 1 3;
+  Gap_util.Digraph.add_edge g 2 3;
+  g
+
+let test_digraph_topo () =
+  let g = diamond () in
+  match Gap_util.Digraph.topo_order g with
+  | None -> Alcotest.fail "diamond is acyclic"
+  | Some order ->
+      let pos = Array.make 4 0 in
+      Array.iteri (fun i v -> pos.(v) <- i) order;
+      Alcotest.(check bool) "edges go forward" true
+        (pos.(0) < pos.(1) && pos.(0) < pos.(2) && pos.(1) < pos.(3) && pos.(2) < pos.(3))
+
+let test_digraph_cycle () =
+  let g = diamond () in
+  Gap_util.Digraph.add_edge g 3 0;
+  Alcotest.(check bool) "cyclic" false (Gap_util.Digraph.is_acyclic g)
+
+let test_digraph_longest_path () =
+  let g = Gap_util.Digraph.create () in
+  Gap_util.Digraph.add_nodes g 3;
+  Gap_util.Digraph.add_edge g 0 1;
+  Gap_util.Digraph.add_edge g 1 2;
+  Gap_util.Digraph.add_edge g 0 2;
+  match Gap_util.Digraph.longest_path g ~node_delay:(fun _ -> 2.) with
+  | None -> Alcotest.fail "acyclic"
+  | Some arr ->
+      check_float "source" 2. arr.(0);
+      check_float "middle" 4. arr.(1);
+      check_float "sink takes long way" 6. arr.(2)
+
+let test_digraph_bellman_ford () =
+  let g = Gap_util.Digraph.create () in
+  Gap_util.Digraph.add_nodes g 3;
+  Gap_util.Digraph.add_edge g ~weight:5. 0 1;
+  Gap_util.Digraph.add_edge g ~weight:(-2.) 1 2;
+  Gap_util.Digraph.add_edge g ~weight:10. 0 2;
+  (match Gap_util.Digraph.bellman_ford g ~source:0 with
+  | None -> Alcotest.fail "no negative cycle"
+  | Some d ->
+      check_float "shortest via middle" 3. d.(2);
+      check_float "direct" 5. d.(1))
+
+let test_digraph_negative_cycle () =
+  let g = Gap_util.Digraph.create () in
+  Gap_util.Digraph.add_nodes g 2;
+  Gap_util.Digraph.add_edge g ~weight:(-1.) 0 1;
+  Gap_util.Digraph.add_edge g ~weight:(-1.) 1 0;
+  Alcotest.(check bool) "negative cycle detected" true
+    (Gap_util.Digraph.bellman_ford g ~source:0 = None);
+  Alcotest.(check bool) "infeasible potentials" true
+    (Gap_util.Digraph.feasible_potentials g = None)
+
+let test_digraph_feasible_potentials () =
+  (* x1 - x0 <= 1, x0 - x1 <= 2 is satisfiable *)
+  let g = Gap_util.Digraph.create () in
+  Gap_util.Digraph.add_nodes g 2;
+  Gap_util.Digraph.add_edge g ~weight:1. 0 1;
+  Gap_util.Digraph.add_edge g ~weight:2. 1 0;
+  match Gap_util.Digraph.feasible_potentials g with
+  | None -> Alcotest.fail "satisfiable system"
+  | Some x ->
+      Alcotest.(check bool) "constraints hold" true
+        (x.(1) -. x.(0) <= 1. +. 1e-9 && x.(0) -. x.(1) <= 2. +. 1e-9)
+
+let test_digraph_scc () =
+  let g = Gap_util.Digraph.create () in
+  Gap_util.Digraph.add_nodes g 5;
+  (* cycle 0-1-2, then 3 -> 4 *)
+  Gap_util.Digraph.add_edge g 0 1;
+  Gap_util.Digraph.add_edge g 1 2;
+  Gap_util.Digraph.add_edge g 2 0;
+  Gap_util.Digraph.add_edge g 2 3;
+  Gap_util.Digraph.add_edge g 3 4;
+  let comp = Gap_util.Digraph.scc g in
+  Alcotest.(check bool) "cycle in one component" true
+    (comp.(0) = comp.(1) && comp.(1) = comp.(2));
+  Alcotest.(check bool) "others separate" true (comp.(3) <> comp.(0) && comp.(4) <> comp.(3))
+
+(* --- table / units --- *)
+
+let test_table_render () =
+  let s = Gap_util.Table.render ~header:[ "a"; "b" ] [ [ "x"; "12" ]; [ "yy"; "3" ] ] in
+  let contains sub =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "x present" true (contains "x");
+  Alcotest.(check bool) "12 present" true (contains "12");
+  Alcotest.(check bool) "header present" true (contains "| a");
+  Alcotest.(check string) "ratio fmt" "x3.85" (Gap_util.Table.fmt_ratio 3.85);
+  Alcotest.(check string) "pct fmt" "25.0%" (Gap_util.Table.fmt_pct 0.25)
+
+let test_units () =
+  check_float "ps<->ns" 1500. (Gap_util.Units.ps_of_ns 1.5);
+  check_float "mhz of period" 1000. (Gap_util.Units.mhz_of_period_ps 1000.);
+  check_float "roundtrip" 250. (Gap_util.Units.mhz_of_period_ps (Gap_util.Units.period_ps_of_mhz 250.));
+  Alcotest.(check string) "freq fmt" "1.00 GHz" (Gap_util.Units.pp_freq_mhz 1000.);
+  Alcotest.(check string) "time fmt" "4.20 ns" (Gap_util.Units.pp_time_ps 4200.)
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seed changes stream", `Quick, test_rng_seed_changes_stream);
+    ("rng int bounds", `Quick, test_rng_int_bounds);
+    ("rng int_in", `Quick, test_rng_int_in);
+    ("rng uniformity", `Quick, test_rng_uniformity);
+    ("rng normal moments", `Quick, test_rng_normal_moments);
+    ("rng float range", `Quick, test_rng_float_range);
+    ("rng shuffle permutes", `Quick, test_rng_shuffle_permutes);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    ("stats running vs direct", `Quick, test_stats_running_vs_direct);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("stats histogram", `Quick, test_stats_histogram);
+    ("stats correlation", `Quick, test_stats_correlation);
+    ("stats linear fit", `Quick, test_stats_linear_fit);
+    ("vec basics", `Quick, test_vec_basic);
+    ("vec bounds", `Quick, test_vec_bounds);
+    ("vec find_index", `Quick, test_vec_find_index);
+    ("heap sorts", `Quick, test_heap_sorts);
+    ("heap peek/pop", `Quick, test_heap_peek_pop);
+    QCheck_alcotest.to_alcotest heap_property;
+    ("digraph topo", `Quick, test_digraph_topo);
+    ("digraph cycle", `Quick, test_digraph_cycle);
+    ("digraph longest path", `Quick, test_digraph_longest_path);
+    ("digraph bellman-ford", `Quick, test_digraph_bellman_ford);
+    ("digraph negative cycle", `Quick, test_digraph_negative_cycle);
+    ("digraph feasible potentials", `Quick, test_digraph_feasible_potentials);
+    ("digraph scc", `Quick, test_digraph_scc);
+    ("table render", `Quick, test_table_render);
+    ("units", `Quick, test_units);
+  ]

@@ -1,0 +1,215 @@
+(* Tests for Gap_variation: the model, Monte Carlo runs, binning, maturity. *)
+
+module V = Gap_variation.Model
+module MC = Gap_variation.Montecarlo
+module B = Gap_variation.Binning
+module M = Gap_variation.Maturity
+
+let check_close msg tol expected actual = Alcotest.(check (float tol)) msg expected actual
+
+let run ?(fab = V.typical_fab) ?(sigmas = V.mature) ?(dies = 20000) ?(seed = 1L) () =
+  MC.simulate ~seed ~model:(V.make ~fab_mean:fab sigmas) ~nominal_mhz:200. ~dies ()
+
+let test_sample_positive_and_centred () =
+  let rng = Gap_util.Rng.create () in
+  let model = V.make V.mature in
+  let stats = Gap_util.Stats.running () in
+  for _ = 1 to 50_000 do
+    let f = V.sample_speed_factor model rng in
+    Alcotest.(check bool) "positive" true (f > 0.);
+    Gap_util.Stats.add stats f
+  done;
+  (* mean sits slightly below fab_mean because intra-die only hurts *)
+  Alcotest.(check bool) "mean in (0.93, 1.0)" true
+    (Gap_util.Stats.mean stats > 0.93 && Gap_util.Stats.mean stats < 1.0)
+
+let test_total_sigma () =
+  let s = V.total_sigma V.mature in
+  check_close "rss" 1e-9 (sqrt ((0.035 ** 2.) +. (0.025 ** 2.) +. (0.04 ** 2.))) s;
+  Alcotest.(check bool) "new process wider" true (V.total_sigma V.new_process > s)
+
+let test_mc_deterministic () =
+  let a = run ~seed:5L () and b = run ~seed:5L () in
+  Alcotest.(check (float 1e-9)) "same seed same run" (MC.mean a) (MC.mean b);
+  let c = run ~seed:6L () in
+  Alcotest.(check bool) "different seed differs" true (MC.mean a <> MC.mean c)
+
+let test_mc_percentiles_ordered () =
+  let r = run () in
+  let p1 = MC.percentile r 1. and p50 = MC.percentile r 50. and p99 = MC.percentile r 99. in
+  Alcotest.(check bool) "ordered" true (p1 < p50 && p50 < p99);
+  Alcotest.(check bool) "spread positive" true (MC.spread r > 0.1)
+
+let test_fraction_above () =
+  let r = run () in
+  check_close "all dies above 0" 1e-9 1.0 (MC.fraction_above r 0.);
+  check_close "none above 10x nominal" 1e-9 0.0 (MC.fraction_above r 2000.);
+  let median = MC.percentile r 50. in
+  check_close "half above median" 0.02 0.5 (MC.fraction_above r median)
+
+let test_binning_counts () =
+  let r = run ~dies:10000 () in
+  let bins = B.bin r ~edges_mhz:[| 150.; 180.; 200.; 220. |] in
+  let total = Array.fold_left ( + ) 0 bins.B.counts in
+  Alcotest.(check int) "all dies binned" 10000 total;
+  Alcotest.(check int) "bins = edges + 1" 5 (Array.length bins.B.counts)
+
+let test_binning_monotone_yield () =
+  let r = run () in
+  let y150 = B.yield_at r ~mhz:150. and y200 = B.yield_at r ~mhz:200. and y250 = B.yield_at r ~mhz:250. in
+  Alcotest.(check bool) "yield decreases with speed" true (y150 >= y200 && y200 >= y250)
+
+let test_signoff_below_typical () =
+  let model = V.make ~fab_mean:V.slow_fab V.mature in
+  Alcotest.(check bool) "signoff below fab mean" true (V.signoff_speed model < V.slow_fab);
+  Alcotest.(check bool) "signoff positive" true (V.signoff_speed model > 0.3)
+
+let test_paper_ratio_bands () =
+  let typical = run () in
+  let slow_model = V.make ~fab_mean:V.slow_fab V.mature in
+  let tvw = MC.percentile typical 50. /. (200. *. V.signoff_speed slow_model) in
+  Alcotest.(check bool) "typical vs worst in 1.5..1.8" true (tvw > 1.5 && tvw < 1.8);
+  let new_proc = run ~sigmas:V.new_process () in
+  let top = B.top_bin_vs_typical new_proc in
+  Alcotest.(check bool) "top bin in 1.15..1.45" true (top > 1.15 && top < 1.45);
+  let gain = B.speed_test_gain typical in
+  Alcotest.(check bool) "speed test gain in 1.2..1.5" true (gain > 1.2 && gain < 1.5);
+  Alcotest.(check bool) "fab span 20-25%" true
+    (B.fab_to_fab_span >= 0.20 && B.fab_to_fab_span <= 0.25)
+
+let test_custom_vs_asic () =
+  let custom = run ~fab:V.best_fab ~seed:2L () in
+  let asic = run ~fab:V.slow_fab ~seed:3L () in
+  let r = B.custom_best_vs_asic_worst ~custom ~asic in
+  Alcotest.(check bool) "around 1.9x" true (r > 1.6 && r < 2.3)
+
+let test_maturity_shrink () =
+  check_close "5% shrink ~ 18-20%" 0.03 0.19 (M.shrink_speed_gain ~linear_shrink:0.05);
+  check_close "no shrink no gain" 1e-9 0. (M.shrink_speed_gain ~linear_shrink:0.)
+
+let test_maturity_spread () =
+  Alcotest.(check bool) "initial spread 30-40%" true
+    (M.initial_spread > 0.28 && M.initial_spread < 0.42)
+
+let test_library_update_gain () =
+  check_close "saturates at 20%" 1e-3 0.2 (M.library_update_gain ~months:1000.);
+  Alcotest.(check bool) "monotone" true
+    (M.library_update_gain ~months:3. < M.library_update_gain ~months:12.);
+  check_close "zero at start" 1e-9 0. (M.library_update_gain ~months:0.)
+
+(* --- economics --- *)
+
+module E = Gap_variation.Economics
+
+let mc_run = lazy (run ~dies:30000 ())
+
+let test_economics_price_curve () =
+  let p = E.default_pricing in
+  let base = E.price_at p ~nominal_mhz:200. ~mhz:200. in
+  check_close "nominal price" 1e-9 p.E.base_price base;
+  Alcotest.(check bool) "faster sells higher" true
+    (E.price_at p ~nominal_mhz:200. ~mhz:240. > base);
+  Alcotest.(check bool) "floor at 20%" true
+    (E.price_at p ~nominal_mhz:200. ~mhz:10. >= 0.2 *. p.E.base_price -. 1e-9)
+
+let test_economics_single_rating_monotonic_yield () =
+  let r = Lazy.force mc_run in
+  let low = E.single_rating E.default_pricing r ~rating_mhz:150. in
+  let high = E.single_rating E.default_pricing r ~rating_mhz:260. in
+  Alcotest.(check bool) "higher rating, lower yield" true
+    (high.E.sold_fraction < low.E.sold_fraction);
+  Alcotest.(check bool) "low rating sells nearly all" true (low.E.sold_fraction > 0.95)
+
+let test_economics_top_bin_unprofitable () =
+  let r = Lazy.force mc_run in
+  let top = MC.percentile r 99. in
+  let res = E.single_rating E.default_pricing r ~rating_mhz:top in
+  Alcotest.(check bool) "1% yield loses money" true (res.E.revenue_per_die < 0.)
+
+let test_economics_binning_beats_single () =
+  let r = Lazy.force mc_run in
+  let best =
+    E.best_single_rating E.default_pricing r
+      ~candidates:(Array.init 25 (fun i -> 150. +. (5. *. float_of_int i)))
+  in
+  (* edges low enough that almost every die lands in some bin *)
+  let binned = E.binned E.default_pricing r ~edges_mhz:[| 165.; 190.; 210. |] in
+  Alcotest.(check bool) "binning wins" true
+    (binned.E.revenue_per_die > best.E.revenue_per_die);
+  Alcotest.(check bool) "best single rating is conservative" true
+    (MC.fraction_above r best.E.rating_mhz > 0.6)
+
+let test_die_yield () =
+  check_close "zero area perfect yield" 1e-9 1.0 (E.die_yield ~area_mm2:0. ~defects_per_cm2:0.5);
+  let small = E.die_yield ~area_mm2:10. ~defects_per_cm2:0.5 in
+  let big = E.die_yield ~area_mm2:225. ~defects_per_cm2:0.5 in
+  Alcotest.(check bool) "bigger die yields worse" true (big < small);
+  Alcotest.(check bool) "alpha-sized die at 0.5 d/cm2 yields 30-70%" true
+    (big > 0.3 && big < 0.7)
+
+(* --- statistical STA --- *)
+
+module Ssta = Gap_variation.Ssta
+
+let ssta_netlist = lazy (
+  let lib = Gap_liberty.Libgen.(make Gap_tech.Tech.asic_025um rich) in
+  Gap_synth.Mapper.map_aig ~lib (Gap_datapath.Adders.cla_adder 8))
+
+let test_ssta_deterministic () =
+  let nl = Lazy.force ssta_netlist in
+  let a = Ssta.simulate ~seed:9L ~samples:50 ~sigma_cell:0.05 nl in
+  let b = Ssta.simulate ~seed:9L ~samples:50 ~sigma_cell:0.05 nl in
+  check_close "same seed same mean" 1e-9 (Ssta.mean_period_ps a) (Ssta.mean_period_ps b)
+
+let test_ssta_restores_netlist () =
+  let nl = Lazy.force ssta_netlist in
+  let before = (Gap_sta.Sta.analyze nl).Gap_sta.Sta.min_period_ps in
+  ignore (Ssta.simulate ~samples:30 ~sigma_cell:0.08 nl);
+  let after = (Gap_sta.Sta.analyze nl).Gap_sta.Sta.min_period_ps in
+  check_close "netlist unchanged" 1e-9 before after
+
+let test_ssta_mean_exceeds_nominal () =
+  let nl = Lazy.force ssta_netlist in
+  let r = Ssta.simulate ~samples:150 ~sigma_cell:0.06 nl in
+  Alcotest.(check bool) "max-of-paths shifts the mean up" true (Ssta.mean_shift r >= -0.005);
+  Alcotest.(check bool) "shift is moderate" true (Ssta.mean_shift r < 0.15)
+
+let test_ssta_averaging_shrinks_sigma () =
+  let nl = Lazy.force ssta_netlist in
+  let r = Ssta.simulate ~samples:150 ~sigma_cell:0.08 nl in
+  Alcotest.(check bool) "chip sigma below cell sigma" true
+    (Ssta.relative_sigma r < 0.08);
+  Alcotest.(check bool) "but not zero" true (Ssta.relative_sigma r > 0.005)
+
+let test_ssta_zero_sigma_is_nominal () =
+  let nl = Lazy.force ssta_netlist in
+  let r = Ssta.simulate ~samples:10 ~sigma_cell:0.0 nl in
+  check_close "no variation, no spread" 1e-9 0. (Ssta.sigma_period_ps r);
+  check_close "mean = nominal" 1e-6 r.Ssta.nominal_ps (Ssta.mean_period_ps r)
+
+let suite =
+  [
+    ("samples positive and centred", `Quick, test_sample_positive_and_centred);
+    ("total sigma", `Quick, test_total_sigma);
+    ("MC deterministic by seed", `Quick, test_mc_deterministic);
+    ("MC percentiles ordered", `Quick, test_mc_percentiles_ordered);
+    ("fraction above", `Quick, test_fraction_above);
+    ("binning counts", `Quick, test_binning_counts);
+    ("yield monotone", `Quick, test_binning_monotone_yield);
+    ("signoff below typical", `Quick, test_signoff_below_typical);
+    ("paper ratio bands", `Quick, test_paper_ratio_bands);
+    ("custom vs asic", `Quick, test_custom_vs_asic);
+    ("maturity shrink", `Quick, test_maturity_shrink);
+    ("maturity spread", `Quick, test_maturity_spread);
+    ("library update gain", `Quick, test_library_update_gain);
+    ("economics: price curve", `Quick, test_economics_price_curve);
+    ("economics: yield monotone in rating", `Quick, test_economics_single_rating_monotonic_yield);
+    ("economics: top bin unprofitable", `Quick, test_economics_top_bin_unprofitable);
+    ("economics: binning beats single rating", `Quick, test_economics_binning_beats_single);
+    ("economics: die yield", `Quick, test_die_yield);
+    ("ssta: deterministic", `Quick, test_ssta_deterministic);
+    ("ssta: restores netlist", `Quick, test_ssta_restores_netlist);
+    ("ssta: mean exceeds nominal", `Quick, test_ssta_mean_exceeds_nominal);
+    ("ssta: averaging shrinks sigma", `Quick, test_ssta_averaging_shrinks_sigma);
+    ("ssta: zero sigma nominal", `Quick, test_ssta_zero_sigma_is_nominal);
+  ]
