@@ -1,0 +1,22 @@
+.PHONY: build test repro bench bench-kernels clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+repro:
+	dune exec bin/repro.exe -- all -x
+
+bench:
+	dune exec bench/main.exe
+
+# Quick Bechamel pass over the hot kernels (STA, annealing placement,
+# Monte Carlo at 1/2/4 domains, percentile-heavy MC); writes ns/run with
+# embedded pre-optimization baselines and speedups to BENCH_kernels.json.
+bench-kernels:
+	dune exec bench/main.exe -- --quick --kernels-json BENCH_kernels.json
+
+clean:
+	dune clean

@@ -7,7 +7,13 @@
    Part 2 runs one Bechamel micro-benchmark per experiment, timing the
    computational kernel behind each table (synthesis flow, STA, placement,
    dual-rail mapping, Monte Carlo, ...), so regressions in the engines are
-   visible. *)
+   visible.
+
+   With [--kernels-json PATH] the harness instead times the hot kernels the
+   performance work targets (STA, annealing placement, Monte Carlo at 1/2/4
+   domains, the percentile-heavy MC flow) and writes machine-readable
+   ns/run to PATH, with the pre-optimization baselines embedded for
+   before/after comparison. *)
 
 open Bechamel
 open Toolkit
@@ -104,18 +110,13 @@ let bench_tests =
         (Staged.stage (fun () -> Gap_place.Tiler.place (Lazy.force mult6_netlist)));
     ]
 
-let run_benchmarks () =
-  print_endline "=== bechamel micro-benchmarks (one kernel per table) ===";
-  (* force the lazies so setup cost stays out of the measurements *)
-  ignore (Lazy.force alu16_netlist);
-  ignore (Lazy.force mult6_netlist);
-  ignore (Lazy.force factors);
+let measure_suite ~quota tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw = Benchmark.all cfg instances bench_tests in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = ref [] in
   Hashtbl.iter
@@ -128,9 +129,17 @@ let run_benchmarks () =
       let r2 =
         match Analyze.OLS.r_square ols_result with Some r -> r | None -> nan
       in
-      rows := (name, per_run_ns, r2) :: !rows)
+      (* drop the "group/" prefix bechamel adds to grouped test names *)
+      let short =
+        match String.index_opt name '/' with
+        | Some k -> String.sub name (k + 1) (String.length name - k - 1)
+        | None -> name
+      in
+      rows := (short, per_run_ns, r2) :: !rows)
     results;
-  let rows = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows in
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) !rows
+
+let print_rows rows =
   Gap_util.Table.print
     ~header:[ "kernel"; "time/run"; "r^2" ]
     (List.map
@@ -144,6 +153,170 @@ let run_benchmarks () =
          [ name; time; Printf.sprintf "%.3f" r2 ])
        rows)
 
+let run_benchmarks ~quota () =
+  print_endline "=== bechamel micro-benchmarks (one kernel per table) ===";
+  (* force the lazies so setup cost stays out of the measurements *)
+  ignore (Lazy.force alu16_netlist);
+  ignore (Lazy.force mult6_netlist);
+  ignore (Lazy.force factors);
+  print_rows (measure_suite ~quota bench_tests)
+
+(* ---- hot-kernel suite (the targets of the incremental-HPWL / CSR /
+   sharded-MC performance work) ------------------------------------------- *)
+
+(* ns/run at the pre-optimization seed (commit 56f85bc), wall-clock
+   best-of-3 on this repository's 1-CPU reference container. MC at >1
+   domain has no seed counterpart (the seed simulator was single-threaded),
+   and on a 1-CPU host extra domains cannot help wall-clock anyway — the
+   multi-domain rows exist to demonstrate identical results, not speedup. *)
+let seed_baseline_ns =
+  [
+    ("e4_sta", 492327.);
+    ("e6_place_s5", 1742751.);
+    ("e6_place_s50", 16007404.);
+    ("e9_mc_2000", 351704.);
+    ("mc_60000_d1", 10856005.);
+    ("mc_60000_pctl", 113284614.);
+  ]
+
+let mc_model = lazy (Gap_variation.Model.make Gap_variation.Model.mature)
+
+let kernel_tests =
+  Test.make_grouped ~name:"kernels"
+    [
+      Test.make ~name:"e4_sta"
+        (Staged.stage (fun () -> Gap_sta.Sta.analyze (Lazy.force alu16_netlist)));
+      Test.make ~name:"e6_place_s5"
+        (Staged.stage (fun () ->
+             Gap_place.Placer.place
+               ~options:{ Gap_place.Placer.default_options with Gap_place.Placer.sweeps = 5 }
+               (Lazy.force mult6_netlist)));
+      Test.make ~name:"e6_place_s50"
+        (Staged.stage (fun () ->
+             Gap_place.Placer.place
+               ~options:{ Gap_place.Placer.default_options with Gap_place.Placer.sweeps = 50 }
+               (Lazy.force mult6_netlist)));
+      Test.make ~name:"e9_mc_2000"
+        (Staged.stage (fun () ->
+             Gap_variation.Montecarlo.simulate ~model:(Lazy.force mc_model)
+               ~nominal_mhz:250. ~dies:2000 ()));
+      Test.make ~name:"mc_60000_d1"
+        (Staged.stage (fun () ->
+             Gap_variation.Montecarlo.simulate ~domains:1 ~model:(Lazy.force mc_model)
+               ~nominal_mhz:250. ~dies:60000 ()));
+      Test.make ~name:"mc_60000_d2"
+        (Staged.stage (fun () ->
+             Gap_variation.Montecarlo.simulate ~domains:2 ~model:(Lazy.force mc_model)
+               ~nominal_mhz:250. ~dies:60000 ()));
+      Test.make ~name:"mc_60000_d4"
+        (Staged.stage (fun () ->
+             Gap_variation.Montecarlo.simulate ~domains:4 ~model:(Lazy.force mc_model)
+               ~nominal_mhz:250. ~dies:60000 ()));
+      Test.make ~name:"mc_60000_pctl"
+        (Staged.stage (fun () ->
+             let r =
+               Gap_variation.Montecarlo.simulate ~model:(Lazy.force mc_model)
+                 ~nominal_mhz:250. ~dies:60000 ()
+             in
+             ( Gap_variation.Montecarlo.percentile r 1.,
+               Gap_variation.Montecarlo.percentile r 50.,
+               Gap_variation.Montecarlo.percentile r 99.,
+               Gap_variation.Montecarlo.spread r )));
+    ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_kernels_json path =
+  print_endline "=== hot-kernel benchmarks ===";
+  ignore (Lazy.force alu16_netlist);
+  ignore (Lazy.force mult6_netlist);
+  (* fixed 1s quota: several kernels run >10 ms each, and a short quota
+     gives the OLS fit too few samples to be trustworthy *)
+  let rows = measure_suite ~quota:1.0 kernel_tests in
+  print_rows rows;
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc
+    "  \"baseline_note\": \"baseline ns/run measured at seed commit 56f85bc \
+     (pre-optimization), wall-clock best-of-3 on the 1-CPU reference \
+     container; null = kernel has no seed counterpart\",\n";
+  Printf.fprintf oc
+    "  \"determinism_note\": \"mc_60000_d{1,2,4} produce byte-identical \
+     sample arrays; the domain count changes wall-clock only\",\n";
+  Printf.fprintf oc "  \"kernels\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun k (name, ns, r2) ->
+      let baseline = List.assoc_opt name seed_baseline_ns in
+      let fin f = if Float.is_nan f then "null" else Printf.sprintf "%.1f" f in
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s, \
+         \"baseline_ns_per_run\": %s, \"speedup\": %s }%s\n"
+        (json_escape name) (fin ns)
+        (if Float.is_nan r2 then "null" else Printf.sprintf "%.4f" r2)
+        (match baseline with Some b -> Printf.sprintf "%.1f" b | None -> "null")
+        (match baseline with
+        | Some b when (not (Float.is_nan ns)) && ns > 0. ->
+            Printf.sprintf "%.2f" (b /. ns)
+        | _ -> "null")
+        (if k = n - 1 then "" else ",");
+      ignore k)
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let usage () =
+  print_endline
+    "usage: bench [--tables-only | --bench-only] [--quick] [--kernels-json PATH]\n\
+     \  default            regenerate the E1-E10/X1-X5 tables, then run the\n\
+     \                     per-experiment bechamel suite\n\
+     \  --tables-only      only regenerate the tables\n\
+     \  --bench-only       only run the per-experiment bechamel suite\n\
+     \  --kernels-json P   run only the hot-kernel suite and write ns/run\n\
+     \                     (with seed baselines and speedups) to P as JSON\n\
+     \  --quick            shorter measurement quota per benchmark (does not\n\
+     \                     shrink the hot-kernel suite, which needs the\n\
+     \                     samples for a stable fit)"
+
 let () =
-  regenerate_tables ();
-  run_benchmarks ()
+  let tables_only = ref false in
+  let bench_only = ref false in
+  let quick = ref false in
+  let kernels_json = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--tables-only" :: rest -> tables_only := true; parse rest
+    | "--bench-only" :: rest -> bench_only := true; parse rest
+    | "--quick" :: rest -> quick := true; parse rest
+    | "--kernels-json" :: path :: rest -> kernels_json := Some path; parse rest
+    | [ "--kernels-json" ] ->
+        prerr_endline "bench: --kernels-json requires a path";
+        usage ();
+        exit 2
+    | ("--help" | "-h") :: _ -> usage (); exit 0
+    | arg :: _ ->
+        Printf.eprintf "bench: unknown argument %s\n" arg;
+        usage ();
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !tables_only && !bench_only then begin
+    prerr_endline "bench: --tables-only and --bench-only are mutually exclusive";
+    usage ();
+    exit 2
+  end;
+  let quota = if !quick then 0.25 else 0.5 in
+  match !kernels_json with
+  | Some path -> write_kernels_json path
+  | None ->
+      if not !bench_only then regenerate_tables ();
+      if not !tables_only then run_benchmarks ~quota ()

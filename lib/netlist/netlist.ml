@@ -16,7 +16,11 @@ type instance = {
   mutable cell : Gap_liberty.Cell.t;
   mutable fanins : int array;
   mutable onet : int;
-  mutable loc : (float * float) option;
+  (* location, unboxed so [place] allocates nothing on the annealer's hot
+     path; [x_um]/[y_um] are meaningless while [placed] is false *)
+  mutable x_um : float;
+  mutable y_um : float;
+  mutable placed : bool;
 }
 
 type t = {
@@ -50,7 +54,10 @@ let add_cell t cell fanins =
   let inst_id = Vec.length t.insts in
   let iname = Printf.sprintf "u%d" inst_id in
   let onet = new_net t (Printf.sprintf "n%d" (Vec.length t.nets)) (From_cell inst_id) in
-  let id = Vec.push t.insts { iname; cell; fanins = Array.copy fanins; onet; loc = None } in
+  let id =
+    Vec.push t.insts
+      { iname; cell; fanins = Array.copy fanins; onet; x_um = 0.; y_um = 0.; placed = false }
+  in
   assert (id = inst_id);
   Array.iteri
     (fun pin net ->
@@ -75,6 +82,9 @@ let output_net t i = snd (Vec.get t.outs i)
 let output_name t i = fst (Vec.get t.outs i)
 let cell_of t i = (Vec.get t.insts i).cell
 let fanins_of t i = Array.copy (Vec.get t.insts i).fanins
+let num_fanins t i = Array.length (Vec.get t.insts i).fanins
+let fanin t i k = (Vec.get t.insts i).fanins.(k)
+let iter_fanins t i f = Array.iter f (Vec.get t.insts i).fanins
 let out_net t i = (Vec.get t.insts i).onet
 let driver_of t n = (Vec.get t.nets n).driver
 let sinks_of t n = (Vec.get t.nets n).sinks
@@ -103,8 +113,15 @@ let clear_parasitics t =
       n.wdelay <- 0.)
     t.nets
 
-let place t i ~x_um ~y_um = (Vec.get t.insts i).loc <- Some (x_um, y_um)
-let location t i = (Vec.get t.insts i).loc
+let place t i ~x_um ~y_um =
+  let inst = Vec.get t.insts i in
+  inst.x_um <- x_um;
+  inst.y_um <- y_um;
+  inst.placed <- true
+
+let location t i =
+  let inst = Vec.get t.insts i in
+  if inst.placed then Some (inst.x_um, inst.y_um) else None
 
 let pin_load_ff t = function
   | To_output _ -> 0.
@@ -152,19 +169,21 @@ let area_um2 t =
 
 let topo_instances t =
   (* Graph over instances; edges follow combinational paths only: a flop's
-     output is a timing source, so no edge leaves a flop. *)
-  let g = Gap_util.Digraph.create () in
-  Gap_util.Digraph.add_nodes g (num_instances t);
-  Vec.iteri
-    (fun i inst ->
-      Array.iter
-        (fun net ->
-          match (Vec.get t.nets net).driver with
-          | From_cell d when not (is_flop t d) -> Gap_util.Digraph.add_edge g d i
-          | From_cell _ | From_input _ | From_const _ | Undriven -> ())
-        inst.fanins)
-    t.insts;
-  match Gap_util.Digraph.topo_order g with
+     output is a timing source, so no edge leaves a flop. Built straight into
+     CSR form — no per-edge list cells — since this runs on every STA call. *)
+  let iter emit =
+    Vec.iteri
+      (fun i inst ->
+        Array.iter
+          (fun net ->
+            match (Vec.get t.nets net).driver with
+            | From_cell d when not (is_flop t d) -> emit d i 0.
+            | From_cell _ | From_input _ | From_const _ | Undriven -> ())
+          inst.fanins)
+      t.insts
+  in
+  let csr = Gap_util.Digraph.Csr.of_edge_iter ~n:(num_instances t) iter in
+  match Gap_util.Digraph.Csr.topo_order csr with
   | Some order -> order
   | None -> failwith "Netlist.topo_instances: combinational cycle"
 

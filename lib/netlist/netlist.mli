@@ -55,6 +55,18 @@ val output_net : t -> int -> int
 val output_name : t -> int -> string
 val cell_of : t -> int -> Gap_liberty.Cell.t
 val fanins_of : t -> int -> int array
+(** Fresh copy of the fanin-net array; safe to mutate. Hot loops should use
+    the non-allocating {!num_fanins}/{!fanin}/{!iter_fanins} instead. *)
+
+val num_fanins : t -> int -> int
+val fanin : t -> int -> int -> int
+(** [fanin t i k] is the net driving pin [k] of instance [i], without copying
+    the fanin array. *)
+
+val iter_fanins : t -> int -> (int -> unit) -> unit
+(** [iter_fanins t i f] applies [f] to each fanin net of [i] in pin order,
+    without allocating. *)
+
 val out_net : t -> int -> int
 val driver_of : t -> int -> driver
 val sinks_of : t -> int -> sink list

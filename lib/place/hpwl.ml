@@ -35,3 +35,234 @@ let total_um nl =
     acc := !acc +. net_length_um nl net
   done;
   !acc
+
+(* ---- incremental cache ---------------------------------------------------
+
+   Per-net bounding boxes plus CSR pin/net adjacency, so an annealing move
+   costs O(pins of the moved instance) instead of re-walking every net's sink
+   list. Moving a pin off a bounding-box edge can shrink the box, which a box
+   alone cannot tell; those nets are recomputed from their (few) pins — the
+   classic recompute-on-shrink fallback. Cached per-net lengths are exact
+   (bit-identical to [net_length_um]) because mins/maxes do not depend on the
+   order they were folded in. *)
+
+module Cache = struct
+  type t = {
+    nl : Netlist.t;
+    (* instance coordinates mirrored out of the netlist *)
+    inst_x : float array;
+    inst_y : float array;
+    placed : bool array;
+    (* net -> distinct instances with a pin on it (driver or sink), CSR *)
+    pin_off : int array;
+    pin_inst : int array;
+    (* instance -> distinct nets it touches (output + fanins), CSR, sorted *)
+    net_off : int array;
+    net_ids : int array;
+    (* per-net bounding box over placed pins *)
+    xmin : float array;
+    xmax : float array;
+    ymin : float array;
+    ymax : float array;
+    npts : int array;  (** number of placed distinct pin instances *)
+    len : float array;
+    (* scratch for snapshot/rollback: 5 floats per saved net
+       (xmin xmax ymin ymax len) plus its pin count *)
+    mutable snap_box : float array;
+    mutable snap_npts : int array;
+  }
+
+  let net_length_um c net = c.len.(net)
+  let lengths c = c.len
+
+  let total_um c =
+    (* ascending-index fold, the same order as a from-scratch [total_um] *)
+    let acc = ref 0. in
+    for net = 0 to Array.length c.len - 1 do
+      acc := !acc +. c.len.(net)
+    done;
+    !acc
+
+  let nets_of_instance c i =
+    Array.sub c.net_ids c.net_off.(i) (c.net_off.(i + 1) - c.net_off.(i))
+
+  let box_length c net =
+    if c.npts.(net) = 0 then 0.
+    else c.xmax.(net) -. c.xmin.(net) +. (c.ymax.(net) -. c.ymin.(net))
+
+  let recompute c net =
+    let xmin = ref infinity and xmax = ref neg_infinity in
+    let ymin = ref infinity and ymax = ref neg_infinity in
+    let count = ref 0 in
+    for k = c.pin_off.(net) to c.pin_off.(net + 1) - 1 do
+      let i = c.pin_inst.(k) in
+      if c.placed.(i) then begin
+        incr count;
+        let x = c.inst_x.(i) and y = c.inst_y.(i) in
+        if x < !xmin then xmin := x;
+        if x > !xmax then xmax := x;
+        if y < !ymin then ymin := y;
+        if y > !ymax then ymax := y
+      end
+    done;
+    c.npts.(net) <- !count;
+    c.xmin.(net) <- !xmin;
+    c.xmax.(net) <- !xmax;
+    c.ymin.(net) <- !ymin;
+    c.ymax.(net) <- !ymax;
+    c.len.(net) <- box_length c net
+
+  let sorted_uniq a =
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then a
+    else begin
+      let w = ref 1 in
+      for k = 1 to n - 1 do
+        if a.(k) <> a.(!w - 1) then begin
+          a.(!w) <- a.(k);
+          incr w
+        end
+      done;
+      Array.sub a 0 !w
+    end
+
+  let create nl =
+    let ninsts = Netlist.num_instances nl in
+    let nnets = Netlist.num_nets nl in
+    let inst_x = Array.make (max 1 ninsts) 0. in
+    let inst_y = Array.make (max 1 ninsts) 0. in
+    let placed = Array.make (max 1 ninsts) false in
+    for i = 0 to ninsts - 1 do
+      match Netlist.location nl i with
+      | Some (x, y) ->
+          inst_x.(i) <- x;
+          inst_y.(i) <- y;
+          placed.(i) <- true
+      | None -> ()
+    done;
+    (* instance -> nets (sorted, deduped) *)
+    let per_inst =
+      Array.init ninsts (fun i ->
+          let nets = Array.make (1 + Netlist.num_fanins nl i) (Netlist.out_net nl i) in
+          let k = ref 1 in
+          Netlist.iter_fanins nl i (fun net ->
+              nets.(!k) <- net;
+              incr k);
+          sorted_uniq nets)
+    in
+    let net_off = Array.make (ninsts + 1) 0 in
+    for i = 0 to ninsts - 1 do
+      net_off.(i + 1) <- net_off.(i) + Array.length per_inst.(i)
+    done;
+    let net_ids = Array.make (max 1 net_off.(ninsts)) 0 in
+    Array.iteri (fun i nets -> Array.blit nets 0 net_ids net_off.(i) (Array.length nets)) per_inst;
+    (* net -> pin instances (deduped) *)
+    let per_net =
+      Array.init nnets (fun net ->
+          let acc = ref [] in
+          (match Netlist.driver_of nl net with
+          | Netlist.From_cell i -> acc := i :: !acc
+          | Netlist.From_input _ | Netlist.From_const _ | Netlist.Undriven -> ());
+          List.iter
+            (function
+              | Netlist.To_pin (i, _) -> acc := i :: !acc
+              | Netlist.To_output _ -> ())
+            (Netlist.sinks_of nl net);
+          sorted_uniq (Array.of_list !acc))
+    in
+    let pin_off = Array.make (nnets + 1) 0 in
+    for net = 0 to nnets - 1 do
+      pin_off.(net + 1) <- pin_off.(net) + Array.length per_net.(net)
+    done;
+    let pin_inst = Array.make (max 1 pin_off.(nnets)) 0 in
+    Array.iteri (fun net pins -> Array.blit pins 0 pin_inst pin_off.(net) (Array.length pins)) per_net;
+    let c =
+      {
+        nl;
+        inst_x;
+        inst_y;
+        placed;
+        pin_off;
+        pin_inst;
+        net_off;
+        net_ids;
+        xmin = Array.make (max 1 nnets) infinity;
+        xmax = Array.make (max 1 nnets) neg_infinity;
+        ymin = Array.make (max 1 nnets) infinity;
+        ymax = Array.make (max 1 nnets) neg_infinity;
+        npts = Array.make (max 1 nnets) 0;
+        len = Array.make (max 1 nnets) 0.;
+        snap_box = [||];
+        snap_npts = [||];
+      }
+    in
+    for net = 0 to nnets - 1 do
+      recompute c net
+    done;
+    c
+
+  let move c i ~x_um ~y_um =
+    Netlist.place c.nl i ~x_um ~y_um;
+    let was_placed = c.placed.(i) in
+    let x0 = c.inst_x.(i) and y0 = c.inst_y.(i) in
+    c.placed.(i) <- true;
+    c.inst_x.(i) <- x_um;
+    c.inst_y.(i) <- y_um;
+    for k = c.net_off.(i) to c.net_off.(i + 1) - 1 do
+      let net = c.net_ids.(k) in
+      let on_boundary =
+        was_placed
+        && (x0 = c.xmin.(net) || x0 = c.xmax.(net) || y0 = c.ymin.(net)
+          || y0 = c.ymax.(net))
+      in
+      if on_boundary then recompute c net
+      else begin
+        (* old point strictly inside the box (or newly placed): the box can
+           only grow *)
+        if not was_placed then c.npts.(net) <- c.npts.(net) + 1;
+        if x_um < c.xmin.(net) then c.xmin.(net) <- x_um;
+        if x_um > c.xmax.(net) then c.xmax.(net) <- x_um;
+        if y_um < c.ymin.(net) then c.ymin.(net) <- y_um;
+        if y_um > c.ymax.(net) then c.ymax.(net) <- y_um;
+        c.len.(net) <- box_length c net
+      end
+    done
+
+  (* Snapshot / rollback: an annealer that rejects most moves can save the
+     affected nets' boxes up front and restore them verbatim instead of
+     re-running the (recompute-heavy) inverse moves. The restored floats are
+     the saved ones, bit for bit. *)
+
+  let snapshot c nets m =
+    if Array.length c.snap_npts < m then begin
+      c.snap_box <- Array.make (5 * m) 0.;
+      c.snap_npts <- Array.make m 0
+    end;
+    for k = 0 to m - 1 do
+      let net = nets.(k) in
+      let b = 5 * k in
+      c.snap_box.(b) <- c.xmin.(net);
+      c.snap_box.(b + 1) <- c.xmax.(net);
+      c.snap_box.(b + 2) <- c.ymin.(net);
+      c.snap_box.(b + 3) <- c.ymax.(net);
+      c.snap_box.(b + 4) <- c.len.(net);
+      c.snap_npts.(k) <- c.npts.(net)
+    done
+
+  let rollback c nets m =
+    for k = 0 to m - 1 do
+      let net = nets.(k) in
+      let b = 5 * k in
+      c.xmin.(net) <- c.snap_box.(b);
+      c.xmax.(net) <- c.snap_box.(b + 1);
+      c.ymin.(net) <- c.snap_box.(b + 2);
+      c.ymax.(net) <- c.snap_box.(b + 3);
+      c.len.(net) <- c.snap_box.(b + 4);
+      c.npts.(net) <- c.snap_npts.(k)
+    done
+
+  let set_xy c i ~x_um ~y_um =
+    c.inst_x.(i) <- x_um;
+    c.inst_y.(i) <- y_um
+end

@@ -9,3 +9,51 @@ val net_length_um : Gap_netlist.Netlist.t -> int -> float
     instances; unplaced pins and port pins are skipped. *)
 
 val total_um : Gap_netlist.Netlist.t -> float
+
+(** Incremental HPWL for annealing: per-net bounding boxes plus CSR pin/net
+    adjacency, updated in O(pins of the moved instance) per move with a
+    recompute-on-shrink fallback. Cached per-net lengths are bit-identical to
+    {!net_length_um} on the same placement. *)
+module Cache : sig
+  type t
+
+  val create : Gap_netlist.Netlist.t -> t
+  (** Snapshot of the netlist's current instance locations. *)
+
+  val move : t -> int -> x_um:float -> y_um:float -> unit
+  (** [move c i ~x_um ~y_um] places instance [i] (writing through to the
+      netlist) and refreshes the bounding boxes of every net touching it. *)
+
+  val net_length_um : t -> int -> float
+  val total_um : t -> float
+  (** Sum of the cached per-net lengths in ascending net order — the same
+      fold as a from-scratch {!Hpwl.total_um} over the same placement. *)
+
+  val lengths : t -> float array
+  (** The internal per-net length array, indexed by net id. Read-only view
+      for hot loops; do not mutate. *)
+
+  val nets_of_instance : t -> int -> int array
+  (** Sorted, deduplicated ids of the nets touching an instance (its output
+      net plus fanins); a fresh array. *)
+
+  (** {2 Snapshot / rollback}
+
+      A rejection-heavy annealer saves the affected nets' boxes before a
+      trial move and restores them verbatim on reject, instead of paying for
+      the inverse moves. [rollback] restores exactly the floats [snapshot]
+      saved. The caller must also restore the moved instances' mirrored
+      coordinates with {!set_xy}; netlist locations are left stale until the
+      caller re-commits its placement (annealing never reads them). *)
+
+  val snapshot : t -> int array -> int -> unit
+  (** [snapshot c nets m] saves the boxes of [nets.(0 .. m-1)]. *)
+
+  val rollback : t -> int array -> int -> unit
+  (** [rollback c nets m] restores what the last [snapshot] saved; [nets]
+      and [m] must match that call. *)
+
+  val set_xy : t -> int -> x_um:float -> y_um:float -> unit
+  (** Restore an already-placed instance's mirrored coordinates without
+      touching any net box — only meaningful as part of rollback. *)
+end

@@ -22,6 +22,13 @@ type stats = {
 let die_side_um ?(utilization = 0.6) nl =
   sqrt (Netlist.area_um2 nl /. utilization)
 
+(* Geometric cooling: the temperature decays from [t0] to
+   [cooling_rate * t0] over the sweep schedule, i.e.
+   T(sweep) = t0 * cooling_rate^(sweep / (sweeps - 1)).
+   0.002 leaves the final sweeps effectively greedy (hill-climbing) while the
+   early ones still accept sizeable uphill moves. *)
+let cooling_rate = 0.002
+
 (* The grid: side x side sites; slot s -> (x, y). Some slots are empty. *)
 type grid = {
   pitch : float;
@@ -62,20 +69,32 @@ let build_grid ~utilization ~rng ~random_init nl =
   done;
   { pitch; side; slot_of_inst; inst_of_slot }
 
-(* Incremental cost bookkeeping: nets touching an instance. *)
-let nets_of_instance nl i =
-  let acc = ref [ Netlist.out_net nl i ] in
-  Array.iter (fun net -> if not (List.mem net !acc) then acc := net :: !acc) (Netlist.fanins_of nl i);
-  !acc
-
-let weighted_length nl weights net = weights net *. Hpwl.net_length_um nl net
-
-let total_cost nl weights =
-  let acc = ref 0. in
-  for net = 0 to Netlist.num_nets nl - 1 do
-    acc := !acc +. weighted_length nl weights net
+(* Merge two sorted deduplicated id arrays into [out]; returns the length of
+   the union. [out] must be large enough to hold it. *)
+let merge_union a b out =
+  let la = Array.length a and lb = Array.length b in
+  let ka = ref 0 and kb = ref 0 and m = ref 0 in
+  while !ka < la && !kb < lb do
+    let x = a.(!ka) and y = b.(!kb) in
+    let v =
+      if x < y then begin incr ka; x end
+      else if y < x then begin incr kb; y end
+      else begin incr ka; incr kb; x end
+    in
+    out.(!m) <- v;
+    incr m
   done;
-  !acc
+  while !ka < la do
+    out.(!m) <- a.(!ka);
+    incr ka;
+    incr m
+  done;
+  while !kb < lb do
+    out.(!m) <- b.(!kb);
+    incr kb;
+    incr m
+  done;
+  !m
 
 let anneal ?(options = default_options) nl =
   let rng = Rng.create ~seed:options.seed () in
@@ -92,11 +111,44 @@ let anneal ?(options = default_options) nl =
       moves_accepted = 0;
     }
   else begin
-    let inst_nets = Array.init n (nets_of_instance nl) in
+    let cache = Hpwl.Cache.create nl in
+    let inst_nets = Array.init n (Hpwl.Cache.nets_of_instance cache) in
     let initial = Hpwl.total_um nl in
-    let cost = ref (total_cost nl weights) in
+    let unweighted = Option.is_none options.net_weights in
+    (* weighted cost, accumulated in net order exactly as a from-scratch sum.
+       When no weight function is given every weight is 1.0 and multiplying
+       by it cannot change any float, so the unweighted path skips the
+       closure call entirely. *)
+    let lens = Hpwl.Cache.lengths cache in
+    let cost =
+      ref
+        (let acc = ref 0. in
+         for net = 0 to Netlist.num_nets nl - 1 do
+           let len = lens.(net) in
+           acc := !acc +. (if unweighted then len else weights net *. len)
+         done;
+         !acc)
+    in
     let accepted = ref 0 in
     let slots = g.side * g.side in
+    (* scratch buffer for the union of two instances' net sets *)
+    let max_deg = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 inst_nets in
+    let affected = Array.make (max 1 (2 * max_deg)) 0 in
+    let weighted_sum =
+      if unweighted then fun m ->
+        let acc = ref 0. in
+        for k = 0 to m - 1 do
+          acc := !acc +. lens.(affected.(k))
+        done;
+        !acc
+      else fun m ->
+        let acc = ref 0. in
+        for k = 0 to m - 1 do
+          let net = affected.(k) in
+          acc := !acc +. (weights net *. lens.(net))
+        done;
+        !acc
+    in
     (* move: pick an instance and a random slot; swap or shift *)
     let try_move temperature =
       let i = Rng.int rng n in
@@ -104,22 +156,29 @@ let anneal ?(options = default_options) nl =
       let src = g.slot_of_inst.(i) in
       if target <> src then begin
         let j = g.inst_of_slot.(target) in
-        let affected =
-          if j >= 0 then inst_nets.(i) @ inst_nets.(j) else inst_nets.(i)
+        let m =
+          if j >= 0 then merge_union inst_nets.(i) inst_nets.(j) affected
+          else begin
+            let a = inst_nets.(i) in
+            Array.blit a 0 affected 0 (Array.length a);
+            Array.length a
+          end
         in
-        let affected = List.sort_uniq compare affected in
-        let before = List.fold_left (fun a net -> a +. weighted_length nl weights net) 0. affected in
+        let before = weighted_sum m in
+        Hpwl.Cache.snapshot cache affected m;
         (* apply *)
         let apply_slot inst slot =
           g.slot_of_inst.(inst) <- slot;
           g.inst_of_slot.(slot) <- inst;
-          let x, y = slot_xy g slot in
-          Netlist.place nl inst ~x_um:x ~y_um:y
+          (* same arithmetic as [slot_xy], inlined to skip the pair *)
+          let x = float_of_int (slot mod g.side) *. g.pitch in
+          let y = float_of_int (slot / g.side) *. g.pitch in
+          Hpwl.Cache.move cache inst ~x_um:x ~y_um:y
         in
         g.inst_of_slot.(src) <- (-1);
         apply_slot i target;
         if j >= 0 then apply_slot j src;
-        let after = List.fold_left (fun a net -> a +. weighted_length nl weights net) 0. affected in
+        let after = weighted_sum m in
         let delta = after -. before in
         let accept =
           delta <= 0.
@@ -131,10 +190,25 @@ let anneal ?(options = default_options) nl =
           incr accepted
         end
         else begin
-          (* revert *)
-          g.inst_of_slot.(target) <- (-1);
-          apply_slot i src;
-          if j >= 0 then apply_slot j target
+          (* revert: restore the grid assignment, the mirrored coordinates
+             (the slot arithmetic reproduces the old floats exactly), and the
+             snapshotted net boxes — no inverse moves, no recomputes *)
+          g.slot_of_inst.(i) <- src;
+          g.inst_of_slot.(src) <- i;
+          if j >= 0 then begin
+            g.slot_of_inst.(j) <- target;
+            g.inst_of_slot.(target) <- j
+          end
+          else g.inst_of_slot.(target) <- (-1);
+          let sx = float_of_int (src mod g.side) *. g.pitch in
+          let sy = float_of_int (src / g.side) *. g.pitch in
+          Hpwl.Cache.set_xy cache i ~x_um:sx ~y_um:sy;
+          if j >= 0 then begin
+            let tx = float_of_int (target mod g.side) *. g.pitch in
+            let ty = float_of_int (target / g.side) *. g.pitch in
+            Hpwl.Cache.set_xy cache j ~x_um:tx ~y_um:ty
+          end;
+          Hpwl.Cache.rollback cache affected m
         end
       end
     in
@@ -143,12 +217,15 @@ let anneal ?(options = default_options) nl =
     let sweeps = max 1 options.sweeps in
     for sweep = 0 to sweeps - 1 do
       let temperature =
-        t0 *. (0.002 /. 1.0) ** (float_of_int sweep /. float_of_int (max 1 (sweeps - 1)))
+        t0 *. cooling_rate ** (float_of_int sweep /. float_of_int (max 1 (sweeps - 1)))
       in
       for _ = 1 to n do
         try_move temperature
       done
     done;
+    (* rejected moves leave netlist locations stale (rollback only restores
+       the cache mirrors); write the final slot assignment back *)
+    commit nl g;
     {
       site_pitch_um = g.pitch;
       grid_side = g.side;

@@ -72,15 +72,12 @@ let analyze ?(config = default_config) nl =
         let load = Netlist.net_load_ff nl onet in
         let d = cfg.derate *. Cell.delay_ps cell ~load_ff:load in
         inst_delay.(i) <- d;
-        let fanins = Netlist.fanins_of nl i in
         let worst = ref neg_infinity and worst_net = ref (-1) in
-        Array.iter
-          (fun fnet ->
+        Netlist.iter_fanins nl i (fun fnet ->
             if arrival.(fnet) > !worst then begin
               worst := arrival.(fnet);
               worst_net := fnet
-            end)
-          fanins;
+            end);
         let base = if !worst = neg_infinity then 0. else !worst in
         let a = base +. d +. Netlist.wire_delay_ps nl onet in
         if a > arrival.(onet) then begin
@@ -96,7 +93,7 @@ let analyze ?(config = default_config) nl =
   List.iter
     (fun i ->
       let cell = Netlist.cell_of nl i in
-      let d_net = (Netlist.fanins_of nl i).(0) in
+      let d_net = Netlist.fanin nl i 0 in
       let margin = endpoint_margin cfg cell in
       endpoints :=
         (d_net, margin, Printf.sprintf "u%d/D (%s)" i cell.Cell.name) :: !endpoints)
@@ -122,17 +119,15 @@ let analyze ?(config = default_config) nl =
   List.iter
     (fun (net, margin, _) -> required.(net) <- Float.min required.(net) (period -. margin))
     !endpoints;
-  let rev_order = Array.of_list (List.rev (Array.to_list order)) in
-  Array.iter
-    (fun i ->
-      if not (Netlist.is_flop nl i) then begin
-        let onet = Netlist.out_net nl i in
-        let r = required.(onet) -. inst_delay.(i) -. Netlist.wire_delay_ps nl onet in
-        Array.iter
-          (fun fnet -> required.(fnet) <- Float.min required.(fnet) r)
-          (Netlist.fanins_of nl i)
-      end)
-    rev_order;
+  for k = Array.length order - 1 downto 0 do
+    let i = order.(k) in
+    if not (Netlist.is_flop nl i) then begin
+      let onet = Netlist.out_net nl i in
+      let r = required.(onet) -. inst_delay.(i) -. Netlist.wire_delay_ps nl onet in
+      Netlist.iter_fanins nl i (fun fnet ->
+          required.(fnet) <- Float.min required.(fnet) r)
+    end
+  done;
   (* Critical path trace from the worst endpoint. *)
   let critical =
     match !worst_endpoint with

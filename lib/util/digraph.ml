@@ -30,7 +30,173 @@ let pred g v = Vec.get g.preds v
 let out_degree g u = List.length (succ g u)
 let in_degree g v = List.length (pred g v)
 
-let topo_order g =
+(* ---- compressed sparse row (frozen) form ---------------------------------
+
+   Flat offset/destination/weight arrays for both directions. The hot loops
+   (Kahn topological sort, longest path, STA fanin walks) traverse these with
+   plain integer indexing instead of chasing list cells. Row order matters:
+   each CSR row stores neighbours in exactly the order the list API returns
+   them ([succ]/[pred], i.e. reverse insertion order), so algorithms with
+   order-dependent tie-breaking produce identical results on either form. *)
+
+module Csr = struct
+  type graph = t
+
+  type t = {
+    n : int;
+    succ_off : int array;
+    succ_dst : int array;
+    succ_w : float array;
+    pred_off : int array;
+    pred_dst : int array;
+    pred_w : float array;
+  }
+
+  let node_count c = c.n
+  let edge_count c = Array.length c.succ_dst
+  let out_degree c u = c.succ_off.(u + 1) - c.succ_off.(u)
+  let in_degree c v = c.pred_off.(v + 1) - c.pred_off.(v)
+
+  let iter_succ f c u =
+    for k = c.succ_off.(u) to c.succ_off.(u + 1) - 1 do
+      f c.succ_dst.(k) c.succ_w.(k)
+    done
+
+  let iter_pred f c v =
+    for k = c.pred_off.(v) to c.pred_off.(v + 1) - 1 do
+      f c.pred_dst.(k) c.pred_w.(k)
+    done
+
+  (* Generic two-pass constructor. [iter] must enumerate the same edge
+     sequence on both invocations. Rows are filled from the back so that each
+     row ends up in *reverse* emission order, matching the prepend-built
+     adjacency lists of the mutable graph. *)
+  let of_edge_iter ~n iter =
+    let succ_off = Array.make (n + 1) 0 in
+    let pred_off = Array.make (n + 1) 0 in
+    let m = ref 0 in
+    iter (fun u v _w ->
+        succ_off.(u) <- succ_off.(u) + 1;
+        pred_off.(v) <- pred_off.(v) + 1;
+        incr m);
+    let m = !m in
+    (* prefix sums: off.(u) becomes the end of row u *)
+    let acc = ref 0 in
+    for u = 0 to n - 1 do
+      acc := !acc + succ_off.(u);
+      succ_off.(u) <- !acc
+    done;
+    succ_off.(n) <- !acc;
+    let acc = ref 0 in
+    for v = 0 to n - 1 do
+      acc := !acc + pred_off.(v);
+      pred_off.(v) <- !acc
+    done;
+    pred_off.(n) <- !acc;
+    let succ_dst = Array.make m 0 and succ_w = Array.make m 0. in
+    let pred_dst = Array.make m 0 and pred_w = Array.make m 0. in
+    let scur = Array.make n 0 and pcur = Array.make n 0 in
+    for u = 0 to n - 1 do
+      scur.(u) <- succ_off.(u);
+      pcur.(u) <- pred_off.(u)
+    done;
+    iter (fun u v w ->
+        let k = scur.(u) - 1 in
+        scur.(u) <- k;
+        succ_dst.(k) <- v;
+        succ_w.(k) <- w;
+        let k = pcur.(v) - 1 in
+        pcur.(v) <- k;
+        pred_dst.(k) <- u;
+        pred_w.(k) <- w);
+    (* after back-filling, the cursors sit at the start of each row *)
+    let starts cur last =
+      Array.init (n + 1) (fun u -> if u < n then cur.(u) else last)
+    in
+    {
+      n;
+      succ_off = starts scur succ_off.(n);
+      succ_dst;
+      succ_w;
+      pred_off = starts pcur pred_off.(n);
+      pred_dst;
+      pred_w;
+    }
+
+  let of_graph (g : graph) =
+    let n = Vec.length g.succs in
+    let m = g.edges in
+    let succ_off = Array.make (n + 1) 0 in
+    let pred_off = Array.make (n + 1) 0 in
+    let succ_dst = Array.make m 0 and succ_w = Array.make m 0. in
+    let pred_dst = Array.make m 0 and pred_w = Array.make m 0. in
+    let k = ref 0 in
+    for u = 0 to n - 1 do
+      succ_off.(u) <- !k;
+      List.iter
+        (fun (v, w) ->
+          succ_dst.(!k) <- v;
+          succ_w.(!k) <- w;
+          incr k)
+        (succ g u)
+    done;
+    succ_off.(n) <- !k;
+    let k = ref 0 in
+    for v = 0 to n - 1 do
+      pred_off.(v) <- !k;
+      List.iter
+        (fun (u, w) ->
+          pred_dst.(!k) <- u;
+          pred_w.(!k) <- w;
+          incr k)
+        (pred g v)
+    done;
+    pred_off.(n) <- !k;
+    { n; succ_off; succ_dst; succ_w; pred_off; pred_dst; pred_w }
+
+  let topo_order c =
+    let n = c.n in
+    let indeg = Array.init n (in_degree c) in
+    let queue = Queue.create () in
+    Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+    let order = Array.make n 0 in
+    let filled = ref 0 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      order.(!filled) <- u;
+      incr filled;
+      for k = c.succ_off.(u) to c.succ_off.(u + 1) - 1 do
+        let v = c.succ_dst.(k) in
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue
+      done
+    done;
+    if !filled = n then Some order else None
+
+  let longest_path c ~node_delay =
+    match topo_order c with
+    | None -> None
+    | Some order ->
+        let n = c.n in
+        let arr = Array.make n 0. in
+        Array.iter
+          (fun u ->
+            let best = ref 0. in
+            for k = c.pred_off.(u) to c.pred_off.(u + 1) - 1 do
+              let cand = arr.(c.pred_dst.(k)) +. c.pred_w.(k) in
+              if cand > !best then best := cand
+            done;
+            arr.(u) <- !best +. node_delay u)
+          order;
+        Some arr
+end
+
+let freeze = Csr.of_graph
+
+(* Reference (list-traversing) implementations, kept for property tests that
+   cross-check the CSR fast paths. *)
+
+let topo_order_ref g =
   let n = node_count g in
   let indeg = Array.init n (in_degree g) in
   let queue = Queue.create () in
@@ -49,10 +215,8 @@ let topo_order g =
   done;
   if !filled = n then Some order else None
 
-let is_acyclic g = topo_order g <> None
-
-let longest_path g ~node_delay =
-  match topo_order g with
+let longest_path_ref g ~node_delay =
+  match topo_order_ref g with
   | None -> None
   | Some order ->
       let n = node_count g in
@@ -67,6 +231,10 @@ let longest_path g ~node_delay =
       in
       Array.iter visit order;
       Some arr
+
+let topo_order g = Csr.topo_order (freeze g)
+let is_acyclic g = topo_order g <> None
+let longest_path g ~node_delay = Csr.longest_path (freeze g) ~node_delay
 
 (* Bellman-Ford over an explicit initial distance vector; shared by
    [bellman_ford] and [feasible_potentials]. *)

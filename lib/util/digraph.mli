@@ -28,14 +28,54 @@ val pred : t -> int -> (int * float) list
 val out_degree : t -> int -> int
 val in_degree : t -> int -> int
 
+(** Frozen compressed-sparse-row form: flat offset + packed neighbour/weight
+    arrays in both directions. The hot kernels (Kahn topological sort,
+    longest-path, the STA fanin walks) run on this representation; each CSR
+    row preserves the exact neighbour order of [succ]/[pred], so results are
+    identical to the list-based reference implementations. *)
+module Csr : sig
+  type graph := t
+  type t
+
+  val of_graph : graph -> t
+
+  val of_edge_iter : n:int -> ((int -> int -> float -> unit) -> unit) -> t
+  (** [of_edge_iter ~n iter] builds a CSR graph over nodes [0..n-1] without an
+      intermediate adjacency-list graph. [iter emit] must call [emit u v w]
+      once per edge and enumerate the same sequence on both of its two
+      invocations (counting pass, fill pass). Rows end up in reverse emission
+      order, matching what [of_graph] produces for edges added in the same
+      sequence with {!add_edge}. *)
+
+  val node_count : t -> int
+  val edge_count : t -> int
+  val out_degree : t -> int -> int
+  val in_degree : t -> int -> int
+  val iter_succ : (int -> float -> unit) -> t -> int -> unit
+  val iter_pred : (int -> float -> unit) -> t -> int -> unit
+  val topo_order : t -> int array option
+  val longest_path : t -> node_delay:(int -> float) -> float array option
+end
+
+val freeze : t -> Csr.t
+(** Alias of {!Csr.of_graph}: compact a built graph for repeated traversal. *)
+
 val topo_order : t -> int array option
-(** Kahn's algorithm; [None] if the graph has a cycle. *)
+(** Kahn's algorithm; [None] if the graph has a cycle. Freezes to CSR
+    internally; one-shot callers pay O(V+E) either way. *)
 
 val is_acyclic : t -> bool
 
 val longest_path : t -> node_delay:(int -> float) -> float array option
 (** For a DAG, per-node longest-path arrival: [arr v = node_delay v + max over
     predecessors u of (arr u + weight (u,v))]; [None] on cyclic graphs. *)
+
+val topo_order_ref : t -> int array option
+(** List-traversing reference implementation of {!topo_order}; kept so
+    property tests can cross-check the CSR fast path. *)
+
+val longest_path_ref : t -> node_delay:(int -> float) -> float array option
+(** List-traversing reference implementation of {!longest_path}. *)
 
 val bellman_ford : t -> source:int -> float array option
 (** Shortest distances from [source] treating edge weights as lengths;

@@ -32,10 +32,8 @@ let stddev_of xs =
   Array.iter (add r) xs;
   stddev r
 
-let percentile xs p =
-  assert (Array.length xs > 0 && p >= 0. && p <= 100.);
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
+let percentile_sorted sorted p =
+  assert (Array.length sorted > 0 && p >= 0. && p <= 100.);
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else begin
@@ -45,6 +43,11 @@ let percentile xs p =
     let frac = rank -. float_of_int lo in
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
   end
+
+let percentile xs p =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  percentile_sorted sorted p
 
 let median xs = percentile xs 50.
 let minimum xs = Array.fold_left min infinity xs

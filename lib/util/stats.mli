@@ -21,6 +21,11 @@ val running_max : running -> float
 
 val mean_of : float array -> float
 val stddev_of : float array -> float
+val percentile_sorted : float array -> float -> float
+(** Like {!percentile} but assumes [xs] is already sorted ascending and does
+    not copy it; callers that take many percentiles of one sample should sort
+    once and use this. *)
+
 val percentile : float array -> float -> float
 (** [percentile xs p] for [p] in [\[0,100\]], by linear interpolation between
     order statistics. The input array is not modified. Requires a non-empty

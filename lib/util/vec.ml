@@ -1,15 +1,15 @@
-type 'a t = { mutable data : 'a array; mutable len : int }
+type 'a t = { mutable data : 'a array; mutable len : int; mutable capacity : int }
 
-let create ?(capacity = 16) () =
-  ignore capacity;
-  { data = [||]; len = 0 }
+(* ['a] has no default value, so the backing array cannot be allocated until
+   the first [push]; [capacity] remembers the requested pre-size until then. *)
+let create ?(capacity = 16) () = { data = [||]; len = 0; capacity = max 1 capacity }
 
 let length t = t.len
 let is_empty t = t.len = 0
 
 let grow t x =
   let cap = Array.length t.data in
-  let ncap = if cap = 0 then 16 else 2 * cap in
+  let ncap = if cap = 0 then t.capacity else 2 * cap in
   let data = Array.make ncap x in
   Array.blit t.data 0 data 0 t.len;
   t.data <- data
@@ -49,7 +49,7 @@ let fold f acc t =
 
 let to_array t = Array.sub t.data 0 t.len
 let map_to_array f t = Array.init t.len (fun i -> f t.data.(i))
-let of_array a = { data = Array.copy a; len = Array.length a }
+let of_array a = { data = Array.copy a; len = Array.length a; capacity = max 1 (Array.length a) }
 
 let find_index p t =
   let rec loop i =

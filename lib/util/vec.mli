@@ -6,6 +6,9 @@
 type 'a t
 
 val create : ?capacity:int -> unit -> 'a t
+(** [create ~capacity ()] pre-sizes the first backing allocation so that
+    [capacity] pushes happen without any growth doubling (default 16). *)
+
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 

@@ -1,20 +1,73 @@
-type run = { nominal_mhz : float; fmax_mhz : float array; model : Model.t }
+type run = {
+  nominal_mhz : float;
+  fmax_mhz : float array;
+  model : Model.t;
+  mutable sorted : float array option;
+}
 
-let simulate ?(seed = 2024L) ~model ~nominal_mhz ~dies () =
+(* Dies are sampled in fixed-size shards, each from its own RNG split off the
+   master seed in shard order. The shard layout depends only on [dies], never
+   on [domains], so the sample array is byte-identical for any worker count —
+   workers just claim shards off a shared counter. *)
+let shard_size = 1024
+
+let simulate ?(seed = 2024L) ?(domains = 1) ~model ~nominal_mhz ~dies () =
   assert (dies > 0);
-  let rng = Gap_util.Rng.create ~seed () in
-  let fmax_mhz =
-    Array.init dies (fun _ -> nominal_mhz *. Model.sample_speed_factor model rng)
+  let master = Gap_util.Rng.create ~seed () in
+  let num_shards = (dies + shard_size - 1) / shard_size in
+  let shard_rngs = Array.init num_shards (fun _ -> Gap_util.Rng.split master) in
+  let fmax_mhz = Array.make dies 0. in
+  let run_shard s =
+    let rng = shard_rngs.(s) in
+    let lo = s * shard_size in
+    let hi = min dies (lo + shard_size) in
+    (* [lo, hi) is within [0, dies) by construction *)
+    for d = lo to hi - 1 do
+      Array.unsafe_set fmax_mhz d (nominal_mhz *. Model.sample_speed_factor model rng)
+    done
   in
-  { nominal_mhz; fmax_mhz; model }
+  let workers = max 1 (min domains num_shards) in
+  if workers = 1 then
+    for s = 0 to num_shards - 1 do
+      run_shard s
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let work () =
+      let continue = ref true in
+      while !continue do
+        let s = Atomic.fetch_and_add next 1 in
+        if s < num_shards then run_shard s else continue := false
+      done
+    in
+    let others = Array.init (workers - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join others
+  end;
+  { nominal_mhz; fmax_mhz; model; sorted = None }
 
-let percentile run p = Gap_util.Stats.percentile run.fmax_mhz p
+let sorted_samples run =
+  match run.sorted with
+  | Some s -> s
+  | None ->
+      let s = Array.copy run.fmax_mhz in
+      Array.sort compare s;
+      run.sorted <- Some s;
+      s
+
+let percentile run p = Gap_util.Stats.percentile_sorted (sorted_samples run) p
 let mean run = Gap_util.Stats.mean_of run.fmax_mhz
 
 let spread run =
   (percentile run 99. -. percentile run 1.) /. percentile run 50.
 
 let fraction_above run mhz =
-  let n = Array.length run.fmax_mhz in
-  let above = Array.fold_left (fun acc f -> if f >= mhz then acc + 1 else acc) 0 run.fmax_mhz in
-  float_of_int above /. float_of_int n
+  (* first sorted index at or above [mhz], by binary search *)
+  let s = sorted_samples run in
+  let n = Array.length s in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if s.(mid) >= mhz then hi := mid else lo := mid + 1
+  done;
+  float_of_int (n - !lo) /. float_of_int n

@@ -1,15 +1,35 @@
-(** Monte Carlo fmax sampling over a variation model. *)
+(** Monte Carlo fmax sampling over a variation model.
+
+    Sampling is sharded: dies are drawn in fixed 1024-die blocks, each block
+    from its own generator split off the master seed, and [domains] workers
+    claim blocks off a shared counter. Because the block layout depends only
+    on [dies], the resulting sample array is byte-identical for every
+    [domains] value — parallelism changes wall-clock only, never results. *)
 
 type run = {
   nominal_mhz : float;
   fmax_mhz : float array;  (** one entry per die, unsorted *)
   model : Model.t;
+  mutable sorted : float array option;
+      (** lazily cached ascending copy of [fmax_mhz]; managed by
+          {!percentile}/{!fraction_above}, do not mutate *)
 }
 
 val simulate :
-  ?seed:int64 -> model:Model.t -> nominal_mhz:float -> dies:int -> unit -> run
+  ?seed:int64 ->
+  ?domains:int ->
+  model:Model.t ->
+  nominal_mhz:float ->
+  dies:int ->
+  unit ->
+  run
+(** [domains] (default 1) is the number of Domains that sample in parallel;
+    results are identical for any value. *)
 
 val percentile : run -> float -> float
+(** Sorts the samples once on first use; repeated percentile queries are
+    O(1) after that. *)
+
 val mean : run -> float
 val spread : run -> float
 (** (p99 - p1) / p50: the visible speed spread of shipped parts. *)

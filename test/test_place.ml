@@ -26,6 +26,57 @@ let test_hpwl_netlist () =
   ignore (Placer.place_random nl);
   Alcotest.(check bool) "placed > 0" true (Hpwl.total_um nl > 0.)
 
+let test_hpwl_cache_matches_scratch () =
+  (* after many random moves through the incremental cache, every cached
+     per-net length and the total must equal a from-scratch recomputation
+     bit for bit (min/max boxes are order-independent and the cache uses the
+     same length expression) *)
+  let nl = mapped_circuit () in
+  ignore (Placer.place_random nl);
+  let cache = Hpwl.Cache.create nl in
+  let rng = Gap_util.Rng.create ~seed:99L () in
+  let n = Netlist.num_instances nl in
+  for _ = 1 to 1000 do
+    let i = Gap_util.Rng.int rng n in
+    let x = Gap_util.Rng.float rng 500. and y = Gap_util.Rng.float rng 500. in
+    Hpwl.Cache.move cache i ~x_um:x ~y_um:y
+  done;
+  for net = 0 to Netlist.num_nets nl - 1 do
+    Alcotest.(check (float 0.))
+      (Printf.sprintf "net %d exact" net)
+      (Hpwl.net_length_um nl net)
+      (Hpwl.Cache.net_length_um cache net)
+  done;
+  Alcotest.(check (float 0.)) "total exact" (Hpwl.total_um nl) (Hpwl.Cache.total_um cache)
+
+let test_hpwl_cache_rollback () =
+  (* snapshot -> move -> set_xy + rollback must restore every affected net
+     length exactly *)
+  let nl = mapped_circuit () in
+  ignore (Placer.place_random nl);
+  let cache = Hpwl.Cache.create nl in
+  let rng = Gap_util.Rng.create ~seed:5L () in
+  let n = Netlist.num_instances nl in
+  for _ = 1 to 200 do
+    let i = Gap_util.Rng.int rng n in
+    let x0, y0 =
+      match Netlist.location nl i with Some p -> p | None -> Alcotest.fail "unplaced"
+    in
+    let nets = Hpwl.Cache.nets_of_instance cache i in
+    let m = Array.length nets in
+    let before = Array.map (Hpwl.Cache.net_length_um cache) nets in
+    Hpwl.Cache.snapshot cache nets m;
+    Hpwl.Cache.move cache i ~x_um:(Gap_util.Rng.float rng 300.)
+      ~y_um:(Gap_util.Rng.float rng 300.);
+    Hpwl.Cache.set_xy cache i ~x_um:x0 ~y_um:y0;
+    Hpwl.Cache.rollback cache nets m;
+    Netlist.place nl i ~x_um:x0 ~y_um:y0;
+    let after = Array.map (Hpwl.Cache.net_length_um cache) nets in
+    Alcotest.(check bool) "rollback restores lengths" true (before = after)
+  done;
+  (* the cache must still agree with the (restored) netlist *)
+  Alcotest.(check (float 0.)) "still consistent" (Hpwl.total_um nl) (Hpwl.Cache.total_um cache)
+
 let test_placer_improves () =
   let nl = mapped_circuit () in
   let stats = Placer.place ~options:{ Placer.default_options with Placer.sweeps = 30 } nl in
@@ -302,6 +353,8 @@ let suite =
   [
     ("hpwl of points", `Quick, test_hpwl_points);
     ("hpwl of netlist", `Quick, test_hpwl_netlist);
+    ("hpwl cache matches from-scratch", `Quick, test_hpwl_cache_matches_scratch);
+    ("hpwl cache rollback", `Quick, test_hpwl_cache_rollback);
     ("placer improves wirelength", `Quick, test_placer_improves);
     ("placer places everything", `Quick, test_placer_places_everything);
     ("placer deterministic", `Quick, test_placer_deterministic);

@@ -146,6 +146,23 @@ let test_vec_find_index () =
   Alcotest.(check (option int)) "found" (Some 1) (Gap_util.Vec.find_index (fun x -> x = 5) v);
   Alcotest.(check (option int)) "missing" None (Gap_util.Vec.find_index (fun x -> x = 7) v)
 
+let test_vec_capacity () =
+  (* a pre-sized vec behaves exactly like a default one, before, at, and
+     past the requested capacity *)
+  let v = Gap_util.Vec.create ~capacity:1000 () in
+  Alcotest.(check bool) "starts empty" true (Gap_util.Vec.is_empty v);
+  for i = 0 to 1499 do
+    ignore (Gap_util.Vec.push v (i * 3))
+  done;
+  Alcotest.(check int) "length" 1500 (Gap_util.Vec.length v);
+  Alcotest.(check int) "first" 0 (Gap_util.Vec.get v 0);
+  Alcotest.(check int) "at capacity edge" (999 * 3) (Gap_util.Vec.get v 999);
+  Alcotest.(check int) "past capacity" (1499 * 3) (Gap_util.Vec.get v 1499);
+  (* degenerate capacities are clamped, not fatal *)
+  let w = Gap_util.Vec.create ~capacity:0 () in
+  ignore (Gap_util.Vec.push w 42);
+  Alcotest.(check int) "zero capacity still works" 42 (Gap_util.Vec.get w 0)
+
 (* --- heap --- *)
 
 let test_heap_sorts () =
@@ -256,6 +273,26 @@ let test_digraph_scc () =
     (comp.(0) = comp.(1) && comp.(1) = comp.(2));
   Alcotest.(check bool) "others separate" true (comp.(3) <> comp.(0) && comp.(4) <> comp.(3))
 
+let csr_matches_reference_property =
+  (* the CSR-backed topo_order/longest_path must agree exactly — including
+     Kahn tie-breaking, hence array equality — with the list-based reference
+     implementations, on DAGs and on cyclic graphs (both reject) *)
+  QCheck.Test.make ~name:"digraph csr matches list reference" ~count:200
+    QCheck.(triple (int_range 1 30) (small_list (pair small_nat small_nat)) bool)
+    (fun (n, pairs, acyclic_only) ->
+      let g = Gap_util.Digraph.create () in
+      Gap_util.Digraph.add_nodes g n;
+      List.iter
+        (fun (a, b) ->
+          let u = a mod n and v = b mod n in
+          if u < v || ((not acyclic_only) && u <> v) then
+            Gap_util.Digraph.add_edge g ~weight:(float_of_int ((a + b) mod 7)) u v)
+        pairs;
+      let node_delay i = float_of_int ((i mod 5) + 1) in
+      Gap_util.Digraph.topo_order g = Gap_util.Digraph.topo_order_ref g
+      && Gap_util.Digraph.longest_path g ~node_delay
+         = Gap_util.Digraph.longest_path_ref g ~node_delay)
+
 (* --- table / units --- *)
 
 let test_table_render () =
@@ -297,6 +334,7 @@ let suite =
     ("vec basics", `Quick, test_vec_basic);
     ("vec bounds", `Quick, test_vec_bounds);
     ("vec find_index", `Quick, test_vec_find_index);
+    ("vec capacity", `Quick, test_vec_capacity);
     ("heap sorts", `Quick, test_heap_sorts);
     ("heap peek/pop", `Quick, test_heap_peek_pop);
     QCheck_alcotest.to_alcotest heap_property;
@@ -307,6 +345,7 @@ let suite =
     ("digraph negative cycle", `Quick, test_digraph_negative_cycle);
     ("digraph feasible potentials", `Quick, test_digraph_feasible_potentials);
     ("digraph scc", `Quick, test_digraph_scc);
+    QCheck_alcotest.to_alcotest csr_matches_reference_property;
     ("table render", `Quick, test_table_render);
     ("units", `Quick, test_units);
   ]

@@ -34,6 +34,21 @@ let test_mc_deterministic () =
   let c = run ~seed:6L () in
   Alcotest.(check bool) "different seed differs" true (MC.mean a <> MC.mean c)
 
+let test_mc_domains_identical () =
+  (* the shard layout depends only on [dies], so the sample array must be
+     byte-identical for any worker count — including a dies count that does
+     not divide evenly into shards *)
+  let model = V.make V.mature in
+  let base = MC.simulate ~seed:7L ~model ~nominal_mhz:250. ~dies:4500 () in
+  List.iter
+    (fun d ->
+      let r = MC.simulate ~seed:7L ~domains:d ~model ~nominal_mhz:250. ~dies:4500 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d identical" d)
+        true
+        (r.MC.fmax_mhz = base.MC.fmax_mhz))
+    [ 1; 2; 4 ]
+
 let test_mc_percentiles_ordered () =
   let r = run () in
   let p1 = MC.percentile r 1. and p50 = MC.percentile r 50. and p99 = MC.percentile r 99. in
@@ -192,6 +207,7 @@ let suite =
     ("samples positive and centred", `Quick, test_sample_positive_and_centred);
     ("total sigma", `Quick, test_total_sigma);
     ("MC deterministic by seed", `Quick, test_mc_deterministic);
+    ("MC identical across domains", `Quick, test_mc_domains_identical);
     ("MC percentiles ordered", `Quick, test_mc_percentiles_ordered);
     ("fraction above", `Quick, test_fraction_above);
     ("binning counts", `Quick, test_binning_counts);
