@@ -1,4 +1,4 @@
-.PHONY: build test repro bench bench-kernels clean
+.PHONY: build test repro bench bench-kernels metrics clean
 
 build:
 	dune build
@@ -17,6 +17,14 @@ bench:
 # embedded pre-optimization baselines and speedups to BENCH_kernels.json.
 bench-kernels:
 	dune exec bench/main.exe -- --quick --kernels-json BENCH_kernels.json
+
+# Run the paper's ten experiments with telemetry on and collect every span,
+# counter and histogram into BENCH_metrics.json; fails if the file is not
+# well-formed JSON.
+metrics:
+	dune exec bin/repro.exe -- run E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 \
+	  --metrics-json BENCH_metrics.json
+	dune exec bin/repro.exe -- validate-json BENCH_metrics.json
 
 clean:
 	dune clean

@@ -144,14 +144,20 @@ let print_rows rows =
     ~header:[ "kernel"; "time/run"; "r^2" ]
     (List.map
        (fun (name, ns, r2) ->
-         let time =
-           if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
-           else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-           else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-           else Printf.sprintf "%.0f ns" ns
-         in
-         [ name; time; Printf.sprintf "%.3f" r2 ])
+         [ name; Gap_obs.Obs.pp_ns ns; Printf.sprintf "%.3f" r2 ])
        rows)
+
+(* record measured timings into an observability sink; the JSON artifact is
+   then emitted from the sink's gauges rather than from ad-hoc printf *)
+let record_rows sink rows =
+  Gap_obs.Obs.with_sink sink (fun () ->
+      List.iter
+        (fun (name, ns, r2) ->
+          if not (Float.is_nan ns) then
+            Gap_obs.Obs.gauge ("kernel." ^ name ^ ".ns_per_run") ns;
+          if not (Float.is_nan r2) then
+            Gap_obs.Obs.gauge ("kernel." ^ name ^ ".r_square") r2)
+        rows)
 
 let run_benchmarks ~quota () =
   print_endline "=== bechamel micro-benchmarks (one kernel per table) ===";
@@ -224,53 +230,57 @@ let kernel_tests =
                Gap_variation.Montecarlo.spread r )));
     ]
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let write_kernels_json path =
+  let module Json = Gap_obs.Json in
   print_endline "=== hot-kernel benchmarks ===";
   ignore (Lazy.force alu16_netlist);
   ignore (Lazy.force mult6_netlist);
   (* fixed 1s quota: several kernels run >10 ms each, and a short quota
-     gives the OLS fit too few samples to be trustworthy *)
+     gives the OLS fit too few samples to be trustworthy.  The sink is NOT
+     installed while measuring: recording spans inside the timed kernels
+     would bias the ns/run against the pre-instrumentation baselines. *)
   let rows = measure_suite ~quota:1.0 kernel_tests in
   print_rows rows;
+  let sink = Gap_obs.Obs.recorder () in
+  record_rows sink rows;
+  let kernels =
+    List.map
+      (fun (name, _, _) ->
+        let g suffix = Gap_obs.Obs.gauge_value sink ("kernel." ^ name ^ suffix) in
+        let ns = g ".ns_per_run" in
+        let baseline = List.assoc_opt name seed_baseline_ns in
+        let opt_f = function Some v -> Json.Float v | None -> Json.Null in
+        Json.Obj
+          [
+            ("name", Json.Str name);
+            ("ns_per_run", opt_f ns);
+            ("r_square", opt_f (g ".r_square"));
+            ("baseline_ns_per_run", opt_f baseline);
+            ("speedup",
+             match (baseline, ns) with
+             | Some b, Some ns when ns > 0. -> Json.Float (b /. ns)
+             | _ -> Json.Null);
+          ])
+      rows
+  in
+  let doc =
+    Json.Obj
+      [
+        ("baseline_note",
+         Json.Str
+           "baseline ns/run measured at seed commit 56f85bc \
+            (pre-optimization), wall-clock best-of-3 on the 1-CPU reference \
+            container; null = kernel has no seed counterpart");
+        ("determinism_note",
+         Json.Str
+           "mc_60000_d{1,2,4} produce byte-identical sample arrays; the \
+            domain count changes wall-clock only");
+        ("kernels", Json.List kernels);
+      ]
+  in
   let oc = open_out path in
-  Printf.fprintf oc "{\n";
-  Printf.fprintf oc
-    "  \"baseline_note\": \"baseline ns/run measured at seed commit 56f85bc \
-     (pre-optimization), wall-clock best-of-3 on the 1-CPU reference \
-     container; null = kernel has no seed counterpart\",\n";
-  Printf.fprintf oc
-    "  \"determinism_note\": \"mc_60000_d{1,2,4} produce byte-identical \
-     sample arrays; the domain count changes wall-clock only\",\n";
-  Printf.fprintf oc "  \"kernels\": [\n";
-  let n = List.length rows in
-  List.iteri
-    (fun k (name, ns, r2) ->
-      let baseline = List.assoc_opt name seed_baseline_ns in
-      let fin f = if Float.is_nan f then "null" else Printf.sprintf "%.1f" f in
-      Printf.fprintf oc
-        "    { \"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s, \
-         \"baseline_ns_per_run\": %s, \"speedup\": %s }%s\n"
-        (json_escape name) (fin ns)
-        (if Float.is_nan r2 then "null" else Printf.sprintf "%.4f" r2)
-        (match baseline with Some b -> Printf.sprintf "%.1f" b | None -> "null")
-        (match baseline with
-        | Some b when (not (Float.is_nan ns)) && ns > 0. ->
-            Printf.sprintf "%.2f" (b /. ns)
-        | _ -> "null")
-        (if k = n - 1 then "" else ",");
-      ignore k)
-    rows;
-  Printf.fprintf oc "  ]\n}\n";
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 

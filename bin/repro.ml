@@ -8,6 +8,66 @@
 
 open Cmdliner
 
+(* --- observability plumbing: --trace / --metrics-json / --obs-summary /
+   --obs-csv install a recording sink around the run; with none of them the
+   ambient sink stays the no-op and instrumented code is branch-cheap --- *)
+
+type obs_opts = {
+  trace : string option;
+  metrics_json : string option;
+  obs_summary : bool;
+  obs_csv : string option;
+}
+
+let obs_term =
+  let trace =
+    Arg.(value & opt (some string) None
+        & info [ "trace" ] ~docv:"FILE"
+            ~doc:"Stream a JSONL telemetry trace (one JSON object per span/event) to $(docv).")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+        & info [ "metrics-json" ] ~docv:"FILE"
+            ~doc:"Write the aggregated metrics document (spans, counters, gauges, histograms) to $(docv) as JSON.")
+  in
+  let summary =
+    Arg.(value & flag
+        & info [ "obs-summary" ] ~doc:"Print the telemetry summary tables after the run.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+        & info [ "obs-csv" ] ~docv:"FILE"
+            ~doc:"Dump the span aggregates as CSV to $(docv).")
+  in
+  Term.(const (fun trace metrics_json obs_summary obs_csv ->
+            { trace; metrics_json; obs_summary; obs_csv })
+        $ trace $ metrics $ summary $ csv)
+
+let with_obs opts f =
+  if
+    opts.trace = None && opts.metrics_json = None && (not opts.obs_summary)
+    && opts.obs_csv = None
+  then f ()
+  else begin
+    let trace_oc = Option.map open_out opts.trace in
+    let sink = Gap_obs.Obs.recorder ?trace:trace_oc () in
+    match Gap_obs.Obs.with_sink sink f with
+    | code ->
+        Option.iter close_out trace_oc;
+        Option.iter (Gap_obs.Obs.write_metrics_json sink) opts.metrics_json;
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Gap_obs.Obs.spans_csv sink);
+            close_out oc)
+          opts.obs_csv;
+        if opts.obs_summary then print_string (Gap_obs.Obs.summary sink);
+        code
+    | exception e ->
+        Option.iter close_out trace_oc;
+        raise e
+  end
+
 let list_experiments () =
   List.iter
     (fun (id, title, _) -> Printf.printf "%-4s %s\n" id title)
@@ -122,18 +182,21 @@ let list_cmd =
 let run_cmd =
   let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e.g. E3, X1)") in
   let doc = "Run selected experiments." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run_ids $ ids)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const (fun obs ids -> with_obs obs (fun () -> run_ids ids)) $ obs_term $ ids)
 
 let all_cmd =
   let ext =
     Arg.(value & flag & info [ "extensions"; "x" ] ~doc:"Also run the X1..X3 extensions.")
   in
   let doc = "Run every experiment and print the pass/fail summary." in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run_all $ ext)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const (fun obs ext -> with_obs obs (fun () -> run_all ext)) $ obs_term $ ext)
 
 let analysis_cmd =
   let doc = "Print the factor table, residual analysis and methodology comparison." in
-  Cmd.v (Cmd.info "analysis" ~doc) Term.(const analysis $ const ())
+  Cmd.v (Cmd.info "analysis" ~doc)
+    Term.(const (fun obs () -> with_obs obs analysis) $ obs_term $ const ())
 
 let dump_cmd =
   let circuit_arg =
@@ -151,6 +214,57 @@ let dump_cmd =
   let doc = "Synthesize a circuit and emit structural Verilog on stdout." in
   Cmd.v (Cmd.info "dump" ~doc) Term.(const dump $ circuit_arg $ lib_arg $ stages_arg)
 
+(* --- validate-json: strict check for the metrics / trace artifacts --- *)
+
+let validate_json path =
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e ->
+      Printf.eprintf "%s\n" e;
+      1
+  | s -> (
+      match Gap_obs.Json.of_string s with
+      | Ok _ ->
+          Printf.printf "%s: valid JSON (%d bytes)\n" path (String.length s);
+          0
+      | Error doc_err ->
+          (* maybe a JSONL trace: every non-empty line must parse *)
+          let lines =
+            List.filter
+              (fun l -> String.trim l <> "")
+              (String.split_on_char '\n' s)
+          in
+          let all_parse =
+            lines <> []
+            && List.for_all
+                 (fun l ->
+                   match Gap_obs.Json.of_string l with
+                   | Ok _ -> true
+                   | Error _ -> false)
+                 lines
+          in
+          if all_parse then begin
+            Printf.printf "%s: valid JSONL (%d lines)\n" path (List.length lines);
+            0
+          end
+          else begin
+            Printf.eprintf "%s: malformed JSON: %s\n" path doc_err;
+            1
+          end)
+
+let validate_json_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+        & info [] ~docv:"FILE" ~doc:"JSON or JSONL file to validate.")
+  in
+  let doc = "Validate a metrics JSON document or JSONL trace; exits non-zero if malformed." in
+  Cmd.v (Cmd.info "validate-json" ~doc) Term.(const validate_json $ path_arg)
+
 let libdump_cmd =
   let profile_arg =
     Arg.(value & pos 0 string "rich"
@@ -163,6 +277,6 @@ let main =
   let doc = "reproduction of Chinnery & Keutzer, 'Closing the Gap Between ASIC and Custom' (DAC 2000)" in
   Cmd.group
     (Cmd.info "repro" ~version:"1.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; analysis_cmd; dump_cmd; libdump_cmd ]
+    [ list_cmd; run_cmd; all_cmd; analysis_cmd; dump_cmd; libdump_cmd; validate_json_cmd ]
 
 let () = exit (Cmd.eval' main)

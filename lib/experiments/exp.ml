@@ -50,32 +50,18 @@ let render r =
 
 let print r = print_string (render r)
 
-let csv_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
-
 let to_csv r =
-  let buf = Buffer.create 512 in
-  List.iter
-    (fun row ->
-      Buffer.add_string buf
-        (String.concat ","
-           [
-             csv_escape r.id;
-             csv_escape row.label;
-             csv_escape row.paper;
-             csv_escape row.measured;
-             csv_escape (verdict_str row.verdict);
-           ]);
-      Buffer.add_char buf '\n')
-    r.rows;
-  Buffer.contents buf
+  Gap_util.Table.to_csv
+    (List.map
+       (fun row ->
+         [ r.id; row.label; row.paper; row.measured; verdict_str row.verdict ])
+       r.rows)
+
+(* Run experiment [id] under a root span with every span/counter/event the
+   layers below record tagged by the owning experiment id. With the no-op
+   sink this adds two function calls and nothing else. *)
+let observed id f () =
+  Gap_obs.Obs.with_exp id (fun () -> Gap_obs.Obs.span ("exp." ^ id) f)
 
 let passes r =
   List.fold_left

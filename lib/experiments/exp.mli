@@ -43,3 +43,9 @@ val to_csv : result -> string
 
 val passes : result -> int * int
 (** (passing rows, checkable rows). *)
+
+val observed : string -> (unit -> result) -> unit -> result
+(** [observed id run] wraps an experiment body so it executes under a
+    [Gap_obs] root span named ["exp." ^ id], with every span, counter and
+    event recorded below tagged by the owning experiment id. With the no-op
+    sink installed this adds two function calls and nothing else. *)

@@ -26,10 +26,12 @@ let extensions =
 
 let find id =
   let id = String.uppercase_ascii id in
-  List.find_map (fun (i, _, f) -> if i = id then Some f else None) (all @ extensions)
+  List.find_map
+    (fun (i, _, f) -> if i = id then Some (Exp.observed i f) else None)
+    (all @ extensions)
 
-let run_all () = List.map (fun (_, _, f) -> f ()) all
-let run_extensions () = List.map (fun (_, _, f) -> f ()) extensions
+let run_all () = List.map (fun (id, _, f) -> Exp.observed id f ()) all
+let run_extensions () = List.map (fun (id, _, f) -> Exp.observed id f ()) extensions
 
 let summary results =
   let buf = Buffer.create 256 in

@@ -1,5 +1,17 @@
 module Netlist = Gap_netlist.Netlist
 module Rng = Gap_util.Rng
+module Obs = Gap_obs.Obs
+module Json = Gap_obs.Json
+
+(* anneal move-cost deltas are signed um; net degrees are small ints *)
+let move_delta_bounds_um =
+  [|
+    -1000.; -300.; -100.; -30.; -10.; -3.; -1.; 0.; 1.; 3.; 10.; 30.; 100.;
+    300.; 1000.;
+  |]
+
+let net_degree_bounds =
+  [| 1.; 2.; 3.; 4.; 6.; 8.; 12.; 16.; 24.; 32.; 48.; 64.; 96.; 128. |]
 
 type options = {
   utilization : float;
@@ -96,7 +108,7 @@ let merge_union a b out =
   done;
   !m
 
-let anneal ?(options = default_options) nl =
+let anneal_body ~options nl =
   let rng = Rng.create ~seed:options.seed () in
   let g = build_grid ~utilization:options.utilization ~rng ~random_init:true nl in
   commit nl g;
@@ -129,7 +141,28 @@ let anneal ?(options = default_options) nl =
          done;
          !acc)
     in
-    let accepted = ref 0 in
+    let accepted = ref 0 and proposed = ref 0 in
+    let obs_on = Obs.enabled () in
+    if obs_on then begin
+      Obs.annotate
+        [
+          ("instances", Json.Int n);
+          ("nets", Json.Int (Netlist.num_nets nl));
+          ("sweeps", Json.Int options.sweeps);
+          ("grid_side", Json.Int g.side);
+        ];
+      (* net degree histogram: pins per net, via the per-instance net sets *)
+      let deg = Array.make (max 1 (Netlist.num_nets nl)) 0 in
+      Array.iter
+        (fun nets -> Array.iter (fun net -> deg.(net) <- deg.(net) + 1) nets)
+        inst_nets;
+      Array.iter
+        (fun d ->
+          if d > 0 then
+            Obs.observe ~bounds:net_degree_bounds "place.net_degree"
+              (float_of_int d))
+        deg
+    end;
     let slots = g.side * g.side in
     (* scratch buffer for the union of two instances' net sets *)
     let max_deg = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 inst_nets in
@@ -155,6 +188,7 @@ let anneal ?(options = default_options) nl =
       let target = Rng.int rng slots in
       let src = g.slot_of_inst.(i) in
       if target <> src then begin
+        incr proposed;
         let j = g.inst_of_slot.(target) in
         let m =
           if j >= 0 then merge_union inst_nets.(i) inst_nets.(j) affected
@@ -180,6 +214,8 @@ let anneal ?(options = default_options) nl =
         if j >= 0 then apply_slot j src;
         let after = weighted_sum m in
         let delta = after -. before in
+        if obs_on then
+          Obs.observe ~bounds:move_delta_bounds_um "place.move_delta_um" delta;
         let accept =
           delta <= 0.
           || temperature > 0.
@@ -215,29 +251,59 @@ let anneal ?(options = default_options) nl =
     (* initial temperature: scale of one move's cost change *)
     let t0 = Float.max 1. (!cost /. float_of_int (max 1 n)) in
     let sweeps = max 1 options.sweeps in
+    (* trajectory sampling: ~16 points over the schedule, plus the last sweep *)
+    let sample_every = max 1 (sweeps / 16) in
+    let last_accepted = ref 0 and last_proposed = ref 0 in
     for sweep = 0 to sweeps - 1 do
       let temperature =
         t0 *. cooling_rate ** (float_of_int sweep /. float_of_int (max 1 (sweeps - 1)))
       in
       for _ = 1 to n do
         try_move temperature
-      done
+      done;
+      if obs_on && (sweep mod sample_every = 0 || sweep = sweeps - 1) then begin
+        let window = !proposed - !last_proposed in
+        let rate =
+          if window = 0 then 0.
+          else float_of_int (!accepted - !last_accepted) /. float_of_int window
+        in
+        Obs.event "place.sweep"
+          [
+            ("sweep", Json.Int sweep);
+            ("temperature", Json.Float temperature);
+            ("cost_um", Json.Float !cost);
+            ("accept_rate", Json.Float rate);
+            ("accepted", Json.Int !accepted);
+          ];
+        last_accepted := !accepted;
+        last_proposed := !proposed
+      end
     done;
     (* rejected moves leave netlist locations stale (rollback only restores
        the cache mirrors); write the final slot assignment back *)
     commit nl g;
+    let final_hpwl = Hpwl.total_um nl in
+    if obs_on then begin
+      Obs.incr ~by:!proposed "place.moves_proposed";
+      Obs.incr ~by:!accepted "place.moves_accepted";
+      Obs.gauge "place.initial_hpwl_um" initial;
+      Obs.gauge "place.final_hpwl_um" final_hpwl
+    end;
     {
       site_pitch_um = g.pitch;
       grid_side = g.side;
       initial_hpwl_um = initial;
-      final_hpwl_um = Hpwl.total_um nl;
+      final_hpwl_um = final_hpwl;
       moves_accepted = !accepted;
     }
   end
 
+let anneal ?(options = default_options) nl =
+  Obs.span "place.anneal" (fun () -> anneal_body ~options nl)
+
 let place ?options nl = anneal ?options nl
 
-let place_random ?(seed = 11L) nl =
+let place_random_body ~seed nl =
   let rng = Rng.create ~seed () in
   let g = build_grid ~utilization:default_options.utilization ~rng ~random_init:true nl in
   commit nl g;
@@ -249,3 +315,6 @@ let place_random ?(seed = 11L) nl =
     final_hpwl_um = h;
     moves_accepted = 0;
   }
+
+let place_random ?(seed = 11L) nl =
+  Obs.span "place.random" (fun () -> place_random_body ~seed nl)

@@ -1,5 +1,14 @@
 module Netlist = Gap_netlist.Netlist
 module Cell = Gap_liberty.Cell
+module Obs = Gap_obs.Obs
+
+(* endpoint slack buckets (ps): slack can be negative, so the default
+   positive-decade bounds would collapse everything into one bucket *)
+let slack_bounds_ps =
+  [|
+    -5000.; -2000.; -1000.; -500.; -200.; -100.; -50.; -20.; -10.; 0.; 10.;
+    20.; 50.; 100.; 200.; 500.; 1000.; 2000.; 5000.; 10000.;
+  |]
 
 type config = {
   clock_period_ps : float option;
@@ -39,9 +48,9 @@ let endpoint_margin cfg cell =
   | Some seq -> seq.Cell.setup_ps +. cfg.clock_skew_ps
   | None -> 0.
 
-let analyze ?(config = default_config) nl =
-  let cfg = config in
+let analyze_body cfg nl =
   let nnets = Netlist.num_nets nl in
+  let visited = ref 0 and edges = ref 0 in
   let arrival = Array.make (max 1 nnets) neg_infinity in
   (* predecessor for path tracing: the instance whose output set this net's
      arrival, and the fanin net through which the worst path came *)
@@ -67,6 +76,7 @@ let analyze ?(config = default_config) nl =
   Array.iter
     (fun i ->
       if not (Netlist.is_flop nl i) then begin
+        incr visited;
         let cell = Netlist.cell_of nl i in
         let onet = Netlist.out_net nl i in
         let load = Netlist.net_load_ff nl onet in
@@ -74,6 +84,7 @@ let analyze ?(config = default_config) nl =
         inst_delay.(i) <- d;
         let worst = ref neg_infinity and worst_net = ref (-1) in
         Netlist.iter_fanins nl i (fun fnet ->
+            incr edges;
             if arrival.(fnet) > !worst then begin
               worst := arrival.(fnet);
               worst_net := fnet
@@ -160,6 +171,22 @@ let analyze ?(config = default_config) nl =
         let required_ps = period -. margin in
         { steps; endpoint = ep_name; required_ps; slack_ps = required_ps -. arrival.(net) }
   in
+  if Obs.enabled () then begin
+    Obs.annotate
+      [
+        ("nets", Gap_obs.Json.Int nnets);
+        ("instances", Gap_obs.Json.Int (Netlist.num_instances nl));
+        ("endpoints", Gap_obs.Json.Int (List.length !endpoints));
+      ];
+    Obs.incr ~by:!visited "sta.visited_instances";
+    Obs.incr ~by:!edges "sta.fanin_edges";
+    Obs.incr ~by:(List.length !endpoints) "sta.endpoints";
+    List.iter
+      (fun (net, margin, _) ->
+        Obs.observe ~bounds:slack_bounds_ps "sta.endpoint_slack_ps"
+          (period -. margin -. arrival.(net)))
+      !endpoints
+  end;
   {
     netlist_name = Netlist.name nl;
     arrival;
@@ -169,6 +196,9 @@ let analyze ?(config = default_config) nl =
     critical;
     endpoint_count = List.length !endpoints;
   }
+
+let analyze ?(config = default_config) nl =
+  Obs.span "sta.analyze" (fun () -> analyze_body config nl)
 
 let slack t net = t.required.(net) -. t.arrival.(net)
 

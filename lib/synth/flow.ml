@@ -1,3 +1,5 @@
+module Obs = Gap_obs.Obs
+
 type effort = {
   balance : bool;
   mode : Mapper.mode;
@@ -32,17 +34,36 @@ type outcome = {
 }
 
 let run ~lib ?(effort = default_effort) ?name g =
-  let g = if effort.balance then Balance.balance g else g in
-  let netlist = Mapper.map_aig ~lib ~mode:effort.mode ?name g in
-  let buffers_inserted =
-    match effort.buffer_max_fanout with
-    | Some max_fanout -> Buffering.buffer_fanout ~max_fanout netlist
-    | None -> 0
-  in
-  let sizing =
-    if effort.tilos_moves > 0 then
-      Some (Sizing.tilos ~config:effort.sta_config ~max_moves:effort.tilos_moves netlist)
-    else None
-  in
-  let sta = Gap_sta.Sta.analyze ~config:effort.sta_config netlist in
-  { netlist; sta; sizing; buffers_inserted }
+  Obs.span "synth.flow" (fun () ->
+      let g =
+        if effort.balance then Obs.span "synth.balance" (fun () -> Balance.balance g)
+        else g
+      in
+      let netlist =
+        Obs.span "synth.map" (fun () ->
+            Mapper.map_aig ~lib ~mode:effort.mode ?name g)
+      in
+      let buffers_inserted =
+        match effort.buffer_max_fanout with
+        | Some max_fanout ->
+            Obs.span "synth.buffer" (fun () ->
+                Buffering.buffer_fanout ~max_fanout netlist)
+        | None -> 0
+      in
+      Obs.incr ~by:buffers_inserted "synth.buffers_inserted";
+      let sizing =
+        if effort.tilos_moves > 0 then
+          Some
+            (Obs.span "synth.sizing" (fun () ->
+                 Sizing.tilos ~config:effort.sta_config
+                   ~max_moves:effort.tilos_moves netlist))
+        else None
+      in
+      (match sizing with
+      | Some s -> Obs.incr ~by:s.Sizing.moves "synth.sizing_moves"
+      | None -> ());
+      let sta =
+        Obs.span "synth.sta" (fun () ->
+            Gap_sta.Sta.analyze ~config:effort.sta_config netlist)
+      in
+      { netlist; sta; sizing; buffers_inserted })

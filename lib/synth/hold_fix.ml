@@ -18,7 +18,7 @@ let delay_cells lib =
       | i :: _ -> [ i; i ] (* pair keeps polarity *)
       | [] -> failwith "Hold_fix: library has neither buffers nor inverters")
 
-let fix ?(skew_ps = 0.) ?(max_iterations = 10) nl =
+let fix_body ~skew_ps ~max_iterations nl =
   let lib = Netlist.lib nl in
   let cells = delay_cells lib in
   let unit_delay =
@@ -57,4 +57,9 @@ let fix ?(skew_ps = 0.) ?(max_iterations = 10) nl =
         loop (iter + 1)
   in
   let iterations, clean = loop 0 in
-  { buffers_inserted = !inserted; area_added_um2 = !area; iterations; clean }
+  let r = { buffers_inserted = !inserted; area_added_um2 = !area; iterations; clean } in
+  Gap_obs.Obs.incr ~by:r.buffers_inserted "synth.hold_buffers_inserted";
+  r
+
+let fix ?(skew_ps = 0.) ?(max_iterations = 10) nl =
+  Gap_obs.Obs.span "synth.hold_fix" (fun () -> fix_body ~skew_ps ~max_iterations nl)

@@ -50,6 +50,29 @@ let render ?aligns ~header rows =
   Buffer.contents buf
 
 let print ?aligns ~header rows = print_string (render ?aligns ~header rows)
+
+(* CSV with every field quoted (and quotes doubled), so labels containing
+   commas, quotes or newlines survive a spreadsheet import *)
+let csv_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_csv ?header rows =
+  let buf = Buffer.create 256 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape cells));
+    Buffer.add_char buf '\n'
+  in
+  Option.iter line header;
+  List.iter line rows;
+  Buffer.contents buf
+
 let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
 let fmt_ratio x = Printf.sprintf "x%.2f" x
 let fmt_pct x = Printf.sprintf "%.1f%%" (100. *. x)

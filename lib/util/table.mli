@@ -9,6 +9,11 @@ val render : ?aligns:align list -> header:string list -> string list list -> str
 
 val print : ?aligns:align list -> header:string list -> string list list -> unit
 
+val to_csv : ?header:string list -> string list list -> string
+(** [to_csv rows] renders the rows as CSV with every field quoted (embedded
+    quotes doubled), so labels containing commas, quotes or newlines survive
+    a spreadsheet import. [header] prepends a header line. *)
+
 val fmt_float : ?decimals:int -> float -> string
 (** Fixed-point formatting helper, default 2 decimals. *)
 

@@ -1,3 +1,5 @@
+module Obs = Gap_obs.Obs
+
 type run = {
   nominal_mhz : float;
   fmax_mhz : float array;
@@ -11,22 +13,35 @@ type run = {
    workers just claim shards off a shared counter. *)
 let shard_size = 1024
 
-let simulate ?(seed = 2024L) ?(domains = 1) ~model ~nominal_mhz ~dies () =
-  assert (dies > 0);
+let simulate_body ~seed ~domains ~model ~nominal_mhz ~dies =
   let master = Gap_util.Rng.create ~seed () in
   let num_shards = (dies + shard_size - 1) / shard_size in
+  let workers = max 1 (min domains num_shards) in
+  let obs_on = Obs.enabled () in
+  if obs_on then begin
+    Obs.annotate
+      [
+        ("dies", Gap_obs.Json.Int dies);
+        ("shards", Gap_obs.Json.Int num_shards);
+        ("workers", Gap_obs.Json.Int workers);
+      ];
+    Obs.incr ~by:dies "mc.samples"
+  end;
   let shard_rngs = Array.init num_shards (fun _ -> Gap_util.Rng.split master) in
   let fmax_mhz = Array.make dies 0. in
   let run_shard s =
+    let t0 = if obs_on then Obs.now_ns () else 0L in
     let rng = shard_rngs.(s) in
     let lo = s * shard_size in
     let hi = min dies (lo + shard_size) in
     (* [lo, hi) is within [0, dies) by construction *)
     for d = lo to hi - 1 do
       Array.unsafe_set fmax_mhz d (nominal_mhz *. Model.sample_speed_factor model rng)
-    done
+    done;
+    (* the recorder is mutex-protected, so worker domains may observe *)
+    if obs_on then
+      Obs.observe "mc.shard_ns" (Int64.to_float (Int64.sub (Obs.now_ns ()) t0))
   in
-  let workers = max 1 (min domains num_shards) in
   if workers = 1 then
     for s = 0 to num_shards - 1 do
       run_shard s
@@ -46,10 +61,18 @@ let simulate ?(seed = 2024L) ?(domains = 1) ~model ~nominal_mhz ~dies () =
   end;
   { nominal_mhz; fmax_mhz; model; sorted = None }
 
+let simulate ?(seed = 2024L) ?(domains = 1) ~model ~nominal_mhz ~dies () =
+  assert (dies > 0);
+  Obs.span "mc.simulate" (fun () ->
+      simulate_body ~seed ~domains ~model ~nominal_mhz ~dies)
+
 let sorted_samples run =
   match run.sorted with
-  | Some s -> s
+  | Some s ->
+      Obs.incr "mc.percentile_cache.hit";
+      s
   | None ->
+      Obs.incr "mc.percentile_cache.miss";
       let s = Array.copy run.fmax_mhz in
       Array.sort compare s;
       run.sorted <- Some s;

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "asic-custom-gap"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("tech", Test_tech.suite);
       ("logic", Test_logic.suite);
       ("liberty", Test_liberty.suite);

@@ -308,6 +308,17 @@ let test_table_render () =
   Alcotest.(check string) "ratio fmt" "x3.85" (Gap_util.Table.fmt_ratio 3.85);
   Alcotest.(check string) "pct fmt" "25.0%" (Gap_util.Table.fmt_pct 0.25)
 
+let test_table_to_csv () =
+  let csv =
+    Gap_util.Table.to_csv ~header:[ "name"; "value" ]
+      [ [ "plain"; "1" ]; [ "com,ma"; "quo\"te" ]; [ "line\nbreak"; "" ] ]
+  in
+  Alcotest.(check string)
+    "quoted, doubled, newline preserved"
+    "\"name\",\"value\"\n\"plain\",\"1\"\n\"com,ma\",\"quo\"\"te\"\n\"line\nbreak\",\"\"\n"
+    csv;
+  Alcotest.(check string) "no header, no rows" "" (Gap_util.Table.to_csv [])
+
 let test_units () =
   check_float "ps<->ns" 1500. (Gap_util.Units.ps_of_ns 1.5);
   check_float "mhz of period" 1000. (Gap_util.Units.mhz_of_period_ps 1000.);
@@ -347,5 +358,6 @@ let suite =
     ("digraph scc", `Quick, test_digraph_scc);
     QCheck_alcotest.to_alcotest csr_matches_reference_property;
     ("table render", `Quick, test_table_render);
+    ("table to_csv", `Quick, test_table_to_csv);
     ("units", `Quick, test_units);
   ]
