@@ -1,10 +1,19 @@
-.PHONY: build test repro bench bench-kernels metrics clean
+.PHONY: build test check verify repro bench bench-kernels metrics clean
 
 build:
 	dune build
 
 test:
 	dune runtest
+
+# Design-rule checks: gate every experiment flow at its stage boundaries and
+# fail on any Error-severity diagnostic; the JSON report must validate.
+check:
+	dune exec bin/repro.exe -- check --strict --json CHECK_diagnostics.json
+	dune exec bin/repro.exe -- validate-json CHECK_diagnostics.json
+
+# The default verification path: build, full test suite, strict lint gates.
+verify: build test check
 
 repro:
 	dune exec bin/repro.exe -- all -x

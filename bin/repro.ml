@@ -214,6 +214,141 @@ let dump_cmd =
   let doc = "Synthesize a circuit and emit structural Verilog on stdout." in
   Cmd.v (Cmd.info "dump" ~doc) Term.(const dump $ circuit_arg $ lib_arg $ stages_arg)
 
+(* --- check: run experiments under design-rule stage gates --- *)
+
+module Check = Gap_netlist.Check
+
+let run_check ids strict json_path =
+  let ids =
+    if ids = [] then List.map (fun (id, _, _) -> id) Gap_experiments.Registry.all
+    else List.map String.uppercase_ascii ids
+  in
+  let missing =
+    List.filter (fun id -> Gap_experiments.Registry.find id = None) ids
+  in
+  if missing <> [] then begin
+    Printf.eprintf "unknown experiment id(s): %s\n" (String.concat ", " missing);
+    1
+  end
+  else begin
+    let per_exp =
+      List.map
+        (fun id ->
+          let run = Option.get (Gap_experiments.Registry.find id) in
+          let (_ : Gap_experiments.Exp.result), log =
+            Check.with_gates (fun () -> run ())
+          in
+          (id, log))
+        ids
+    in
+    let count sev ds =
+      List.length (List.filter (fun (d : Check.diagnostic) -> d.Check.severity = sev) ds)
+    in
+    let tot_gates = ref 0 and tot_err = ref 0 and tot_warn = ref 0 and tot_info = ref 0 in
+    List.iter
+      (fun (id, log) ->
+        (* aggregate per stage so sweep-heavy experiments stay readable *)
+        let stages = ref [] in
+        List.iter
+          (fun (r : Check.gate_report) ->
+            incr tot_gates;
+            match List.assoc_opt r.Check.stage !stages with
+            | Some (n, ds) ->
+                stages :=
+                  (r.Check.stage, (n + 1, ds @ r.Check.diagnostics))
+                  :: List.remove_assoc r.Check.stage !stages
+            | None -> stages := (r.Check.stage, (1, r.Check.diagnostics)) :: !stages)
+          log;
+        List.iter
+          (fun (stage, (gates, ds)) ->
+            let e = count Check.Error ds
+            and w = count Check.Warning ds
+            and i = count Check.Info ds in
+            tot_err := !tot_err + e;
+            tot_warn := !tot_warn + w;
+            tot_info := !tot_info + i;
+            Printf.printf "%-4s %-22s %3d gate%s  %d errors, %d warnings, %d info\n"
+              id stage gates
+              (if gates = 1 then " " else "s")
+              e w i;
+            let shown = ref 0 in
+            List.iter
+              (fun (d : Check.diagnostic) ->
+                if d.Check.severity <> Check.Info then begin
+                  if !shown < 5 then
+                    Printf.printf "       %s\n"
+                      (Format.asprintf "%a" Check.pp_diagnostic d);
+                  incr shown
+                end)
+              ds;
+            if !shown > 5 then Printf.printf "       (+%d more)\n" (!shown - 5))
+          (List.rev !stages))
+      per_exp;
+    Printf.printf "TOTAL: %d gates, %d errors, %d warnings, %d info\n" !tot_gates
+      !tot_err !tot_warn !tot_info;
+    Option.iter
+      (fun path ->
+        let doc =
+          Gap_obs.Json.Obj
+            [
+              ( "experiments",
+                Gap_obs.Json.List
+                  (List.map
+                     (fun (id, log) ->
+                       Gap_obs.Json.Obj
+                         [
+                           ("id", Gap_obs.Json.Str id);
+                           ( "gates",
+                             Gap_obs.Json.List
+                               (List.map Check.gate_report_json log) );
+                         ])
+                     per_exp) );
+              ( "totals",
+                Gap_obs.Json.Obj
+                  [
+                    ("gates", Gap_obs.Json.Int !tot_gates);
+                    ("errors", Gap_obs.Json.Int !tot_err);
+                    ("warnings", Gap_obs.Json.Int !tot_warn);
+                    ("info", Gap_obs.Json.Int !tot_info);
+                  ] );
+            ]
+        in
+        let oc = open_out path in
+        output_string oc (Gap_obs.Json.to_string ~pretty:true doc);
+        output_char oc '\n';
+        close_out oc)
+      json_path;
+    if strict && !tot_err > 0 then begin
+      Printf.eprintf "check --strict: %d error diagnostic(s)\n" !tot_err;
+      1
+    end
+    else 0
+  end
+
+let check_cmd =
+  let ids =
+    Arg.(value & pos_all string []
+        & info [] ~docv:"ID"
+            ~doc:"Experiment ids to check (default: E1..E10).")
+  in
+  let strict =
+    Arg.(value & flag
+        & info [ "strict" ]
+            ~doc:"Exit non-zero if any stage gate emits an $(i,Error) diagnostic.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Write the full diagnostics report (per gate, per rule, with \
+                  witnesses) to $(docv) as JSON.")
+  in
+  let doc =
+    "Run experiments with design-rule stage gates armed and report diagnostics."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const (fun obs ids strict json -> with_obs obs (fun () -> run_check ids strict json))
+          $ obs_term $ ids $ strict $ json)
+
 (* --- validate-json: strict check for the metrics / trace artifacts --- *)
 
 let validate_json path =
@@ -277,6 +412,6 @@ let main =
   let doc = "reproduction of Chinnery & Keutzer, 'Closing the Gap Between ASIC and Custom' (DAC 2000)" in
   Cmd.group
     (Cmd.info "repro" ~version:"1.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; analysis_cmd; dump_cmd; libdump_cmd; validate_json_cmd ]
+    [ list_cmd; run_cmd; all_cmd; analysis_cmd; check_cmd; dump_cmd; libdump_cmd; validate_json_cmd ]
 
 let () = exit (Cmd.eval' main)

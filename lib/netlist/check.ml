@@ -1,32 +1,383 @@
-type issue =
-  | Undriven_net of int
-  | Dangling_net of int
-  | Combinational_cycle
-  | Output_undriven of int
+module Json = Gap_obs.Json
+module Obs = Gap_obs.Obs
 
-let check t =
-  let issues = ref [] in
-  for n = Netlist.num_nets t - 1 downto 0 do
-    (match Netlist.driver_of t n with
-    | Netlist.Undriven -> issues := Undriven_net n :: !issues
+type severity = Error | Warning | Info
+
+type witness =
+  | Net of { net : int; name : string }
+  | Instance of { inst : int; name : string }
+  | Pin of { inst : int; name : string; pin : int }
+  | Port of { port : int; name : string }
+  | Cycle of { insts : int list; names : string list }
+  | Measure of { net : int; name : string; value : float; limit : float }
+
+type diagnostic = {
+  rule : string;
+  severity : severity;
+  witness : witness;
+  detail : string;
+}
+
+let rules =
+  [
+    ("undriven-net", Error, "net has no driver");
+    ("floating-input", Error, "instance input pin fed by an undriven net");
+    ("output-undriven", Error, "primary output fed by an undriven net");
+    ("multi-driver", Error, "conflicting or inconsistent net drivers");
+    ("arity-mismatch", Error, "instance fanin count differs from cell arity");
+    ("comb-cycle", Error, "purely combinational loop");
+    ("bad-parasitic", Error, "negative or NaN wire parasitic");
+    ("const-output", Warning, "primary output tied to a constant");
+    ("max-fanout", Warning, "net sink count exceeds the fanout limit");
+    ("max-cap", Warning, "driver load exceeds the library electrical limit");
+    ("dangling-net", Info, "net has no sinks");
+    ("unplaced-instance", Error, "instance has no location after placement");
+    ("out-of-core", Error, "placed location outside the core area");
+  ]
+
+type config = {
+  max_fanout : int option;
+  max_electrical_effort : float option;
+  die_um : (float * float) option;
+}
+
+let default_config =
+  { max_fanout = Some 64; max_electrical_effort = Some 128.; die_um = None }
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* How one net can be claimed as driven. Instances claim their output net,
+   input ports claim their port net; constants exist only in the driver
+   annotation itself. *)
+type source = Src_cell of int | Src_input of int | Src_const of bool
+
+let check ?(config = default_config) t =
+  let acc = ref [] in
+  let emit rule severity witness detail =
+    acc := { rule; severity; witness; detail } :: !acc
+  in
+  let net_witness n = Net { net = n; name = Netlist.net_name t n } in
+  let describe_source = function
+    | Src_cell i ->
+        Printf.sprintf "instance %s (id %d)" (Netlist.instance_name t i) i
+    | Src_input p ->
+        Printf.sprintf "input %s (port %d)" (Netlist.input_name t p) p
+    | Src_const b -> Printf.sprintf "constant %d" (if b then 1 else 0)
+  in
+  (* claimed sources per net *)
+  let claims = Array.make (max 1 (Netlist.num_nets t)) [] in
+  for i = Netlist.num_instances t - 1 downto 0 do
+    let n = Netlist.out_net t i in
+    claims.(n) <- Src_cell i :: claims.(n)
+  done;
+  for p = Netlist.num_inputs t - 1 downto 0 do
+    let n = Netlist.input_net t p in
+    claims.(n) <- Src_input p :: claims.(n)
+  done;
+  for n = 0 to Netlist.num_nets t - 1 do
+    let driver = Netlist.driver_of t n in
+    let sources =
+      match driver with From_const b -> claims.(n) @ [ Src_const b ] | _ -> claims.(n)
+    in
+    (match driver with
+    | Netlist.Undriven ->
+        if sources = [] then
+          emit "undriven-net" Error (net_witness n)
+            (Printf.sprintf "net %s (id %d) has no driver"
+               (Netlist.net_name t n) n)
     | Netlist.From_input _ | Netlist.From_cell _ | Netlist.From_const _ -> ());
-    if Netlist.sinks_of t n = [] then issues := Dangling_net n :: !issues
+    (* multiple or inconsistent drivers *)
+    (match sources with
+    | [] -> (
+        (* nothing claims this net, but the annotation may still point at a
+           source — a stale annotation from a low-level rewrite *)
+        match driver with
+        | Netlist.From_cell i ->
+            emit "multi-driver" Error (net_witness n)
+              (Printf.sprintf
+                 "net %s (id %d) annotated as driven by %s, whose output is \
+                  net %d"
+                 (Netlist.net_name t n) n
+                 (describe_source (Src_cell i))
+                 (Netlist.out_net t i))
+        | Netlist.From_input p ->
+            emit "multi-driver" Error (net_witness n)
+              (Printf.sprintf
+                 "net %s (id %d) annotated as driven by %s, whose net is %d"
+                 (Netlist.net_name t n) n
+                 (describe_source (Src_input p))
+                 (Netlist.input_net t p))
+        | Netlist.Undriven | Netlist.From_const _ -> ())
+    | [ single ] ->
+        let agrees =
+          match (driver, single) with
+          | Netlist.From_cell i, Src_cell j -> i = j
+          | Netlist.From_input p, Src_input q -> p = q
+          | Netlist.From_const _, Src_const _ -> true
+          | _ -> false
+        in
+        if not agrees then
+          emit "multi-driver" Error (net_witness n)
+            (Printf.sprintf
+               "net %s (id %d) is driven by %s but annotated otherwise"
+               (Netlist.net_name t n) n (describe_source single))
+    | many ->
+        emit "multi-driver" Error (net_witness n)
+          (Printf.sprintf "net %s (id %d) driven by %d sources: %s"
+             (Netlist.net_name t n) n (List.length many)
+             (String.concat ", " (List.map describe_source many))));
+    (* parasitics *)
+    let wcap = Netlist.wire_cap_ff t n and wdelay = Netlist.wire_delay_ps t n in
+    let bad v = Float.is_nan v || v < 0. in
+    if bad wcap || bad wdelay then
+      emit "bad-parasitic" Error
+        (Measure
+           {
+             net = n;
+             name = Netlist.net_name t n;
+             value = (if bad wcap then wcap else wdelay);
+             limit = 0.;
+           })
+        (Printf.sprintf
+           "net %s (id %d) has wire cap %g fF, wire delay %g ps"
+           (Netlist.net_name t n) n wcap wdelay);
+    (* electrical rules *)
+    let sinks = Netlist.sinks_of t n in
+    (match config.max_fanout with
+    | Some limit when List.length sinks > limit ->
+        emit "max-fanout" Warning
+          (Measure
+             {
+               net = n;
+               name = Netlist.net_name t n;
+               value = float_of_int (List.length sinks);
+               limit = float_of_int limit;
+             })
+          (Printf.sprintf "net %s (id %d) has %d sinks (limit %d)"
+             (Netlist.net_name t n) n (List.length sinks) limit)
+    | Some _ | None -> ());
+    (match (config.max_electrical_effort, driver) with
+    | Some h_max, Netlist.From_cell i ->
+        let cin = (Netlist.cell_of t i).Gap_liberty.Cell.input_cap_ff in
+        if cin > 0. then begin
+          let load = Netlist.net_load_ff t n in
+          let limit = h_max *. cin in
+          if load > limit then
+            emit "max-cap" Warning
+              (Measure
+                 { net = n; name = Netlist.net_name t n; value = load; limit })
+              (Printf.sprintf
+                 "net %s (id %d): %s drives %.1f fF, limit %.1f fF (h = %g)"
+                 (Netlist.net_name t n) n
+                 (describe_source (Src_cell i))
+                 load limit h_max)
+        end
+    | _ -> ());
+    if sinks = [] then
+      emit "dangling-net" Info (net_witness n)
+        (Printf.sprintf "net %s (id %d) has no sinks" (Netlist.net_name t n) n)
   done;
-  for port = Netlist.num_outputs t - 1 downto 0 do
+  (* per-instance rules *)
+  for i = 0 to Netlist.num_instances t - 1 do
+    let cell = Netlist.cell_of t i in
+    let arity = cell.Gap_liberty.Cell.n_inputs in
+    let fanins = Netlist.num_fanins t i in
+    if fanins <> arity then
+      emit "arity-mismatch" Error
+        (Instance { inst = i; name = Netlist.instance_name t i })
+        (Printf.sprintf "instance %s (id %d): %d fanins but cell %s has %d inputs"
+           (Netlist.instance_name t i) i fanins cell.Gap_liberty.Cell.name arity);
+    for pin = 0 to fanins - 1 do
+      match Netlist.driver_of t (Netlist.fanin t i pin) with
+      | Netlist.Undriven ->
+          emit "floating-input" Error
+            (Pin { inst = i; name = Netlist.instance_name t i; pin })
+            (Printf.sprintf "instance %s (id %d) pin %d floats on undriven net %d"
+               (Netlist.instance_name t i) i pin (Netlist.fanin t i pin))
+      | Netlist.From_input _ | Netlist.From_cell _ | Netlist.From_const _ -> ()
+    done
+  done;
+  (* primary outputs *)
+  for port = 0 to Netlist.num_outputs t - 1 do
+    let witness = Port { port; name = Netlist.output_name t port } in
     match Netlist.driver_of t (Netlist.output_net t port) with
-    | Netlist.Undriven -> issues := Output_undriven port :: !issues
-    | Netlist.From_input _ | Netlist.From_cell _ | Netlist.From_const _ -> ()
+    | Netlist.Undriven ->
+        emit "output-undriven" Error witness
+          (Printf.sprintf "primary output %s (port %d) fed by undriven net %d"
+             (Netlist.output_name t port) port (Netlist.output_net t port))
+    | Netlist.From_const b ->
+        emit "const-output" Warning witness
+          (Printf.sprintf "primary output %s (port %d) tied to constant %d"
+             (Netlist.output_name t port) port (if b then 1 else 0))
+    | Netlist.From_input _ | Netlist.From_cell _ -> ()
   done;
-  (match Netlist.topo_instances t with
-  | (_ : int array) -> ()
-  | exception Failure _ -> issues := Combinational_cycle :: !issues);
-  !issues
+  (* combinational cycle, with the loop itself as witness *)
+  (match Netlist.combinational_cycle t with
+  | None -> ()
+  | Some insts ->
+      let names = List.map (Netlist.instance_name t) insts in
+      emit "comb-cycle" Error
+        (Cycle { insts; names })
+        (Printf.sprintf "combinational cycle: %s -> %s"
+           (String.concat " -> " names)
+           (match names with first :: _ -> first | [] -> "?")));
+  List.rev !acc
 
-let is_clean t =
-  List.for_all (function Dangling_net _ -> true | _ -> false) (check t)
+let check_placed ?(config = default_config) t =
+  let acc = ref [] in
+  for i = 0 to Netlist.num_instances t - 1 do
+    let witness = Instance { inst = i; name = Netlist.instance_name t i } in
+    match Netlist.location t i with
+    | None ->
+        acc :=
+          {
+            rule = "unplaced-instance";
+            severity = Error;
+            witness;
+            detail =
+              Printf.sprintf "instance %s (id %d) has no location"
+                (Netlist.instance_name t i) i;
+          }
+          :: !acc
+    | Some (x, y) ->
+        let out_low = x < 0. || y < 0. in
+        let out_high =
+          match config.die_um with
+          | Some (w, h) -> x > w || y > h
+          | None -> false
+        in
+        if out_low || out_high then
+          acc :=
+            {
+              rule = "out-of-core";
+              severity = Error;
+              witness;
+              detail =
+                (match config.die_um with
+                | Some (w, h) ->
+                    Printf.sprintf
+                      "instance %s (id %d) at (%.2f, %.2f) outside core \
+                       (%.2f x %.2f)"
+                      (Netlist.instance_name t i) i x y w h
+                | None ->
+                    Printf.sprintf
+                      "instance %s (id %d) at negative location (%.2f, %.2f)"
+                      (Netlist.instance_name t i) i x y);
+            }
+            :: !acc
+  done;
+  List.rev !acc
 
-let pp_issue ppf = function
-  | Undriven_net n -> Format.fprintf ppf "undriven net %d" n
-  | Dangling_net n -> Format.fprintf ppf "dangling net %d" n
-  | Combinational_cycle -> Format.fprintf ppf "combinational cycle"
-  | Output_undriven p -> Format.fprintf ppf "primary output %d undriven" p
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let is_clean t = errors (check t) = []
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "[%s] %s: %s" (severity_string d.severity) d.rule d.detail
+
+let witness_json = function
+  | Net { net; name } ->
+      Json.Obj [ ("kind", Json.Str "net"); ("id", Json.Int net); ("name", Json.Str name) ]
+  | Instance { inst; name } ->
+      Json.Obj
+        [ ("kind", Json.Str "instance"); ("id", Json.Int inst); ("name", Json.Str name) ]
+  | Pin { inst; name; pin } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "pin");
+          ("id", Json.Int inst);
+          ("name", Json.Str name);
+          ("pin", Json.Int pin);
+        ]
+  | Port { port; name } ->
+      Json.Obj
+        [ ("kind", Json.Str "port"); ("id", Json.Int port); ("name", Json.Str name) ]
+  | Cycle { insts; names } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "cycle");
+          ("instances", Json.List (List.map (fun i -> Json.Int i) insts));
+          ("path", Json.List (List.map (fun s -> Json.Str s) names));
+        ]
+  | Measure { net; name; value; limit } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "measure");
+          ("id", Json.Int net);
+          ("name", Json.Str name);
+          ("value", Json.Float value);
+          ("limit", Json.Float limit);
+        ]
+
+let diagnostic_json d =
+  Json.Obj
+    [
+      ("rule", Json.Str d.rule);
+      ("severity", Json.Str (severity_string d.severity));
+      ("detail", Json.Str d.detail);
+      ("witness", witness_json d.witness);
+    ]
+
+(* ---- stage gates -------------------------------------------------------- *)
+
+type gate_report = {
+  stage : string;
+  design : string;
+  diagnostics : diagnostic list;
+}
+
+let gate_report_json r =
+  Json.Obj
+    [
+      ("stage", Json.Str r.stage);
+      ("design", Json.Str r.design);
+      ("diagnostics", Json.List (List.map diagnostic_json r.diagnostics));
+    ]
+
+exception Gate_failed of string * diagnostic list
+
+let () =
+  Printexc.register_printer (function
+    | Gate_failed (stage, errs) ->
+        Some
+          (Printf.sprintf "Gap_netlist.Check.Gate_failed (%s: %s)" stage
+             (String.concat "; " (List.map (fun d -> d.rule ^ ": " ^ d.detail) errs)))
+    | _ -> None)
+
+type gate_state = {
+  g_config : config;
+  strict : bool;
+  mutable log : gate_report list;  (** reverse execution order *)
+}
+
+let gate_state : gate_state option ref = ref None
+let gates_on () = !gate_state <> None
+
+let with_gates ?(strict = false) ?(config = default_config) f =
+  let st = { g_config = config; strict; log = [] } in
+  let prev = !gate_state in
+  gate_state := Some st;
+  Fun.protect
+    ~finally:(fun () -> gate_state := prev)
+    (fun () ->
+      let v = f () in
+      (v, List.rev st.log))
+
+let gate ?(placed = false) ~stage t =
+  match !gate_state with
+  | None -> ()
+  | Some st ->
+      let ds =
+        check ~config:st.g_config t
+        @ (if placed then check_placed ~config:st.g_config t else [])
+      in
+      st.log <- { stage; design = Netlist.name t; diagnostics = ds } :: st.log;
+      Obs.incr "check.gates";
+      Obs.incr ~by:(List.length ds) "check.diagnostics";
+      List.iter (fun d -> Obs.incr ("check.rule." ^ d.rule)) ds;
+      if st.strict then
+        match errors ds with
+        | [] -> ()
+        | errs -> raise (Gate_failed (stage, errs))

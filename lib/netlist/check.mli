@@ -1,13 +1,133 @@
-(** Structural design-rule checks on netlists. *)
+(** Flow-wide design-rule checks on netlists.
 
-type issue =
-  | Undriven_net of int
-  | Dangling_net of int  (** no sinks: usually benign, reported anyway *)
-  | Combinational_cycle
-  | Output_undriven of int  (** primary output port fed by an undriven net *)
+    Every invariant the flow relies on is a named {e rule} producing typed
+    {!diagnostic}s with a concrete witness (the offending net / instance /
+    cycle, by id {e and} name) instead of a bare [failwith] somewhere deep in
+    a kernel. Checks run in two groups:
 
-val check : Netlist.t -> issue list
+    - {!check}: structural and electrical rules, valid on any netlist;
+    - {!check_placed}: placement rules, meaningful only after the placement
+      flow has back-annotated locations.
+
+    On top of the pure checkers sits the {e stage-gate} machinery: the
+    synthesis and placement stages call {!gate} at their boundaries
+    (post-map, post-buffer, post-sizing, post-hold-fix, post-annotation).
+    With no gate policy installed this is one word read per stage; under
+    {!with_gates} each gate records its diagnostics (and per-rule [Gap_obs]
+    counters), and in strict mode raises {!Gate_failed} on the first rule
+    violation of severity [Error]. *)
+
+type severity = Error | Warning | Info
+
+type witness =
+  | Net of { net : int; name : string }
+  | Instance of { inst : int; name : string }
+  | Pin of { inst : int; name : string; pin : int }
+      (** an input pin of an instance *)
+  | Port of { port : int; name : string }  (** a primary output port *)
+  | Cycle of { insts : int list; names : string list }
+      (** instance ids and names in edge order; the loop closes back to the
+          first element *)
+  | Measure of { net : int; name : string; value : float; limit : float }
+      (** an electrical quantity against the limit it violates *)
+
+type diagnostic = {
+  rule : string;  (** stable rule id, e.g. ["comb-cycle"] *)
+  severity : severity;
+  witness : witness;
+  detail : string;  (** human-readable one-liner *)
+}
+
+(** {1 Rule catalog}
+
+    {v
+    rule               severity  fires when
+    -----------------  --------  ------------------------------------------
+    undriven-net       Error     a net has no driver
+    floating-input     Error     an instance input pin is fed by an
+                                 undriven net (pinpoints the consumer)
+    output-undriven    Error     a primary output is fed by an undriven net
+    multi-driver       Error     two sources claim one net, or the net's
+                                 driver annotation disagrees with the
+                                 claiming source
+    arity-mismatch     Error     an instance's fanin count differs from its
+                                 cell's input count
+    comb-cycle         Error     a purely combinational loop exists; the
+                                 witness carries the cycle itself
+    bad-parasitic      Error     a net's wire cap or wire delay is negative
+                                 or NaN
+    const-output       Warning   a primary output is tied to a constant
+    max-fanout         Warning   a net has more sinks than
+                                 [config.max_fanout]
+    max-cap            Warning   a cell drives more than
+                                 [config.max_electrical_effort] times its
+                                 own input capacitance (library electrical
+                                 rule)
+    dangling-net       Info      a net has no sinks (usually benign)
+    unplaced-instance  Error     (placed only) an instance has no location
+    out-of-core        Error     (placed only) a location is negative or
+                                 outside [config.die_um]
+    v} *)
+
+val rules : (string * severity * string) list
+(** The full catalog as [(id, severity, description)], in report order. *)
+
+type config = {
+  max_fanout : int option;  (** [None] disables the [max-fanout] rule *)
+  max_electrical_effort : float option;
+      (** driver load limit as a multiple of the driving cell's input
+          capacitance; [None] disables [max-cap] *)
+  die_um : (float * float) option;
+      (** core bounds for [out-of-core]; negative coordinates are flagged
+          even when [None] *)
+}
+
+val default_config : config
+(** [max_fanout = Some 64], [max_electrical_effort = Some 128.],
+    [die_um = None]. *)
+
+val check : ?config:config -> Netlist.t -> diagnostic list
+(** Structural + electrical + parasitic rules, in deterministic order. *)
+
+val check_placed : ?config:config -> Netlist.t -> diagnostic list
+(** Placement rules ([unplaced-instance], [out-of-core]). *)
+
+val errors : diagnostic list -> diagnostic list
+(** Only the [Error]-severity diagnostics. *)
+
 val is_clean : Netlist.t -> bool
-(** No issues other than [Dangling_net]. *)
+(** No [Error] diagnostics from {!check} (warnings and info are allowed). *)
 
-val pp_issue : Format.formatter -> issue -> unit
+val severity_string : severity -> string
+(** ["error"] / ["warning"] / ["info"]. *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+val diagnostic_json : diagnostic -> Gap_obs.Json.t
+
+(** {1 Stage gates} *)
+
+type gate_report = {
+  stage : string;  (** e.g. ["synth.map"] *)
+  design : string;  (** netlist name *)
+  diagnostics : diagnostic list;
+}
+
+val gate_report_json : gate_report -> Gap_obs.Json.t
+
+exception Gate_failed of string * diagnostic list
+(** Stage name and the [Error] diagnostics that tripped it (strict mode). *)
+
+val gates_on : unit -> bool
+
+val with_gates :
+  ?strict:bool -> ?config:config -> (unit -> 'a) -> 'a * gate_report list
+(** Run [f] with stage gates armed; returns its value and every gate report
+    in execution order. With [~strict:true] the first gate whose diagnostics
+    include an [Error] raises {!Gate_failed} instead. The previous policy is
+    restored on exit (gates nest). *)
+
+val gate : ?placed:bool -> stage:string -> Netlist.t -> unit
+(** A stage boundary. No-op (one word read) unless {!with_gates} is active;
+    otherwise runs {!check} (plus {!check_placed} with [~placed:true]),
+    appends a {!gate_report}, and bumps [Gap_obs] counters
+    [check.gates], [check.diagnostics] and [check.rule.<id>]. *)

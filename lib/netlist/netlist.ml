@@ -49,6 +49,13 @@ let add_input t pname =
 
 let add_const t b = new_net t (if b then "const1" else "const0") (From_const b)
 
+let add_net t nname = new_net t nname Undriven
+
+let unsafe_set_driver t n d = (Vec.get t.nets n).driver <- d
+
+let unsafe_set_fanins t i fanins =
+  (Vec.get t.insts i).fanins <- Array.copy fanins
+
 let add_cell t cell fanins =
   assert (Array.length fanins = cell.Gap_liberty.Cell.n_inputs);
   let inst_id = Vec.length t.insts in
@@ -81,6 +88,7 @@ let input_name t i = fst (Vec.get t.ins i)
 let output_net t i = snd (Vec.get t.outs i)
 let output_name t i = fst (Vec.get t.outs i)
 let cell_of t i = (Vec.get t.insts i).cell
+let instance_name t i = (Vec.get t.insts i).iname
 let fanins_of t i = Array.copy (Vec.get t.insts i).fanins
 let num_fanins t i = Array.length (Vec.get t.insts i).fanins
 let fanin t i k = (Vec.get t.insts i).fanins.(k)
@@ -167,10 +175,20 @@ let insert_on_sinks t cell ~net ~sinks =
 let area_um2 t =
   Vec.fold (fun acc inst -> acc +. inst.cell.Gap_liberty.Cell.area_um2) 0. t.insts
 
-let topo_instances t =
-  (* Graph over instances; edges follow combinational paths only: a flop's
-     output is a timing source, so no edge leaves a flop. Built straight into
-     CSR form — no per-edge list cells — since this runs on every STA call. *)
+exception Combinational_cycle of int list
+
+let () =
+  Printexc.register_printer (function
+    | Combinational_cycle insts ->
+        Some
+          (Printf.sprintf "Gap_netlist.Netlist.Combinational_cycle (%s)"
+             (String.concat " -> " (List.map string_of_int insts)))
+    | _ -> None)
+
+(* Graph over instances; edges follow combinational paths only: a flop's
+   output is a timing source, so no edge leaves a flop. Built straight into
+   CSR form — no per-edge list cells — since this runs on every STA call. *)
+let comb_csr t =
   let iter emit =
     Vec.iteri
       (fun i inst ->
@@ -182,10 +200,23 @@ let topo_instances t =
           inst.fanins)
       t.insts
   in
-  let csr = Gap_util.Digraph.Csr.of_edge_iter ~n:(num_instances t) iter in
+  Gap_util.Digraph.Csr.of_edge_iter ~n:(num_instances t) iter
+
+let combinational_cycle t =
+  let csr = comb_csr t in
+  match Gap_util.Digraph.Csr.topo_order csr with
+  | Some _ -> None
+  | None -> Gap_util.Digraph.Csr.find_cycle csr
+
+let topo_instances t =
+  let csr = comb_csr t in
   match Gap_util.Digraph.Csr.topo_order csr with
   | Some order -> order
-  | None -> failwith "Netlist.topo_instances: combinational cycle"
+  | None ->
+      let cycle =
+        match Gap_util.Digraph.Csr.find_cycle csr with Some c -> c | None -> []
+      in
+      raise (Combinational_cycle cycle)
 
 let pp_stats ppf t =
   Format.fprintf ppf "%s: %d instances (%d flops), %d nets, %d in, %d out, %.0f um2"

@@ -34,6 +34,22 @@ val add_input : t -> string -> int
 val add_const : t -> bool -> int
 (** A constant-driven net. *)
 
+val add_net : t -> string -> int
+(** A named, initially undriven net. Importers create these first and attach
+    a driver later; {!Check} flags any still undriven when checking runs. *)
+
+val unsafe_set_driver : t -> int -> driver -> unit
+(** Overwrite a net's driver annotation without touching the claimed
+    source's own bookkeeping. This is a low-level escape hatch for importers
+    and for injecting defects in checker tests: it can make the netlist
+    inconsistent (e.g. a driver annotation pointing at an instance whose
+    output is a different net), which {!Check} reports as [multi-driver]. *)
+
+val unsafe_set_fanins : t -> int -> int array -> unit
+(** Replace an instance's fanin array (copied) without updating any sink
+    list and without arity validation. Same caveats as
+    {!unsafe_set_driver}; {!Check} reports arity mismatches. *)
+
 val add_cell : t -> Gap_liberty.Cell.t -> int array -> int
 (** [add_cell t cell fanins] instantiates [cell] with input pin [i] tied to
     net [fanins.(i)]; returns the instance id. The output net is created
@@ -54,6 +70,10 @@ val input_name : t -> int -> string
 val output_net : t -> int -> int
 val output_name : t -> int -> string
 val cell_of : t -> int -> Gap_liberty.Cell.t
+
+val instance_name : t -> int -> string
+(** The instance's stable name ([u<id>]); used in reports and witnesses. *)
+
 val fanins_of : t -> int -> int array
 (** Fresh copy of the fanin-net array; safe to mutate. Hot loops should use
     the non-allocating {!num_fanins}/{!fanin}/{!iter_fanins} instead. *)
@@ -115,10 +135,19 @@ val insert_on_sinks : t -> Gap_liberty.Cell.t -> net:int -> sinks:sink list -> i
 (** {1 Aggregates} *)
 
 val area_um2 : t -> float
+
+exception Combinational_cycle of int list
+(** A purely combinational loop; the payload is one witness cycle as
+    instance ids in edge order [i0 -> i1 -> ... -> i0]. *)
+
 val topo_instances : t -> int array
 (** Combinational-topological order: an instance appears after the drivers of
     all its inputs, except that flop outputs are treated as sources (cycles
     through registers are fine; purely combinational cycles raise
-    [Failure]). *)
+    {!Combinational_cycle} carrying the offending instance path). *)
+
+val combinational_cycle : t -> int list option
+(** The witness cycle {!topo_instances} would raise with, or [None] when the
+    combinational graph is acyclic. Never raises; used by {!Check}. *)
 
 val pp_stats : Format.formatter -> t -> unit

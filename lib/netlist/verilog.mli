@@ -25,4 +25,10 @@ val read : lib:Gap_liberty.Library.t -> string -> Netlist.t
     {!Parse_error}. *)
 
 val pin_name : int -> string
-(** The conventional name of data-input pin [i]: A, B, C, D, E... *)
+(** The conventional name of data-input pin [i] in bijective base-26:
+    A..Z, then AA, AB, ... so any cell arity has a name. Raises
+    [Invalid_argument] on a negative index. *)
+
+val pin_index : string -> int option
+(** Inverse of {!pin_name}: [pin_index (pin_name i) = Some i]. [None] for
+    strings that are not uppercase A-Z sequences. *)

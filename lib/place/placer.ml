@@ -299,7 +299,9 @@ let anneal_body ~options nl =
   end
 
 let anneal ?(options = default_options) nl =
-  Obs.span "place.anneal" (fun () -> anneal_body ~options nl)
+  let r = Obs.span "place.anneal" (fun () -> anneal_body ~options nl) in
+  Gap_netlist.Check.gate ~placed:true ~stage:"place.anneal" nl;
+  r
 
 let place ?options nl = anneal ?options nl
 
@@ -317,4 +319,6 @@ let place_random_body ~seed nl =
   }
 
 let place_random ?(seed = 11L) nl =
-  Obs.span "place.random" (fun () -> place_random_body ~seed nl)
+  let r = Obs.span "place.random" (fun () -> place_random_body ~seed nl) in
+  Gap_netlist.Check.gate ~placed:true ~stage:"place.random" nl;
+  r

@@ -166,7 +166,8 @@ let annotate nl r =
       Netlist.set_wire_delay_ps nl net
         (Float.min bare (Gap_interconnect.Repeater.optimal_delay_ps drv wire ~length_um:len))
     end
-  done
+  done;
+  Gap_netlist.Check.gate ~placed:true ~stage:"place.route_annotate" nl
 
 let detour_factor nl r =
   let hpwl = Hpwl.total_um nl in

@@ -17,6 +17,7 @@ let annotate ?(use_repeaters = true) nl =
       in
       Netlist.set_wire_delay_ps nl net delay
     end
-  done
+  done;
+  Gap_netlist.Check.gate ~placed:true ~stage:"place.annotate" nl
 
 let clear nl = Netlist.clear_parasitics nl

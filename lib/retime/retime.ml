@@ -5,16 +5,28 @@ type t = {
   mutable edges : edge list;
 }
 
+exception Register_free_cycle of int list
+
+let () =
+  Printexc.register_printer (function
+    | Register_free_cycle nodes ->
+        Some
+          (Printf.sprintf "Gap_retime.Retime.Register_free_cycle (%s)"
+             (String.concat " -> " (List.map string_of_int nodes)))
+    | _ -> None)
+
 let create () = { delays = Gap_util.Vec.create (); edges = [] }
 
 let add_node t ~delay =
-  assert (delay >= 0.);
+  if not (delay >= 0.) then
+    invalid_arg (Printf.sprintf "Retime.add_node: negative delay %g" delay);
   Gap_util.Vec.push t.delays delay
 
 let add_edge t ~src ~dst ~regs =
-  assert (regs >= 0);
-  assert (src >= 0 && src < Gap_util.Vec.length t.delays);
-  assert (dst >= 0 && dst < Gap_util.Vec.length t.delays);
+  if regs < 0 then invalid_arg "Retime.add_edge: negative register count";
+  let n = Gap_util.Vec.length t.delays in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg (Printf.sprintf "Retime.add_edge: node out of range (%d -> %d, %d nodes)" src dst n);
   t.edges <- { src; dst; w = regs } :: t.edges
 
 let node_count t = Gap_util.Vec.length t.delays
@@ -39,10 +51,14 @@ let deltas ?retiming t =
     t.edges;
   match Gap_util.Digraph.longest_path g ~node_delay:(Gap_util.Vec.get t.delays) with
   | Some arr -> arr
-  | None -> failwith "Retime: register-free cycle"
+  | None ->
+      let cycle =
+        match Gap_util.Digraph.find_cycle g with Some c -> c | None -> []
+      in
+      raise (Register_free_cycle cycle)
 
 let well_formed t =
-  match deltas t with _ -> true | exception Failure _ -> false
+  match deltas t with _ -> true | exception Register_free_cycle _ -> false
 
 let clock_period ?retiming t =
   let retiming = retiming in
@@ -71,7 +87,7 @@ let feasible t ~period =
   (* final check *)
   (match deltas ~retiming:r t with
   | d -> if Array.for_all (fun dv -> dv <= period +. 1e-9) d && legal t r then ok := true
-  | exception (Failure _ | Invalid_argument _) -> ());
+  | exception (Register_free_cycle _ | Invalid_argument _) -> ());
   if !ok then Some r else None
 
 let min_period ?(epsilon = 1e-3) t =

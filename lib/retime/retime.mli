@@ -11,9 +11,19 @@
 
 type t
 
+exception Register_free_cycle of int list
+(** A directed cycle with no register on any edge — no clock period exists.
+    The payload is one witness cycle as node ids in edge order. *)
+
 val create : unit -> t
+
 val add_node : t -> delay:float -> int
+(** Raises [Invalid_argument] on a negative delay. *)
+
 val add_edge : t -> src:int -> dst:int -> regs:int -> unit
+(** Raises [Invalid_argument] on a negative register count or out-of-range
+    node id. *)
+
 val node_count : t -> int
 
 val well_formed : t -> bool
@@ -23,7 +33,8 @@ val well_formed : t -> bool
 val clock_period : ?retiming:int array -> t -> float
 (** Longest register-free path delay under the (default zero) retiming.
     Raises [Invalid_argument] if the retiming makes an edge weight negative,
-    [Failure] if a register-free cycle exists. *)
+    {!Register_free_cycle} (carrying the offending cycle) if a register-free
+    cycle exists. *)
 
 val legal : t -> int array -> bool
 (** All retimed edge weights non-negative. *)

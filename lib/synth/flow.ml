@@ -1,4 +1,5 @@
 module Obs = Gap_obs.Obs
+module Check = Gap_netlist.Check
 
 type effort = {
   balance : bool;
@@ -43,6 +44,7 @@ let run ~lib ?(effort = default_effort) ?name g =
         Obs.span "synth.map" (fun () ->
             Mapper.map_aig ~lib ~mode:effort.mode ?name g)
       in
+      Check.gate ~stage:"synth.map" netlist;
       let buffers_inserted =
         match effort.buffer_max_fanout with
         | Some max_fanout ->
@@ -51,6 +53,7 @@ let run ~lib ?(effort = default_effort) ?name g =
         | None -> 0
       in
       Obs.incr ~by:buffers_inserted "synth.buffers_inserted";
+      Check.gate ~stage:"synth.buffer" netlist;
       let sizing =
         if effort.tilos_moves > 0 then
           Some
@@ -60,7 +63,9 @@ let run ~lib ?(effort = default_effort) ?name g =
         else None
       in
       (match sizing with
-      | Some s -> Obs.incr ~by:s.Sizing.moves "synth.sizing_moves"
+      | Some s ->
+          Obs.incr ~by:s.Sizing.moves "synth.sizing_moves";
+          Check.gate ~stage:"synth.sizing" netlist
       | None -> ());
       let sta =
         Obs.span "synth.sta" (fun () ->

@@ -62,4 +62,8 @@ let fix_body ~skew_ps ~max_iterations nl =
   r
 
 let fix ?(skew_ps = 0.) ?(max_iterations = 10) nl =
-  Gap_obs.Obs.span "synth.hold_fix" (fun () -> fix_body ~skew_ps ~max_iterations nl)
+  let r =
+    Gap_obs.Obs.span "synth.hold_fix" (fun () -> fix_body ~skew_ps ~max_iterations nl)
+  in
+  Gap_netlist.Check.gate ~stage:"synth.hold_fix" nl;
+  r

@@ -173,6 +173,51 @@ module Csr = struct
     done;
     if !filled = n then Some order else None
 
+  (* Iterative white/gray/black DFS; a gray-to-gray edge closes a cycle and
+     the parent chain reconstructs it. Used to produce witnesses when
+     [topo_order] fails. *)
+  let find_cycle c =
+    let n = c.n in
+    let color = Array.make n 0 in
+    let parent = Array.make n (-1) in
+    let cyc = ref None in
+    let root = ref 0 in
+    while !cyc = None && !root < n do
+      if color.(!root) = 0 then begin
+        let stack = Stack.create () in
+        color.(!root) <- 1;
+        Stack.push (!root, ref c.succ_off.(!root)) stack;
+        while !cyc = None && not (Stack.is_empty stack) do
+          let u, k = Stack.top stack in
+          if !k >= c.succ_off.(u + 1) then begin
+            color.(u) <- 2;
+            ignore (Stack.pop stack)
+          end
+          else begin
+            let v = c.succ_dst.(!k) in
+            incr k;
+            if color.(v) = 0 then begin
+              color.(v) <- 1;
+              parent.(v) <- u;
+              Stack.push (v, ref c.succ_off.(v)) stack
+            end
+            else if color.(v) = 1 then begin
+              (* v -> ... -> u -> v; walk parents from u back to v *)
+              let path = ref [ u ] in
+              let cur = ref u in
+              while !cur <> v do
+                cur := parent.(!cur);
+                path := !cur :: !path
+              done;
+              cyc := Some !path
+            end
+          end
+        done
+      end;
+      incr root
+    done;
+    !cyc
+
   let longest_path c ~node_delay =
     match topo_order c with
     | None -> None
@@ -234,6 +279,7 @@ let longest_path_ref g ~node_delay =
 
 let topo_order g = Csr.topo_order (freeze g)
 let is_acyclic g = topo_order g <> None
+let find_cycle g = Csr.find_cycle (freeze g)
 let longest_path g ~node_delay = Csr.longest_path (freeze g) ~node_delay
 
 (* Bellman-Ford over an explicit initial distance vector; shared by

@@ -54,6 +54,12 @@ module Csr : sig
   val iter_succ : (int -> float -> unit) -> t -> int -> unit
   val iter_pred : (int -> float -> unit) -> t -> int -> unit
   val topo_order : t -> int array option
+
+  val find_cycle : t -> int list option
+  (** Some directed cycle [v0 -> v1 -> ... -> vk -> v0], listed once in edge
+      order, when the graph is cyclic; [None] on a DAG. This is the witness
+      companion to {!topo_order} returning [None]. *)
+
   val longest_path : t -> node_delay:(int -> float) -> float array option
 end
 
@@ -65,6 +71,9 @@ val topo_order : t -> int array option
     internally; one-shot callers pay O(V+E) either way. *)
 
 val is_acyclic : t -> bool
+
+val find_cycle : t -> int list option
+(** See {!Csr.find_cycle}; freezes internally. *)
 
 val longest_path : t -> node_delay:(int -> float) -> float array option
 (** For a DAG, per-node longest-path arrival: [arr v = node_delay v + max over

@@ -23,17 +23,27 @@ let stddev r = sqrt (variance r)
 let running_min r = r.lo
 let running_max r = r.hi
 
+(* Input guards raise [Invalid_argument] naming the offending function:
+   [assert] would vanish under -noassert and let the fold below return
+   garbage (0/0, out-of-bounds interpolation) instead of failing. *)
+let require_nonempty fn xs =
+  if Array.length xs = 0 then invalid_arg (fn ^ ": empty sample")
+
 let mean_of xs =
-  assert (Array.length xs > 0);
+  require_nonempty "Gap_util.Stats.mean_of" xs;
   Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
 
 let stddev_of xs =
+  require_nonempty "Gap_util.Stats.stddev_of" xs;
   let r = running () in
   Array.iter (add r) xs;
   stddev r
 
 let percentile_sorted sorted p =
-  assert (Array.length sorted > 0 && p >= 0. && p <= 100.);
+  require_nonempty "Gap_util.Stats.percentile_sorted" sorted;
+  if not (p >= 0. && p <= 100.) then
+    invalid_arg
+      (Printf.sprintf "Gap_util.Stats.percentile_sorted: percentile %g not in [0,100]" p);
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else begin
@@ -54,7 +64,9 @@ let minimum xs = Array.fold_left min infinity xs
 let maximum xs = Array.fold_left max neg_infinity xs
 
 let histogram ?(bins = 20) xs =
-  assert (bins > 0 && Array.length xs > 0);
+  if bins <= 0 then
+    invalid_arg (Printf.sprintf "Gap_util.Stats.histogram: bins = %d (must be positive)" bins);
+  require_nonempty "Gap_util.Stats.histogram" xs;
   let lo = minimum xs and hi = maximum xs in
   let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
   let counts = Array.make bins 0 in
@@ -69,8 +81,15 @@ let histogram ?(bins = 20) xs =
       (l, l +. width, c))
     counts
 
+let require_paired fn xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg
+      (Printf.sprintf "%s: mismatched lengths (%d vs %d)" fn (Array.length xs)
+         (Array.length ys));
+  if Array.length xs < 2 then invalid_arg (fn ^ ": need at least two samples")
+
 let correlation xs ys =
-  assert (Array.length xs = Array.length ys && Array.length xs > 1);
+  require_paired "Gap_util.Stats.correlation" xs ys;
   let mx = mean_of xs and my = mean_of ys in
   let num = ref 0. and dx2 = ref 0. and dy2 = ref 0. in
   Array.iteri
@@ -83,7 +102,7 @@ let correlation xs ys =
   if !dx2 = 0. || !dy2 = 0. then 0. else !num /. sqrt (!dx2 *. !dy2)
 
 let linear_fit xs ys =
-  assert (Array.length xs = Array.length ys && Array.length xs > 1);
+  require_paired "Gap_util.Stats.linear_fit" xs ys;
   let mx = mean_of xs and my = mean_of ys in
   let num = ref 0. and den = ref 0. in
   Array.iteri

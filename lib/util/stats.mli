@@ -17,7 +17,13 @@ val stddev : running -> float
 val running_min : running -> float
 val running_max : running -> float
 
-(** {1 Whole-sample statistics} *)
+(** {1 Whole-sample statistics}
+
+    Functions over [float array] samples validate their inputs and raise
+    [Invalid_argument] naming the function on an empty sample, an
+    out-of-range percentile, a non-positive bin count, or mismatched pair
+    lengths. (They used to [assert], which compiles out under [-noassert]
+    and then silently returns garbage.) *)
 
 val mean_of : float array -> float
 val stddev_of : float array -> float

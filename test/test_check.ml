@@ -1,0 +1,295 @@
+(* Tests for Gap_netlist.Check: one injected defect per rule, the stage-gate
+   machinery, and the end-to-end property that every experiment flow is
+   lint-clean and byte-identical with checking enabled. *)
+
+module Netlist = Gap_netlist.Netlist
+module Check = Gap_netlist.Check
+module Library = Gap_liberty.Library
+module Libgen = Gap_liberty.Libgen
+module Obs = Gap_obs.Obs
+module Exp = Gap_experiments.Exp
+module Registry = Gap_experiments.Registry
+
+let lib = lazy (Libgen.make Gap_tech.Tech.asic_025um Libgen.rich)
+let cell base drive = Option.get (Library.find (Lazy.force lib) ~base ~drive)
+
+let fired ds rule = List.filter (fun d -> d.Check.rule = rule) ds
+
+let assert_fires ?(placed = false) ?config nl rule severity =
+  let ds =
+    match config with
+    | Some c ->
+        if placed then Check.check_placed ~config:c nl else Check.check ~config:c nl
+    | None -> if placed then Check.check_placed nl else Check.check nl
+  in
+  match fired ds rule with
+  | [] ->
+      Alcotest.failf "rule %s did not fire; got: %s" rule
+        (String.concat ", " (List.map (fun d -> d.Check.rule) ds))
+  | d :: _ ->
+      Alcotest.(check string) "severity"
+        (Check.severity_string severity)
+        (Check.severity_string d.Check.severity)
+
+let assert_silent ds rule =
+  Alcotest.(check int) (rule ^ " silent") 0 (List.length (fired ds rule))
+
+(* a small clean netlist: y = !(!a) *)
+let clean_pair () =
+  let nl = Netlist.create ~lib:(Lazy.force lib) "pair" in
+  let a = Netlist.add_input nl "a" in
+  let i1 = Netlist.add_cell nl (cell "INV" 1.) [| a |] in
+  let i2 = Netlist.add_cell nl (cell "INV" 1.) [| Netlist.out_net nl i1 |] in
+  ignore (Netlist.set_output nl "y" (Netlist.out_net nl i2));
+  (nl, i1, i2)
+
+let test_rule_catalog () =
+  Alcotest.(check int) "thirteen rules" 13 (List.length Check.rules);
+  let ids = List.map (fun (id, _, _) -> id) Check.rules in
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_clean_netlist () =
+  let nl, _, _ = clean_pair () in
+  Alcotest.(check bool) "clean" true (Check.is_clean nl);
+  Alcotest.(check int) "no errors" 0 (List.length (Check.errors (Check.check nl)))
+
+let test_undriven_and_floating () =
+  let nl, _, _ = clean_pair () in
+  let hole = Netlist.add_net nl "hole" in
+  let sink = Netlist.add_cell nl (cell "INV" 1.) [| hole |] in
+  let ds = Check.check nl in
+  assert_fires nl "undriven-net" Check.Error;
+  assert_fires nl "floating-input" Check.Error;
+  (* the floating-input witness pinpoints the consuming pin *)
+  match fired ds "floating-input" with
+  | { Check.witness = Check.Pin { inst; pin; _ }; _ } :: _ ->
+      Alcotest.(check int) "consumer instance" sink inst;
+      Alcotest.(check int) "pin" 0 pin
+  | _ -> Alcotest.fail "floating-input witness is not a pin"
+
+let test_output_undriven () =
+  let nl, _, _ = clean_pair () in
+  ignore (Netlist.set_output nl "z" (Netlist.add_net nl "loose"));
+  assert_fires nl "output-undriven" Check.Error
+
+let test_multi_driver_stale_annotation () =
+  let nl, i1, _ = clean_pair () in
+  (* a net annotated as driven by i1, which actually drives a different net *)
+  let ghost = Netlist.add_net nl "ghost" in
+  Netlist.unsafe_set_driver nl ghost (Netlist.From_cell i1);
+  let ds = Check.check nl in
+  assert_fires nl "multi-driver" Check.Error;
+  assert_silent ds "undriven-net"
+
+let test_multi_driver_disagreeing_annotation () =
+  let nl, i1, _ = clean_pair () in
+  (* i1 claims its output net but the annotation says Undriven *)
+  Netlist.unsafe_set_driver nl (Netlist.out_net nl i1) Netlist.Undriven;
+  let ds = Check.check nl in
+  assert_fires nl "multi-driver" Check.Error;
+  (* a claimed net is not undriven, even with a broken annotation *)
+  assert_silent ds "undriven-net"
+
+let test_arity_mismatch () =
+  let nl, i1, _ = clean_pair () in
+  let a = Netlist.input_net nl 0 in
+  Netlist.unsafe_set_fanins nl i1 [| a; a |];
+  assert_fires nl "arity-mismatch" Check.Error
+
+let test_comb_cycle () =
+  let nl, i1, i2 = clean_pair () in
+  (* close the loop: i1's input becomes i2's output *)
+  Netlist.rewire_pin nl ~inst:i1 ~pin:0 (Netlist.out_net nl i2);
+  let ds = Check.check nl in
+  assert_fires nl "comb-cycle" Check.Error;
+  (match fired ds "comb-cycle" with
+  | { Check.witness = Check.Cycle { insts; names }; _ } :: _ ->
+      Alcotest.(check bool) "cycle contains i1" true (List.mem i1 insts);
+      Alcotest.(check bool) "cycle contains i2" true (List.mem i2 insts);
+      Alcotest.(check int) "names match insts" (List.length insts)
+        (List.length names)
+  | _ -> Alcotest.fail "comb-cycle witness is not a cycle");
+  (* the typed exception carries the same loop *)
+  match Netlist.combinational_cycle nl with
+  | None -> Alcotest.fail "combinational_cycle missed the loop"
+  | Some cycle -> (
+      Alcotest.(check bool) "cycle nonempty" true (cycle <> []);
+      try
+        ignore (Netlist.topo_instances nl);
+        Alcotest.fail "topo_instances did not raise"
+      with Netlist.Combinational_cycle path ->
+        Alcotest.(check bool) "exception carries the cycle" true (path <> []))
+
+let test_bad_parasitic () =
+  let nl, i1, _ = clean_pair () in
+  Netlist.set_wire_cap_ff nl (Netlist.out_net nl i1) (-1.);
+  assert_fires nl "bad-parasitic" Check.Error;
+  let nl2, j1, _ = clean_pair () in
+  Netlist.set_wire_delay_ps nl2 (Netlist.out_net nl2 j1) Float.nan;
+  assert_fires nl2 "bad-parasitic" Check.Error
+
+let test_const_output () =
+  let nl, _, _ = clean_pair () in
+  ignore (Netlist.set_output nl "tied" (Netlist.add_const nl true));
+  assert_fires nl "const-output" Check.Warning
+
+let test_max_fanout () =
+  let nl = Netlist.create ~lib:(Lazy.force lib) "fan" in
+  let a = Netlist.add_input nl "a" in
+  for k = 0 to 2 do
+    let i = Netlist.add_cell nl (cell "INV" 1.) [| a |] in
+    ignore (Netlist.set_output nl (Printf.sprintf "y%d" k) (Netlist.out_net nl i))
+  done;
+  let config = { Check.default_config with Check.max_fanout = Some 2 } in
+  assert_fires ~config nl "max-fanout" Check.Warning;
+  (* under the default limit the same netlist is quiet *)
+  assert_silent (Check.check nl) "max-fanout"
+
+let test_max_cap () =
+  let nl, _, _ = clean_pair () in
+  (* i1 drives one INV pin: load ~= one input cap, limit = 0.5 caps *)
+  let config =
+    { Check.default_config with Check.max_electrical_effort = Some 0.5 }
+  in
+  assert_fires ~config nl "max-cap" Check.Warning;
+  assert_silent (Check.check nl) "max-cap"
+
+let test_dangling_net_info () =
+  let nl = Netlist.create ~lib:(Lazy.force lib) "dangle" in
+  let a = Netlist.add_input nl "a" in
+  ignore (Netlist.add_cell nl (cell "INV" 1.) [| a |]);
+  assert_fires nl "dangling-net" Check.Info;
+  Alcotest.(check bool) "still clean" true (Check.is_clean nl)
+
+let test_unplaced_instance () =
+  let nl, i1, _ = clean_pair () in
+  Netlist.place nl i1 ~x_um:1. ~y_um:1.;
+  (* i2 has no location *)
+  assert_fires ~placed:true nl "unplaced-instance" Check.Error
+
+let test_out_of_core () =
+  let nl, i1, i2 = clean_pair () in
+  Netlist.place nl i1 ~x_um:(-5.) ~y_um:1.;
+  Netlist.place nl i2 ~x_um:1. ~y_um:1.;
+  assert_fires ~placed:true nl "out-of-core" Check.Error;
+  (* die bounds: in-bounds without them, out with them *)
+  let nl2, j1, j2 = clean_pair () in
+  Netlist.place nl2 j1 ~x_um:20. ~y_um:5.;
+  Netlist.place nl2 j2 ~x_um:1. ~y_um:1.;
+  assert_silent (Check.check_placed nl2) "out-of-core";
+  let config = { Check.default_config with Check.die_um = Some (10., 10.) } in
+  assert_fires ~placed:true ~config nl2 "out-of-core" Check.Error
+
+(* --- stage gates --- *)
+
+let test_gate_noop_when_off () =
+  let nl, _, _ = clean_pair () in
+  Alcotest.(check bool) "gates off" false (Check.gates_on ());
+  (* outside with_gates this is a no-op even on a broken netlist *)
+  ignore (Netlist.set_output nl "z" (Netlist.add_net nl "loose"));
+  Check.gate ~stage:"test.off" nl
+
+let test_with_gates_collects_reports () =
+  let nl, _, _ = clean_pair () in
+  let (), reports =
+    Check.with_gates (fun () ->
+        Alcotest.(check bool) "gates on inside" true (Check.gates_on ());
+        Check.gate ~stage:"test.a" nl;
+        Check.gate ~stage:"test.b" nl)
+  in
+  Alcotest.(check bool) "gates off after" false (Check.gates_on ());
+  Alcotest.(check (list string)) "stages in order" [ "test.a"; "test.b" ]
+    (List.map (fun r -> r.Check.stage) reports);
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "design name" "pair" r.Check.design;
+      Alcotest.(check int) "no errors" 0
+        (List.length (Check.errors r.Check.diagnostics)))
+    reports
+
+let test_strict_gate_raises () =
+  let nl, _, _ = clean_pair () in
+  ignore (Netlist.set_output nl "z" (Netlist.add_net nl "loose"));
+  (try
+     ignore (Check.with_gates ~strict:true (fun () -> Check.gate ~stage:"test.strict" nl));
+     Alcotest.fail "strict gate did not raise"
+   with Check.Gate_failed (stage, errs) ->
+     Alcotest.(check string) "stage" "test.strict" stage;
+     Alcotest.(check bool) "carries errors" true (errs <> []));
+  (* non-strict mode records the same defect without raising *)
+  let (), reports = Check.with_gates (fun () -> Check.gate ~stage:"test.lax" nl) in
+  Alcotest.(check bool) "error logged" true
+    (List.exists
+       (fun r -> Check.errors r.Check.diagnostics <> [])
+       reports)
+
+let test_gate_counters () =
+  let nl, _, _ = clean_pair () in
+  ignore (Netlist.set_output nl "z" (Netlist.add_net nl "loose"));
+  let sink = Obs.recorder () in
+  Obs.with_sink sink (fun () ->
+      ignore (Check.with_gates (fun () -> Check.gate ~stage:"test.obs" nl)));
+  Alcotest.(check int) "gate counted" 1 (Obs.counter_value sink "check.gates");
+  Alcotest.(check bool) "diagnostics counted" true
+    (Obs.counter_value sink "check.diagnostics" > 0);
+  Alcotest.(check int) "per-rule counter" 1
+    (Obs.counter_value sink "check.rule.output-undriven")
+
+let test_gate_json_roundtrip () =
+  let nl, _, _ = clean_pair () in
+  ignore (Netlist.set_output nl "z" (Netlist.add_net nl "loose"));
+  let (), reports = Check.with_gates (fun () -> Check.gate ~stage:"test.json" nl) in
+  List.iter
+    (fun r ->
+      let s = Gap_obs.Json.to_string (Check.gate_report_json r) in
+      match Gap_obs.Json.of_string s with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "gate report JSON does not parse: %s" e)
+    reports
+
+(* --- flows are lint-clean and byte-identical with checking enabled --- *)
+
+let experiment_case (id, title, run) =
+  let speed =
+    if List.mem id [ "E2"; "E3"; "E7"; "E8"; "E10" ] then `Slow else `Quick
+  in
+  ( Printf.sprintf "%s: %s lint-clean + byte-identical" id title,
+    speed,
+    fun () ->
+      let plain = Exp.render (run ()) in
+      let gated, reports = Check.with_gates ~strict:true run in
+      Alcotest.(check string) "byte-identical with gates on" plain
+        (Exp.render gated);
+      List.iter
+        (fun r ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s %s errors" id r.Check.stage)
+            0
+            (List.length (Check.errors r.Check.diagnostics)))
+        reports )
+
+let suite =
+  [
+    ("rule catalog", `Quick, test_rule_catalog);
+    ("clean netlist", `Quick, test_clean_netlist);
+    ("undriven net + floating input", `Quick, test_undriven_and_floating);
+    ("output undriven", `Quick, test_output_undriven);
+    ("multi-driver: stale annotation", `Quick, test_multi_driver_stale_annotation);
+    ("multi-driver: disagreeing annotation", `Quick, test_multi_driver_disagreeing_annotation);
+    ("arity mismatch", `Quick, test_arity_mismatch);
+    ("comb cycle witness", `Quick, test_comb_cycle);
+    ("bad parasitic", `Quick, test_bad_parasitic);
+    ("const output", `Quick, test_const_output);
+    ("max fanout", `Quick, test_max_fanout);
+    ("max cap", `Quick, test_max_cap);
+    ("dangling net is info", `Quick, test_dangling_net_info);
+    ("unplaced instance", `Quick, test_unplaced_instance);
+    ("out of core", `Quick, test_out_of_core);
+    ("gate is a no-op when off", `Quick, test_gate_noop_when_off);
+    ("with_gates collects reports", `Quick, test_with_gates_collects_reports);
+    ("strict gate raises", `Quick, test_strict_gate_raises);
+    ("gate counters", `Quick, test_gate_counters);
+    ("gate report json", `Quick, test_gate_json_roundtrip);
+  ]
+  @ List.map experiment_case Registry.all

@@ -7,6 +7,7 @@ let () =
       ("logic", Test_logic.suite);
       ("liberty", Test_liberty.suite);
       ("netlist", Test_netlist.suite);
+      ("check", Test_check.suite);
       ("verilog", Test_verilog.suite);
       ("power", Test_power.suite);
       ("datapath", Test_datapath.suite);

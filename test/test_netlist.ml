@@ -53,7 +53,7 @@ let test_check_detects_undriven () =
   (* inverter output drives nothing: dangling *)
   let issues = Check.check nl in
   Alcotest.(check bool) "dangling reported" true
-    (List.exists (function Check.Dangling_net _ -> true | _ -> false) issues);
+    (List.exists (fun d -> d.Check.rule = "dangling-net") issues);
   Alcotest.(check bool) "still clean (dangling is benign)" true (Check.is_clean nl)
 
 let test_topo_order () =

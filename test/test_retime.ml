@@ -50,6 +50,15 @@ let test_well_formed () =
   let bad = ring [| 1.; 1. |] [| 0; 0 |] in
   Alcotest.(check bool) "register-free cycle rejected" false (Retime.well_formed bad)
 
+let test_register_free_cycle_exception () =
+  let bad = ring [| 1.; 1.; 1. |] [| 0; 0; 0 |] in
+  match Retime.clock_period bad with
+  | exception Retime.Register_free_cycle nodes ->
+      Alcotest.(check bool) "cycle nonempty" true (nodes <> []);
+      Alcotest.(check bool) "witness nodes in range" true
+        (List.for_all (fun v -> v >= 0 && v < Retime.node_count bad) nodes)
+  | p -> Alcotest.failf "expected Register_free_cycle, got period %g" p
+
 let test_feasible_bounds () =
   let g = ring [| 2.; 2.; 2.; 2. |] [| 0; 0; 2; 0 |] in
   Alcotest.(check bool) "period below max node infeasible" true
@@ -283,6 +292,7 @@ let suite =
     ("retiming balances ring", `Quick, test_retiming_balances_ring);
     ("retiming cannot split nodes", `Quick, test_retiming_cannot_split_nodes);
     ("well-formedness", `Quick, test_well_formed);
+    ("register-free cycle is typed", `Quick, test_register_free_cycle_exception);
     ("feasibility bounds", `Quick, test_feasible_bounds);
     ("retiming a chain", `Quick, test_retiming_dag_with_io_chain);
     ("pipeline speeds up", `Quick, test_pipeline_speeds_up);

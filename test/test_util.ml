@@ -123,6 +123,29 @@ let test_stats_linear_fit () =
   check_close "slope" 1e-9 3. slope;
   check_close "intercept" 1e-9 (-7.) intercept
 
+let test_stats_rejects_bad_input () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument msg ->
+        (* the message names the offending function *)
+        Alcotest.(check bool)
+          (Printf.sprintf "%s names itself (got %S)" name msg)
+          true
+          (String.length msg >= String.length name
+          && String.sub msg 0 (String.length name) = name)
+    | _ -> Alcotest.failf "%s accepted bad input" name
+  in
+  expect_invalid "Gap_util.Stats.mean_of" (fun () -> Stats.mean_of [||]);
+  expect_invalid "Gap_util.Stats.stddev_of" (fun () -> Stats.stddev_of [||]);
+  expect_invalid "Gap_util.Stats.percentile_sorted" (fun () -> Stats.percentile [||] 50.);
+  expect_invalid "Gap_util.Stats.percentile_sorted" (fun () -> Stats.percentile [| 1. |] 101.);
+  expect_invalid "Gap_util.Stats.percentile_sorted" (fun () -> Stats.percentile [| 1. |] (-1.));
+  expect_invalid "Gap_util.Stats.histogram" (fun () -> Stats.histogram ~bins:0 [| 1. |]);
+  expect_invalid "Gap_util.Stats.histogram" (fun () -> Stats.histogram ~bins:4 [||]);
+  expect_invalid "Gap_util.Stats.correlation" (fun () -> Stats.correlation [| 1.; 2. |] [| 1. |]);
+  expect_invalid "Gap_util.Stats.correlation" (fun () -> Stats.correlation [| 1. |] [| 1. |]);
+  expect_invalid "Gap_util.Stats.linear_fit" (fun () -> Stats.linear_fit [| 1. |] [| 1. |])
+
 (* --- vec --- *)
 
 let test_vec_basic () =
@@ -211,6 +234,27 @@ let test_digraph_cycle () =
   let g = diamond () in
   Gap_util.Digraph.add_edge g 3 0;
   Alcotest.(check bool) "cyclic" false (Gap_util.Digraph.is_acyclic g)
+
+let test_digraph_find_cycle () =
+  Alcotest.(check bool) "diamond has no cycle" true
+    (Gap_util.Digraph.find_cycle (diamond ()) = None);
+  let g = diamond () in
+  Gap_util.Digraph.add_edge g 3 1;
+  match Gap_util.Digraph.find_cycle g with
+  | None -> Alcotest.fail "cycle not found"
+  | Some cycle ->
+      (* the witness is a genuine closed walk: consecutive edges exist and the
+         last node loops back to the first *)
+      Alcotest.(check bool) "nonempty" true (cycle <> []);
+      let arr = Array.of_list cycle in
+      let n = Array.length arr in
+      for k = 0 to n - 1 do
+        let src = arr.(k) and dst = arr.((k + 1) mod n) in
+        Alcotest.(check bool)
+          (Printf.sprintf "edge %d -> %d exists" src dst)
+          true
+          (List.mem_assoc dst (Gap_util.Digraph.succ g src))
+      done
 
 let test_digraph_longest_path () =
   let g = Gap_util.Digraph.create () in
@@ -342,6 +386,7 @@ let suite =
     ("stats histogram", `Quick, test_stats_histogram);
     ("stats correlation", `Quick, test_stats_correlation);
     ("stats linear fit", `Quick, test_stats_linear_fit);
+    ("stats rejects bad input", `Quick, test_stats_rejects_bad_input);
     ("vec basics", `Quick, test_vec_basic);
     ("vec bounds", `Quick, test_vec_bounds);
     ("vec find_index", `Quick, test_vec_find_index);
@@ -351,6 +396,7 @@ let suite =
     QCheck_alcotest.to_alcotest heap_property;
     ("digraph topo", `Quick, test_digraph_topo);
     ("digraph cycle", `Quick, test_digraph_cycle);
+    ("digraph find_cycle witness", `Quick, test_digraph_find_cycle);
     ("digraph longest path", `Quick, test_digraph_longest_path);
     ("digraph bellman-ford", `Quick, test_digraph_bellman_ford);
     ("digraph negative cycle", `Quick, test_digraph_negative_cycle);

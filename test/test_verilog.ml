@@ -130,7 +130,24 @@ let verilog_roundtrip_random =
 
 let test_pin_names () =
   Alcotest.(check string) "pin 0" "A" (Verilog.pin_name 0);
-  Alcotest.(check string) "pin 3" "D" (Verilog.pin_name 3)
+  Alcotest.(check string) "pin 3" "D" (Verilog.pin_name 3);
+  (* bijective base-26: Z rolls over to AA, not BA *)
+  Alcotest.(check string) "pin 25" "Z" (Verilog.pin_name 25);
+  Alcotest.(check string) "pin 26" "AA" (Verilog.pin_name 26);
+  Alcotest.(check string) "pin 27" "AB" (Verilog.pin_name 27);
+  Alcotest.(check string) "pin 51" "AZ" (Verilog.pin_name 51);
+  Alcotest.(check string) "pin 52" "BA" (Verilog.pin_name 52);
+  Alcotest.(check string) "pin 701" "ZZ" (Verilog.pin_name 701);
+  Alcotest.(check string) "pin 702" "AAA" (Verilog.pin_name 702);
+  Alcotest.(check (option int)) "AA decodes" (Some 26) (Verilog.pin_index "AA");
+  Alcotest.(check (option int)) "lowercase rejected" None (Verilog.pin_index "aa");
+  Alcotest.(check (option int)) "empty rejected" None (Verilog.pin_index "");
+  Alcotest.(check (option int)) "digits rejected" None (Verilog.pin_index "A1")
+
+let pin_name_roundtrip =
+  QCheck.Test.make ~name:"pin_name/pin_index round-trip" ~count:500
+    QCheck.(int_range 0 100_000)
+    (fun i -> Verilog.pin_index (Verilog.pin_name i) = Some i)
 
 let test_reader_fuzz_no_crash () =
   (* byte-level mutations of valid Verilog must either parse or raise
@@ -162,6 +179,7 @@ let suite =
     ("reader rejects garbage", `Quick, test_reader_rejects_garbage);
     ("reader handles forward refs", `Quick, test_reader_out_of_order_instances);
     ("pin names", `Quick, test_pin_names);
+    QCheck_alcotest.to_alcotest pin_name_roundtrip;
     QCheck_alcotest.to_alcotest verilog_roundtrip_random;
     ("reader fuzz: no crash", `Quick, test_reader_fuzz_no_crash);
   ]
