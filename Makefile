@@ -1,4 +1,4 @@
-.PHONY: build test check verify repro bench bench-kernels metrics clean
+.PHONY: build test check faults verify repro bench bench-kernels metrics clean
 
 build:
 	dune build
@@ -12,8 +12,17 @@ check:
 	dune exec bin/repro.exe -- check --strict --json CHECK_diagnostics.json
 	dune exec bin/repro.exe -- validate-json CHECK_diagnostics.json
 
-# The default verification path: build, full test suite, strict lint gates.
-verify: build test check
+# Deterministic fault-injection campaign: every registered fault site is
+# injected at least once and must recover, degrade, or fail with a typed
+# diagnostic — never silently and never with an uncaught exception. The
+# JSON report must validate.
+faults:
+	dune exec bin/repro.exe -- faults --json FAULTS_report.json
+	dune exec bin/repro.exe -- validate-json FAULTS_report.json
+
+# The default verification path: build, full test suite, strict lint gates,
+# fault campaign.
+verify: build test check faults
 
 repro:
 	dune exec bin/repro.exe -- all -x

@@ -3,6 +3,8 @@
    repro list            enumerate experiments (E1..E10 + extensions X1..X3)
    repro run E3 X1       run selected experiments
    repro all             run everything and print the summary
+   repro resume FILE     continue a checkpointed campaign (repro all --checkpoint)
+   repro faults          deterministic fault-injection campaign over every site
    repro analysis        print the core gap analysis (factor table etc.)
    repro dump cla16      synthesize a named circuit and emit structural Verilog *)
 
@@ -49,22 +51,25 @@ let with_obs opts f =
     && opts.obs_csv = None
   then f ()
   else begin
-    let trace_oc = Option.map open_out opts.trace in
-    let sink = Gap_obs.Obs.recorder ?trace:trace_oc () in
+    (* every artifact goes through Atomic_io: the trace streams into a temp
+       file committed (renamed over the target) only on success, so a crash
+       mid-run cannot leave a truncated JSONL file behind *)
+    let trace_w = Option.map Gap_util.Atomic_io.start opts.trace in
+    let sink =
+      Gap_obs.Obs.recorder ?trace:(Option.map Gap_util.Atomic_io.channel trace_w) ()
+    in
     match Gap_obs.Obs.with_sink sink f with
     | code ->
-        Option.iter close_out trace_oc;
+        Option.iter Gap_util.Atomic_io.commit trace_w;
         Option.iter (Gap_obs.Obs.write_metrics_json sink) opts.metrics_json;
         Option.iter
           (fun path ->
-            let oc = open_out path in
-            output_string oc (Gap_obs.Obs.spans_csv sink);
-            close_out oc)
+            Gap_util.Atomic_io.write_string path (Gap_obs.Obs.spans_csv sink))
           opts.obs_csv;
         if opts.obs_summary then print_string (Gap_obs.Obs.summary sink);
         code
     | exception e ->
-        Option.iter close_out trace_oc;
+        Option.iter Gap_util.Atomic_io.abort trace_w;
         raise e
   end
 
@@ -78,37 +83,72 @@ let list_experiments () =
     Gap_experiments.Registry.extensions;
   0
 
+module Supervisor = Gap_resilience.Supervisor
+module Campaign = Gap_experiments.Campaign
+
 let run_ids ids =
   let missing = ref [] in
+  let failed = ref [] in
   List.iter
     (fun id ->
       match Gap_experiments.Registry.find id with
-      | Some run -> Gap_experiments.Exp.print (run ())
+      | Some run -> (
+          (* each experiment runs in its own supervised stage: one failure
+             prints a typed diagnostic and the rest still run *)
+          let outcome =
+            Supervisor.run_stage ~policy:Supervisor.no_retry
+              ~stage:("exp." ^ id) (fun () -> run ())
+          in
+          match outcome.Supervisor.result with
+          | Ok r -> Gap_experiments.Exp.print r
+          | Error err ->
+              failed := id :: !failed;
+              Printf.eprintf "%s FAILED: %s\n" id
+                (Gap_resilience.Stage_error.to_string err))
       | None -> missing := id :: !missing)
     ids;
   if !missing <> [] then begin
     Printf.eprintf "unknown experiment id(s): %s\n" (String.concat ", " !missing);
     1
   end
+  else if !failed <> [] then 1
   else 0
 
-let run_all with_extensions =
-  let results = Gap_experiments.Registry.run_all () in
-  let results =
-    if with_extensions then results @ Gap_experiments.Registry.run_extensions ()
-    else results
+let run_all with_extensions checkpoint =
+  let ids = List.map (fun (id, _, _) -> id) Gap_experiments.Registry.all in
+  let ids =
+    if with_extensions then
+      ids @ List.map (fun (id, _, _) -> id) Gap_experiments.Registry.extensions
+    else ids
   in
-  List.iter Gap_experiments.Exp.print results;
-  print_newline ();
-  print_string (Gap_experiments.Registry.summary results);
-  let all_pass =
-    List.for_all
-      (fun r ->
-        let p, c = Gap_experiments.Exp.passes r in
-        p = c)
-      results
-  in
-  if all_pass then 0 else 1
+  let outcomes = Campaign.run_experiments ?checkpoint ~ids () in
+  print_string (Campaign.output outcomes);
+  if Campaign.all_passed outcomes then 0 else 1
+
+let run_resume checkpoint =
+  match Campaign.resume_experiments ~checkpoint () with
+  | outcomes ->
+      print_string (Campaign.output outcomes);
+      if Campaign.all_passed outcomes then 0 else 1
+  | exception Failure msg ->
+      Printf.eprintf "resume: %s\n" msg;
+      1
+
+let run_faults seed json_path =
+  let results = Campaign.run_faults ~seed () in
+  print_string (Campaign.faults_table results);
+  Option.iter
+    (fun path ->
+      let doc = Campaign.faults_json ~seed results in
+      Gap_util.Atomic_io.write_string path
+        (Gap_obs.Json.to_string ~pretty:true doc ^ "\n"))
+    json_path;
+  if Campaign.faults_ok results then 0
+  else begin
+    Printf.eprintf
+      "faults: some fault sites were silent, uncaught, or not exercised\n";
+    1
+  end
 
 let analysis () =
   Gap_core.Report.print_full_analysis ();
@@ -189,9 +229,51 @@ let all_cmd =
   let ext =
     Arg.(value & flag & info [ "extensions"; "x" ] ~doc:"Also run the X1..X3 extensions.")
   in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+        & info [ "checkpoint" ] ~docv:"FILE"
+            ~doc:"Atomically checkpoint campaign progress to $(docv) after every \
+                  completed experiment; continue later with $(b,repro resume).")
+  in
   let doc = "Run every experiment and print the pass/fail summary." in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const (fun obs ext -> with_obs obs (fun () -> run_all ext)) $ obs_term $ ext)
+    Term.(const (fun obs ext ckpt -> with_obs obs (fun () -> run_all ext ckpt))
+          $ obs_term $ ext $ checkpoint)
+
+let resume_cmd =
+  let ckpt_arg =
+    Arg.(required & pos 0 (some string) None
+        & info [] ~docv:"FILE"
+            ~doc:"Checkpoint file written by $(b,repro all --checkpoint).")
+  in
+  let doc =
+    "Resume an interrupted campaign: completed experiments replay from the \
+     checkpoint byte-identically, the rest run fresh."
+  in
+  Cmd.v (Cmd.info "resume" ~doc)
+    Term.(const (fun obs ckpt -> with_obs obs (fun () -> run_resume ckpt))
+          $ obs_term $ ckpt_arg)
+
+let faults_cmd =
+  let seed_arg =
+    Arg.(value & opt int64 2027L
+        & info [ "seed" ] ~docv:"N"
+            ~doc:"Seed choosing where in each driver's run the fault lands.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Write the campaign report (per site: hits, injections, \
+                  retries, degradations, outcome) to $(docv) as JSON.")
+  in
+  let doc =
+    "Run the deterministic fault-injection campaign: every registered fault \
+     site is injected at least once and must recover, degrade, or fail with \
+     a typed diagnostic."
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(const (fun obs seed json -> with_obs obs (fun () -> run_faults seed json))
+          $ obs_term $ seed_arg $ json_arg)
 
 let analysis_cmd =
   let doc = "Print the factor table, residual analysis and methodology comparison." in
@@ -313,10 +395,8 @@ let run_check ids strict json_path =
                   ] );
             ]
         in
-        let oc = open_out path in
-        output_string oc (Gap_obs.Json.to_string ~pretty:true doc);
-        output_char oc '\n';
-        close_out oc)
+        Gap_util.Atomic_io.write_string path
+          (Gap_obs.Json.to_string ~pretty:true doc ^ "\n"))
       json_path;
     if strict && !tot_err > 0 then begin
       Printf.eprintf "check --strict: %d error diagnostic(s)\n" !tot_err;
@@ -412,6 +492,7 @@ let main =
   let doc = "reproduction of Chinnery & Keutzer, 'Closing the Gap Between ASIC and Custom' (DAC 2000)" in
   Cmd.group
     (Cmd.info "repro" ~version:"1.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; analysis_cmd; check_cmd; dump_cmd; libdump_cmd; validate_json_cmd ]
+    [ list_cmd; run_cmd; all_cmd; resume_cmd; faults_cmd; analysis_cmd;
+      check_cmd; dump_cmd; libdump_cmd; validate_json_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,412 @@
+module Json = Gap_obs.Json
+module Obs = Gap_obs.Obs
+module Stage_error = Gap_resilience.Stage_error
+module Fault = Gap_resilience.Fault
+module Supervisor = Gap_resilience.Supervisor
+module Checkpoint = Gap_resilience.Checkpoint
+
+(* --- checkpointed experiment runs --- *)
+
+type exp_record = {
+  id : string;
+  title : string;
+  render : string;
+  pass : int;
+  checkable : int;
+}
+
+type run_outcome = Done of exp_record | Failed of string * Stage_error.t
+
+let title_of id =
+  match
+    List.find_opt (fun (i, _, _) -> i = id) (Registry.all @ Registry.extensions)
+  with
+  | Some (_, title, _) -> title
+  | None -> id
+
+let campaign_tag = "experiments"
+
+let record_json r =
+  Json.Obj
+    [
+      ("id", Json.Str r.id);
+      ("title", Json.Str r.title);
+      ("render", Json.Str r.render);
+      ("pass", Json.Int r.pass);
+      ("checkable", Json.Int r.checkable);
+    ]
+
+let record_of_json j =
+  match
+    ( Json.member "id" j,
+      Json.member "title" j,
+      Json.member "render" j,
+      Json.member "pass" j,
+      Json.member "checkable" j )
+  with
+  | ( Some (Json.Str id),
+      Some (Json.Str title),
+      Some (Json.Str render),
+      Some (Json.Int pass),
+      Some (Json.Int checkable) ) ->
+      { id; title; render; pass; checkable }
+  | _ -> failwith "checkpoint: malformed experiment record"
+
+let save_checkpoint path ids completed =
+  Checkpoint.save ~path ~campaign:campaign_tag
+    (Json.Obj
+       [
+         ("ids", Json.List (List.map (fun id -> Json.Str id) ids));
+         ("completed", Json.List (List.map record_json (List.rev completed)));
+       ])
+
+let load_checkpoint path =
+  match Checkpoint.load ~path with
+  | Error e -> failwith e
+  | Ok (campaign, payload) ->
+      if campaign <> campaign_tag then
+        failwith
+          (Printf.sprintf "%s: checkpoint is a %S campaign, not experiments"
+             path campaign);
+      let str_list = function
+        | Some (Json.List l) ->
+            List.map (function Json.Str s -> s | _ -> failwith "checkpoint: bad id") l
+        | _ -> failwith "checkpoint: missing ids"
+      in
+      let records =
+        match Json.member "completed" payload with
+        | Some (Json.List l) -> List.map record_of_json l
+        | _ -> failwith "checkpoint: missing completed list"
+      in
+      (str_list (Json.member "ids" payload), records)
+
+let run_loop ?checkpoint ?stop_after ~ids ~completed () =
+  let runs =
+    List.map
+      (fun id ->
+        match Registry.find id with
+        | Some run -> (id, run)
+        | None -> failwith (Printf.sprintf "unknown experiment id %s" id))
+      ids
+  in
+  (* [completed] holds records in reverse completion order *)
+  let completed = ref (List.rev completed) in
+  let recorded id =
+    List.find_opt (fun r -> r.id = id) !completed
+  in
+  Option.iter (fun path -> save_checkpoint path ids !completed) checkpoint;
+  let fresh = ref 0 in
+  let stopped = ref false in
+  let outcomes = ref [] in
+  List.iter
+    (fun (id, run) ->
+      if not !stopped then
+        match recorded id with
+        | Some r -> outcomes := Done r :: !outcomes
+        | None ->
+            if match stop_after with Some k -> !fresh >= k | None -> false then
+              stopped := true
+            else begin
+              incr fresh;
+              let o =
+                Supervisor.run_stage ~policy:Supervisor.no_retry
+                  ~stage:("exp." ^ id) run
+              in
+              match o.Supervisor.result with
+              | Ok result ->
+                  let pass, checkable = Exp.passes result in
+                  let r =
+                    {
+                      id;
+                      (* the result's own title, not the registry's short one:
+                         Registry.summary prints the former and [output] must
+                         stay byte-identical to it *)
+                      title = result.Exp.title;
+                      render = Exp.render result;
+                      pass;
+                      checkable;
+                    }
+                  in
+                  completed := r :: !completed;
+                  Option.iter
+                    (fun path -> save_checkpoint path ids !completed)
+                    checkpoint;
+                  outcomes := Done r :: !outcomes
+              | Error err -> outcomes := Failed (id, err) :: !outcomes
+            end)
+    runs;
+  List.rev !outcomes
+
+let run_experiments ?checkpoint ?stop_after ~ids () =
+  run_loop ?checkpoint ?stop_after ~ids ~completed:[] ()
+
+let resume_experiments ~checkpoint ?stop_after () =
+  let ids, completed = load_checkpoint checkpoint in
+  run_loop ~checkpoint ?stop_after ~ids ~completed ()
+
+let output outcomes =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (function
+      | Done r -> Buffer.add_string buf r.render
+      | Failed (id, err) ->
+          Buffer.add_string buf
+            (Printf.sprintf "=== %s: FAILED ===\n%s\n" id
+               (Stage_error.to_string err)))
+    outcomes;
+  Buffer.add_char buf '\n';
+  let total_p = ref 0 and total_c = ref 0 and failures = ref 0 in
+  List.iter
+    (function
+      | Done r ->
+          total_p := !total_p + r.pass;
+          total_c := !total_c + r.checkable;
+          Buffer.add_string buf
+            (Printf.sprintf "%-4s %-45s %d/%d in paper range\n" r.id r.title
+               r.pass r.checkable)
+      | Failed (id, _) ->
+          incr failures;
+          Buffer.add_string buf
+            (Printf.sprintf "%-4s %-45s FAILED\n" id (title_of id)))
+    outcomes;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "TOTAL: %d/%d checkable claims within the paper's stated ranges\n"
+       !total_p !total_c);
+  if !failures > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "FAILED: %d experiment(s) did not complete\n" !failures);
+  Buffer.contents buf
+
+let all_passed outcomes =
+  List.for_all
+    (function Done r -> r.pass = r.checkable | Failed _ -> false)
+    outcomes
+
+(* --- the fault campaign --- *)
+
+type fault_outcome =
+  | Recovered
+  | Degraded
+  | Failed_typed of Stage_error.t
+  | Silent
+  | Uncaught of string
+  | Not_exercised
+
+type site_result = {
+  site : string;
+  kind : Stage_error.fault_kind;
+  driver : string;
+  hits : int;
+  injected : int;
+  retries : int;
+  degraded : int;
+  outcome : fault_outcome;
+}
+
+let outcome_string = function
+  | Recovered -> "recovered"
+  | Degraded -> "degraded"
+  | Failed_typed _ -> "failed-typed"
+  | Silent -> "silent"
+  | Uncaught _ -> "uncaught"
+  | Not_exercised -> "not-exercised"
+
+(* Small deterministic drivers, one per subsystem, sized so a full campaign
+   stays fast. Each returns unit; what matters is which fault sites it
+   reaches and which recovery mechanism owns them. *)
+
+let campaign_lib () =
+  Gap_liberty.Libgen.make Gap_tech.Tech.asic_025um Gap_liberty.Libgen.rich
+
+let driver_synth () =
+  let lib = campaign_lib () in
+  ignore
+    (Gap_synth.Flow.run ~lib ~name:"cla16" (Gap_datapath.Adders.cla_adder 16))
+
+let low_effort_netlist () =
+  let lib = campaign_lib () in
+  (Gap_synth.Flow.run ~lib ~effort:Gap_synth.Flow.low_effort ~name:"cla16"
+     (Gap_datapath.Adders.cla_adder 16))
+    .Gap_synth.Flow.netlist
+
+let driver_place () =
+  let nl = low_effort_netlist () in
+  ignore
+    (Gap_place.Placer.place
+       ~options:{ Gap_place.Placer.default_options with sweeps = 30; seed = 5L }
+       nl)
+
+let driver_annotate () =
+  let nl = low_effort_netlist () in
+  ignore
+    (Gap_place.Placer.place
+       ~options:{ Gap_place.Placer.default_options with sweeps = 10; seed = 5L }
+       nl);
+  (* strict gates so a corrupted parasitic trips the bad-parasitic rule as a
+     typed Gate_failed -> Netlist_defect; the supervised STA NaN scan is the
+     second line of defense *)
+  let (), (_ : Gap_netlist.Check.gate_report list) =
+    Gap_netlist.Check.with_gates ~strict:true (fun () ->
+        Gap_place.Wire_estimate.annotate nl;
+        ignore (Gap_sta.Sta.analyze nl))
+  in
+  ()
+
+let driver_mc () =
+  let model = Gap_variation.Model.make Gap_variation.Model.mature in
+  ignore
+    (Gap_variation.Montecarlo.simulate ~seed:77L ~domains:4 ~model
+       ~nominal_mhz:250. ~dies:8192 ())
+
+(* (site, kind, driver name, driver, max skip): [max_skip] bounds the
+   seeded skip so the fault always lands within the hits the driver
+   generates (e.g. the synth driver maps exactly once) *)
+let plan_catalog =
+  [
+    ("synth.map", Stage_error.Transient, "synth-cla16", driver_synth, 0);
+    ("synth.sizing", Stage_error.Transient, "synth-cla16", driver_synth, 0);
+    ("sta.analyze", Stage_error.Transient, "synth-cla16", driver_synth, 5);
+    ("place.sweep", Stage_error.Transient, "place-cla16", driver_place, 20);
+    ("place.sweep", Stage_error.Deadline, "place-cla16", driver_place, 20);
+    ("place.parasitic", Stage_error.Corrupt, "annotate-cla16", driver_annotate, 10);
+    ("mc.worker", Stage_error.Worker_kill, "mc-8k-x4", driver_mc, 2);
+    ("mc.budget", Stage_error.Deadline, "mc-8k-x4", driver_mc, 0);
+  ]
+
+let () =
+  (* keep the executable campaign in lockstep with the declared catalog *)
+  assert (
+    List.for_all
+      (fun (site, kinds, _) ->
+        List.for_all
+          (fun kind ->
+            List.exists (fun (s, k, _, _, _) -> s = site && k = kind) plan_catalog)
+          kinds)
+      Fault.catalog)
+
+let run_one ~skip (site, kind, driver_name, driver, _) =
+  let sink = Obs.recorder () in
+  let result, freport =
+    Obs.with_sink sink (fun () ->
+        Fault.with_plan
+          [ Fault.spec ~skip site kind ]
+          (fun () ->
+            let o =
+              Supervisor.run_stage ~policy:Supervisor.no_retry
+                ~stage:driver_name driver
+            in
+            match o.Supervisor.result with
+            | Ok () -> ()
+            | Error err -> raise (Stage_error.Stage_failure err)))
+  in
+  let hits =
+    match List.assoc_opt site freport.Fault.sites_hit with Some n -> n | None -> 0
+  in
+  let injected =
+    match List.assoc_opt site freport.Fault.injected with Some n -> n | None -> 0
+  in
+  let retries = Obs.counter_value sink "resilience.retries" in
+  let degraded =
+    Obs.counter_value sink "mc.degraded_runs"
+    + Obs.counter_value sink "place.anneal_recoveries"
+  in
+  let outcome =
+    if injected = 0 then Not_exercised
+    else
+      match result with
+      | Ok () ->
+          if degraded > 0 then Degraded
+          else if retries > 0 then Recovered
+          else Silent
+      | Error (Stage_error.Stage_failure err) -> Failed_typed err
+      | Error e -> Uncaught (Printexc.to_string e)
+  in
+  { site; kind; driver = driver_name; hits; injected; retries; degraded; outcome }
+
+let run_faults ?(seed = 2027L) () =
+  let rng = Gap_util.Rng.create ~seed () in
+  List.map
+    (fun ((_, _, _, _, max_skip) as entry) ->
+      let skip = if max_skip <= 0 then 0 else Gap_util.Rng.int rng (max_skip + 1) in
+      run_one ~skip entry)
+    plan_catalog
+
+let faults_ok results =
+  results <> []
+  && List.for_all
+       (fun r ->
+         r.injected > 0
+         &&
+         match r.outcome with
+         | Recovered | Degraded | Failed_typed _ -> true
+         | Silent | Uncaught _ | Not_exercised -> false)
+       results
+
+let faults_json ~seed results =
+  let site_json r =
+    Json.Obj
+      ([
+         ("site", Json.Str r.site);
+         ("kind", Json.Str (Stage_error.kind_string r.kind));
+         ("driver", Json.Str r.driver);
+         ("hits", Json.Int r.hits);
+         ("injected", Json.Int r.injected);
+         ("retries", Json.Int r.retries);
+         ("degraded", Json.Int r.degraded);
+         ("outcome", Json.Str (outcome_string r.outcome));
+       ]
+      @
+      match r.outcome with
+      | Failed_typed err -> [ ("error", Stage_error.to_json err) ]
+      | Uncaught e -> [ ("error", Json.Str e) ]
+      | _ -> [])
+  in
+  let count p = List.length (List.filter p results) in
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("seed", Json.Int (Int64.to_int seed));
+      ("sites", Json.List (List.map site_json results));
+      ( "totals",
+        Json.Obj
+          [
+            ("sites", Json.Int (List.length results));
+            ( "injected",
+              Json.Int (List.fold_left (fun a r -> a + r.injected) 0 results) );
+            ("recovered", Json.Int (count (fun r -> r.outcome = Recovered)));
+            ("degraded", Json.Int (count (fun r -> r.outcome = Degraded)));
+            ( "failed_typed",
+              Json.Int
+                (count (fun r ->
+                     match r.outcome with Failed_typed _ -> true | _ -> false)) );
+            ( "bad",
+              Json.Int
+                (count (fun r ->
+                     match r.outcome with
+                     | Silent | Uncaught _ | Not_exercised -> true
+                     | _ -> false)) );
+          ] );
+      ("ok", Json.Bool (faults_ok results));
+    ]
+
+let faults_table results =
+  Gap_util.Table.render
+    ~aligns:Gap_util.Table.[ Left; Left; Left; Right; Right; Right; Right; Left ]
+    ~header:[ "site"; "kind"; "driver"; "hits"; "inj"; "retry"; "degrade"; "outcome" ]
+    (List.map
+       (fun r ->
+         [
+           r.site;
+           Stage_error.kind_string r.kind;
+           r.driver;
+           string_of_int r.hits;
+           string_of_int r.injected;
+           string_of_int r.retries;
+           string_of_int r.degraded;
+           (match r.outcome with
+           | Failed_typed err ->
+               "failed-typed: " ^ Stage_error.to_string err
+           | o -> outcome_string o);
+         ])
+       results)

@@ -1,0 +1,97 @@
+(** Supervised experiment campaigns: per-experiment isolation,
+    checkpoint/resume, and the deterministic fault-injection campaign.
+
+    This module is the engine behind [repro all --checkpoint], [repro
+    resume] and [repro faults]; it lives in the library (not the CLI) so
+    the property tests can drive kill+resume and fault campaigns in
+    process. *)
+
+(** {1 Checkpointed experiment runs} *)
+
+type exp_record = {
+  id : string;
+  title : string;
+  render : string;  (** the experiment's full rendered report *)
+  pass : int;
+  checkable : int;
+}
+
+type run_outcome =
+  | Done of exp_record
+  | Failed of string * Gap_resilience.Stage_error.t
+      (** experiment id and the typed reason *)
+
+val run_experiments :
+  ?checkpoint:string ->
+  ?stop_after:int ->
+  ids:string list ->
+  unit ->
+  run_outcome list
+(** Run the experiments in order, each under a {!Gap_resilience.Supervisor}
+    stage so one failure cannot kill the campaign. With [?checkpoint] the
+    campaign state is atomically rewritten after every completed experiment
+    (failures are not recorded, so a resume retries them). [?stop_after]
+    ends the run after that many fresh experiments — the test-suite
+    stand-in for a kill.
+
+    @raise Failure on an unknown experiment id. *)
+
+val resume_experiments :
+  checkpoint:string -> ?stop_after:int -> unit -> run_outcome list
+(** Reload a checkpoint and continue its campaign: completed experiments
+    are replayed from their recorded renders (byte-identical, since every
+    experiment is deterministic), the rest run fresh, and the checkpoint
+    keeps advancing.
+
+    @raise Failure if the checkpoint is missing, malformed, of the wrong
+    version, or not an experiment campaign. *)
+
+val output : run_outcome list -> string
+(** The byte stream [repro all] prints: every report in order (failed
+    experiments render as a typed FAILED block), a blank line, then the
+    summary table. For an all-[Done] list this is byte-identical to the
+    pre-resilience output. *)
+
+val all_passed : run_outcome list -> bool
+(** No [Failed] outcome and every row of every experiment in range. *)
+
+(** {1 The fault campaign} *)
+
+type fault_outcome =
+  | Recovered  (** the supervisor retried the stage and it completed *)
+  | Degraded
+      (** a fallback path absorbed the fault (best-so-far placement,
+          sequential Monte Carlo) and the driver completed *)
+  | Failed_typed of Gap_resilience.Stage_error.t
+      (** the driver failed, but with a typed diagnostic — acceptable *)
+  | Silent  (** the fault fired yet nothing recovered or complained — a bug *)
+  | Uncaught of string  (** an unclassified exception escaped — a bug *)
+  | Not_exercised  (** the driver never reached the site — a campaign bug *)
+
+type site_result = {
+  site : string;
+  kind : Gap_resilience.Stage_error.fault_kind;
+  driver : string;
+  hits : int;  (** times the driver reached the site *)
+  injected : int;  (** faults actually fired *)
+  retries : int;  (** supervisor retries recorded during the run *)
+  degraded : int;  (** degradation events recorded during the run *)
+  outcome : fault_outcome;
+}
+
+val outcome_string : fault_outcome -> string
+
+val run_faults : ?seed:int64 -> unit -> site_result list
+(** Inject every (site, kind) of {!Gap_resilience.Fault.catalog} into a
+    small deterministic driver that reaches it, one fault per run, and
+    classify what happened. [seed] (default 2027) picks each spec's [skip]
+    deterministically, so faults land mid-run, not only at the first hit. *)
+
+val faults_ok : site_result list -> bool
+(** Every site exercised and injected, and no [Silent]/[Uncaught]. *)
+
+val faults_json : seed:int64 -> site_result list -> Gap_obs.Json.t
+(** The [FAULTS_report.json] document: per-site results plus totals. *)
+
+val faults_table : site_result list -> string
+(** Human-readable summary table. *)

@@ -381,3 +381,32 @@ let gate ?(placed = false) ~stage t =
         match errors ds with
         | [] -> ()
         | errs -> raise (Gate_failed (stage, errs))
+
+(* Teach the resilience supervisor's exception classifier about this
+   module's typed failures, so a gate tripping inside a supervised stage
+   surfaces as a [Stage_error.Netlist_defect] instead of an unclassified
+   exception. The first Error diagnostic is the representative witness. *)
+let () =
+  Gap_resilience.Stage_error.register_classifier (fun ~stage e ->
+      match e with
+      | Gate_failed (gate_stage, errs) ->
+          let rule, detail =
+            match errs with
+            | d :: _ -> (d.rule, Format.asprintf "%a" pp_diagnostic d)
+            | [] -> ("gate", "gate failed with no diagnostics")
+          in
+          ignore stage;
+          Some
+            (Gap_resilience.Stage_error.Netlist_defect
+               { stage = gate_stage; rule; detail })
+      | Netlist.Combinational_cycle insts ->
+          Some
+            (Gap_resilience.Stage_error.Netlist_defect
+               {
+                 stage;
+                 rule = "comb-cycle";
+                 detail =
+                   Printf.sprintf "combinational cycle through instances [%s]"
+                     (String.concat "; " (List.map string_of_int insts));
+               })
+      | _ -> None)

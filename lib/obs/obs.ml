@@ -554,7 +554,6 @@ let metrics_json sink =
     ]
 
 let write_metrics_json sink path =
-  let oc = open_out path in
-  output_string oc (Json.to_string ~pretty:true (metrics_json sink));
-  output_char oc '\n';
-  close_out oc
+  Gap_util.Atomic_io.write_file path (fun oc ->
+      output_string oc (Json.to_string ~pretty:true (metrics_json sink));
+      output_char oc '\n')

@@ -103,4 +103,5 @@ val spans_csv : sink -> string
 
 val metrics_json : sink -> Json.t
 val write_metrics_json : sink -> string -> unit
-(** Pretty-printed {!metrics_json} plus trailing newline. *)
+(** Pretty-printed {!metrics_json} plus trailing newline, written atomically
+    (temp-file + rename) so a crash cannot leave a truncated document. *)

@@ -254,31 +254,59 @@ let anneal_body ~options nl =
     (* trajectory sampling: ~16 points over the schedule, plus the last sweep *)
     let sample_every = max 1 (sweeps / 16) in
     let last_accepted = ref 0 and last_proposed = ref 0 in
-    for sweep = 0 to sweeps - 1 do
-      let temperature =
-        t0 *. cooling_rate ** (float_of_int sweep /. float_of_int (max 1 (sweeps - 1)))
-      in
-      for _ = 1 to n do
-        try_move temperature
-      done;
-      if obs_on && (sweep mod sample_every = 0 || sweep = sweeps - 1) then begin
-        let window = !proposed - !last_proposed in
-        let rate =
-          if window = 0 then 0.
-          else float_of_int (!accepted - !last_accepted) /. float_of_int window
-        in
-        Obs.event "place.sweep"
-          [
-            ("sweep", Json.Int sweep);
-            ("temperature", Json.Float temperature);
-            ("cost_um", Json.Float !cost);
-            ("accept_rate", Json.Float rate);
-            ("accepted", Json.Int !accepted);
-          ];
-        last_accepted := !accepted;
-        last_proposed := !proposed
-      end
-    done;
+    (* best-so-far checkpoint, snapshotted at sweep boundaries: if a sweep
+       dies (injected fault, cooperative deadline) the anneal degrades to
+       this state instead of aborting the whole flow *)
+    let best_cost = ref !cost in
+    let best_slots = Array.copy g.slot_of_inst in
+    let best_accepted = ref 0 in
+    (try
+       for sweep = 0 to sweeps - 1 do
+         Gap_resilience.Fault.point "place.sweep";
+         Gap_resilience.Supervisor.poll_deadline ~stage:"place.anneal";
+         let temperature =
+           t0 *. cooling_rate ** (float_of_int sweep /. float_of_int (max 1 (sweeps - 1)))
+         in
+         for _ = 1 to n do
+           try_move temperature
+         done;
+         if !cost < !best_cost then begin
+           best_cost := !cost;
+           Array.blit g.slot_of_inst 0 best_slots 0 n;
+           best_accepted := !accepted
+         end;
+         if obs_on && (sweep mod sample_every = 0 || sweep = sweeps - 1) then begin
+           let window = !proposed - !last_proposed in
+           let rate =
+             if window = 0 then 0.
+             else float_of_int (!accepted - !last_accepted) /. float_of_int window
+           in
+           Obs.event "place.sweep"
+             [
+               ("sweep", Json.Int sweep);
+               ("temperature", Json.Float temperature);
+               ("cost_um", Json.Float !cost);
+               ("accept_rate", Json.Float rate);
+               ("accepted", Json.Int !accepted);
+             ];
+           last_accepted := !accepted;
+           last_proposed := !proposed
+         end
+       done
+     with Gap_resilience.Stage_error.Stage_failure err ->
+       (* graceful degradation: restore the checkpointed best assignment and
+          finish with it; only typed failures are absorbed, real bugs
+          (Invalid_argument and friends) still propagate *)
+       Obs.incr "place.anneal_recoveries";
+       Obs.event "place.recover"
+         [
+           ("error", Json.Str (Gap_resilience.Stage_error.to_string err));
+           ("cost_um", Json.Float !best_cost);
+         ];
+       Array.blit best_slots 0 g.slot_of_inst 0 n;
+       Array.fill g.inst_of_slot 0 slots (-1);
+       Array.iteri (fun i s -> g.inst_of_slot.(s) <- i) g.slot_of_inst;
+       accepted := !best_accepted);
     (* rejected moves leave netlist locations stale (rollback only restores
        the cache mirrors); write the final slot assignment back *)
     commit nl g;

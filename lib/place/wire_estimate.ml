@@ -15,7 +15,10 @@ let annotate ?(use_repeaters = true) nl =
             (Gap_interconnect.Repeater.optimal_delay_ps drv wire ~length_um:len)
         else bare
       in
-      Netlist.set_wire_delay_ps nl net delay
+      (* fault site: a corrupted (NaN) wire delay must be caught by the
+         bad-parasitic gate rule or the supervised STA NaN scan downstream *)
+      Netlist.set_wire_delay_ps nl net
+        (Gap_resilience.Fault.corrupt_float "place.parasitic" delay)
     end
   done;
   Gap_netlist.Check.gate ~placed:true ~stage:"place.annotate" nl

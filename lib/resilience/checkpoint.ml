@@ -1,0 +1,35 @@
+module Json = Gap_obs.Json
+
+let version = 1
+
+let save ~path ~campaign payload =
+  let doc =
+    Json.Obj
+      [
+        ("version", Json.Int version);
+        ("campaign", Json.Str campaign);
+        ("payload", payload);
+      ]
+  in
+  Gap_util.Atomic_io.write_string path (Json.to_string ~pretty:true doc ^ "\n")
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | s -> (
+      match Json.of_string s with
+      | Error e -> Error (Printf.sprintf "%s: malformed checkpoint: %s" path e)
+      | Ok doc -> (
+          match (Json.member "version" doc, Json.member "campaign" doc, Json.member "payload" doc) with
+          | Some (Json.Int v), Some (Json.Str campaign), Some payload ->
+              if v <> version then
+                Error
+                  (Printf.sprintf "%s: checkpoint version %d, expected %d" path v
+                     version)
+              else Ok (campaign, payload)
+          | _ -> Error (Printf.sprintf "%s: not a checkpoint document" path)))

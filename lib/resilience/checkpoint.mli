@@ -1,0 +1,18 @@
+(** Versioned checkpoint files for long campaigns.
+
+    A checkpoint is a single JSON document
+    [{ "version": n; "campaign": s; "payload": ... }] written atomically
+    (temp-file + rename via [Gap_util.Atomic_io]), so a kill at any moment
+    leaves either the previous checkpoint or the new one on disk — never a
+    truncated file. [repro resume] reloads it and continues the campaign;
+    because every experiment is deterministic, the resumed run's final
+    output is byte-identical to an uninterrupted one. *)
+
+val version : int
+
+val save : path:string -> campaign:string -> Gap_obs.Json.t -> unit
+(** Atomically (re)write the checkpoint. *)
+
+val load : path:string -> (string * Gap_obs.Json.t, string) result
+(** [(campaign, payload)], or a human-readable reason (missing file,
+    malformed JSON, version mismatch). *)

@@ -198,7 +198,28 @@ let analyze_body cfg nl =
   }
 
 let analyze ?(config = default_config) nl =
-  Obs.span "sta.analyze" (fun () -> analyze_body config nl)
+  Obs.span "sta.analyze" (fun () ->
+      Gap_resilience.Fault.point "sta.analyze";
+      let t = analyze_body config nl in
+      (* Under supervision a NaN arrival (a corrupted parasitic upstream) is
+         a typed numeric fault instead of a silently wrong report: NaN never
+         survives the [need > min_period] maximization, so without this scan
+         the corruption would vanish into a plausible-looking period.
+         [neg_infinity] is the legitimate init value for unreached nets. *)
+      if Gap_resilience.Supervisor.supervised () then
+        Array.iteri
+          (fun net a ->
+            if Float.is_nan a then
+              raise
+                (Gap_resilience.Stage_error.Stage_failure
+                   (Gap_resilience.Stage_error.Numeric_fault
+                      {
+                        stage = "sta.analyze";
+                        what = Printf.sprintf "arrival_ps[net %d]" net;
+                        value = a;
+                      })))
+          t.arrival;
+      t)
 
 let slack t net = t.required.(net) -. t.arrival.(net)
 

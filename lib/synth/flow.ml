@@ -1,5 +1,7 @@
 module Obs = Gap_obs.Obs
 module Check = Gap_netlist.Check
+module Fault = Gap_resilience.Fault
+module Supervisor = Gap_resilience.Supervisor
 
 type effort = {
   balance : bool;
@@ -40,9 +42,14 @@ let run ~lib ?(effort = default_effort) ?name g =
         if effort.balance then Obs.span "synth.balance" (fun () -> Balance.balance g)
         else g
       in
+      (* Mapping is pure (it builds a fresh netlist from the AIG each call),
+         so a transient failure is safely retried; the fault point fires at
+         stage entry, before any state exists. *)
       let netlist =
-        Obs.span "synth.map" (fun () ->
-            Mapper.map_aig ~lib ~mode:effort.mode ?name g)
+        Supervisor.retry ~stage:"synth.map" (fun () ->
+            Obs.span "synth.map" (fun () ->
+                Fault.point "synth.map";
+                Mapper.map_aig ~lib ~mode:effort.mode ?name g))
       in
       Check.gate ~stage:"synth.map" netlist;
       let buffers_inserted =
@@ -54,12 +61,17 @@ let run ~lib ?(effort = default_effort) ?name g =
       in
       Obs.incr ~by:buffers_inserted "synth.buffers_inserted";
       Check.gate ~stage:"synth.buffer" netlist;
+      (* Sizing mutates the netlist incrementally, so only entry failures
+         (the fault point, a transient setup error) are retryable; once
+         TILOS starts moving sizes an escaping error propagates typed. *)
       let sizing =
         if effort.tilos_moves > 0 then
           Some
-            (Obs.span "synth.sizing" (fun () ->
-                 Sizing.tilos ~config:effort.sta_config
-                   ~max_moves:effort.tilos_moves netlist))
+            (Supervisor.retry ~stage:"synth.sizing" (fun () ->
+                 Obs.span "synth.sizing" (fun () ->
+                     Fault.point "synth.sizing";
+                     Sizing.tilos ~config:effort.sta_config
+                       ~max_moves:effort.tilos_moves netlist)))
         else None
       in
       (match sizing with
@@ -68,7 +80,8 @@ let run ~lib ?(effort = default_effort) ?name g =
           Check.gate ~stage:"synth.sizing" netlist
       | None -> ());
       let sta =
-        Obs.span "synth.sta" (fun () ->
-            Gap_sta.Sta.analyze ~config:effort.sta_config netlist)
+        Supervisor.retry ~stage:"synth.sta" (fun () ->
+            Obs.span "synth.sta" (fun () ->
+                Gap_sta.Sta.analyze ~config:effort.sta_config netlist))
       in
       { netlist; sta; sizing; buffers_inserted })

@@ -1,0 +1,38 @@
+let tmp_of path = path ^ ".tmp"
+
+type writer = {
+  path : string;
+  tmp : string;
+  oc : out_channel;
+  mutable state : [ `Open | `Committed | `Aborted ];
+}
+
+let start path =
+  let tmp = tmp_of path in
+  { path; tmp; oc = open_out tmp; state = `Open }
+
+let channel w = w.oc
+
+let commit w =
+  if w.state = `Open then begin
+    close_out w.oc;
+    Sys.rename w.tmp w.path;
+    w.state <- `Committed
+  end
+
+let abort w =
+  if w.state = `Open then begin
+    (try close_out w.oc with Sys_error _ -> ());
+    (try Sys.remove w.tmp with Sys_error _ -> ());
+    w.state <- `Aborted
+  end
+
+let write_file path f =
+  let w = start path in
+  match f w.oc with
+  | () -> commit w
+  | exception e ->
+      abort w;
+      raise e
+
+let write_string path s = write_file path (fun oc -> output_string oc s)

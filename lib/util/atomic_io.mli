@@ -1,0 +1,36 @@
+(** Atomic artifact writes: temp-file + rename.
+
+    Every JSON / JSONL / CSV artifact the flow leaves on disk (metrics
+    documents, traces, check reports, checkpoints) goes through this module
+    so a crash mid-write can never leave a truncated, unparseable file at
+    the destination path. Content is written to [path ^ ".tmp"] in the same
+    directory and renamed over [path] only after a successful close; on any
+    failure the temp file is removed and the previous contents of [path]
+    (if any) survive untouched. *)
+
+val write_file : string -> (out_channel -> unit) -> unit
+(** [write_file path f] runs [f] on a channel backed by the temp file, then
+    commits. If [f] raises, the temp file is deleted and the exception
+    re-raised. *)
+
+val write_string : string -> string -> unit
+(** [write_string path s] atomically replaces [path] with contents [s]. *)
+
+(** {1 Streaming writers}
+
+    For artifacts produced incrementally over a whole run (JSONL traces),
+    where the channel must outlive a single callback. *)
+
+type writer
+
+val start : string -> writer
+(** Open a temp-file-backed writer destined for the given path. *)
+
+val channel : writer -> out_channel
+
+val commit : writer -> unit
+(** Flush, close and rename into place. Idempotent. *)
+
+val abort : writer -> unit
+(** Close and delete the temp file; the destination is left untouched.
+    Idempotent; a no-op after {!commit}. *)

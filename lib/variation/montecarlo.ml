@@ -14,6 +14,8 @@ type run = {
 let shard_size = 1024
 
 let simulate_body ~seed ~domains ~model ~nominal_mhz ~dies =
+  Gap_resilience.Fault.point "mc.budget";
+  Gap_resilience.Supervisor.poll_deadline ~stage:"mc.simulate";
   let master = Gap_util.Rng.create ~seed () in
   let num_shards = (dies + shard_size - 1) / shard_size in
   let workers = max 1 (min domains num_shards) in
@@ -30,6 +32,7 @@ let simulate_body ~seed ~domains ~model ~nominal_mhz ~dies =
   let shard_rngs = Array.init num_shards (fun _ -> Gap_util.Rng.split master) in
   let fmax_mhz = Array.make dies 0. in
   let run_shard s =
+    Gap_resilience.Supervisor.poll_deadline ~stage:"mc.simulate";
     let t0 = if obs_on then Obs.now_ns () else 0L in
     let rng = shard_rngs.(s) in
     let lo = s * shard_size in
@@ -48,23 +51,65 @@ let simulate_body ~seed ~domains ~model ~nominal_mhz ~dies =
     done
   else begin
     let next = Atomic.make 0 in
-    let work () =
+    let work ~fault_site () =
+      (* the worker-death fault site lives only on the parallel path, so the
+         sequential fallback in [simulate] replays the run cleanly *)
+      if fault_site then Gap_resilience.Fault.point "mc.worker";
       let continue = ref true in
       while !continue do
         let s = Atomic.fetch_and_add next 1 in
         if s < num_shards then run_shard s else continue := false
       done
     in
-    let others = Array.init (workers - 1) (fun _ -> Domain.spawn work) in
-    work ();
-    Array.iter Domain.join others
+    let others =
+      Array.init (workers - 1) (fun _ -> Domain.spawn (work ~fault_site:true))
+    in
+    (* Exception safety: every spawned domain is joined no matter what the
+       main domain's share does, so a raising worker can neither leak nor
+       park domains; the first error (main's first, then workers in spawn
+       order) re-raises as a typed [Worker_failed]. *)
+    let errs = ref [] in
+    (match work ~fault_site:false () with
+    | () -> ()
+    | exception e -> errs := (0, e) :: !errs);
+    Array.iteri
+      (fun i d ->
+        match Domain.join d with
+        | () -> ()
+        | exception e -> errs := (i + 1, e) :: !errs)
+      others;
+    match List.rev !errs with
+    | [] -> ()
+    | (worker, e) :: _ ->
+        let error =
+          match e with
+          | Gap_resilience.Stage_error.Stage_failure err ->
+              Gap_resilience.Stage_error.to_string err
+          | e -> Printexc.to_string e
+        in
+        raise
+          (Gap_resilience.Stage_error.Stage_failure
+             (Gap_resilience.Stage_error.Worker_failed
+                { stage = "mc.simulate"; worker; error }))
   end;
   { nominal_mhz; fmax_mhz; model; sorted = None }
 
 let simulate ?(seed = 2024L) ?(domains = 1) ~model ~nominal_mhz ~dies () =
   assert (dies > 0);
   Obs.span "mc.simulate" (fun () ->
-      simulate_body ~seed ~domains ~model ~nominal_mhz ~dies)
+      try simulate_body ~seed ~domains ~model ~nominal_mhz ~dies
+      with Gap_resilience.Stage_error.Stage_failure err when domains > 1 ->
+        (* Graceful degradation: worker death or budget pressure falls back
+           to a fresh sequential run. The shard layout depends only on
+           [dies], so the degraded run's samples are byte-identical to the
+           parallel ones — parallelism is strictly a wall-clock matter. *)
+        Obs.incr "mc.degraded_runs";
+        Obs.event "mc.degrade"
+          [
+            ("error", Gap_obs.Json.Str (Gap_resilience.Stage_error.to_string err));
+            ("domains", Gap_obs.Json.Int domains);
+          ];
+        simulate_body ~seed ~domains:1 ~model ~nominal_mhz ~dies)
 
 let sorted_samples run =
   match run.sorted with

@@ -24,7 +24,14 @@ val simulate :
   unit ->
   run
 (** [domains] (default 1) is the number of Domains that sample in parallel;
-    results are identical for any value. *)
+    results are identical for any value.
+
+    Resilience: every spawned domain is joined even when a worker raises,
+    and the first error re-raises as a typed
+    [Gap_resilience.Stage_error.Worker_failed]. A parallel run that fails
+    this way (or hits an injected budget fault) degrades to a fresh
+    sequential run with byte-identical samples; only if that also fails
+    does the typed error propagate to the caller. *)
 
 val percentile : run -> float -> float
 (** Sorts the samples once on first use; repeated percentile queries are

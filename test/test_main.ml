@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("resilience", Test_resilience.suite);
       ("tech", Test_tech.suite);
       ("logic", Test_logic.suite);
       ("liberty", Test_liberty.suite);
