@@ -1,4 +1,4 @@
-.PHONY: build test check faults verify repro bench bench-kernels metrics clean
+.PHONY: build test check faults sweep verify repro bench bench-kernels metrics clean
 
 build:
 	dune build
@@ -20,9 +20,20 @@ faults:
 	dune exec bin/repro.exe -- faults --json FAULTS_report.json
 	dune exec bin/repro.exe -- validate-json FAULTS_report.json
 
+# Design-space sweep, cold then warm: the first pass fills the result cache
+# from scratch, the second must serve every point from the store (hit rate
+# 1.0, enforced) and produce a byte-identical table; the sweep document with
+# cache accounting lands in BENCH_sweep.json and must validate.
+sweep:
+	dune exec bin/repro.exe -- cache clear --store BENCH_dse_cache.json
+	dune exec bin/repro.exe -- sweep smoke --domains 2 --store BENCH_dse_cache.json
+	dune exec bin/repro.exe -- sweep smoke --domains 2 --store BENCH_dse_cache.json \
+	  --min-hit-rate 0.99 --json BENCH_sweep.json
+	dune exec bin/repro.exe -- validate-json BENCH_sweep.json
+
 # The default verification path: build, full test suite, strict lint gates,
-# fault campaign.
-verify: build test check faults
+# fault campaign, cold/warm design-space sweep.
+verify: build test check faults sweep
 
 repro:
 	dune exec bin/repro.exe -- all -x

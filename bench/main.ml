@@ -187,6 +187,13 @@ let seed_baseline_ns =
 
 let mc_model = lazy (Gap_variation.Model.make Gap_variation.Model.mature)
 
+(* DSE point-evaluation kernels: the analytic path (no binning) and the
+   MC-backed variation path, plus the FNV-1a cache-key hash *)
+let dse_analytic_pt =
+  { Gap_dse.Space.custom_corner with Gap_dse.Space.binning = false }
+
+let dse_mc_pt = { Gap_dse.Space.custom_corner with Gap_dse.Space.mc_dies = 2000 }
+
 let kernel_tests =
   Test.make_grouped ~name:"kernels"
     [
@@ -228,6 +235,12 @@ let kernel_tests =
                Gap_variation.Montecarlo.percentile r 50.,
                Gap_variation.Montecarlo.percentile r 99.,
                Gap_variation.Montecarlo.spread r )));
+      Test.make ~name:"dse_eval_analytic"
+        (Staged.stage (fun () -> Gap_dse.Eval.point dse_analytic_pt));
+      Test.make ~name:"dse_eval_mc_2000"
+        (Staged.stage (fun () -> Gap_dse.Eval.point dse_mc_pt));
+      Test.make ~name:"dse_key_fnv"
+        (Staged.stage (fun () -> Gap_dse.Key.of_point Gap_dse.Space.custom_corner));
     ]
 
 let write_kernels_json path =
@@ -235,6 +248,7 @@ let write_kernels_json path =
   print_endline "=== hot-kernel benchmarks ===";
   ignore (Lazy.force alu16_netlist);
   ignore (Lazy.force mult6_netlist);
+  Gap_dse.Eval.warmup ();
   (* fixed 1s quota: several kernels run >10 ms each, and a short quota
      gives the OLS fit too few samples to be trustworthy.  The sink is NOT
      installed while measuring: recording spans inside the timed kernels

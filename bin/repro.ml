@@ -6,7 +6,10 @@
    repro resume FILE     continue a checkpointed campaign (repro all --checkpoint)
    repro faults          deterministic fault-injection campaign over every site
    repro analysis        print the core gap analysis (factor table etc.)
-   repro dump cla16      synthesize a named circuit and emit structural Verilog *)
+   repro dump cla16      synthesize a named circuit and emit structural Verilog
+   repro sweep PRESET    design-space sweep through the result cache + worker pool
+   repro pareto          Pareto frontier over (delay, area, power) with the gap composite
+   repro cache stats     inspect / reset the persistent DSE result cache *)
 
 open Cmdliner
 
@@ -488,11 +491,175 @@ let libdump_cmd =
   let doc = "Generate a library and emit it in Liberty format on stdout." in
   Cmd.v (Cmd.info "libdump" ~doc) Term.(const libdump $ profile_arg)
 
+(* --- dse: design-space sweeps, Pareto frontiers, result cache --- *)
+
+module Dse_space = Gap_dse.Space
+module Dse_sweep = Gap_dse.Sweep
+module Dse_cache = Gap_dse.Cache
+
+let default_store = "dse-cache.json"
+
+let resolve_preset name =
+  match Dse_space.find_preset name with
+  | Some space -> Ok space
+  | None ->
+      Printf.eprintf "unknown preset %s; available: %s\n" name
+        (String.concat ", " (Dse_space.preset_names ()));
+      Error 1
+
+let sweep_report (r : Dse_sweep.t) =
+  (* cache traffic goes to stderr (and --json / Gap_obs): stdout must stay
+     byte-identical between cold and warm runs *)
+  let s = r.Dse_sweep.stats in
+  Printf.eprintf "cache: %d hits, %d misses (%.1f%% hit rate), %d entries\n"
+    s.Dse_cache.hits s.Dse_cache.misses
+    (100. *. Dse_cache.hit_rate s)
+    s.Dse_cache.entries;
+  List.iter
+    (fun (p, e) ->
+      Printf.eprintf "FAILED %s: %s\n"
+        (Dse_space.to_canonical p)
+        (Gap_resilience.Stage_error.to_string e))
+    r.Dse_sweep.failed
+
+let write_json_doc path doc =
+  Gap_util.Atomic_io.write_string path
+    (Gap_obs.Json.to_string ~pretty:true doc ^ "\n")
+
+let run_sweep preset domains store no_store capacity json_path min_hit_rate =
+  match resolve_preset preset with
+  | Error rc -> rc
+  | Ok space ->
+      let store = if no_store then None else Some store in
+      let r = Dse_sweep.run ~domains ?capacity ?store ~name:preset space in
+      print_string (Dse_sweep.table r);
+      sweep_report r;
+      Option.iter (fun path -> write_json_doc path (Dse_sweep.to_json r)) json_path;
+      let hit_rate = Dse_cache.hit_rate r.Dse_sweep.stats in
+      let rc = if r.Dse_sweep.failed <> [] then 1 else 0 in
+      (match min_hit_rate with
+      | Some m when hit_rate < m ->
+          Printf.eprintf "sweep: hit rate %.3f below required %.3f\n" hit_rate m;
+          1
+      | _ -> rc)
+
+let run_pareto preset domains store no_store json_path =
+  match resolve_preset preset with
+  | Error rc -> rc
+  | Ok space ->
+      let store = if no_store then None else Some store in
+      let r = Dse_sweep.run ~domains ?store ~name:preset space in
+      print_string (Dse_sweep.pareto_table r);
+      sweep_report r;
+      Option.iter
+        (fun path -> write_json_doc path (Dse_sweep.pareto_json r))
+        json_path;
+      if r.Dse_sweep.failed <> [] then 1 else 0
+
+let cache_stats store =
+  match Dse_cache.read_store store with
+  | Ok (entries, flow) ->
+      Printf.printf "%s: %d entries, flow %s%s\n" store entries flow
+        (if flow = Gap_dse.Eval.flow_version then ""
+         else Printf.sprintf " (stale; current is %s, reads as cold)"
+                Gap_dse.Eval.flow_version);
+      0
+  | Error msg ->
+      Printf.printf "%s\n" msg;
+      0
+
+let cache_clear store =
+  Dse_cache.clear store;
+  Printf.printf "%s: cleared\n" store;
+  0
+
+let store_arg =
+  Arg.(value & opt string default_store
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:"Persistent result-cache store (JSON, written atomically).")
+
+let no_store_arg =
+  Arg.(value & flag
+      & info [ "no-store" ] ~doc:"Run with the in-memory cache only; touch no store file.")
+
+let domains_arg =
+  Arg.(value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains evaluating cache misses; results are \
+                byte-identical for every value.")
+
+let sweep_cmd =
+  let preset_arg =
+    Arg.(required & pos 0 (some string) None
+        & info [] ~docv:"PRESET" ~doc:"Design-space preset (see $(b,repro sweep) errors for the list).")
+  in
+  let capacity_arg =
+    Arg.(value & opt (some int) None
+        & info [ "capacity" ] ~docv:"N" ~doc:"In-memory LRU capacity (default 4096).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Write the full sweep document (points, metrics, cache accounting) to $(docv).")
+  in
+  let min_hit_arg =
+    Arg.(value & opt (some float) None
+        & info [ "min-hit-rate" ] ~docv:"R"
+            ~doc:"Exit non-zero unless the cache hit rate reaches $(docv) (0..1).")
+  in
+  let doc =
+    "Sweep a design-space preset: cached points replay from the store, \
+     misses evaluate on the worker pool, and the metrics table (byte-identical \
+     across cache states and worker counts) prints to stdout."
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const (fun obs preset domains store no_store capacity json min_hit ->
+              with_obs obs (fun () ->
+                  run_sweep preset domains store no_store capacity json min_hit))
+          $ obs_term $ preset_arg $ domains_arg $ store_arg $ no_store_arg
+          $ capacity_arg $ json_arg $ min_hit_arg)
+
+let pareto_cmd =
+  let preset_arg =
+    Arg.(value & pos 0 string "factor-axes"
+        & info [] ~docv:"PRESET"
+            ~doc:"Design-space preset to sweep (default factor-axes, whose \
+                  full-custom corner reproduces the paper's x17.8 composite).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+        & info [ "json" ] ~docv:"FILE" ~doc:"Write the frontier to $(docv) as JSON.")
+  in
+  let doc =
+    "Sweep a preset and print its Pareto frontier over (delay, area, power) \
+     with the gap-composite column."
+  in
+  Cmd.v (Cmd.info "pareto" ~doc)
+    Term.(const (fun obs preset domains store no_store json ->
+              with_obs obs (fun () -> run_pareto preset domains store no_store json))
+          $ obs_term $ preset_arg $ domains_arg $ store_arg $ no_store_arg $ json_arg)
+
+let cache_cmd =
+  let stats =
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Report the on-disk store's entry count and flow version.")
+      Term.(const cache_stats $ store_arg)
+  in
+  let clear =
+    Cmd.v
+      (Cmd.info "clear"
+         ~doc:"Atomically replace the store with an empty one (never leaves a partial file).")
+      Term.(const cache_clear $ store_arg)
+  in
+  let doc = "Inspect or reset the persistent DSE result cache." in
+  Cmd.group (Cmd.info "cache" ~doc) [ stats; clear ]
+
 let main =
   let doc = "reproduction of Chinnery & Keutzer, 'Closing the Gap Between ASIC and Custom' (DAC 2000)" in
   Cmd.group
     (Cmd.info "repro" ~version:"1.0" ~doc)
     [ list_cmd; run_cmd; all_cmd; resume_cmd; faults_cmd; analysis_cmd;
-      check_cmd; dump_cmd; libdump_cmd; validate_json_cmd ]
+      check_cmd; dump_cmd; libdump_cmd; validate_json_cmd;
+      sweep_cmd; pareto_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval' main)

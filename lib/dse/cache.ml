@@ -1,0 +1,191 @@
+module Json = Gap_obs.Json
+module Obs = Gap_obs.Obs
+
+type entry = {
+  e_key : string;
+  e_point : Space.point;
+  e_metrics : Eval.metrics;
+  mutable e_tick : int;  (** last-use stamp for LRU eviction *)
+}
+
+type t = {
+  capacity : int;
+  store : string option;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable dirty : bool;
+}
+
+type stats = {
+  entries : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let store_version = 1
+
+let entry_json e =
+  Json.Obj
+    [
+      ("key", Json.Str e.e_key);
+      ("point", Space.point_json e.e_point);
+      ("metrics", Eval.to_json e.e_metrics);
+    ]
+
+let entry_of_json j =
+  match (Json.member "key" j, Json.member "point" j, Json.member "metrics" j) with
+  | Some (Json.Str key), Some pj, Some mj -> (
+      match (Space.point_of_json pj, Eval.of_json mj) with
+      | Ok p, Ok m -> Some { e_key = key; e_point = p; e_metrics = m; e_tick = 0 }
+      | _ -> None)
+  | _ -> None
+
+let store_json entries =
+  Json.Obj
+    [
+      ("version", Json.Int store_version);
+      ("flow", Json.Str Eval.flow_version);
+      ("entries", Json.List (List.map entry_json entries));
+    ]
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Some s
+
+let parse_store s =
+  match Json.of_string s with
+  | Error e -> Error e
+  | Ok j -> (
+      match
+        (Json.member "version" j, Json.member "flow" j, Json.member "entries" j)
+      with
+      | Some (Json.Int v), Some (Json.Str flow), Some (Json.List es)
+        when v = store_version ->
+          Ok (flow, List.filter_map entry_of_json es)
+      | Some (Json.Int v), _, _ when v <> store_version ->
+          Error (Printf.sprintf "store version %d, expected %d" v store_version)
+      | _ -> Error "malformed cache store")
+
+let read_store path =
+  match read_file path with
+  | None -> Error (path ^ ": no such file")
+  | Some s -> (
+      match parse_store s with
+      | Ok (flow, es) -> Ok (List.length es, flow)
+      | Error e -> Error (path ^ ": " ^ e))
+
+let create ?(capacity = 4096) ?store () =
+  let t =
+    {
+      capacity = max 1 capacity;
+      store;
+      tbl = Hashtbl.create 64;
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      dirty = false;
+    }
+  in
+  (match Option.map read_file store with
+  | Some (Some s) -> (
+      match parse_store s with
+      | Ok (flow, entries) when flow = Eval.flow_version ->
+          List.iter
+            (fun e ->
+              if Hashtbl.length t.tbl < t.capacity then
+                Hashtbl.replace t.tbl e.e_key e)
+            entries
+      | Ok _ | Error _ ->
+          (* stale flow version or a foreign/corrupt document: start cold;
+             the next flush rewrites it at the current version *)
+          t.dirty <- true)
+  | Some None | None -> ());
+  t
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.e_tick <- t.tick
+
+let find t p =
+  match Hashtbl.find_opt t.tbl (Key.of_point p) with
+  | Some e ->
+      touch t e;
+      t.hits <- t.hits + 1;
+      Obs.incr "dse.cache.hit";
+      Some e.e_metrics
+  | None ->
+      t.misses <- t.misses + 1;
+      Obs.incr "dse.cache.miss";
+      None
+
+let evict_lru t =
+  (* O(n) scan; evictions only happen past [capacity], far off the sweep
+     hot path *)
+  let victim =
+    Hashtbl.fold
+      (fun _ e acc ->
+        match acc with
+        | Some b when b.e_tick <= e.e_tick -> acc
+        | _ -> Some e)
+      t.tbl None
+  in
+  match victim with
+  | Some e ->
+      Hashtbl.remove t.tbl e.e_key;
+      t.evictions <- t.evictions + 1;
+      Obs.incr "dse.cache.evict"
+  | None -> ()
+
+let add t p m =
+  let key = Key.of_point p in
+  (match Hashtbl.find_opt t.tbl key with
+  | Some e -> touch t e
+  | None ->
+      if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+      let e = { e_key = key; e_point = p; e_metrics = m; e_tick = 0 } in
+      touch t e;
+      Hashtbl.add t.tbl key e);
+  t.dirty <- true;
+  Obs.incr "dse.cache.store"
+
+let flush t =
+  match t.store with
+  | None -> ()
+  | Some path ->
+      if t.dirty then begin
+        let entries =
+          Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+          |> List.sort (fun a b -> compare a.e_key b.e_key)
+        in
+        Gap_util.Atomic_io.write_string path
+          (Json.to_string ~pretty:true (store_json entries) ^ "\n");
+        t.dirty <- false
+      end
+
+let stats t =
+  {
+    entries = Hashtbl.length t.tbl;
+    capacity = t.capacity;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+  }
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0. else float_of_int s.hits /. float_of_int total
+
+let clear path =
+  Gap_util.Atomic_io.write_string path
+    (Json.to_string ~pretty:true (store_json []) ^ "\n")

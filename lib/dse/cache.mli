@@ -1,0 +1,50 @@
+(** Content-addressed result cache: in-memory LRU over a persistent JSON
+    store.
+
+    Every evaluated point is stored under its {!Key.of_point}. The
+    in-memory side is a bounded LRU; the persistent side is a single JSON
+    document written exclusively through [Gap_util.Atomic_io], so a kill at
+    any moment leaves either the previous store or the new one on disk —
+    never a truncated file. A store whose recorded flow version differs
+    from {!Eval.flow_version} loads as empty (stale results are invisible,
+    not wrong), and is rewritten at the current version on the next flush.
+
+    Lookups and insertions feed the [dse.cache.hit] / [dse.cache.miss] /
+    [dse.cache.store] / [dse.cache.evict] counters through [Gap_obs], and
+    the same tallies are kept in {!stats} so hit accounting works with the
+    no-op sink installed. Not domain-safe: the sweep engine does all cache
+    traffic on the main domain. *)
+
+type t
+
+type stats = {
+  entries : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val create : ?capacity:int -> ?store:string -> unit -> t
+(** [capacity] bounds the in-memory LRU (default 4096; the store holds at
+    most the same entries). With [store] the file is loaded immediately —
+    missing, malformed, or version-mismatched files load as empty. *)
+
+val find : t -> Space.point -> Eval.metrics option
+val add : t -> Space.point -> Eval.metrics -> unit
+
+val flush : t -> unit
+(** Atomically rewrite the store (no-op without [store] or when clean).
+    Entries are written sorted by key, so equal caches produce
+    byte-identical files. *)
+
+val stats : t -> stats
+val hit_rate : stats -> float
+(** [hits / (hits + misses)]; 0 when no lookups happened. *)
+
+val clear : string -> unit
+(** Atomically replace the store at [path] with an empty one. *)
+
+val read_store : string -> (int * string, string) result
+(** [(entries, flow_version)] of the store on disk, without building a
+    cache — the [repro cache stats] backend. *)

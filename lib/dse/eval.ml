@@ -1,0 +1,227 @@
+module Json = Gap_obs.Json
+module Obs = Gap_obs.Obs
+module Model = Gap_variation.Model
+module MC = Gap_variation.Montecarlo
+
+type metrics = {
+  delay_ps : float;
+  freq_mhz : float;
+  area : float;
+  power : float;
+  factors : (string * float) list;
+  composite : float;
+}
+
+let flow_version = "gap-dse-1"
+
+(* The paper's Sec. 3 maximum contributions — the anchors every axis
+   interpolates toward. Their product is the x17.8 the composite must
+   reproduce at the custom corner. *)
+let paper_pipelining = 4.00
+let paper_floorplanning = 1.25
+let paper_sizing = 1.25
+let paper_domino = 1.50
+let paper_variation = 1.90
+
+(* process constants, matching Pipeline_model.asic_default's 0.25um frame *)
+let fo4_ps = 90.
+let reg_fo4 = 2.5 (* one register boundary in FO4, skew accounted separately *)
+let reg_area_frac = 0.08 (* pipeline register area per extra stage *)
+
+let clamp01 t = Float.max 0. (Float.min 1. t)
+
+(* a ratio r captured at fraction a contributes r^a, Gap_model's [partial] *)
+let partial ratio fraction = ratio ** fraction
+
+let validate p =
+  let open Space in
+  if p.depth < 1 then invalid_arg "Gap_dse.Eval.point: depth < 1";
+  if not (p.logic_fo4 > 0.) then invalid_arg "Gap_dse.Eval.point: logic_fo4 <= 0";
+  if not (p.skew_frac >= 0. && p.skew_frac < 1.) then
+    invalid_arg "Gap_dse.Eval.point: skew_frac outside [0,1)";
+  if not (p.sigma_scale >= 0.) then invalid_arg "Gap_dse.Eval.point: sigma_scale < 0";
+  if p.mc_dies < 1 then invalid_arg "Gap_dse.Eval.point: mc_dies < 1"
+
+(* --- micro-architecture: depth + logic restructuring + skew --- *)
+
+(* nominal cycle of the uarch axes alone: [L/N + reg] stretched by skew *)
+let uarch_period_fo4 ~depth ~logic_fo4 ~skew_frac =
+  ((logic_fo4 /. float_of_int depth) +. reg_fo4) /. (1. -. skew_frac)
+
+let uarch_ratio (p : Space.point) =
+  uarch_period_fo4 ~depth:Space.baseline.Space.depth
+    ~logic_fo4:Space.baseline.Space.logic_fo4
+    ~skew_frac:Space.baseline.Space.skew_frac
+  /. uarch_period_fo4 ~depth:p.Space.depth ~logic_fo4:p.Space.logic_fo4
+       ~skew_frac:p.Space.skew_frac
+
+let uarch_ratio_corner = lazy (uarch_ratio Space.custom_corner)
+
+let pipelining_factor p =
+  let r = uarch_ratio p in
+  if r <= 1. then 1.
+  else
+    let t = clamp01 (log r /. log (Lazy.force uarch_ratio_corner)) in
+    partial paper_pipelining t
+
+(* --- sizing / floorplanning / domino: discrete fractions --- *)
+
+let sizing_fraction = function
+  | Space.Minimal -> 0.
+  | Space.Typical -> 0.5
+  | Space.Rich_tilos -> 1.
+
+let sizing_factor p = partial paper_sizing (sizing_fraction p.Space.sizing)
+let floorplan_factor p = if p.Space.floorplan then paper_floorplanning else 1.
+let domino_factor p = if p.Space.domino then paper_domino else 1.
+
+(* --- process variation: Monte Carlo binned best-fab vs worst-case --- *)
+
+let scale_sigmas k (s : Model.sigmas) =
+  {
+    Model.lot = s.Model.lot *. k;
+    wafer = s.Model.wafer *. k;
+    die = s.Model.die *. k;
+    intra = s.Model.intra *. k;
+  }
+
+let nominal_mhz = 250.
+
+(* modeled binning gain: p99 of best-fab silicon over the slow-fab
+   worst-case signoff rating, both under the point's sigma scaling *)
+let binning_gain ~sigma_scale ~dies =
+  let sigmas = scale_sigmas sigma_scale Model.mature in
+  let custom = Model.make ~fab_mean:Model.best_fab sigmas in
+  let asic = Model.make ~fab_mean:Model.slow_fab sigmas in
+  let run = MC.simulate ~model:custom ~nominal_mhz ~dies () in
+  MC.percentile run 99. /. (nominal_mhz *. Model.signoff_speed asic)
+
+let binning_gain_ref =
+  lazy
+    (binning_gain
+       ~sigma_scale:Space.custom_corner.Space.sigma_scale
+       ~dies:Space.custom_corner.Space.mc_dies)
+
+let variation_factor p =
+  if not p.Space.binning then 1.
+  else
+    let modeled =
+      binning_gain ~sigma_scale:p.Space.sigma_scale ~dies:p.Space.mc_dies
+    in
+    if modeled <= 1. then 1.
+    else
+      let t = clamp01 (log modeled /. log (Lazy.force binning_gain_ref)) in
+      partial paper_variation t
+
+(* --- the objectives --- *)
+
+let sizing_speed = function
+  | Space.Minimal -> 1.
+  | Space.Typical -> sqrt paper_sizing
+  | Space.Rich_tilos -> paper_sizing
+
+let sizing_area = function
+  | Space.Minimal -> 1.
+  | Space.Typical -> 1.06
+  | Space.Rich_tilos -> 1.15
+
+let delay_of (p : Space.point) =
+  (* circuit-level factors shorten the logic portion of the cycle; the
+     register boundary and skew stretch are irreducible *)
+  let logic_speed =
+    sizing_speed p.Space.sizing
+    *. (if p.Space.domino then paper_domino else 1.)
+    *. if p.Space.floorplan then paper_floorplanning else 1.
+  in
+  let eff_logic = p.Space.logic_fo4 /. float_of_int p.Space.depth /. logic_speed in
+  (eff_logic +. reg_fo4) *. fo4_ps /. (1. -. p.Space.skew_frac)
+
+let baseline_delay_ps = lazy (delay_of Space.baseline)
+
+let warmup () =
+  (* the memoized anchors are plain [lazy] values, and concurrent first
+     forcing from two domains is a race (Lazy.RacyLazy); the pool forces
+     them on the main domain before spawning workers *)
+  ignore (Lazy.force uarch_ratio_corner);
+  ignore (Lazy.force binning_gain_ref);
+  ignore (Lazy.force baseline_delay_ps)
+
+let point p =
+  validate p;
+  Obs.span "dse.eval" (fun () ->
+      Obs.incr "dse.evals";
+      let f_pipe = pipelining_factor p in
+      let f_floor = floorplan_factor p in
+      let f_sizing = sizing_factor p in
+      let f_domino = domino_factor p in
+      let f_var = variation_factor p in
+      let composite = f_pipe *. f_floor *. f_sizing *. f_domino *. f_var in
+      let delay_ps = delay_of p in
+      let area =
+        (1. +. (reg_area_frac *. float_of_int (p.Space.depth - 1)))
+        *. sizing_area p.Space.sizing
+        *. if p.Space.domino then 1.4 else 1.
+      in
+      let power =
+        (* dynamic power tracks area x frequency; dual-rail domino adds
+           clock load and guaranteed-transition activity *)
+        area
+        *. (Lazy.force baseline_delay_ps /. delay_ps)
+        *. if p.Space.domino then 1.6 else 1.
+      in
+      {
+        delay_ps;
+        freq_mhz = 1e6 /. delay_ps;
+        area;
+        power;
+        factors =
+          [
+            ("pipelining", f_pipe);
+            ("floorplanning", f_floor);
+            ("sizing", f_sizing);
+            ("domino", f_domino);
+            ("variation", f_var);
+          ];
+        composite;
+      })
+
+let to_json m =
+  Json.Obj
+    [
+      ("delay_ps", Json.Float m.delay_ps);
+      ("freq_mhz", Json.Float m.freq_mhz);
+      ("area", Json.Float m.area);
+      ("power", Json.Float m.power);
+      ( "factors",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) m.factors) );
+      ("composite", Json.Float m.composite);
+    ]
+
+let of_json j =
+  let num = function
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  match
+    ( num (Json.member "delay_ps" j),
+      num (Json.member "freq_mhz" j),
+      num (Json.member "area" j),
+      num (Json.member "power" j),
+      Json.member "factors" j,
+      num (Json.member "composite" j) )
+  with
+  | Some delay_ps, Some freq_mhz, Some area, Some power, Some (Json.Obj fs), Some composite
+    -> (
+      match
+        List.fold_right
+          (fun (k, v) acc ->
+            match (acc, num (Some v)) with
+            | Some fs, Some f -> Some ((k, f) :: fs)
+            | _ -> None)
+          fs (Some [])
+      with
+      | Some factors ->
+          Ok { delay_ps; freq_mhz; area; power; factors; composite }
+      | None -> Error "malformed factor value in metrics")
+  | _ -> Error "malformed metrics document"

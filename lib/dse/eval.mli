@@ -1,0 +1,43 @@
+(** Point evaluation: one design-space point to (delay, area, power) plus
+    the gap-composite objective.
+
+    Delay, area and power come from the analytic substrate models (FO4
+    pipeline arithmetic, register-area and dual-rail overheads); the
+    process-variation axis runs the real Monte Carlo sampler, so sample
+    count and sigma scaling behave exactly as in E9. The gap composite is
+    the paper's Sec. 3 factor product: each axis contributes
+    [paper_max ** fraction], where [fraction] is the share of that factor's
+    modeled log-range the point unlocks (the {!Gap_core.Gap_model} idiom).
+    At {!Space.custom_corner} every fraction is exactly 1, so the composite
+    reproduces the paper's 4.00 x 1.25 x 1.25 x 1.50 x 1.90 = x17.8. *)
+
+type metrics = {
+  delay_ps : float;  (** nominal cycle time *)
+  freq_mhz : float;
+  area : float;  (** relative to the unpipelined static baseline *)
+  power : float;  (** relative to the same baseline *)
+  factors : (string * float) list;
+      (** per-axis multipliers, fixed order: pipelining, floorplanning,
+          sizing, domino, variation *)
+  composite : float;  (** product of the factor multipliers *)
+}
+
+val flow_version : string
+(** Stamped into every cache key; bump on any change to the evaluation
+    semantics so stale stores read as cold. *)
+
+val warmup : unit -> unit
+(** Force the memoized reference anchors (corner ratio, binning reference,
+    baseline delay) on the calling domain. Must run before {!point} is
+    called from concurrent worker domains — lazy forcing is not
+    domain-safe. {!Pool.map} callers do this via [Sweep]; direct parallel
+    users call it themselves. *)
+
+val point : Space.point -> metrics
+(** Deterministic: equal points always produce bit-equal metrics, for any
+    worker count and cache state. Safe to call from pool worker domains.
+    @raise Invalid_argument on a malformed point (depth < 1, skew >= 1...). *)
+
+val to_json : metrics -> Gap_obs.Json.t
+val of_json : Gap_obs.Json.t -> (metrics, string) result
+(** Round-trips bit-exactly: floats render via [Json.float_repr]. *)

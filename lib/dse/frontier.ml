@@ -1,0 +1,13 @@
+type objectives = { delay_ps : float; area : float; power : float }
+
+let of_metrics (m : Eval.metrics) =
+  { delay_ps = m.Eval.delay_ps; area = m.Eval.area; power = m.Eval.power }
+
+let dominates a b =
+  a.delay_ps <= b.delay_ps && a.area <= b.area && a.power <= b.power
+  && (a.delay_ps < b.delay_ps || a.area < b.area || a.power < b.power)
+
+let pareto pts =
+  List.filter
+    (fun (_, o) -> not (List.exists (fun (_, o') -> dominates o' o) pts))
+    pts

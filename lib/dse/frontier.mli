@@ -1,0 +1,20 @@
+(** Pareto extraction over the sweep objectives.
+
+    Objectives are all minimized: cycle time, relative area, relative
+    power. A point is on the frontier iff no other point is at least as
+    good on every objective and strictly better on one. Ties survive:
+    two points with equal objective vectors dominate nothing and both
+    stay on the frontier, so re-running a sweep can never flip which of
+    two equal designs is reported. *)
+
+type objectives = { delay_ps : float; area : float; power : float }
+
+val of_metrics : Eval.metrics -> objectives
+
+val dominates : objectives -> objectives -> bool
+(** [dominates a b]: [a] is no worse on every objective and strictly
+    better on at least one (minimizing). *)
+
+val pareto : ('a * objectives) list -> ('a * objectives) list
+(** Non-dominated subset, in input order. O(n^2); sweep lattices are
+    hundreds of points, not millions. *)

@@ -1,0 +1,3 @@
+let of_point p =
+  Gap_util.Hash.(
+    to_hex (string (string seed Eval.flow_version) (Space.to_canonical p)))

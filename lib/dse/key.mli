@@ -1,0 +1,10 @@
+(** Content-addressed cache keys for design-space points.
+
+    A key is the FNV-1a hash of the evaluator's {!Eval.flow_version}
+    followed by the point's canonical rendering, in hex. Two points collide
+    only if their canonical strings collide (property-tested across every
+    preset), and bumping the flow version invalidates every stored result
+    at once — the store needs no migration logic. *)
+
+val of_point : Space.point -> string
+(** 16 hex digits, stable across processes and machines. *)

@@ -1,0 +1,69 @@
+module Obs = Gap_obs.Obs
+module Json = Gap_obs.Json
+module Supervisor = Gap_resilience.Supervisor
+module Fault = Gap_resilience.Fault
+
+type 'b outcome = ('b, Gap_resilience.Stage_error.t) result
+
+let supervised_run ~policy ~stage f x =
+  (Supervisor.run_stage ~policy ~stage (fun () -> f x)).Supervisor.result
+
+let map ?(domains = 1) ?(policy = Supervisor.default_policy) ~stage f jobs =
+  let n = Array.length jobs in
+  let workers = max 1 (min domains n) in
+  Obs.incr ~by:n "dse.pool.jobs";
+  if workers = 1 then
+    (* sequential: every job directly under the supervisor *)
+    Array.map (fun x -> supervised_run ~policy ~stage f x) jobs
+  else begin
+    let results : 'b option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let work ~fault_site () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else begin
+          (* the kill site sits between claim and execution, so an injected
+             worker death orphans exactly the claimed slot — which the
+             degradation pass below must repair *)
+          if fault_site then Fault.point "dse.worker";
+          (* raw failures stay per-slot: the slot is re-run supervised on
+             the main domain, because supervision state is main-only *)
+          match f jobs.(i) with
+          | v -> results.(i) <- Some v
+          | exception _ -> ()
+        end
+      done
+    in
+    let spawned =
+      Array.init (workers - 1) (fun _ -> Domain.spawn (work ~fault_site:true))
+    in
+    let main_err =
+      match work ~fault_site:false () with () -> None | exception e -> Some e
+    in
+    let dead = ref 0 in
+    Array.iter
+      (fun d ->
+        match Domain.join d with () -> () | exception _ -> incr dead)
+      spawned;
+    (match main_err with Some e -> raise e | None -> ());
+    let orphaned = ref [] in
+    Array.iteri (fun i r -> if r = None then orphaned := i :: !orphaned) results;
+    if !dead > 0 || !orphaned <> [] then begin
+      Obs.incr "dse.pool.degraded";
+      Obs.event "dse.pool.degrade"
+        [
+          ("stage", Json.Str stage);
+          ("dead_workers", Json.Int !dead);
+          ("orphaned_jobs", Json.Int (List.length !orphaned));
+          ("domains", Json.Int domains);
+        ]
+    end;
+    Array.mapi
+      (fun i x ->
+        match results.(i) with
+        | Some v -> Ok v
+        | None -> supervised_run ~policy ~stage f x)
+      jobs
+  end

@@ -1,0 +1,234 @@
+module Json = Gap_obs.Json
+
+type sizing = Minimal | Typical | Rich_tilos
+
+type point = {
+  depth : int;
+  logic_fo4 : float;
+  sizing : sizing;
+  skew_frac : float;
+  domino : bool;
+  floorplan : bool;
+  binning : bool;
+  sigma_scale : float;
+  mc_dies : int;
+}
+
+type t = {
+  depths : int list;
+  logic_fo4s : float list;
+  sizings : sizing list;
+  skew_fracs : float list;
+  dominos : bool list;
+  floorplans : bool list;
+  binnings : bool list;
+  sigma_scales : float list;
+  mc_dies : int list;
+}
+
+let size s =
+  List.length s.depths * List.length s.logic_fo4s * List.length s.sizings
+  * List.length s.skew_fracs * List.length s.dominos
+  * List.length s.floorplans * List.length s.binnings
+  * List.length s.sigma_scales * List.length s.mc_dies
+
+let enumerate s =
+  (* row-major: later axes vary fastest; plain nested list comprehension so
+     the order is manifestly deterministic *)
+  List.concat_map
+    (fun depth ->
+      List.concat_map
+        (fun logic_fo4 ->
+          List.concat_map
+            (fun sizing ->
+              List.concat_map
+                (fun skew_frac ->
+                  List.concat_map
+                    (fun domino ->
+                      List.concat_map
+                        (fun floorplan ->
+                          List.concat_map
+                            (fun binning ->
+                              List.concat_map
+                                (fun sigma_scale ->
+                                  List.map
+                                    (fun mc_dies ->
+                                      {
+                                        depth;
+                                        logic_fo4;
+                                        sizing;
+                                        skew_frac;
+                                        domino;
+                                        floorplan;
+                                        binning;
+                                        sigma_scale;
+                                        mc_dies;
+                                      })
+                                    s.mc_dies)
+                                s.sigma_scales)
+                            s.binnings)
+                        s.floorplans)
+                    s.dominos)
+                s.skew_fracs)
+            s.sizings)
+        s.logic_fo4s)
+    s.depths
+
+let baseline =
+  {
+    depth = 1;
+    logic_fo4 = 44.;
+    sizing = Minimal;
+    skew_frac = 0.10;
+    domino = false;
+    floorplan = false;
+    binning = false;
+    sigma_scale = 1.0;
+    mc_dies = 4000;
+  }
+
+let custom_corner =
+  {
+    baseline with
+    depth = 4;
+    logic_fo4 = 36.;
+    sizing = Rich_tilos;
+    skew_frac = 0.05;
+    domino = true;
+    floorplan = true;
+    binning = true;
+  }
+
+(* one-value axes inherit from [baseline]; presets only open the axes their
+   sweep is about, so point counts stay tractable *)
+let fixed =
+  {
+    depths = [ baseline.depth ];
+    logic_fo4s = [ baseline.logic_fo4 ];
+    sizings = [ baseline.sizing ];
+    skew_fracs = [ baseline.skew_frac ];
+    dominos = [ baseline.domino ];
+    floorplans = [ baseline.floorplan ];
+    binnings = [ baseline.binning ];
+    sigma_scales = [ baseline.sigma_scale ];
+    mc_dies = [ baseline.mc_dies ];
+  }
+
+let presets =
+  [
+    ( "smoke",
+      "2x2 depth/sizing corner check (4 points, the CI sweep)",
+      { fixed with depths = [ 1; 4 ]; sizings = [ Minimal; Rich_tilos ] } );
+    ( "depth-x-sizing",
+      "pipeline depth x drive-sizing policy lattice (15 points)",
+      {
+        fixed with
+        depths = [ 1; 2; 4; 6; 8 ];
+        sizings = [ Minimal; Typical; Rich_tilos ];
+      } );
+    ( "factor-axes",
+      "the paper's five factor axes at both corners (2^7 = 128 points); \
+       the best corner reproduces the x17.8 composite",
+      {
+        fixed with
+        depths = [ 1; 4 ];
+        logic_fo4s = [ 44.; 36. ];
+        sizings = [ Minimal; Rich_tilos ];
+        skew_fracs = [ 0.10; 0.05 ];
+        dominos = [ false; true ];
+        floorplans = [ false; true ];
+        binnings = [ false; true ];
+      } );
+    ( "variation",
+      "binning gain vs process spread and Monte Carlo resolution (18 points)",
+      {
+        fixed with
+        binnings = [ true ];
+        sigma_scales = [ 0.5; 1.0; 1.5 ];
+        mc_dies = [ 1000; 2000; 4000; 8000; 16000; 32000 ];
+      } );
+  ]
+
+let find_preset name =
+  List.find_map (fun (n, _, s) -> if n = name then Some s else None) presets
+
+let preset_names () = List.map (fun (n, _, _) -> n) presets
+
+let sizing_name = function
+  | Minimal -> "minimal"
+  | Typical -> "typical"
+  | Rich_tilos -> "rich-tilos"
+
+let sizing_of_name = function
+  | "minimal" -> Some Minimal
+  | "typical" -> Some Typical
+  | "rich-tilos" -> Some Rich_tilos
+  | _ -> None
+
+let to_canonical p =
+  Printf.sprintf
+    "depth=%d;logic_fo4=%s;sizing=%s;skew=%s;domino=%b;floorplan=%b;binning=%b;sigma=%s;dies=%d"
+    p.depth
+    (Json.float_repr p.logic_fo4)
+    (sizing_name p.sizing)
+    (Json.float_repr p.skew_frac)
+    p.domino p.floorplan p.binning
+    (Json.float_repr p.sigma_scale)
+    p.mc_dies
+
+let point_json p =
+  Json.Obj
+    [
+      ("depth", Json.Int p.depth);
+      ("logic_fo4", Json.Float p.logic_fo4);
+      ("sizing", Json.Str (sizing_name p.sizing));
+      ("skew_frac", Json.Float p.skew_frac);
+      ("domino", Json.Bool p.domino);
+      ("floorplan", Json.Bool p.floorplan);
+      ("binning", Json.Bool p.binning);
+      ("sigma_scale", Json.Float p.sigma_scale);
+      ("mc_dies", Json.Int p.mc_dies);
+    ]
+
+let point_of_json j =
+  let num = function
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  match
+    ( Json.member "depth" j,
+      num (Json.member "logic_fo4" j),
+      Json.member "sizing" j,
+      num (Json.member "skew_frac" j),
+      Json.member "domino" j,
+      Json.member "floorplan" j,
+      Json.member "binning" j,
+      num (Json.member "sigma_scale" j),
+      Json.member "mc_dies" j )
+  with
+  | ( Some (Json.Int depth),
+      Some logic_fo4,
+      Some (Json.Str sz),
+      Some skew_frac,
+      Some (Json.Bool domino),
+      Some (Json.Bool floorplan),
+      Some (Json.Bool binning),
+      Some sigma_scale,
+      Some (Json.Int mc_dies) ) -> (
+      match sizing_of_name sz with
+      | Some sizing ->
+          Ok
+            {
+              depth;
+              logic_fo4;
+              sizing;
+              skew_frac;
+              domino;
+              floorplan;
+              binning;
+              sigma_scale;
+              mc_dies;
+            }
+      | None -> Error (Printf.sprintf "unknown sizing policy %S" sz))
+  | _ -> Error "malformed design-space point"

@@ -1,0 +1,75 @@
+(** Typed design-space specification for the flow's tunable axes.
+
+    A {!point} fixes one value per axis the paper's factor decomposition
+    sweeps: pipeline depth, logic depth per instruction (FO4), drive-sizing
+    policy, clock-skew budget, domino on/off, floorplanning on/off,
+    speed-binning on/off, process-variation sigma scale, and Monte Carlo
+    sample count. A {!t} lists candidate values per axis; {!enumerate}
+    expands the cartesian lattice in a deterministic row-major order, so a
+    sweep's point sequence — and therefore its cache keys and its output —
+    is a pure function of the space. *)
+
+type sizing = Minimal | Typical | Rich_tilos
+(** Drive-sizing policy: two-drive library with no sizing, a typical
+    ASIC flow, or the rich library with TILOS critical-path sizing. *)
+
+type point = {
+  depth : int;  (** pipeline stages *)
+  logic_fo4 : float;  (** total logic per instruction, FO4 (44 ASIC, 36 custom) *)
+  sizing : sizing;
+  skew_frac : float;  (** skew budget as a fraction of the cycle *)
+  domino : bool;  (** dual-rail domino on critical paths *)
+  floorplan : bool;  (** careful floorplanning vs automatic scatter *)
+  binning : bool;  (** best-fab speed binning vs slow-fab worst-case rating *)
+  sigma_scale : float;  (** multiplier on the variation model's sigmas *)
+  mc_dies : int;  (** Monte Carlo sample count for the variation arm *)
+}
+
+type t = {
+  depths : int list;
+  logic_fo4s : float list;
+  sizings : sizing list;
+  skew_fracs : float list;
+  dominos : bool list;
+  floorplans : bool list;
+  binnings : bool list;
+  sigma_scales : float list;
+  mc_dies : int list;
+}
+
+val size : t -> int
+(** Product of the axis lengths. *)
+
+val enumerate : t -> point list
+(** Row-major cartesian product, axes varying fastest-last in the field
+    order of {!t}. Deterministic: the same space always yields the same
+    point sequence. *)
+
+val baseline : point
+(** The worst-practice corner every factor is measured against: 1 stage,
+    44 FO4, minimal sizing, 10% skew, static logic, scattered floorplan,
+    worst-case rating, nominal sigmas. *)
+
+val custom_corner : point
+(** The full-custom corner: 4 stages, 36 FO4, rich+TILOS, 5% skew, domino,
+    floorplanned, best-fab binned — the point whose gap composite must
+    reproduce the paper's x17.8 product. *)
+
+val presets : (string * string * t) list
+(** [(name, description, space)]: ["smoke"] (4 points, CI), ["depth-x-sizing"]
+    (depth times sizing-policy lattice), ["factor-axes"] (the paper's factor
+    corners, 2^7 lattice), ["variation"] (sigma times sample-count sweep). *)
+
+val find_preset : string -> t option
+val preset_names : unit -> string list
+
+val sizing_name : sizing -> string
+val sizing_of_name : string -> sizing option
+
+val to_canonical : point -> string
+(** Canonical one-line rendering, field order fixed; the content the cache
+    key hashes. Floats render via [Gap_obs.Json.float_repr], so two points
+    are equal iff their canonical strings are. *)
+
+val point_json : point -> Gap_obs.Json.t
+val point_of_json : Gap_obs.Json.t -> (point, string) result

@@ -1,0 +1,53 @@
+(** Sweep engine: enumerate a space, serve points from the cache, evaluate
+    the misses on the pool, and render tables / JSON / Pareto frontiers.
+
+    Determinism contract: the point sequence is a pure function of the
+    space, result slots are indexed by enumeration position, and
+    {!Eval.point} is deterministic — so {!table} output is byte-identical
+    across cold/warm cache states and across worker counts. Cache traffic
+    (hits, misses, store writes) is reported only through {!stats}, the
+    [dse.cache.*] counters and {!to_json}, never in the table. *)
+
+type t = {
+  name : string;  (** preset / space label *)
+  domains : int;
+  total : int;  (** lattice size of the swept space *)
+  points : (Space.point * Eval.metrics) array;  (** enumeration order *)
+  failed : (Space.point * Gap_resilience.Stage_error.t) list;
+      (** points whose evaluation failed even under supervision *)
+  stats : Cache.stats;
+}
+
+val run :
+  ?domains:int ->
+  ?capacity:int ->
+  ?store:string ->
+  ?stop_after:int ->
+  name:string ->
+  Space.t ->
+  t
+(** Runs {!Eval.warmup} first, so worker domains never force a lazy anchor.
+    [store] persists the cache across runs (atomic rewrite on completion).
+    [stop_after n] is the interruption harness: evaluation turns sequential,
+    the store is flushed after every fresh evaluation, and the sweep stops
+    after [n] cache misses have been evaluated — the on-disk store is a
+    valid JSON document at every instant, so a resumed run completes the
+    lattice and produces byte-identical tables. *)
+
+val table : t -> string
+(** Point-per-row metrics table, byte-identical across cache states and
+    worker counts (contains no cache or timing data). *)
+
+val to_json : t -> Gap_obs.Json.t
+(** Full document: points, failures, and cache accounting
+    ([hits]/[misses]/[hit_rate]) for machine consumers. *)
+
+val pareto : t -> ((Space.point * Eval.metrics) * Frontier.objectives) list
+(** Non-dominated points over (delay, area, power), sorted by cycle time
+    (stable, so equal-delay points keep enumeration order). *)
+
+val pareto_table : t -> string
+(** Frontier table with the gap-composite column; at the full-custom corner
+    of the ["factor-axes"] preset the composite renders the paper's x17.8. *)
+
+val pareto_json : t -> Gap_obs.Json.t

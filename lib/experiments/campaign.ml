@@ -259,6 +259,25 @@ let driver_mc () =
     (Gap_variation.Montecarlo.simulate ~seed:77L ~domains:4 ~model
        ~nominal_mhz:250. ~dies:8192 ())
 
+let driver_dse () =
+  (* binned points so every job runs a Monte Carlo pass: pool workers hold
+     their claims long enough that spawned domains reliably reach the
+     [dse.worker] site before the main domain drains the queue *)
+  let space =
+    {
+      Gap_dse.Space.depths = [ 1; 4 ];
+      logic_fo4s = [ 44. ];
+      sizings = [ Gap_dse.Space.Minimal ];
+      skew_fracs = [ 0.10 ];
+      dominos = [ false ];
+      floorplans = [ false ];
+      binnings = [ true ];
+      sigma_scales = [ 0.75; 1.0 ];
+      mc_dies = [ 2048; 4096 ];
+    }
+  in
+  ignore (Gap_dse.Sweep.run ~domains:4 ~name:"faults-dse" space)
+
 (* (site, kind, driver name, driver, max skip): [max_skip] bounds the
    seeded skip so the fault always lands within the hits the driver
    generates (e.g. the synth driver maps exactly once) *)
@@ -272,6 +291,7 @@ let plan_catalog =
     ("place.parasitic", Stage_error.Corrupt, "annotate-cla16", driver_annotate, 10);
     ("mc.worker", Stage_error.Worker_kill, "mc-8k-x4", driver_mc, 2);
     ("mc.budget", Stage_error.Deadline, "mc-8k-x4", driver_mc, 0);
+    ("dse.worker", Stage_error.Worker_kill, "dse-sweep-x4", driver_dse, 2);
   ]
 
 let () =
@@ -310,6 +330,7 @@ let run_one ~skip (site, kind, driver_name, driver, _) =
   let degraded =
     Obs.counter_value sink "mc.degraded_runs"
     + Obs.counter_value sink "place.anneal_recoveries"
+    + Obs.counter_value sink "dse.pool.degraded"
   in
   let outcome =
     if injected = 0 then Not_exercised

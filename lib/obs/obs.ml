@@ -78,7 +78,9 @@ type agg = {
 
 type recorder = {
   lock : Mutex.t;
-  mutable stack : frame list;
+  stack : frame list ref Domain.DLS.key;
+      (* span stacks are domain-local: worker domains (the DSE pool, MC
+         shards) may open spans concurrently, and each gets its own root *)
   mutable cur_exp : string;
   aggs : (string, agg) Hashtbl.t;
   mutable agg_order : agg list; (* reverse first-open order *)
@@ -101,7 +103,7 @@ let recorder ?trace () =
   Memory
     {
       lock = Mutex.create ();
-      stack = [];
+      stack = Domain.DLS.new_key (fun () -> ref []);
       cur_exp = "";
       aggs = Hashtbl.create 64;
       agg_order = [];
@@ -166,8 +168,9 @@ let span ?(attrs = []) name f =
   match !ambient with
   | Noop -> f ()
   | Memory r ->
+      let stack = Domain.DLS.get r.stack in
       let path, depth =
-        match r.stack with
+        match !stack with
         | parent :: _ -> (parent.f_path ^ "/" ^ name, parent.f_depth + 1)
         | [] -> (name, 0)
       in
@@ -185,7 +188,7 @@ let span ?(attrs = []) name f =
       (* register at open so the summary lists spans in first-open order *)
       locked r (fun () ->
           ignore (agg_of r ~exp:fr.f_exp ~path ~name ~depth));
-      r.stack <- fr :: r.stack;
+      stack := fr :: !stack;
       let finish () =
         let dur = Int64.to_float (Int64.sub (now_ns ()) fr.f_start) in
         let minor = Gc.minor_words () -. fr.f_minor0 in
@@ -193,7 +196,7 @@ let span ?(attrs = []) name f =
           | top :: rest -> if top == fr then rest else drop rest
           | [] -> []
         in
-        r.stack <- drop r.stack;
+        stack := drop !stack;
         locked r (fun () ->
             let a = agg_of r ~exp:fr.f_exp ~path ~name ~depth in
             a.a_calls <- a.a_calls + 1;
@@ -230,7 +233,7 @@ let annotate kvs =
   match !ambient with
   | Noop -> ()
   | Memory r -> (
-      match r.stack with
+      match !(Domain.DLS.get r.stack) with
       | fr :: _ -> fr.f_attrs <- fr.f_attrs @ kvs
       | [] -> ())
 

@@ -27,6 +27,9 @@ let catalog =
      "a Monte Carlo worker domain dies; all domains are joined and the run degrades to sequential");
     ("mc.budget", [ Stage_error.Deadline ],
      "the Monte Carlo budget is exhausted up front; the run degrades to fewer domains");
+    ("dse.worker", [ Stage_error.Worker_kill ],
+     "a DSE pool worker domain dies after claiming a point; the pool rejoins and \
+      re-runs the orphaned points sequentially under supervision");
   ]
 
 (* armed state: one option read when off; mutex-protected because worker

@@ -1,0 +1,34 @@
+type t = int64
+
+let seed = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let bytes h s =
+  let h = ref h in
+  String.iter (fun c -> h := byte !h (Char.code c)) s;
+  !h
+
+let string h s =
+  (* terminator byte so adjacent string fields cannot alias across their
+     boundary: fold "ab","c" <> fold "a","bc" *)
+  byte (bytes h s) 0xff
+
+let int64 h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := byte !h (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done;
+  !h
+
+let int h v = int64 h (Int64.of_int v)
+
+let float h v =
+  let v = if v = 0. then 0. (* merge -0. with 0. *) else v in
+  let v = if Float.is_nan v then Float.nan else v in
+  int64 h (Int64.bits_of_float v)
+
+let bool h b = byte h (if b then 1 else 0)
+let of_string s = bytes seed s
+let to_hex h = Printf.sprintf "%016Lx" h

@@ -1,0 +1,40 @@
+(** Stable 64-bit content hashing (FNV-1a).
+
+    The design-space cache keys every evaluated point by a content hash of
+    its canonical rendering, so keys must be stable across runs, processes
+    and machines — [Hashtbl.hash] guarantees none of that. FNV-1a over the
+    canonical byte sequence is tiny, has no per-process state, and its
+    reference vectors are easy to pin in tests.
+
+    Values fold left-to-right: [string (int seed 3) "x"] hashes the byte
+    sequence of [3] followed by ["x"], so field order matters (hashing is
+    order-{e sensitive} by design; callers serialize records in declared
+    field order to get order-{e stable} keys). *)
+
+type t = int64
+
+val seed : t
+(** The FNV-1a 64-bit offset basis (0xcbf29ce484222325). *)
+
+val string : t -> string -> t
+(** Fold the bytes of the string, then a [0xff] terminator byte — so
+    ["ab"^"c"] and ["a"^"bc"] hash differently when folded field-wise. *)
+
+val int : t -> int -> t
+(** Fold the 8 little-endian bytes of the integer. *)
+
+val int64 : t -> int64 -> t
+
+val float : t -> float -> t
+(** Fold the IEEE-754 bits. [-0.] is canonicalized to [0.] and every NaN to
+    the canonical quiet NaN, so numerically indistinguishable cache keys
+    cannot split. *)
+
+val bool : t -> bool -> t
+
+val of_string : string -> t
+(** Plain FNV-1a over the bytes of [s] (no terminator), matching the
+    published reference vectors: [of_string "" = seed]. *)
+
+val to_hex : t -> string
+(** 16 lowercase hex digits, zero-padded. *)

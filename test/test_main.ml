@@ -24,4 +24,5 @@ let () =
       ("uarch", Test_uarch.suite);
       ("core", Test_core.suite);
       ("experiments", Test_experiments.suite);
+      ("dse", Test_dse.suite);
     ]

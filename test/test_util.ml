@@ -363,6 +363,46 @@ let test_table_to_csv () =
     csv;
   Alcotest.(check string) "no header, no rows" "" (Gap_util.Table.to_csv [])
 
+(* --- hash: FNV-1a 64 --- *)
+
+module Hash = Gap_util.Hash
+
+let test_hash_reference_vectors () =
+  (* published FNV-1a 64-bit vectors *)
+  Alcotest.(check int64) "empty = offset basis" 0xcbf29ce484222325L (Hash.of_string "");
+  Alcotest.(check int64) "a" 0xaf63dc4c8601ec8cL (Hash.of_string "a");
+  Alcotest.(check int64) "foobar" 0x85944171f73967e8L (Hash.of_string "foobar");
+  Alcotest.(check string) "hex rendering" "cbf29ce484222325" (Hash.to_hex Hash.seed)
+
+let test_hash_combinators () =
+  let h1 = Hash.(string (string seed "ab") "c") in
+  let h2 = Hash.(string (string seed "a") "bc") in
+  Alcotest.(check bool) "field boundaries matter" true (h1 <> h2);
+  Alcotest.(check int64) "int = int64 of same value"
+    Hash.(int seed 42) Hash.(int64 seed 42L);
+  Alcotest.(check int64) "negative zero canonicalized"
+    Hash.(float seed 0.) Hash.(float seed (-0.));
+  Alcotest.(check int64) "nan canonicalized"
+    Hash.(float seed Float.nan) Hash.(float seed (0. /. 0.));
+  Alcotest.(check bool) "bool arms differ" true
+    Hash.(bool seed true <> bool seed false);
+  Alcotest.(check bool) "order sensitive" true
+    Hash.(int (int seed 1) 2 <> int (int seed 2) 1)
+
+let hash_field_split_property =
+  QCheck.Test.make ~name:"hash distinguishes field splits" ~count:300
+    QCheck.(quad small_string small_string small_string small_string)
+    (fun (a, b, a', b') ->
+      QCheck.assume ((a, b) <> (a', b'));
+      Hash.(string (string seed a) b) <> Hash.(string (string seed a') b'))
+
+let hash_stability_property =
+  QCheck.Test.make ~name:"hash is a pure function of the byte sequence" ~count:200
+    QCheck.(small_list small_string)
+    (fun fields ->
+      let fold () = List.fold_left Hash.string Hash.seed fields in
+      Int64.equal (fold ()) (fold ()))
+
 let test_units () =
   check_float "ps<->ns" 1500. (Gap_util.Units.ps_of_ns 1.5);
   check_float "mhz of period" 1000. (Gap_util.Units.mhz_of_period_ps 1000.);
@@ -405,5 +445,9 @@ let suite =
     QCheck_alcotest.to_alcotest csr_matches_reference_property;
     ("table render", `Quick, test_table_render);
     ("table to_csv", `Quick, test_table_to_csv);
+    ("hash reference vectors", `Quick, test_hash_reference_vectors);
+    ("hash combinators", `Quick, test_hash_combinators);
+    QCheck_alcotest.to_alcotest hash_field_split_property;
+    QCheck_alcotest.to_alcotest hash_stability_property;
     ("units", `Quick, test_units);
   ]
