@@ -135,7 +135,7 @@ let all () =
   ]
 
 let ranked factors =
-  List.sort (fun a b -> compare b.modeled a.modeled) factors
+  List.sort (fun a b -> Float.compare b.modeled a.modeled) factors
 
 let composite factors = List.fold_left (fun acc f -> acc *. f.modeled) 1. factors
 let paper_composite factors = List.fold_left (fun acc f -> acc *. f.paper_max) 1. factors

@@ -166,7 +166,7 @@ let flush t =
       if t.dirty then begin
         let entries =
           Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
-          |> List.sort (fun a b -> compare a.e_key b.e_key)
+          |> List.sort (fun a b -> String.compare a.e_key b.e_key)
         in
         Gap_util.Atomic_io.write_string path
           (Json.to_string ~pretty:true (store_json entries) ^ "\n");

@@ -24,7 +24,7 @@ let make ~name ~tech cell_list =
   Hashtbl.iter
     (fun base cs ->
       Hashtbl.replace by_base base
-        (List.sort (fun (a : Cell.t) b -> compare a.drive b.drive) cs))
+        (List.sort (fun (a : Cell.t) b -> Float.compare a.drive b.drive) cs))
     (Hashtbl.copy by_base);
   { name; tech; cells; classes; by_base }
 
@@ -40,7 +40,7 @@ let find t ~base ~drive =
 
 let bases t =
   Hashtbl.fold (fun base _ acc -> base :: acc) t.by_base []
-  |> List.sort_uniq compare
+  |> List.sort_uniq String.compare
 
 let cells_matching t f =
   let key = (Gap_logic.Npn.canonical_key f, Gap_logic.Truthtable.vars f) in
@@ -48,11 +48,11 @@ let cells_matching t f =
 
 let inverters t =
   Array.to_list t.cells |> List.filter Cell.is_inverter
-  |> List.sort (fun (a : Cell.t) b -> compare a.drive b.drive)
+  |> List.sort (fun (a : Cell.t) b -> Float.compare a.drive b.drive)
 
 let buffers t =
   Array.to_list t.cells |> List.filter Cell.is_buffer
-  |> List.sort (fun (a : Cell.t) b -> compare a.drive b.drive)
+  |> List.sort (fun (a : Cell.t) b -> Float.compare a.drive b.drive)
 
 let smallest_inverter t =
   match inverters t with [] -> raise Not_found | c :: _ -> c
@@ -60,7 +60,7 @@ let smallest_inverter t =
 let flops t =
   Array.to_list t.cells
   |> List.filter (fun (c : Cell.t) -> match c.kind with Flop _ -> true | _ -> false)
-  |> List.sort (fun (a : Cell.t) b -> compare a.drive b.drive)
+  |> List.sort (fun (a : Cell.t) b -> Float.compare a.drive b.drive)
 
 let smallest_flop t = match flops t with [] -> raise Not_found | c :: _ -> c
 

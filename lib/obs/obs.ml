@@ -268,43 +268,54 @@ let gauge name v =
               Hashtbl.add r.gauges name (ref v);
               r.gauge_order <- name :: r.gauge_order)
 
+(* must run under [locked r] *)
+let hist_find_or_create r bounds name =
+  match Hashtbl.find_opt r.hists name with
+  | Some h -> h
+  | None ->
+      let bounds = match bounds with Some b -> b | None -> default_bounds in
+      let h =
+        {
+          bounds;
+          counts = Array.make (Array.length bounds + 1) 0;
+          h_n = 0;
+          h_sum = 0.;
+          h_min = infinity;
+          h_max = neg_infinity;
+        }
+      in
+      Hashtbl.add r.hists name h;
+      r.hist_order <- name :: r.hist_order;
+      h
+
+(* must run under [locked r] *)
+let hist_insert h v =
+  let n = Array.length h.bounds in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v <= h.bounds.(mid) then hi := mid else lo := mid + 1
+  done;
+  h.counts.(!lo) <- h.counts.(!lo) + 1;
+  h.h_n <- h.h_n + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
 let observe ?bounds name v =
   match !ambient with
   | Noop -> ()
   | Memory r ->
-      locked r (fun () ->
-          let h =
-            match Hashtbl.find_opt r.hists name with
-            | Some h -> h
-            | None ->
-                let bounds =
-                  match bounds with Some b -> b | None -> default_bounds
-                in
-                let h =
-                  {
-                    bounds;
-                    counts = Array.make (Array.length bounds + 1) 0;
-                    h_n = 0;
-                    h_sum = 0.;
-                    h_min = infinity;
-                    h_max = neg_infinity;
-                  }
-                in
-                Hashtbl.add r.hists name h;
-                r.hist_order <- name :: r.hist_order;
-                h
-          in
-          let n = Array.length h.bounds in
-          let lo = ref 0 and hi = ref n in
-          while !lo < !hi do
-            let mid = (!lo + !hi) / 2 in
-            if v <= h.bounds.(mid) then hi := mid else lo := mid + 1
-          done;
-          h.counts.(!lo) <- h.counts.(!lo) + 1;
-          h.h_n <- h.h_n + 1;
-          h.h_sum <- h.h_sum +. v;
-          if v < h.h_min then h.h_min <- v;
-          if v > h.h_max then h.h_max <- v)
+      locked r (fun () -> hist_insert (hist_find_or_create r bounds name) v)
+
+let observe_batch ?bounds name vs =
+  if Array.length vs > 0 then
+    match !ambient with
+    | Noop -> ()
+    | Memory r ->
+        locked r (fun () ->
+            let h = hist_find_or_create r bounds name in
+            Array.iter (hist_insert h) vs)
 
 let event name attrs =
   match !ambient with

@@ -52,6 +52,12 @@ val observe : ?bounds:float array -> string -> float -> unit
     applies on first observation only; the default is 1-2-5 per decade,
     1e-3..1e9. Safe to call from worker domains. *)
 
+val observe_batch : ?bounds:float array -> string -> float array -> unit
+(** Record every value of the array into the named histogram under a single
+    recorder-lock acquisition — what a worker domain should call once at
+    join time instead of {!observe} per work item. No-op on an empty
+    array. *)
+
 val event : string -> (string * Json.t) list -> unit
 (** Timestamped structured event; counted, and streamed to the trace. *)
 

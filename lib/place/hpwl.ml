@@ -113,7 +113,8 @@ module Cache = struct
     c.len.(net) <- box_length c net
 
   let sorted_uniq a =
-    Array.sort compare a;
+    (* int net ids: monomorphic compare, not the polymorphic fallback *)
+    Array.sort Int.compare a;
     let n = Array.length a in
     if n = 0 then a
     else begin

@@ -113,7 +113,13 @@ let route ?(capacity = 8) nl =
   let routed = Array.make (max 1 (Netlist.num_nets nl)) 0. in
   for net = 0 to Netlist.num_nets nl - 1 do
     let pins = List.map cell_of (net_pins nl net) in
-    let pins = List.sort_uniq compare pins in
+    let pins =
+      (* (cx, cy) int pairs: monomorphic compare, not the polymorphic fallback *)
+      List.sort_uniq
+        (fun (ax, ay) (bx, by) ->
+          match Int.compare ax bx with 0 -> Int.compare ay by | c -> c)
+        pins
+    in
     match pins with
     | [] | [ _ ] -> ()
     | first :: rest ->

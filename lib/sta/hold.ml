@@ -72,7 +72,7 @@ let analyze ?(skew_ps = 0.) ?(input_min_arrival_ps = infinity) nl =
           end)
     (Netlist.flops nl);
   let violations =
-    List.sort (fun a b -> compare a.slack_ps b.slack_ps) !violations
+    List.sort (fun a b -> Float.compare a.slack_ps b.slack_ps) !violations
   in
   {
     min_arrival;

@@ -64,7 +64,7 @@ let insert_cut per_node cuts c =
     else begin
       (* Drop the largest cut beyond the budget (trivial cut is size 1 and
          thus always survives). *)
-      let sorted = List.sort (fun a b -> compare (size a) (size b)) cuts in
+      let sorted = List.sort (fun a b -> Int.compare (size a) (size b)) cuts in
       let rec take n = function
         | [] -> []
         | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest

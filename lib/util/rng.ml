@@ -1,8 +1,15 @@
+(* xoshiro256** state lives in a 4-word int64 Bigarray rather than four
+   boxed [Int64.t] record fields: ocamlopt compiles int64 Bigarray loads,
+   stores, and the arithmetic between them to fully unboxed code even
+   without flambda, so the batched fill below — and the Monte Carlo worker
+   domains built on it — run allocation-free. Boxed-state drawing used to
+   cost ~20 minor words per normal sample, and that steady churn forced
+   stop-the-world minor collections across every domain of a parallel
+   sampler. *)
+type state = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
-  mutable s0 : int64;
-  mutable s1 : int64;
-  mutable s2 : int64;
-  mutable s3 : int64;
+  state : state;  (* xoshiro256** words s0..s3 *)
   mutable spare : float option; (* cached second Box-Muller output *)
 }
 
@@ -19,27 +26,39 @@ let splitmix64 state =
 
 let of_seed seed =
   let st = ref seed in
-  let s0 = splitmix64 st in
-  let s1 = splitmix64 st in
-  let s2 = splitmix64 st in
-  let s3 = splitmix64 st in
-  { s0; s1; s2; s3; spare = None }
+  let state = Bigarray.Array1.create Bigarray.Int64 Bigarray.C_layout 4 in
+  state.{0} <- splitmix64 st;
+  state.{1} <- splitmix64 st;
+  state.{2} <- splitmix64 st;
+  state.{3} <- splitmix64 st;
+  { state; spare = None }
 
 let create ?(seed = default_seed) () = of_seed seed
-let copy t = { t with spare = t.spare }
+
+let copy t =
+  let state = Bigarray.Array1.create Bigarray.Int64 Bigarray.C_layout 4 in
+  Bigarray.Array1.blit t.state state;
+  { state; spare = t.spare }
 
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let int64 t =
-  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
-  let tmp = Int64.shift_left t.s1 17 in
-  t.s2 <- Int64.logxor t.s2 t.s0;
-  t.s3 <- Int64.logxor t.s3 t.s1;
-  t.s1 <- Int64.logxor t.s1 t.s2;
-  t.s0 <- Int64.logxor t.s0 t.s3;
-  t.s2 <- Int64.logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
+  let s = t.state in
+  let s1 = Bigarray.Array1.unsafe_get s 1 in
+  let result = Int64.mul (rotl (Int64.mul s1 5L) 7) 9L in
+  let tmp = Int64.shift_left s1 17 in
+  Bigarray.Array1.unsafe_set s 2
+    (Int64.logxor (Bigarray.Array1.unsafe_get s 2) (Bigarray.Array1.unsafe_get s 0));
+  Bigarray.Array1.unsafe_set s 3
+    (Int64.logxor (Bigarray.Array1.unsafe_get s 3) s1);
+  Bigarray.Array1.unsafe_set s 1
+    (Int64.logxor s1 (Bigarray.Array1.unsafe_get s 2));
+  Bigarray.Array1.unsafe_set s 0
+    (Int64.logxor (Bigarray.Array1.unsafe_get s 0) (Bigarray.Array1.unsafe_get s 3));
+  Bigarray.Array1.unsafe_set s 2
+    (Int64.logxor (Bigarray.Array1.unsafe_get s 2) tmp);
+  Bigarray.Array1.unsafe_set s 3 (rotl (Bigarray.Array1.unsafe_get s 3) 45);
   result
 
 let split t = of_seed (int64 t)
@@ -88,6 +107,82 @@ let normal t ~mean ~sigma =
       mean +. (sigma *. (r *. cos theta))
 
 let lognormal t ~mu ~sigma = exp (normal t ~mean:mu ~sigma)
+
+(* vanishingly rare (u <= 1e-300): keep the retry off the unboxed fast path *)
+let rec u_nonzero t =
+  let u = unit_float t in
+  if u <= 1e-300 then u_nonzero t else u
+
+(* Batched standard normals: exactly the stream [normal ~mean:0 ~sigma:1]
+   would produce call by call (including the cached spare at entry and
+   exit), but with the generator and the Box-Muller transform inlined into
+   one loop over the unboxed Bigarray state, so the whole fill allocates
+   nothing — worker domains sampling concurrently never trigger a
+   stop-the-world minor collection. *)
+let normal_std_fill t buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length buf then
+    invalid_arg
+      (Printf.sprintf "Gap_util.Rng.normal_std_fill: range [%d,%d) outside buffer of %d"
+         pos (pos + len) (Array.length buf));
+  let i = ref pos in
+  let stop = pos + len in
+  (match t.spare with
+  | Some z when !i < stop ->
+      t.spare <- None;
+      buf.(!i) <- z;
+      incr i
+  | _ -> ());
+  let s = t.state in
+  while stop - !i >= 2 do
+    (* u1 — hand-inlined [unit_float] (a function call would re-box the
+       result in this non-flambda build) *)
+    let s1 = Bigarray.Array1.unsafe_get s 1 in
+    let r1 = Int64.mul (rotl (Int64.mul s1 5L) 7) 9L in
+    let tmp = Int64.shift_left s1 17 in
+    Bigarray.Array1.unsafe_set s 2
+      (Int64.logxor (Bigarray.Array1.unsafe_get s 2) (Bigarray.Array1.unsafe_get s 0));
+    Bigarray.Array1.unsafe_set s 3
+      (Int64.logxor (Bigarray.Array1.unsafe_get s 3) s1);
+    Bigarray.Array1.unsafe_set s 1
+      (Int64.logxor s1 (Bigarray.Array1.unsafe_get s 2));
+    Bigarray.Array1.unsafe_set s 0
+      (Int64.logxor (Bigarray.Array1.unsafe_get s 0) (Bigarray.Array1.unsafe_get s 3));
+    Bigarray.Array1.unsafe_set s 2
+      (Int64.logxor (Bigarray.Array1.unsafe_get s 2) tmp);
+    Bigarray.Array1.unsafe_set s 3 (rotl (Bigarray.Array1.unsafe_get s 3) 45);
+    let u = Int64.to_float (Int64.shift_right_logical r1 11) *. 0x1p-53 in
+    let u1 = if u > 1e-300 then u else u_nonzero t in
+    (* u2 *)
+    let s1 = Bigarray.Array1.unsafe_get s 1 in
+    let r2 = Int64.mul (rotl (Int64.mul s1 5L) 7) 9L in
+    let tmp = Int64.shift_left s1 17 in
+    Bigarray.Array1.unsafe_set s 2
+      (Int64.logxor (Bigarray.Array1.unsafe_get s 2) (Bigarray.Array1.unsafe_get s 0));
+    Bigarray.Array1.unsafe_set s 3
+      (Int64.logxor (Bigarray.Array1.unsafe_get s 3) s1);
+    Bigarray.Array1.unsafe_set s 1
+      (Int64.logxor s1 (Bigarray.Array1.unsafe_get s 2));
+    Bigarray.Array1.unsafe_set s 0
+      (Int64.logxor (Bigarray.Array1.unsafe_get s 0) (Bigarray.Array1.unsafe_get s 3));
+    Bigarray.Array1.unsafe_set s 2
+      (Int64.logxor (Bigarray.Array1.unsafe_get s 2) tmp);
+    Bigarray.Array1.unsafe_set s 3 (rotl (Bigarray.Array1.unsafe_get s 3) 45);
+    let u2 = Int64.to_float (Int64.shift_right_logical r2 11) *. 0x1p-53 in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    Array.unsafe_set buf !i (r *. cos theta);
+    Array.unsafe_set buf (!i + 1) (r *. sin theta);
+    i := !i + 2
+  done;
+  if !i < stop then begin
+    (* odd tail: runs at most once per fill, the scalar path is fine *)
+    let u1 = u_nonzero t in
+    let u2 = unit_float t in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    buf.(!i) <- r *. cos theta;
+    t.spare <- Some (r *. sin theta)
+  end
 
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do

@@ -5,7 +5,10 @@
     this module so that every experiment is reproducible from a seed.
 
     The generator is xoshiro256**, seeded through splitmix64, following the
-    reference implementations of Blackman and Vigna. *)
+    reference implementations of Blackman and Vigna. The state lives in an
+    int64 Bigarray so that drawing — in particular the batched
+    {!normal_std_fill} — compiles to unboxed code and allocates nothing,
+    which keeps parallel Monte Carlo workers free of minor-GC barriers. *)
 
 type t
 (** Mutable generator state. *)
@@ -51,6 +54,14 @@ val normal : t -> mean:float -> sigma:float -> float
 
 val lognormal : t -> mu:float -> sigma:float -> float
 (** [exp] of a [normal] sample with the given underlying parameters. *)
+
+val normal_std_fill : t -> float array -> pos:int -> len:int -> unit
+(** [normal_std_fill t buf ~pos ~len] writes [len] standard normal samples
+    into [buf.(pos .. pos+len-1)] — bit-identical to [len] successive
+    [normal t ~mean:0. ~sigma:1.] calls (the Box-Muller spare is consumed
+    at entry and cached at exit exactly as the scalar path would), but with
+    the transform inlined so batch consumers pay no per-draw allocation.
+    [Invalid_argument] if the range falls outside [buf]. *)
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)

@@ -56,7 +56,7 @@ let percentile_sorted sorted p =
 
 let percentile xs p =
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   percentile_sorted sorted p
 
 let median xs = percentile xs 50.
@@ -80,6 +80,136 @@ let histogram ?(bins = 20) xs =
       let l = lo +. (float_of_int i *. width) in
       (l, l +. width, c))
     counts
+
+(* --- unboxed sample buffers ---
+
+   Monte Carlo workloads sample millions of float64 values; a Bigarray
+   buffer keeps them as flat unboxed memory that worker domains can write
+   concurrently (disjoint ranges) without the GC moving it under them.
+   Percentile queries run as partial quickselect over a scratch copy —
+   each query is O(n) expected, and repeated queries on the same scratch
+   get cheaper as earlier partitions accumulate. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let buf_create n = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout n
+let buf_length (b : buf) = Bigarray.Array1.dim b
+
+let buf_of_array a : buf =
+  Bigarray.Array1.of_array Bigarray.Float64 Bigarray.C_layout a
+
+let buf_to_array (b : buf) = Array.init (buf_length b) (Bigarray.Array1.get b)
+
+let buf_copy (b : buf) =
+  let c = buf_create (buf_length b) in
+  Bigarray.Array1.blit b c;
+  c
+
+let require_buf_nonempty fn (b : buf) =
+  if buf_length b = 0 then invalid_arg (fn ^ ": empty sample")
+
+let buf_mean b =
+  require_buf_nonempty "Gap_util.Stats.buf_mean" b;
+  let n = buf_length b in
+  let sum = ref 0. in
+  for i = 0 to n - 1 do
+    sum := !sum +. Bigarray.Array1.unsafe_get b i
+  done;
+  !sum /. float_of_int n
+
+let buf_min b =
+  require_buf_nonempty "Gap_util.Stats.buf_min" b;
+  let m = ref infinity in
+  for i = 0 to buf_length b - 1 do
+    let v = Bigarray.Array1.unsafe_get b i in
+    if v < !m then m := v
+  done;
+  !m
+
+let buf_max b =
+  require_buf_nonempty "Gap_util.Stats.buf_max" b;
+  let m = ref neg_infinity in
+  for i = 0 to buf_length b - 1 do
+    let v = Bigarray.Array1.unsafe_get b i in
+    if v > !m then m := v
+  done;
+  !m
+
+let buf_count_ge b x =
+  let c = ref 0 in
+  for i = 0 to buf_length b - 1 do
+    if Bigarray.Array1.unsafe_get b i >= x then incr c
+  done;
+  !c
+
+(* Median-of-three Hoare quickselect. Reorders [b] in place; the k-th
+   smallest lands at index k with everything below it to the left. NaN
+   inputs would break the partition invariants, so they are rejected
+   rather than producing an arbitrary element. *)
+let buf_select (b : buf) k =
+  let n = buf_length b in
+  require_buf_nonempty "Gap_util.Stats.buf_select" b;
+  if k < 0 || k >= n then
+    invalid_arg
+      (Printf.sprintf "Gap_util.Stats.buf_select: rank %d outside [0,%d)" k n);
+  let get = Bigarray.Array1.unsafe_get b in
+  let set = Bigarray.Array1.unsafe_set b in
+  let swap i j =
+    let t = get i in
+    set i (get j);
+    set j t
+  in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    (* order (lo, mid, hi) so the pivot is a median and both ends act as
+       partition sentinels *)
+    if get mid < get !lo then swap mid !lo;
+    if get !hi < get !lo then swap !hi !lo;
+    if get !hi < get mid then swap !hi mid;
+    let pivot = get mid in
+    if Float.is_nan pivot then
+      invalid_arg "Gap_util.Stats.buf_select: NaN in sample";
+    let i = ref (!lo - 1) and j = ref (!hi + 1) in
+    let cut = ref !lo in
+    (try
+       while true do
+         incr i;
+         while get !i < pivot do
+           incr i
+         done;
+         decr j;
+         while get !j > pivot do
+           decr j
+         done;
+         if !i >= !j then begin
+           cut := !j;
+           raise Exit
+         end;
+         swap !i !j
+       done
+     with Exit -> ());
+    if k <= !cut then hi := !cut else lo := !cut + 1
+  done;
+  get k
+
+let buf_percentile b p =
+  require_buf_nonempty "Gap_util.Stats.buf_percentile" b;
+  if not (p >= 0. && p <= 100.) then
+    invalid_arg
+      (Printf.sprintf
+         "Gap_util.Stats.buf_percentile: percentile %g not in [0,100]" p);
+  let n = buf_length b in
+  if n = 1 then Bigarray.Array1.get b 0
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    let v_lo = buf_select b lo in
+    let v_hi = if hi = lo then v_lo else buf_select b hi in
+    v_lo +. (frac *. (v_hi -. v_lo))
+  end
 
 let require_paired fn xs ys =
   if Array.length xs <> Array.length ys then

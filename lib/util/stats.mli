@@ -45,6 +45,47 @@ val histogram : ?bins:int -> float array -> (float * float * int) array
 (** [histogram xs] buckets samples into [bins] equal-width bins over
     [\[min, max\]]; each entry is [(lo, hi, count)]. *)
 
+(** {1 Unboxed sample buffers}
+
+    Flat [float64] Bigarray buffers for large sample sets. Worker domains
+    may write disjoint ranges concurrently (the buffer never moves under
+    the GC), and percentile queries run as partial quickselect instead of
+    a full sort: each query is expected O(n), and repeated queries over
+    the same buffer get cheaper as earlier partitions accumulate.
+    Structural equality ([=]) on two buffers compares dimensions and
+    contents, so byte-identity assertions work unchanged. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val buf_create : int -> buf
+(** Fresh uninitialized buffer of the given length. *)
+
+val buf_length : buf -> int
+val buf_of_array : float array -> buf
+val buf_to_array : buf -> float array
+val buf_copy : buf -> buf
+
+val buf_mean : buf -> float
+val buf_min : buf -> float
+val buf_max : buf -> float
+(** Single-pass aggregates; [Invalid_argument] on an empty buffer. *)
+
+val buf_count_ge : buf -> float -> int
+(** Number of entries [>= x]; one pass, no ordering required. *)
+
+val buf_select : buf -> int -> float
+(** [buf_select b k] is the k-th smallest element (0-based), by in-place
+    median-of-three quickselect: [b] is partially reordered so index [k]
+    holds its final sorted value. Expected O(n); callers that must keep
+    the original order should pass a {!buf_copy}. [Invalid_argument] on an
+    empty buffer, an out-of-range rank, or a NaN pivot. *)
+
+val buf_percentile : buf -> float -> float
+(** Interpolated percentile over an {e unsorted} buffer via {!buf_select}
+    on the two bracketing order statistics — exactly the value
+    {!percentile_sorted} returns on the sorted copy, without the sort.
+    Partially reorders [b] like {!buf_select}. *)
+
 val correlation : float array -> float array -> float
 (** Pearson correlation coefficient of two equal-length arrays. *)
 

@@ -2,18 +2,21 @@ type bins = { edges_mhz : float array; counts : int array }
 
 let bin (run : Montecarlo.run) ~edges_mhz =
   let n_edges = Array.length edges_mhz in
-  assert (n_edges >= 1);
+  if n_edges < 1 then invalid_arg "Gap_variation.Binning.bin: no edges";
   for i = 1 to n_edges - 1 do
-    assert (edges_mhz.(i) >= edges_mhz.(i - 1))
+    if not (edges_mhz.(i) >= edges_mhz.(i - 1)) then
+      invalid_arg
+        (Printf.sprintf "Gap_variation.Binning.bin: edges not ascending at index %d" i)
   done;
   let counts = Array.make (n_edges + 1) 0 in
-  Array.iter
-    (fun f ->
-      (* index of the highest edge <= f, shifted by one; 0 = scrap *)
-      let rec find i = if i >= 0 && edges_mhz.(i) <= f then i + 1 else if i < 0 then 0 else find (i - 1) in
-      let idx = find (n_edges - 1) in
-      counts.(idx) <- counts.(idx) + 1)
-    run.Montecarlo.fmax_mhz;
+  let samples = run.Montecarlo.fmax_mhz in
+  for d = 0 to Gap_util.Stats.buf_length samples - 1 do
+    let f = Bigarray.Array1.unsafe_get samples d in
+    (* index of the highest edge <= f, shifted by one; 0 = scrap *)
+    let rec find i = if i >= 0 && edges_mhz.(i) <= f then i + 1 else if i < 0 then 0 else find (i - 1) in
+    let idx = find (n_edges - 1) in
+    counts.(idx) <- counts.(idx) + 1
+  done;
   { edges_mhz; counts }
 
 let yield_at run ~mhz = Montecarlo.fraction_above run mhz

@@ -16,11 +16,8 @@ type strategy_result = {
 let single_rating p (run : Montecarlo.run) ~rating_mhz =
   let nominal_mhz = run.Montecarlo.nominal_mhz in
   let price = price_at p ~nominal_mhz ~mhz:rating_mhz in
-  let n = Array.length run.Montecarlo.fmax_mhz in
-  let sold =
-    Array.fold_left (fun acc f -> if f >= rating_mhz then acc + 1 else acc) 0
-      run.Montecarlo.fmax_mhz
-  in
+  let n = Gap_util.Stats.buf_length run.Montecarlo.fmax_mhz in
+  let sold = Gap_util.Stats.buf_count_ge run.Montecarlo.fmax_mhz rating_mhz in
   let frac = float_of_int sold /. float_of_int n in
   {
     strategy = Printf.sprintf "single rating @ %.0f MHz" rating_mhz;
@@ -30,21 +27,23 @@ let single_rating p (run : Montecarlo.run) ~rating_mhz =
   }
 
 let binned p (run : Montecarlo.run) ~edges_mhz =
-  assert (Array.length edges_mhz >= 1);
+  if Array.length edges_mhz < 1 then
+    invalid_arg "Gap_variation.Economics.binned: no edges";
   let nominal_mhz = run.Montecarlo.nominal_mhz in
-  let n = Array.length run.Montecarlo.fmax_mhz in
+  let samples = run.Montecarlo.fmax_mhz in
+  let n = Gap_util.Stats.buf_length samples in
   let revenue = ref 0. and sold = ref 0 in
-  Array.iter
-    (fun f ->
-      (* highest edge this die meets *)
-      let best = ref None in
-      Array.iter (fun e -> if f >= e then best := Some e) edges_mhz;
-      match !best with
-      | Some e ->
-          revenue := !revenue +. price_at p ~nominal_mhz ~mhz:e;
-          incr sold
-      | None -> ())
-    run.Montecarlo.fmax_mhz;
+  for d = 0 to n - 1 do
+    let f = Bigarray.Array1.unsafe_get samples d in
+    (* highest edge this die meets *)
+    let best = ref None in
+    Array.iter (fun e -> if f >= e then best := Some e) edges_mhz;
+    match !best with
+    | Some e ->
+        revenue := !revenue +. price_at p ~nominal_mhz ~mhz:e;
+        incr sold
+    | None -> ()
+  done;
   {
     strategy =
       Printf.sprintf "speed-binned (%d bins from %.0f MHz)" (Array.length edges_mhz)
@@ -55,13 +54,15 @@ let binned p (run : Montecarlo.run) ~edges_mhz =
   }
 
 let die_yield ~area_mm2 ~defects_per_cm2 =
-  assert (area_mm2 >= 0. && defects_per_cm2 >= 0.);
+  if not (area_mm2 >= 0. && defects_per_cm2 >= 0.) then
+    invalid_arg "Gap_variation.Economics.die_yield: negative area or defect density";
   let alpha = 2. in
   let ad = area_mm2 /. 100. *. defects_per_cm2 in
   (1. +. (ad /. alpha)) ** -.alpha
 
 let best_single_rating p run ~candidates =
-  assert (Array.length candidates >= 1);
+  if Array.length candidates < 1 then
+    invalid_arg "Gap_variation.Economics.best_single_rating: no candidates";
   Array.fold_left
     (fun best rating ->
       let r = single_rating p run ~rating_mhz:rating in

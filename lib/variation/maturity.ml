@@ -1,5 +1,8 @@
 let shrink_speed_gain ~linear_shrink =
-  assert (linear_shrink >= 0. && linear_shrink < 1.);
+  if not (linear_shrink >= 0. && linear_shrink < 1.) then
+    invalid_arg
+      (Printf.sprintf "Gap_variation.Maturity.shrink_speed_gain: shrink = %g outside [0,1)"
+         linear_shrink);
   (* delay ~ Leff^1 directly, but a shrink also comes with oxide/Vt tuning;
      empirically (Intel 856) 5% shrink -> 18% speed: (1/0.95)^3.5 = 1.197 *)
   ((1. /. (1. -. linear_shrink)) ** 3.5) -. 1.
@@ -11,5 +14,8 @@ let initial_spread =
   (hi /. lo) -. 1.
 
 let library_update_gain ~months =
-  assert (months >= 0.);
+  if not (months >= 0.) then
+    invalid_arg
+      (Printf.sprintf "Gap_variation.Maturity.library_update_gain: months = %g negative"
+         months);
   0.20 *. (1. -. exp (-.months /. 9.))

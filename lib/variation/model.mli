@@ -37,6 +37,27 @@ val make : ?fab_mean:float -> sigmas -> t
 val sample_speed_factor : t -> Gap_util.Rng.t -> float
 (** Multiplicative fmax factor for one die; always positive. *)
 
+val draws_per_die : int
+(** Standard normals one die consumes (lot, wafer, die, intra), i.e. the
+    per-die stride of the [z] scratch passed to {!fill_fmax}. *)
+
+val fill_fmax :
+  t ->
+  Gap_util.Rng.t ->
+  z:float array ->
+  out:Gap_util.Stats.buf ->
+  pos:int ->
+  len:int ->
+  nominal_mhz:float ->
+  unit
+(** [fill_fmax t rng ~z ~out ~pos ~len ~nominal_mhz] writes
+    [nominal_mhz x speed-factor] for [len] dies into
+    [out.{pos .. pos+len-1}] — bit-identical to [len] successive
+    [nominal_mhz *. sample_speed_factor t rng] evaluations, but the
+    standard normals are drawn in one batched {!Gap_util.Rng.normal_std_fill}
+    into the caller's [z] scratch (length >= [draws_per_die * len]), so the
+    hot loop allocates nothing. *)
+
 (** {1 Fab accessibility (Sec. 8.1.2)} *)
 
 val best_fab : float

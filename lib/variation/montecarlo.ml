@@ -1,17 +1,25 @@
 module Obs = Gap_obs.Obs
+module Stats = Gap_util.Stats
 
 type run = {
   nominal_mhz : float;
-  fmax_mhz : float array;
+  fmax_mhz : Stats.buf;
   model : Model.t;
-  mutable sorted : float array option;
+  mutable scratch : Stats.buf option;
 }
 
 (* Dies are sampled in fixed-size shards, each from its own RNG split off the
    master seed in shard order. The shard layout depends only on [dies], never
-   on [domains], so the sample array is byte-identical for any worker count —
-   workers just claim shards off a shared counter. *)
+   on [domains], so the sample buffer is byte-identical for any worker count.
+   Workers claim work at *chunk* granularity — up to [max_chunk_shards]
+   shards per claim — so the shared counter is touched an order of magnitude
+   less often than a per-shard claim would, and each claim covers a
+   contiguous cache-line-aligned span of the float64 buffer (one shard is
+   8 KiB, a multiple of any line size), keeping false sharing off the write
+   path. Chunk granularity affects only which worker writes which shard,
+   never the values, so it may depend on [domains] freely. *)
 let shard_size = 1024
+let max_chunk_shards = 8
 
 let simulate_body ~seed ~domains ~model ~nominal_mhz ~dies =
   Gap_resilience.Fault.point "mc.budget";
@@ -19,47 +27,88 @@ let simulate_body ~seed ~domains ~model ~nominal_mhz ~dies =
   let master = Gap_util.Rng.create ~seed () in
   let num_shards = (dies + shard_size - 1) / shard_size in
   let workers = max 1 (min domains num_shards) in
+  let chunk_shards =
+    (* big enough to keep the shared counter off the hot path, small enough
+       that every worker sees at least about two claims to steal *)
+    max 1
+      (min max_chunk_shards
+         ((num_shards + (2 * workers) - 1) / (2 * workers)))
+  in
+  let num_chunks = (num_shards + chunk_shards - 1) / chunk_shards in
   let obs_on = Obs.enabled () in
   if obs_on then begin
     Obs.annotate
       [
         ("dies", Gap_obs.Json.Int dies);
         ("shards", Gap_obs.Json.Int num_shards);
+        ("chunks", Gap_obs.Json.Int num_chunks);
         ("workers", Gap_obs.Json.Int workers);
       ];
     Obs.incr ~by:dies "mc.samples"
   end;
   let shard_rngs = Array.init num_shards (fun _ -> Gap_util.Rng.split master) in
-  let fmax_mhz = Array.make dies 0. in
-  let run_shard s =
+  let fmax_mhz = Stats.buf_create dies in
+  (* Per-worker state: a standard-normal scratch reused across shards and a
+     local log of shard timings, flushed in one batched, mutex-protected
+     observation at the end of the worker's run instead of taking the
+     recorder lock once per shard. *)
+  let run_shard ~z ~times ~n_times s =
     Gap_resilience.Supervisor.poll_deadline ~stage:"mc.simulate";
     let t0 = if obs_on then Obs.now_ns () else 0L in
-    let rng = shard_rngs.(s) in
     let lo = s * shard_size in
-    let hi = min dies (lo + shard_size) in
-    (* [lo, hi) is within [0, dies) by construction *)
-    for d = lo to hi - 1 do
-      Array.unsafe_set fmax_mhz d (nominal_mhz *. Model.sample_speed_factor model rng)
-    done;
-    (* the recorder is mutex-protected, so worker domains may observe *)
-    if obs_on then
-      Obs.observe "mc.shard_ns" (Int64.to_float (Int64.sub (Obs.now_ns ()) t0))
+    let len = min shard_size (dies - lo) in
+    (* [lo, lo+len) is within [0, dies) by construction *)
+    Model.fill_fmax model shard_rngs.(s) ~z ~out:fmax_mhz ~pos:lo ~len
+      ~nominal_mhz;
+    if obs_on then begin
+      times.(!n_times) <-
+        Int64.to_float (Int64.sub (Obs.now_ns ()) t0);
+      incr n_times
+    end
   in
-  if workers = 1 then
-    for s = 0 to num_shards - 1 do
-      run_shard s
+  let flush_worker_obs ~times ~n_times ~claimed =
+    if obs_on then begin
+      Obs.observe_batch "mc.shard_ns" (Array.sub times 0 !n_times);
+      Obs.incr ~by:claimed "mc.chunks_claimed";
+      Obs.observe "mc.worker_chunks" (float_of_int claimed)
+    end
+  in
+  let run_chunk ~z ~times ~n_times c =
+    let s_lo = c * chunk_shards in
+    let s_hi = min num_shards (s_lo + chunk_shards) in
+    for s = s_lo to s_hi - 1 do
+      run_shard ~z ~times ~n_times s
     done
+  in
+  if workers = 1 then begin
+    let z = Array.make (Model.draws_per_die * shard_size) 0. in
+    let times = if obs_on then Array.make num_shards 0. else [||] in
+    let n_times = ref 0 in
+    for c = 0 to num_chunks - 1 do
+      run_chunk ~z ~times ~n_times c
+    done;
+    flush_worker_obs ~times ~n_times ~claimed:num_chunks
+  end
   else begin
     let next = Atomic.make 0 in
     let work ~fault_site () =
       (* the worker-death fault site lives only on the parallel path, so the
          sequential fallback in [simulate] replays the run cleanly *)
       if fault_site then Gap_resilience.Fault.point "mc.worker";
+      let z = Array.make (Model.draws_per_die * shard_size) 0. in
+      let times = if obs_on then Array.make num_shards 0. else [||] in
+      let n_times = ref 0 in
+      let claimed = ref 0 in
       let continue = ref true in
       while !continue do
-        let s = Atomic.fetch_and_add next 1 in
-        if s < num_shards then run_shard s else continue := false
-      done
+        let c = Atomic.fetch_and_add next 1 in
+        if c < num_chunks then begin
+          incr claimed;
+          run_chunk ~z ~times ~n_times c
+        end
+        else continue := false
+      done;
+      flush_worker_obs ~times ~n_times ~claimed:!claimed
     in
     let others =
       Array.init (workers - 1) (fun _ -> Domain.spawn (work ~fault_site:true))
@@ -92,10 +141,16 @@ let simulate_body ~seed ~domains ~model ~nominal_mhz ~dies =
              (Gap_resilience.Stage_error.Worker_failed
                 { stage = "mc.simulate"; worker; error }))
   end;
-  { nominal_mhz; fmax_mhz; model; sorted = None }
+  { nominal_mhz; fmax_mhz; model; scratch = None }
 
 let simulate ?(seed = 2024L) ?(domains = 1) ~model ~nominal_mhz ~dies () =
-  assert (dies > 0);
+  if dies <= 0 then
+    invalid_arg
+      (Printf.sprintf "Gap_variation.Montecarlo.simulate: dies = %d (must be positive)" dies);
+  if domains <= 0 then
+    invalid_arg
+      (Printf.sprintf "Gap_variation.Montecarlo.simulate: domains = %d (must be positive)"
+         domains);
   Obs.span "mc.simulate" (fun () ->
       try simulate_body ~seed ~domains ~model ~nominal_mhz ~dies
       with Gap_resilience.Stage_error.Stage_failure err when domains > 1 ->
@@ -111,31 +166,28 @@ let simulate ?(seed = 2024L) ?(domains = 1) ~model ~nominal_mhz ~dies () =
           ];
         simulate_body ~seed ~domains:1 ~model ~nominal_mhz ~dies)
 
-let sorted_samples run =
-  match run.sorted with
-  | Some s ->
+(* Percentile queries select over a scratch copy of the sample buffer: the
+   copy is made once per run (the original stays in sampling order for
+   [fraction_above]/binning/economics scans) and each quickselect leaves it
+   a little more ordered, so repeated queries keep getting cheaper without
+   ever paying a full sort. *)
+let scratch run =
+  match run.scratch with
+  | Some b ->
       Obs.incr "mc.percentile_cache.hit";
-      s
+      b
   | None ->
       Obs.incr "mc.percentile_cache.miss";
-      let s = Array.copy run.fmax_mhz in
-      Array.sort compare s;
-      run.sorted <- Some s;
-      s
+      let b = Stats.buf_copy run.fmax_mhz in
+      run.scratch <- Some b;
+      b
 
-let percentile run p = Gap_util.Stats.percentile_sorted (sorted_samples run) p
-let mean run = Gap_util.Stats.mean_of run.fmax_mhz
+let percentile run p = Stats.buf_percentile (scratch run) p
+let mean run = Stats.buf_mean run.fmax_mhz
 
 let spread run =
   (percentile run 99. -. percentile run 1.) /. percentile run 50.
 
 let fraction_above run mhz =
-  (* first sorted index at or above [mhz], by binary search *)
-  let s = sorted_samples run in
-  let n = Array.length s in
-  let lo = ref 0 and hi = ref n in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if s.(mid) >= mhz then hi := mid else lo := mid + 1
-  done;
-  float_of_int (n - !lo) /. float_of_int n
+  let n = Stats.buf_length run.fmax_mhz in
+  float_of_int (Stats.buf_count_ge run.fmax_mhz mhz) /. float_of_int n

@@ -1,18 +1,30 @@
 (** Monte Carlo fmax sampling over a variation model.
 
-    Sampling is sharded: dies are drawn in fixed 1024-die blocks, each block
-    from its own generator split off the master seed, and [domains] workers
-    claim blocks off a shared counter. Because the block layout depends only
-    on [dies], the resulting sample array is byte-identical for every
-    [domains] value — parallelism changes wall-clock only, never results. *)
+    Samples live in an unboxed float64 Bigarray
+    ({!Gap_util.Stats.buf}): worker domains write disjoint flat-memory
+    ranges directly, with no boxed [float array] and no per-sample
+    allocation (each shard's standard normals are drawn in one batched
+    {!Gap_util.Rng.normal_std_fill}).
+
+    Sampling is sharded: dies are drawn in fixed 1024-die blocks, each
+    block from its own generator split off the master seed, and [domains]
+    workers claim *chunks* of up to 8 consecutive blocks off a shared
+    counter — chunk-granularity claiming keeps the atomic counter off the
+    hot path and every claim covers a contiguous, cache-line-aligned span
+    of the buffer (chunks shrink on small runs so every worker still sees
+    work to steal). Because the block layout depends only on [dies] — the
+    chunk size steers only which worker writes which block — the resulting
+    sample buffer is byte-identical for every [domains] value; parallelism
+    changes wall-clock only, never results. *)
 
 type run = {
   nominal_mhz : float;
-  fmax_mhz : float array;  (** one entry per die, unsorted *)
+  fmax_mhz : Gap_util.Stats.buf;  (** one entry per die, unsorted *)
   model : Model.t;
-  mutable sorted : float array option;
-      (** lazily cached ascending copy of [fmax_mhz]; managed by
-          {!percentile}/{!fraction_above}, do not mutate *)
+  mutable scratch : Gap_util.Stats.buf option;
+      (** lazily created copy of [fmax_mhz] that percentile quickselects
+          partially reorder in place; managed by {!percentile}/{!spread},
+          do not mutate *)
 }
 
 val simulate :
@@ -24,7 +36,13 @@ val simulate :
   unit ->
   run
 (** [domains] (default 1) is the number of Domains that sample in parallel;
-    results are identical for any value.
+    results are identical for any value. [Invalid_argument] unless both
+    [dies] and [domains] are positive.
+
+    Observability: worker domains aggregate locally and flush once at join
+    time — one batched [mc.shard_ns] histogram record per worker plus
+    [mc.chunks_claimed] / [mc.worker_chunks] for work-stealing balance —
+    instead of taking the recorder mutex per shard.
 
     Resilience: every spawned domain is joined even when a worker raises,
     and the first error re-raises as a typed
@@ -34,12 +52,15 @@ val simulate :
     does the typed error propagate to the caller. *)
 
 val percentile : run -> float -> float
-(** Sorts the samples once on first use; repeated percentile queries are
-    O(1) after that. *)
+(** Streaming percentile by partial quickselect over a scratch copy of the
+    samples — no full sort, expected O(dies) per query, and repeated
+    queries get cheaper as earlier partitions accumulate. Returns exactly
+    what sorting and interpolating would. *)
 
 val mean : run -> float
 val spread : run -> float
 (** (p99 - p1) / p50: the visible speed spread of shipped parts. *)
 
 val fraction_above : run -> float -> float
-(** Yield at a frequency: fraction of dies at or above [mhz]. *)
+(** Yield at a frequency: fraction of dies at or above [mhz]; one pass
+    over the unsorted buffer. *)

@@ -5,22 +5,31 @@ module Cell = Gap_liberty.Cell
 type run = { nominal_ps : float; periods_ps : float array; sigma_cell : float }
 
 let simulate ?(seed = 51L) ?(samples = 200) ?(config = Sta.default_config) ~sigma_cell nl =
-  assert (sigma_cell >= 0. && sigma_cell < 0.5);
+  if not (sigma_cell >= 0. && sigma_cell < 0.5) then
+    invalid_arg
+      (Printf.sprintf "Gap_variation.Ssta.simulate: sigma_cell = %g outside [0, 0.5)"
+         sigma_cell);
   let rng = Gap_util.Rng.create ~seed () in
   let nominal = (Sta.analyze ~config nl).Sta.min_period_ps in
   (* stash the pre-existing wire delays so we can restore them *)
   let saved = Array.init (Netlist.num_nets nl) (Netlist.wire_delay_ps nl) in
   let comb = Netlist.combinational_instances nl in
+  let ncomb = List.length comb in
+  (* one standard normal per combinational instance per sample, drawn in a
+     single batched fill — the per-instance stream is identical to scalar
+     [normal ~mean:1.0 ~sigma:sigma_cell] draws in instance order *)
+  let z = Array.make (max 1 ncomb) 0. in
   let periods =
     Array.init samples (fun _ ->
-        List.iter
-          (fun inst ->
+        Gap_util.Rng.normal_std_fill rng z ~pos:0 ~len:ncomb;
+        List.iteri
+          (fun k inst ->
             let cell = Netlist.cell_of nl inst in
             let onet = Netlist.out_net nl inst in
             let load = Netlist.net_load_ff nl onet in
             let d = Cell.delay_ps cell ~load_ff:load in
             let factor =
-              Float.max 0.5 (Gap_util.Rng.normal rng ~mean:1.0 ~sigma:sigma_cell)
+              Float.max 0.5 (1.0 +. (sigma_cell *. Array.unsafe_get z k))
             in
             (* model the variation as extra (possibly negative) wire delay on
                the cell's output, leaving cell data intact *)

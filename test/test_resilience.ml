@@ -276,6 +276,33 @@ let test_mc_worker_death () =
         = faulted.Gap_variation.Montecarlo.fmax_mhz)
   | Error e -> Alcotest.failf "degradation failed: %s" (Printexc.to_string e)
 
+let mc_worker_death_identical_property =
+  (* the pinned test above at one shape; here random seeds, dies counts, and
+     worker counts. dies > 2 shards so a worker domain always spawns and the
+     kill site is reachable; the degraded sequential rerun must reproduce the
+     clean run's samples byte for byte *)
+  QCheck.Test.make ~name:"mc worker death degrades byte-identically" ~count:8
+    QCheck.(triple (int_bound 1000) (int_range 2049 8192) (int_range 2 4))
+    (fun (seed, dies, domains) ->
+      let seed = Int64.of_int seed in
+      let simulate () =
+        Gap_variation.Montecarlo.simulate ~seed ~domains ~model:(mc_model ())
+          ~nominal_mhz:250. ~dies ()
+      in
+      let clean =
+        Gap_variation.Montecarlo.simulate ~seed ~model:(mc_model ())
+          ~nominal_mhz:250. ~dies ()
+      in
+      let result, report =
+        Fault.with_plan [ Fault.spec "mc.worker" Stage_error.Worker_kill ] simulate
+      in
+      match result with
+      | Ok faulted ->
+          List.assoc_opt "mc.worker" report.Fault.injected = Some 1
+          && clean.Gap_variation.Montecarlo.fmax_mhz
+             = faulted.Gap_variation.Montecarlo.fmax_mhz
+      | Error _ -> false)
+
 (* --- Placer: mid-anneal fault falls back to best-so-far --- *)
 
 let small_netlist () =
@@ -472,6 +499,7 @@ let suite =
     Alcotest.test_case "guard_finite only under supervision" `Quick test_guard_finite;
     Alcotest.test_case "cooperative deadline" `Quick test_deadline;
     Alcotest.test_case "mc worker death degrades identically" `Quick test_mc_worker_death;
+    QCheck_alcotest.to_alcotest mc_worker_death_identical_property;
     Alcotest.test_case "placer recovers best-so-far" `Quick test_placer_recovery;
     Alcotest.test_case "corrupt parasitic is typed" `Quick test_corrupt_parasitic_typed;
     Alcotest.test_case "checkpoint round-trip + version gate" `Quick test_checkpoint_roundtrip;

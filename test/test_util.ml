@@ -73,7 +73,7 @@ let test_rng_shuffle_permutes () =
   let a = Array.init 50 (fun i -> i) in
   Rng.shuffle rng a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
 
 let test_rng_split_independent () =
@@ -403,6 +403,99 @@ let hash_stability_property =
       let fold () = List.fold_left Hash.string Hash.seed fields in
       Int64.equal (fold ()) (fold ()))
 
+(* --- unboxed sample buffers / batched rng --- *)
+
+let test_buf_roundtrip_and_aggregates () =
+  let xs = [| 5.; 1.; 3.; 2.; 4. |] in
+  let b = Stats.buf_of_array xs in
+  Alcotest.(check int) "length" 5 (Stats.buf_length b);
+  Alcotest.(check (array (float 0.))) "roundtrip" xs (Stats.buf_to_array b);
+  check_float "mean" (Stats.mean_of xs) (Stats.buf_mean b);
+  check_float "min" 1. (Stats.buf_min b);
+  check_float "max" 5. (Stats.buf_max b);
+  Alcotest.(check int) "count_ge" 3 (Stats.buf_count_ge b 3.);
+  Alcotest.(check int) "count_ge none" 0 (Stats.buf_count_ge b 6.);
+  (* the copy is independent: selecting on it leaves the original alone *)
+  let c = Stats.buf_copy b in
+  ignore (Stats.buf_select c 0);
+  Alcotest.(check (array (float 0.))) "original untouched" xs (Stats.buf_to_array b)
+
+let test_buf_select_edges () =
+  let b = Stats.buf_of_array [| 5.; 1.; 3.; 2.; 4. |] in
+  check_float "k=0 is min" 1. (Stats.buf_select b 0);
+  check_float "k=4 is max" 5. (Stats.buf_select b 4);
+  check_float "k=2 is median" 3. (Stats.buf_select b 2);
+  let d = Stats.buf_of_array [| 2.; 2.; 1.; 2. |] in
+  check_float "duplicates" 2. (Stats.buf_select d 2);
+  check_float "singleton" 7. (Stats.buf_select (Stats.buf_of_array [| 7. |]) 0);
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted bad input" name
+  in
+  expect_invalid "empty buffer" (fun () -> Stats.buf_select (Stats.buf_create 0) 0);
+  expect_invalid "rank too high" (fun () -> Stats.buf_select (Stats.buf_of_array [| 1. |]) 1);
+  expect_invalid "negative rank" (fun () -> Stats.buf_select (Stats.buf_of_array [| 1. |]) (-1));
+  expect_invalid "nan poisons selection" (fun () ->
+      ignore (Stats.buf_select (Stats.buf_of_array (Array.make 8 Float.nan)) 4));
+  expect_invalid "percentile out of range" (fun () ->
+      Stats.buf_percentile (Stats.buf_of_array [| 1. |]) 101.)
+
+let buf_percentile_matches_sort_property =
+  (* streaming (quickselect) percentiles and single-pass aggregates must
+     agree bit for bit with the sort-based reference path, repeated-query
+     reordering included *)
+  QCheck.Test.make ~name:"buf percentile/mean match sorted reference" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 80) (float_range (-1e6) 1e6))
+        (small_list (int_bound 100)))
+    (fun (xs, ps) ->
+      let arr = Array.of_list xs in
+      let b = Stats.buf_of_array arr in
+      let sorted = Array.copy arr in
+      Array.sort Float.compare sorted;
+      Stats.buf_mean b = Stats.mean_of arr
+      && Stats.buf_min b = Stats.minimum arr
+      && Stats.buf_max b = Stats.maximum arr
+      && List.for_all
+           (fun pi ->
+             let p = float_of_int pi in
+             Stats.buf_percentile b p = Stats.percentile_sorted sorted p)
+           (0 :: 50 :: 100 :: ps))
+
+let normal_fill_matches_scalar_property =
+  (* the batched fill must replay the exact scalar [normal] stream bit for
+     bit across consecutive fills of assorted lengths — even, odd (leaving
+     a cached spare), and zero — at arbitrary buffer offsets *)
+  QCheck.Test.make ~name:"batched normal fill matches scalar draws" ~count:100
+    QCheck.(pair small_nat (list_of_size Gen.(1 -- 6) (int_bound 33)))
+    (fun (seed, lens) ->
+      let a = Rng.create ~seed:(Int64.of_int seed) () in
+      let b = Rng.create ~seed:(Int64.of_int seed) () in
+      List.for_all
+        (fun len ->
+          let buf = Array.make (len + 2) 42.0 in
+          Rng.normal_std_fill a buf ~pos:1 ~len;
+          let ok = ref (buf.(0) = 42.0 && buf.(len + 1) = 42.0) in
+          for i = 1 to len do
+            if buf.(i) <> Rng.normal b ~mean:0. ~sigma:1. then ok := false
+          done;
+          !ok)
+        lens)
+
+let test_normal_fill_rejects_bad_range () =
+  let rng = Rng.create () in
+  let buf = Array.make 4 0. in
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted bad range" name
+  in
+  expect_invalid "negative pos" (fun () -> Rng.normal_std_fill rng buf ~pos:(-1) ~len:2);
+  expect_invalid "negative len" (fun () -> Rng.normal_std_fill rng buf ~pos:0 ~len:(-1));
+  expect_invalid "past end" (fun () -> Rng.normal_std_fill rng buf ~pos:2 ~len:3)
+
 let test_units () =
   check_float "ps<->ns" 1500. (Gap_util.Units.ps_of_ns 1.5);
   check_float "mhz of period" 1000. (Gap_util.Units.mhz_of_period_ps 1000.);
@@ -449,5 +542,10 @@ let suite =
     ("hash combinators", `Quick, test_hash_combinators);
     QCheck_alcotest.to_alcotest hash_field_split_property;
     QCheck_alcotest.to_alcotest hash_stability_property;
+    ("buf roundtrip and aggregates", `Quick, test_buf_roundtrip_and_aggregates);
+    ("buf select edges", `Quick, test_buf_select_edges);
+    QCheck_alcotest.to_alcotest buf_percentile_matches_sort_property;
+    QCheck_alcotest.to_alcotest normal_fill_matches_scalar_property;
+    ("normal fill rejects bad range", `Quick, test_normal_fill_rejects_bad_range);
     ("units", `Quick, test_units);
   ]

@@ -49,6 +49,23 @@ let test_mc_domains_identical () =
         (r.MC.fmax_mhz = base.MC.fmax_mhz))
     [ 1; 2; 4 ]
 
+let mc_domains_identical_property =
+  (* same contract as the pinned test above, but over random seeds and dies
+     counts — shard-boundary stragglers, single-shard runs, and runs smaller
+     than the worker count included *)
+  QCheck.Test.make ~name:"mc samples byte-identical across domains" ~count:12
+    QCheck.(pair (int_bound 1000) (int_range 1 5000))
+    (fun (seed, dies) ->
+      let model = V.make V.mature in
+      let seed = Int64.of_int seed in
+      let base = MC.simulate ~seed ~model ~nominal_mhz:250. ~dies () in
+      List.for_all
+        (fun d ->
+          let r = MC.simulate ~seed ~domains:d ~model ~nominal_mhz:250. ~dies () in
+          r.MC.fmax_mhz = base.MC.fmax_mhz
+          && MC.percentile r 50. = MC.percentile base 50.)
+        [ 2; 4 ])
+
 let test_mc_percentiles_ordered () =
   let r = run () in
   let p1 = MC.percentile r 1. and p50 = MC.percentile r 50. and p99 = MC.percentile r 99. in
@@ -208,6 +225,7 @@ let suite =
     ("total sigma", `Quick, test_total_sigma);
     ("MC deterministic by seed", `Quick, test_mc_deterministic);
     ("MC identical across domains", `Quick, test_mc_domains_identical);
+    QCheck_alcotest.to_alcotest mc_domains_identical_property;
     ("MC percentiles ordered", `Quick, test_mc_percentiles_ordered);
     ("fraction above", `Quick, test_fraction_above);
     ("binning counts", `Quick, test_binning_counts);
