@@ -1,4 +1,4 @@
-.PHONY: build test check faults sweep verify repro bench bench-kernels metrics clean
+.PHONY: build test check faults sweep report bench-diff verify repro bench bench-kernels metrics clean
 
 build:
 	dune build
@@ -31,9 +31,29 @@ sweep:
 	  --min-hit-rate 0.99 --json BENCH_sweep.json
 	dune exec bin/repro.exe -- validate-json BENCH_sweep.json
 
+# Trace analysis: record a traced run, analyze it (self-time attribution,
+# top-K spans, critical path), export to Chrome/Perfetto trace-event format,
+# and validate both the analysis document and the export as strict JSON.
+report:
+	dune exec bin/repro.exe -- run E4 E6 E9 --trace BENCH_trace.jsonl
+	dune exec bin/repro.exe -- report BENCH_trace.jsonl --json BENCH_report.json
+	dune exec bin/repro.exe -- validate-json BENCH_report.json
+	dune exec bin/repro.exe -- export-trace BENCH_trace.jsonl -o BENCH_trace.chrome.json
+	dune exec bin/repro.exe -- validate-json BENCH_trace.chrome.json
+
+# Kernel regression gating: append a host-tagged hot-kernel snapshot to the
+# BENCH_history.jsonl store, then diff against the previous entry and fail
+# on any metric more than 50% slower (normalized by the entries' host
+# calibration numbers). With fewer than two entries the diff passes
+# trivially, so a fresh clone bootstraps its own baseline.
+bench-diff:
+	dune exec bench/main.exe -- --kernels-json BENCH_kernels.json --history BENCH_history.jsonl
+	dune exec bin/repro.exe -- report --diff prev last --history BENCH_history.jsonl --gate 50
+
 # The default verification path: build, full test suite, strict lint gates,
-# fault campaign, cold/warm design-space sweep.
-verify: build test check faults sweep
+# fault campaign, cold/warm design-space sweep, trace analysis + Perfetto
+# export, kernel history gating.
+verify: build test check faults sweep report bench-diff
 
 repro:
 	dune exec bin/repro.exe -- all -x

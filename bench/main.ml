@@ -291,7 +291,7 @@ let scaling_doc rows =
       Some (doc, ratio, cores, threshold, pass)
   | _ -> None
 
-let write_kernels_json path =
+let write_kernels_json ?history path =
   let module Json = Gap_obs.Json in
   print_endline "=== hot-kernel benchmarks ===";
   ignore (Lazy.force alu16_netlist);
@@ -326,9 +326,13 @@ let write_kernels_json path =
       rows
   in
   let scaling = scaling_doc rows in
+  (* provenance: snapshots are only comparable across machines when each
+     says which machine (and toolchain) produced it *)
+  let meta = Gap_obs.History.meta_now () in
   let doc =
     Json.Obj
       ([
+         ("meta", Gap_obs.History.meta_json meta);
          ("baseline_note",
           Json.Str
             "baseline ns/run measured at seed commit 56f85bc \
@@ -352,11 +356,28 @@ let write_kernels_json path =
       | Some (sdoc, _, _, _, _) -> [ ("scaling", sdoc) ]
       | None -> [])
   in
-  let oc = open_out path in
-  output_string oc (Json.to_string ~pretty:true doc);
-  output_char oc '\n';
-  close_out oc;
+  Gap_util.Atomic_io.write_string path (Json.to_string ~pretty:true doc ^ "\n");
   Printf.printf "wrote %s\n%!" path;
+  Option.iter
+    (fun store ->
+      (* the history snapshot carries ns/run per kernel plus the scaling
+         ratio, so `repro report --diff prev last` gates kernel regressions *)
+      let metrics =
+        List.filter_map
+          (fun (name, ns, _) ->
+            if Float.is_nan ns then None
+            else Some ("kernel." ^ name ^ ".ns_per_run", ns))
+          rows
+        @
+        match scaling with
+        | Some (_, ratio, _, _, _) -> [ ("mc_60000.d4_over_d1", ratio) ]
+        | None -> []
+      in
+      Gap_obs.History.append store
+        (Gap_obs.History.make ~meta ~label:"bench-kernels" metrics);
+      Printf.printf "history: appended %d metrics to %s\n%!"
+        (List.length metrics) store)
+    history;
   match scaling with
   | Some (_, ratio, cores, threshold, pass) ->
       Printf.printf "mc_60000 scaling: d4/d1 = %.3f (host cores %d, threshold %.2f) %s\n%!"
@@ -374,12 +395,16 @@ let write_kernels_json path =
 let usage () =
   print_endline
     "usage: bench [--tables-only | --bench-only] [--quick] [--kernels-json PATH]\n\
+     \             [--history PATH]\n\
      \  default            regenerate the E1-E10/X1-X5 tables, then run the\n\
      \                     per-experiment bechamel suite\n\
      \  --tables-only      only regenerate the tables\n\
      \  --bench-only       only run the per-experiment bechamel suite\n\
      \  --kernels-json P   run only the hot-kernel suite and write ns/run\n\
      \                     (with seed baselines and speedups) to P as JSON\n\
+     \  --history P        with --kernels-json: also append a host-tagged\n\
+     \                     snapshot (ns/run per kernel + scaling ratio) to the\n\
+     \                     P history store, for repro report --diff\n\
      \  --quick            shorter measurement quota per benchmark (does not\n\
      \                     shrink the hot-kernel suite, which needs the\n\
      \                     samples for a stable fit)"
@@ -389,6 +414,7 @@ let () =
   let bench_only = ref false in
   let quick = ref false in
   let kernels_json = ref None in
+  let history = ref None in
   let rec parse = function
     | [] -> ()
     | "--tables-only" :: rest -> tables_only := true; parse rest
@@ -397,6 +423,11 @@ let () =
     | "--kernels-json" :: path :: rest -> kernels_json := Some path; parse rest
     | [ "--kernels-json" ] ->
         prerr_endline "bench: --kernels-json requires a path";
+        usage ();
+        exit 2
+    | "--history" :: path :: rest -> history := Some path; parse rest
+    | [ "--history" ] ->
+        prerr_endline "bench: --history requires a path";
         usage ();
         exit 2
     | ("--help" | "-h") :: _ -> usage (); exit 0
@@ -413,7 +444,12 @@ let () =
   end;
   let quota = if !quick then 0.25 else 0.5 in
   match !kernels_json with
-  | Some path -> write_kernels_json path
+  | Some path -> write_kernels_json ?history:!history path
   | None ->
+      if !history <> None then begin
+        prerr_endline "bench: --history requires --kernels-json";
+        usage ();
+        exit 2
+      end;
       if not !bench_only then regenerate_tables ();
       if not !tables_only then run_benchmarks ~quota ()

@@ -9,7 +9,10 @@
    repro dump cla16      synthesize a named circuit and emit structural Verilog
    repro sweep PRESET    design-space sweep through the result cache + worker pool
    repro pareto          Pareto frontier over (delay, area, power) with the gap composite
-   repro cache stats     inspect / reset the persistent DSE result cache *)
+   repro cache stats     inspect / reset the persistent DSE result cache
+   repro report TRACE    analyze a JSONL trace: self-time, top-K, critical path
+   repro report --diff A B   cross-run regression diff over the history store
+   repro export-trace    convert a JSONL trace to Chrome/Perfetto format *)
 
 open Cmdliner
 
@@ -22,6 +25,8 @@ type obs_opts = {
   metrics_json : string option;
   obs_summary : bool;
   obs_csv : string option;
+  history : string option;
+  history_label : string;
 }
 
 let obs_term =
@@ -44,14 +49,47 @@ let obs_term =
         & info [ "obs-csv" ] ~docv:"FILE"
             ~doc:"Dump the span aggregates as CSV to $(docv).")
   in
-  Term.(const (fun trace metrics_json obs_summary obs_csv ->
-            { trace; metrics_json; obs_summary; obs_csv })
-        $ trace $ metrics $ summary $ csv)
+  let history =
+    Arg.(value & opt (some string) None
+        & info [ "history" ] ~docv:"FILE"
+            ~doc:"Append a host-tagged snapshot of the run's span totals to the \
+                  $(docv) history store (one JSON line per run), for \
+                  $(b,repro report --diff).")
+  in
+  let history_label =
+    Arg.(value & opt string "repro"
+        & info [ "history-label" ] ~docv:"LABEL"
+            ~doc:"Label recorded with the $(b,--history) snapshot.")
+  in
+  Term.(const (fun trace metrics_json obs_summary obs_csv history history_label ->
+            { trace; metrics_json; obs_summary; obs_csv; history; history_label })
+        $ trace $ metrics $ summary $ csv $ history $ history_label)
+
+(* one metric per aggregated span: "<exp>:<path>.total_ns" (path alone when
+   the span ran outside any experiment); shared by --history snapshots and
+   trace-derived diff entries so the two kinds compare *)
+let span_metric_name ~exp ~path =
+  (if exp = "" then path else exp ^ ":" ^ path) ^ ".total_ns"
+
+let write_json_doc path doc =
+  Gap_util.Atomic_io.write_string path
+    (Gap_obs.Json.to_string ~pretty:true doc ^ "\n")
+
+let append_history_from_sink sink ~store ~label =
+  let metrics =
+    List.map
+      (fun (s : Gap_obs.Obs.span_stats) ->
+        (span_metric_name ~exp:s.Gap_obs.Obs.exp ~path:s.Gap_obs.Obs.path,
+         s.Gap_obs.Obs.total_ns))
+      (Gap_obs.Obs.spans sink)
+  in
+  Gap_obs.History.append store (Gap_obs.History.make ~label metrics);
+  Printf.eprintf "history: appended %d metrics to %s\n" (List.length metrics) store
 
 let with_obs opts f =
   if
     opts.trace = None && opts.metrics_json = None && (not opts.obs_summary)
-    && opts.obs_csv = None
+    && opts.obs_csv = None && opts.history = None
   then f ()
   else begin
     (* every artifact goes through Atomic_io: the trace streams into a temp
@@ -69,6 +107,10 @@ let with_obs opts f =
           (fun path ->
             Gap_util.Atomic_io.write_string path (Gap_obs.Obs.spans_csv sink))
           opts.obs_csv;
+        Option.iter
+          (fun store ->
+            append_history_from_sink sink ~store ~label:opts.history_label)
+          opts.history;
         if opts.obs_summary then print_string (Gap_obs.Obs.summary sink);
         code
     | exception e ->
@@ -491,6 +533,192 @@ let libdump_cmd =
   let doc = "Generate a library and emit it in Liberty format on stdout." in
   Cmd.v (Cmd.info "libdump" ~doc) Term.(const libdump $ profile_arg)
 
+(* --- report / export-trace: the analysis half of the observatory --- *)
+
+module Trace = Gap_obs.Trace
+module Report = Gap_obs.Report
+module History = Gap_obs.History
+module Export = Gap_obs.Export
+
+(* a trace file diffs like a history snapshot: one metric per aggregated
+   span path, no calibration (0 = unknown, diff skips normalization) *)
+let entry_of_trace path =
+  match Trace.read_file path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok tr ->
+      let r = Report.analyze tr in
+      let metrics =
+        ("trace.wall_ns", r.Report.wall_ns)
+        :: List.map
+             (fun (n : Report.node) ->
+               ( span_metric_name ~exp:n.Report.n_exp ~path:n.Report.n_path,
+                 n.Report.n_total_ns ))
+             r.Report.nodes
+      in
+      Ok (History.make ~calibration_ns:0. ~label:path metrics)
+
+let run_report_analyze trace_path top json_path =
+  match Trace.read_file trace_path with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" trace_path e;
+      1
+  | Ok tr ->
+      let r = Report.analyze tr in
+      print_string (Report.render ~top r);
+      Option.iter (fun p -> write_json_doc p (Report.to_json ~top r)) json_path;
+      0
+
+let run_report_diff a b gate history_path =
+  let entries, trunc =
+    match History.read history_path with
+    | Ok (es, t) -> (es, t)
+    | Error e ->
+        Printf.eprintf "%s: %s\n" history_path e;
+        ([], None)
+  in
+  Option.iter
+    (fun n -> Printf.eprintf "history: dropped truncated tail (%s)\n" n)
+    trunc;
+  let resolve side =
+    if Sys.file_exists side then
+      match entry_of_trace side with Ok e -> `Entry e | Error m -> `Err m
+    else
+      match History.find entries side with
+      | Some e -> `Entry e
+      | None ->
+          if (side = "prev" || side = "last") && List.length entries < 2 then
+            `Insufficient
+          else
+            `Err
+              (Printf.sprintf "%s: no such file, and not found in %s" side
+                 history_path)
+  in
+  match (resolve a, resolve b) with
+  | `Insufficient, _ | _, `Insufficient ->
+      Printf.printf
+        "history %s has %d entr%s; nothing to diff against yet\n" history_path
+        (List.length entries)
+        (if List.length entries = 1 then "y" else "ies");
+      0
+  | `Err m, _ | _, `Err m ->
+      prerr_endline m;
+      1
+  | `Entry baseline, `Entry current -> (
+      Printf.printf "diff: %s (%s) -> %s (%s)\n" baseline.History.label
+        baseline.History.meta.History.host current.History.label
+        current.History.meta.History.host;
+      let d = History.diff ~baseline ~current in
+      print_string (History.render_diff ?gate_pct:gate d);
+      match gate with
+      | None -> 0
+      | Some g ->
+          let regs = History.regressions ~gate_pct:g d in
+          if regs = [] then begin
+            Printf.printf "gate %.1f%%: ok (%d metrics compared)\n" g
+              (List.length d.History.deltas);
+            0
+          end
+          else begin
+            Printf.eprintf "gate %.1f%%: %d metric(s) regressed\n" g
+              (List.length regs);
+            1
+          end)
+
+let default_history = "BENCH_history.jsonl"
+
+let report_cmd =
+  let args_arg =
+    Arg.(value & pos_all string []
+        & info [] ~docv:"ARG"
+            ~doc:"A JSONL trace file to analyze, or (with $(b,--diff)) two \
+                  sides to compare: each a trace file, or a history selector \
+                  ($(i,last), $(i,prev), $(i,@N), or a label).")
+  in
+  let diff_arg =
+    Arg.(value & flag
+        & info [ "diff" ]
+            ~doc:"Compare two runs metric-by-metric instead of analyzing one \
+                  trace; deltas are normalized by the entries' host \
+                  calibration numbers.")
+  in
+  let gate_arg =
+    Arg.(value & opt (some float) None
+        & info [ "gate" ] ~docv:"PCT"
+            ~doc:"With $(b,--diff): exit non-zero if any metric regressed by \
+                  more than $(docv) percent (normalized).")
+  in
+  let top_arg =
+    Arg.(value & opt int 10
+        & info [ "top" ] ~docv:"K" ~doc:"Rows in the top-K rankings (default 10).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Write the full analysis document to $(docv) as JSON.")
+  in
+  let history_arg =
+    Arg.(value & opt string default_history
+        & info [ "history" ] ~docv:"FILE"
+            ~doc:"History store consulted for $(b,--diff) selectors.")
+  in
+  let run args diff gate top json history =
+    match (diff, args) with
+    | false, [ trace ] -> run_report_analyze trace top json
+    | false, _ ->
+        prerr_endline "report: expected exactly one TRACE argument";
+        2
+    | true, [ a; b ] -> run_report_diff a b gate history
+    | true, _ ->
+        prerr_endline "report --diff: expected exactly two sides (A B)";
+        2
+  in
+  let doc =
+    "Analyze a JSONL telemetry trace (self-time attribution, top-K spans, \
+     critical path), or with $(b,--diff) compare two runs and gate on \
+     regressions."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ args_arg $ diff_arg $ gate_arg $ top_arg $ json_arg
+          $ history_arg)
+
+let export_trace_cmd =
+  let trace_arg =
+    Arg.(required & pos 0 (some string) None
+        & info [] ~docv:"TRACE" ~doc:"JSONL trace file to convert.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"FILE"
+            ~doc:"Output path (default: $(i,TRACE) with a .chrome.json suffix).")
+  in
+  let run trace out =
+    match Trace.read_file trace with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" trace e;
+        1
+    | Ok tr ->
+        let out =
+          match out with
+          | Some o -> o
+          | None ->
+              (if Filename.check_suffix trace ".jsonl" then
+                 Filename.chop_suffix trace ".jsonl"
+               else trace)
+              ^ ".chrome.json"
+        in
+        Export.write_chrome_trace tr out;
+        (match tr.Trace.truncated with
+        | Some note -> Printf.eprintf "note: truncated tail dropped (%s)\n" note
+        | None -> ());
+        Printf.printf "wrote %s (%d records)\n" out (List.length tr.Trace.records);
+        0
+  in
+  let doc =
+    "Convert a JSONL telemetry trace to the Chrome trace-event format \
+     (loadable in chrome://tracing and ui.perfetto.dev)."
+  in
+  Cmd.v (Cmd.info "export-trace" ~doc) Term.(const run $ trace_arg $ out_arg)
+
 (* --- dse: design-space sweeps, Pareto frontiers, result cache --- *)
 
 module Dse_space = Gap_dse.Space
@@ -521,10 +749,6 @@ let sweep_report (r : Dse_sweep.t) =
         (Dse_space.to_canonical p)
         (Gap_resilience.Stage_error.to_string e))
     r.Dse_sweep.failed
-
-let write_json_doc path doc =
-  Gap_util.Atomic_io.write_string path
-    (Gap_obs.Json.to_string ~pretty:true doc ^ "\n")
 
 let run_sweep preset domains store no_store capacity json_path min_hit_rate =
   match resolve_preset preset with
@@ -660,6 +884,6 @@ let main =
     (Cmd.info "repro" ~version:"1.0" ~doc)
     [ list_cmd; run_cmd; all_cmd; resume_cmd; faults_cmd; analysis_cmd;
       check_cmd; dump_cmd; libdump_cmd; validate_json_cmd;
-      sweep_cmd; pareto_cmd; cache_cmd ]
+      sweep_cmd; pareto_cmd; cache_cmd; report_cmd; export_trace_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,97 @@
+(* Gap_obs.Export — Chrome trace-event / Perfetto export.
+
+   Converts a parsed JSONL trace into the Chrome trace-event JSON format
+   (the "JSON Array Format" with an object wrapper), loadable in
+   chrome://tracing and ui.perfetto.dev. Spans become complete ("X")
+   events, Obs events become instants ("i"); timestamps are microseconds
+   rebased to the earliest record so ts starts at 0 and ascends
+   monotonically (the list is ts-sorted as Perfetto requires for
+   same-thread slices). *)
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+(* one synthetic thread per experiment keeps concurrent experiments from
+   interleaving their slices on a single track *)
+let tid_table () =
+  let tbl = Hashtbl.create 8 in
+  fun exp ->
+    match Hashtbl.find_opt tbl exp with
+    | Some tid -> tid
+    | None ->
+        let tid = Hashtbl.length tbl + 1 in
+        Hashtbl.add tbl exp tid;
+        tid
+
+let chrome_trace (tr : Trace.t) =
+  let t0 =
+    List.fold_left
+      (fun acc r ->
+        let t =
+          match r with
+          | Trace.Span s -> s.Trace.s_start_ns
+          | Trace.Event e -> e.Trace.e_t_ns
+        in
+        min acc t)
+      max_int tr.Trace.records
+  in
+  let t0 = if t0 = max_int then 0 else t0 in
+  let tid_of = tid_table () in
+  let args kvs extra =
+    match kvs @ extra with [] -> [] | l -> [ ("args", Json.Obj l) ]
+  in
+  let entries =
+    List.map
+      (function
+        | Trace.Span s ->
+            let ts = s.Trace.s_start_ns - t0 in
+            ( ts,
+              0,
+              Json.Obj
+                ([
+                   ("name", Json.Str s.Trace.s_name);
+                   ("cat", Json.Str (if s.Trace.s_exp = "" then "span" else s.Trace.s_exp));
+                   ("ph", Json.Str "X");
+                   ("ts", Json.Float (us_of_ns ts));
+                   ("dur", Json.Float (us_of_ns s.Trace.s_dur_ns));
+                   ("pid", Json.Int 1);
+                   ("tid", Json.Int (tid_of s.Trace.s_exp));
+                 ]
+                @ args s.Trace.s_attrs
+                    [
+                      ("path", Json.Str s.Trace.s_path);
+                      ("minor_words", Json.Float s.Trace.s_minor_words);
+                      ("major_words", Json.Float s.Trace.s_major_words);
+                    ]) )
+        | Trace.Event e ->
+            let ts = e.Trace.e_t_ns - t0 in
+            ( ts,
+              1,
+              Json.Obj
+                ([
+                   ("name", Json.Str e.Trace.e_name);
+                   ("cat", Json.Str (if e.Trace.e_exp = "" then "event" else e.Trace.e_exp));
+                   ("ph", Json.Str "i");
+                   ("ts", Json.Float (us_of_ns ts));
+                   ("s", Json.Str "t");
+                   ("pid", Json.Int 1);
+                   ("tid", Json.Int (tid_of e.Trace.e_exp));
+                 ]
+                @ args e.Trace.e_attrs []) ))
+      tr.Trace.records
+  in
+  (* ts-ascending; instants after slices at equal ts so slices open first *)
+  let sorted =
+    List.stable_sort
+      (fun (ta, ka, _) (tb, kb, _) ->
+        match compare ta tb with 0 -> compare ka kb | c -> c)
+      entries
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map (fun (_, _, j) -> j) sorted));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_chrome_trace tr path =
+  Gap_util.Atomic_io.write_string path
+    (Json.to_string ~pretty:true (chrome_trace tr) ^ "\n")

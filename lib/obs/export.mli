@@ -1,0 +1,11 @@
+(** Chrome trace-event / Perfetto export of a parsed JSONL trace.
+
+    Spans become complete ("X") events and {!Obs} events instants ("i");
+    timestamps are microseconds rebased so [ts] starts at 0, and the
+    [traceEvents] list is ts-sorted. The output loads in chrome://tracing
+    and ui.perfetto.dev, one synthetic thread per experiment. *)
+
+val chrome_trace : Trace.t -> Json.t
+
+val write_chrome_trace : Trace.t -> string -> unit
+(** Pretty-printed document plus trailing newline, written atomically. *)

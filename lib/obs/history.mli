@@ -1,0 +1,69 @@
+(** Append-only run-history store ([BENCH_history.jsonl]) and cross-run
+    regression diffing.
+
+    One JSON object per line: a labelled, host-tagged snapshot of named
+    metrics plus a calibration number measured at record time. Appends
+    rewrite the whole file atomically; a truncated final line from a killed
+    writer is dropped on read. Diffs normalize wall-clock ratios by the two
+    entries' calibration ratio, so a slower host does not read as a
+    regression. *)
+
+type meta = {
+  host : string;
+  domains : int;  (** [Domain.recommended_domain_count] at record time *)
+  ocaml_version : string;
+  timestamp : string;  (** ISO-8601 UTC *)
+}
+
+type entry = {
+  label : string;
+  meta : meta;
+  calibration_ns : float;  (** 0. = unknown (e.g. trace-derived entries) *)
+  metrics : (string * float) list;
+}
+
+val meta_now : unit -> meta
+val iso8601_now : unit -> string
+
+val calibrate : unit -> float
+(** Time a fixed deterministic FP kernel, best-of-5 — the unitless "how
+    fast is this host" number stored with every snapshot. *)
+
+val make :
+  ?meta:meta -> ?calibration_ns:float -> label:string ->
+  (string * float) list -> entry
+(** Snapshot with current host meta and a fresh calibration unless given. *)
+
+val meta_json : meta -> Json.t
+val to_json : entry -> Json.t
+val of_json : Json.t -> (entry, string) result
+
+val read : string -> (entry list * string option, string) result
+(** Entries in append order, plus a note when a truncated tail was
+    dropped. A missing file reads as ([], None)). *)
+
+val append : string -> entry -> unit
+
+val find : entry list -> string -> entry option
+(** Selector: ["last"], ["prev"], ["@N"] (0-based index), or a label (the
+    latest entry carrying it). *)
+
+type delta = {
+  metric : string;
+  base : float;
+  cur : float;
+  ratio : float;  (** cur / base, raw *)
+  norm_ratio : float;  (** ratio divided by the hosts' calibration ratio *)
+  pct : float;  (** (norm_ratio - 1) x 100; positive = slower *)
+}
+
+type diff = {
+  deltas : delta list;
+  only_base : string list;
+  only_cur : string list;
+  cal_ratio : float;
+}
+
+val diff : baseline:entry -> current:entry -> diff
+val regressions : gate_pct:float -> diff -> delta list
+val render_diff : ?gate_pct:float -> diff -> string

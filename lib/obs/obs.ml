@@ -49,6 +49,8 @@ type frame = {
   f_depth : int;
   f_start : int64;
   f_minor0 : float;
+  f_major0 : float;
+  f_promoted0 : float;
   mutable f_attrs : (string * Json.t) list;
 }
 
@@ -62,6 +64,8 @@ type span_stats = {
   min_ns : float;
   max_ns : float;
   minor_words : float;
+  major_words : float;
+  promoted_words : float;
 }
 
 type agg = {
@@ -74,6 +78,8 @@ type agg = {
   mutable a_min_ns : float;
   mutable a_max_ns : float;
   mutable a_minor : float;
+  mutable a_major : float;
+  mutable a_promoted : float;
 }
 
 type recorder = {
@@ -158,6 +164,8 @@ let agg_of r ~exp ~path ~name ~depth =
           a_min_ns = infinity;
           a_max_ns = 0.;
           a_minor = 0.;
+          a_major = 0.;
+          a_promoted = 0.;
         }
       in
       Hashtbl.add r.aggs key a;
@@ -175,6 +183,9 @@ let span ?(attrs = []) name f =
         | [] -> (name, 0)
       in
       let fr =
+        (* [Gc.quick_stat] reads the major/promoted tallies without walking
+           the heap, so opening a span stays O(1) *)
+        let qs = Gc.quick_stat () in
         {
           f_name = name;
           f_path = path;
@@ -182,6 +193,8 @@ let span ?(attrs = []) name f =
           f_depth = depth;
           f_start = now_ns ();
           f_minor0 = Gc.minor_words ();
+          f_major0 = qs.Gc.major_words;
+          f_promoted0 = qs.Gc.promoted_words;
           f_attrs = attrs;
         }
       in
@@ -192,6 +205,9 @@ let span ?(attrs = []) name f =
       let finish () =
         let dur = Int64.to_float (Int64.sub (now_ns ()) fr.f_start) in
         let minor = Gc.minor_words () -. fr.f_minor0 in
+        let qs = Gc.quick_stat () in
+        let major = qs.Gc.major_words -. fr.f_major0 in
+        let promoted = qs.Gc.promoted_words -. fr.f_promoted0 in
         let rec drop = function
           | top :: rest -> if top == fr then rest else drop rest
           | [] -> []
@@ -204,6 +220,8 @@ let span ?(attrs = []) name f =
             if dur < a.a_min_ns then a.a_min_ns <- dur;
             if dur > a.a_max_ns then a.a_max_ns <- dur;
             a.a_minor <- a.a_minor +. minor;
+            a.a_major <- a.a_major +. major;
+            a.a_promoted <- a.a_promoted +. promoted;
             trace_line r
               (Json.Obj
                  ([
@@ -215,6 +233,8 @@ let span ?(attrs = []) name f =
                     ("start_ns", Json.Int (Int64.to_int fr.f_start));
                     ("dur_ns", Json.Int (int_of_float dur));
                     ("minor_words", Json.Float minor);
+                    ("major_words", Json.Float major);
+                    ("promoted_words", Json.Float promoted);
                   ]
                  @
                  if fr.f_attrs = [] then []
@@ -355,6 +375,8 @@ let spans = function
             min_ns = (if a.a_calls = 0 then 0. else a.a_min_ns);
             max_ns = a.a_max_ns;
             minor_words = a.a_minor;
+            major_words = a.a_major;
+            promoted_words = a.a_promoted;
           })
         r.agg_order
 
@@ -438,6 +460,7 @@ let span_rows sink =
         pp_ns s.min_ns;
         pp_ns s.max_ns;
         pp_words s.minor_words;
+        pp_words s.major_words;
       ])
     (spans sink)
 
@@ -457,8 +480,8 @@ let summary sink =
       in
       section "spans"
         (tbl
-           [ "span"; "exp"; "calls"; "total"; "avg"; "min"; "max"; "alloc" ]
-           Gap_util.Table.[ Left; Left; Right; Right; Right; Right; Right; Right ]
+           [ "span"; "exp"; "calls"; "total"; "avg"; "min"; "max"; "alloc"; "major" ]
+           Gap_util.Table.[ Left; Left; Right; Right; Right; Right; Right; Right; Right ]
            (span_rows sink));
       section "counters"
         (tbl [ "counter"; "value" ]
@@ -493,7 +516,8 @@ let summary sink =
 let spans_csv sink =
   Gap_util.Table.to_csv
     ~header:
-      [ "exp"; "path"; "depth"; "calls"; "total_ns"; "avg_ns"; "min_ns"; "max_ns"; "minor_words" ]
+      [ "exp"; "path"; "depth"; "calls"; "total_ns"; "avg_ns"; "min_ns"; "max_ns";
+        "minor_words"; "major_words"; "promoted_words" ]
     (List.map
        (fun s ->
          [
@@ -507,6 +531,8 @@ let spans_csv sink =
            Printf.sprintf "%.0f" s.min_ns;
            Printf.sprintf "%.0f" s.max_ns;
            Printf.sprintf "%.0f" s.minor_words;
+           Printf.sprintf "%.0f" s.major_words;
+           Printf.sprintf "%.0f" s.promoted_words;
          ])
        (spans sink))
 
@@ -525,6 +551,8 @@ let metrics_json sink =
         ("min_ns", Json.Float s.min_ns);
         ("max_ns", Json.Float s.max_ns);
         ("minor_words", Json.Float s.minor_words);
+        ("major_words", Json.Float s.major_words);
+        ("promoted_words", Json.Float s.promoted_words);
       ]
   in
   let hist_json (name, (h : hist_stats)) =

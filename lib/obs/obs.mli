@@ -33,9 +33,10 @@ val now_ns : unit -> int64
 
 val span : ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f] under a span named [name], nested below the
-    innermost open span. Wall time (monotonic) and minor-heap allocation are
-    aggregated per (experiment, '/'-joined path); raw per-call spans go only
-    to the JSONL trace. Exception-safe. *)
+    innermost open span. Wall time (monotonic) and heap allocation (minor,
+    major and promoted word deltas, via [Gc.quick_stat]) are aggregated per
+    (experiment, '/'-joined path); raw per-call spans go only to the JSONL
+    trace. Exception-safe. *)
 
 val annotate : (string * Json.t) list -> unit
 (** Attach key/value attributes to the innermost open span. *)
@@ -73,6 +74,8 @@ type span_stats = {
   min_ns : float;
   max_ns : float;
   minor_words : float;
+  major_words : float;
+  promoted_words : float;
 }
 
 type hist_stats = {

@@ -1,0 +1,156 @@
+(* Gap_obs.Trace — strict reader for the JSONL traces Obs.recorder ~trace
+   emits.
+
+   Every complete line must be a valid JSON object with the span/event
+   schema; a malformed *final* line is tolerated (a killed run truncates
+   mid-line) and reported in [truncated] rather than failing the whole
+   read. Any other malformed or mis-typed line is an error naming the line
+   number — traces are machine-written, so leniency would only hide bugs in
+   the writer. *)
+
+type span = {
+  s_exp : string;
+  s_path : string;
+  s_name : string;
+  s_depth : int;
+  s_start_ns : int;
+  s_dur_ns : int;
+  s_minor_words : float;
+  s_major_words : float;
+  s_promoted_words : float;
+  s_attrs : (string * Json.t) list;
+}
+
+type event = {
+  e_exp : string;
+  e_name : string;
+  e_t_ns : int;
+  e_attrs : (string * Json.t) list;
+}
+
+type record = Span of span | Event of event
+
+type t = {
+  records : record list; (* file order: spans in close order, events inline *)
+  line_count : int; (* parsed lines, excluding a dropped truncated tail *)
+  truncated : string option; (* note about a malformed final line, if any *)
+}
+
+let str_field line j k =
+  match Json.member k j with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "line %d: field %S is not a string" line k)
+  | None -> Error (Printf.sprintf "line %d: missing field %S" line k)
+
+let int_field line j k =
+  match Json.member k j with
+  | Some (Json.Int i) -> Ok i
+  | Some (Json.Float f) when Float.is_integer f -> Ok (int_of_float f)
+  | Some _ -> Error (Printf.sprintf "line %d: field %S is not an integer" line k)
+  | None -> Error (Printf.sprintf "line %d: missing field %S" line k)
+
+(* numeric field absent in pre-PR-7 traces: default 0 so old traces read *)
+let float_field_opt line j k =
+  match Json.member k j with
+  | Some (Json.Float f) -> Ok f
+  | Some (Json.Int i) -> Ok (float_of_int i)
+  | Some Json.Null -> Ok 0.
+  | Some _ -> Error (Printf.sprintf "line %d: field %S is not a number" line k)
+  | None -> Ok 0.
+
+let attrs_field line j =
+  match Json.member "attrs" j with
+  | Some (Json.Obj kvs) -> Ok kvs
+  | Some _ -> Error (Printf.sprintf "line %d: field \"attrs\" is not an object" line)
+  | None -> Ok []
+
+let ( let* ) = Result.bind
+
+let parse_record ~line j =
+  match j with
+  | Json.Obj _ -> (
+      let* ty = str_field line j "type" in
+      match ty with
+      | "span" ->
+          let* s_exp = str_field line j "exp" in
+          let* s_path = str_field line j "path" in
+          let* s_name = str_field line j "name" in
+          let* s_depth = int_field line j "depth" in
+          let* s_start_ns = int_field line j "start_ns" in
+          let* s_dur_ns = int_field line j "dur_ns" in
+          let* s_minor_words = float_field_opt line j "minor_words" in
+          let* s_major_words = float_field_opt line j "major_words" in
+          let* s_promoted_words = float_field_opt line j "promoted_words" in
+          let* s_attrs = attrs_field line j in
+          if s_dur_ns < 0 then
+            Error (Printf.sprintf "line %d: negative dur_ns" line)
+          else
+            Ok
+              (Span
+                 {
+                   s_exp;
+                   s_path;
+                   s_name;
+                   s_depth;
+                   s_start_ns;
+                   s_dur_ns;
+                   s_minor_words;
+                   s_major_words;
+                   s_promoted_words;
+                   s_attrs;
+                 })
+      | "event" ->
+          let* e_exp = str_field line j "exp" in
+          let* e_name = str_field line j "name" in
+          let* e_t_ns = int_field line j "t_ns" in
+          let* e_attrs = attrs_field line j in
+          Ok (Event { e_exp; e_name; e_t_ns; e_attrs })
+      | other -> Error (Printf.sprintf "line %d: unknown record type %S" line other))
+  | _ -> Error (Printf.sprintf "line %d: not a JSON object" line)
+
+let parse_line ~line s =
+  match Json.of_string s with
+  | Ok j -> parse_record ~line j
+  | Error e -> Error (Printf.sprintf "line %d: %s" line e)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  (* index the non-empty lines so the error message matches the file *)
+  let numbered =
+    List.filteri (fun _ (_, l) -> String.trim l <> "")
+      (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  let last_line = match List.rev numbered with (n, _) :: _ -> n | [] -> 0 in
+  let rec go acc count = function
+    | [] -> Ok { records = List.rev acc; line_count = count; truncated = None }
+    | (n, l) :: rest -> (
+        match parse_line ~line:n l with
+        | Ok r -> go (r :: acc) (count + 1) rest
+        | Error e ->
+            if n = last_line && Result.is_error (Json.of_string l) then
+              (* a killed writer truncates mid-line: drop the tail, note it *)
+              Ok
+                {
+                  records = List.rev acc;
+                  line_count = count;
+                  truncated = Some e;
+                }
+            else Error e)
+  in
+  go [] 0 numbered
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | s -> of_string s
+
+let spans t =
+  List.filter_map (function Span s -> Some s | Event _ -> None) t.records
+
+let events t =
+  List.filter_map (function Event e -> Some e | Span _ -> None) t.records

@@ -1,0 +1,46 @@
+(** Strict reader for the JSONL traces {!Obs.recorder} [~trace] emits.
+
+    Every complete line must parse as a JSON object with the span/event
+    schema; a malformed {e final} line — the signature of a run killed
+    mid-write — is dropped and reported in [truncated] instead of failing
+    the read. Any earlier malformed or mis-typed line is an error naming
+    the line number. [major_words] / [promoted_words] default to 0 when
+    absent, so traces written before they joined the schema still read. *)
+
+type span = {
+  s_exp : string;
+  s_path : string;  (** '/'-joined chain of enclosing span names *)
+  s_name : string;
+  s_depth : int;
+  s_start_ns : int;  (** raw monotonic clock; only differences mean anything *)
+  s_dur_ns : int;
+  s_minor_words : float;
+  s_major_words : float;
+  s_promoted_words : float;
+  s_attrs : (string * Json.t) list;
+}
+
+type event = {
+  e_exp : string;
+  e_name : string;
+  e_t_ns : int;
+  e_attrs : (string * Json.t) list;
+}
+
+type record = Span of span | Event of event
+
+type t = {
+  records : record list;
+      (** file order: spans in close order (inner before outer), events at
+          emission time *)
+  line_count : int;  (** parsed lines, excluding a dropped truncated tail *)
+  truncated : string option;
+      (** parse error of a malformed final line, when one was dropped *)
+}
+
+val parse_line : line:int -> string -> (record, string) result
+val of_string : string -> (t, string) result
+val read_file : string -> (t, string) result
+
+val spans : t -> span list
+val events : t -> event list

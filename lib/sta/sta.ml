@@ -21,6 +21,17 @@ let default_config =
   { clock_period_ps = None; clock_skew_ps = 0.; input_arrival_ps = 0.; derate = 1.0 }
 let config_with_skew skew = { default_config with clock_skew_ps = skew }
 
+(* logic-depth buckets for the stage-resolved slack histograms: shallow
+   paths (a few gates between flops) fail timing for different reasons than
+   deep ones, so slack is reported per depth band *)
+let depth_bucket d =
+  if d <= 4 then "01_04"
+  else if d <= 8 then "05_08"
+  else if d <= 12 then "09_12"
+  else if d <= 16 then "13_16"
+  else if d <= 24 then "17_24"
+  else "25_up"
+
 type step = {
   what : string;
   inst : int option;
@@ -181,10 +192,31 @@ let analyze_body cfg nl =
     Obs.incr ~by:!visited "sta.visited_instances";
     Obs.incr ~by:!edges "sta.fanin_edges";
     Obs.incr ~by:(List.length !endpoints) "sta.endpoints";
+    (* stage-resolved slack: logic depth of the worst path into each
+       endpoint, walking the predecessor chain (it stops at launch points —
+       inputs, constants, flop Q pins — so the count is gates per pipeline
+       stage, not per whole design) *)
+    let depth_memo = Array.make (max 1 nnets) (-1) in
+    let rec logic_depth net =
+      if depth_memo.(net) >= 0 then depth_memo.(net)
+      else begin
+        let d =
+          match pred.(net) with
+          | Some (_, from_net) when from_net >= 0 -> 1 + logic_depth from_net
+          | Some (_, _) -> 1
+          | None -> 0
+        in
+        depth_memo.(net) <- d;
+        d
+      end
+    in
     List.iter
       (fun (net, margin, _) ->
-        Obs.observe ~bounds:slack_bounds_ps "sta.endpoint_slack_ps"
-          (period -. margin -. arrival.(net)))
+        let slack = period -. margin -. arrival.(net) in
+        Obs.observe ~bounds:slack_bounds_ps "sta.endpoint_slack_ps" slack;
+        Obs.observe ~bounds:slack_bounds_ps
+          ("sta.slack_by_depth." ^ depth_bucket (logic_depth net))
+          slack)
       !endpoints
   end;
   {

@@ -29,6 +29,11 @@ type config = {
 val default_config : config
 val config_with_skew : float -> config
 
+val depth_bucket : int -> string
+(** Logic-depth band used for the stage-resolved slack histograms
+    ([sta.slack_by_depth.<bucket>] through {!Gap_obs}): ["01_04"],
+    ["05_08"], ["09_12"], ["13_16"], ["17_24"], ["25_up"]. *)
+
 type step = {
   what : string;  (** human-readable point, e.g. ["u12:NAND2_X2"] *)
   inst : int option;

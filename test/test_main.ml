@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("report", Test_report.suite);
       ("resilience", Test_resilience.suite);
       ("tech", Test_tech.suite);
       ("logic", Test_logic.suite);

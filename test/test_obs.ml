@@ -181,6 +181,125 @@ let test_json_parser_strict () =
     "nan renders null" true
     (Json.to_string (Json.Float Float.nan) = "null")
 
+(* --- JSON properties --- *)
+
+(* arbitrary NaN-free values: the renderer/parser pair must round-trip
+   every one of them, not just the shapes the flow happens to emit *)
+let json_gen =
+  let open QCheck.Gen in
+  let finite_float =
+    map
+      (fun f -> if Float.is_finite f then f else 0.)
+      (oneof [ float; map float_of_int int; return 0.; return (-0.) ])
+  in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.Float f) finite_float;
+        map (fun s -> Json.Str s) (string_size (0 -- 12));
+      ]
+  in
+  sized
+    (fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               (1, map (fun l -> Json.List l) (list_size (0 -- 4) (self (n / 2))));
+               ( 1,
+                 map
+                   (fun kvs -> Json.Obj kvs)
+                   (list_size (0 -- 4)
+                      (pair (string_size (0 -- 6)) (self (n / 2)))) );
+             ]))
+
+let json_roundtrip_property =
+  QCheck.Test.make ~name:"json of_string (to_string v) = Ok v" ~count:500
+    (QCheck.make ~print:(fun v -> Json.to_string v) json_gen)
+    (fun v ->
+      Json.of_string (Json.to_string v) = Ok v
+      && Json.of_string (Json.to_string ~pretty:true v) = Ok v)
+
+let float_repr_stability_property =
+  QCheck.Test.make ~name:"float_repr is shortest-form stable" ~count:1000
+    QCheck.(map (fun f -> if Float.is_finite f then f else 1.5) float)
+    (fun f ->
+      let r = Json.float_repr f in
+      (* reads back to the same float, and re-rendering the read-back value
+         reproduces the representation exactly (no drift) *)
+      float_of_string r = f && Json.float_repr (float_of_string r) = r)
+
+let test_json_surrogate_pairs () =
+  (* U+1F600 as an escaped surrogate pair must decode to 4-byte UTF-8 *)
+  (match Json.of_string "\"\\ud83d\\ude00\"" with
+  | Ok (Json.Str s) ->
+      Alcotest.(check string) "surrogate pair decodes" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "parsed to non-string"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* a lone high surrogate is not combined; it decodes as its own code unit *)
+  (match Json.of_string "\"\\ud83dx\"" with
+  | Ok (Json.Str s) ->
+      Alcotest.(check int) "lone surrogate keeps width" 4 (String.length s)
+  | Ok _ -> Alcotest.fail "parsed to non-string"
+  | Error e -> Alcotest.failf "lone surrogate rejected: %s" e);
+  (* high surrogate followed by a non-low-surrogate escape stays separate *)
+  match Json.of_string "\"\\ud83d\\u0041\"" with
+  | Ok (Json.Str s) ->
+      Alcotest.(check bool) "ends with A" true
+        (String.length s > 1 && s.[String.length s - 1] = 'A')
+  | Ok _ -> Alcotest.fail "parsed to non-string"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_float_repr_corpus () =
+  List.iter
+    (fun (f, expect) ->
+      Alcotest.(check string)
+        (Printf.sprintf "float_repr %h" f)
+        expect (Json.float_repr f))
+    [
+      (1., "1.0");
+      (-0.5, "-0.5");
+      (0.1, "0.1");
+      (1e22, "1e+22");
+      (Float.nan, "null");
+      (Float.infinity, "null");
+    ]
+
+(* --- major/promoted word deltas --- *)
+
+let test_span_major_words () =
+  let sink = Obs.recorder () in
+  Obs.with_sink sink (fun () ->
+      Obs.span "big" (fun () ->
+          (* a >256-word float array allocates directly on the major heap *)
+          ignore (Sys.opaque_identity (Array.make 100_000 0.))));
+  match Obs.spans sink with
+  | [ s ] ->
+      Alcotest.(check bool) "major words recorded" true (s.Obs.major_words > 0.);
+      Alcotest.(check bool) "promoted words non-negative" true
+        (s.Obs.promoted_words >= 0.)
+  | l -> Alcotest.failf "expected one span, got %d" (List.length l)
+
+let test_trace_has_alloc_fields () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      let sink = Obs.recorder ~trace:oc () in
+      Obs.with_sink sink (fun () -> Obs.span "s" (fun () -> ()));
+      close_out oc;
+      match Json.of_string (String.trim (read_file path)) with
+      | Error e -> Alcotest.failf "trace line invalid: %s" e
+      | Ok j ->
+          List.iter
+            (fun k ->
+              match Json.member k j with
+              | Some (Json.Float _) -> ()
+              | _ -> Alcotest.failf "span line missing float field %s" k)
+            [ "minor_words"; "major_words"; "promoted_words" ])
+
 (* --- JSONL trace --- *)
 
 let test_trace_jsonl () =
@@ -330,6 +449,12 @@ let suite =
     ("jsonl trace parses", `Quick, test_trace_jsonl);
     ("metrics json validity", `Quick, test_metrics_json_valid);
     ("spans csv shape", `Quick, test_spans_csv);
+    ("json surrogate pairs", `Quick, test_json_surrogate_pairs);
+    ("float_repr corpus", `Quick, test_float_repr_corpus);
+    ("span major words", `Quick, test_span_major_words);
+    ("trace span alloc fields", `Quick, test_trace_has_alloc_fields);
     ("tracing leaves E6 byte-identical", `Slow, test_instrumentation_is_inert);
     ("variation spans under E9", `Slow, test_variation_spans);
   ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ json_roundtrip_property; float_repr_stability_property ]
