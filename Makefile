@@ -1,4 +1,4 @@
-.PHONY: build test check faults sweep report bench-diff verify repro bench bench-kernels metrics clean
+.PHONY: build test check faults sweep report bench-diff serve-bench verify repro bench bench-kernels metrics clean
 
 build:
 	dune build
@@ -50,10 +50,25 @@ bench-diff:
 	dune exec bench/main.exe -- --kernels-json BENCH_kernels.json --history BENCH_history.jsonl
 	dune exec bin/repro.exe -- report --diff prev last --history BENCH_history.jsonl --gate 50
 
+# Multi-client daemon load test: an in-process server driven by 256
+# concurrent connections (synchronized waves on shared points plus
+# per-client unique points). Writes latency percentiles, throughput, and
+# the server's coalesce/cache counters to BENCH_serve.json (with the host
+# meta block) and appends a snapshot to the serve history store — kept
+# separate from BENCH_history.jsonl so the kernel diff's prev/last
+# semantics stay clean. Fails unless at least 25% of contended requests
+# coalesced onto an in-flight evaluation (the structural floor is far
+# higher; the slack absorbs scheduling noise on slow hosts).
+serve-bench:
+	dune exec bin/repro.exe -- bench serve --clients 256 --waves 8 --unique 2 \
+	  --json BENCH_serve.json --history BENCH_serve_history.jsonl \
+	  --min-coalesce-rate 0.25
+	dune exec bin/repro.exe -- validate-json BENCH_serve.json
+
 # The default verification path: build, full test suite, strict lint gates,
 # fault campaign, cold/warm design-space sweep, trace analysis + Perfetto
-# export, kernel history gating.
-verify: build test check faults sweep report bench-diff
+# export, kernel history gating, daemon load test.
+verify: build test check faults sweep report bench-diff serve-bench
 
 repro:
 	dune exec bin/repro.exe -- all -x

@@ -88,8 +88,11 @@ let append_history_from_sink sink ~store ~label =
 
 let with_obs opts f =
   if
-    opts.trace = None && opts.metrics_json = None && (not opts.obs_summary)
-    && opts.obs_csv = None && opts.history = None
+    Option.is_none opts.trace
+    && Option.is_none opts.metrics_json
+    && (not opts.obs_summary)
+    && Option.is_none opts.obs_csv
+    && Option.is_none opts.history
   then f ()
   else begin
     (* every artifact goes through Atomic_io: the trace streams into a temp
@@ -351,7 +354,9 @@ let run_check ids strict json_path =
     else List.map String.uppercase_ascii ids
   in
   let missing =
-    List.filter (fun id -> Gap_experiments.Registry.find id = None) ids
+    (* Option.is_none, not [= None]: the payload is a closure, which
+       structural equality must never be asked about *)
+    List.filter (fun id -> Option.is_none (Gap_experiments.Registry.find id)) ids
   in
   if missing <> [] then begin
     Printf.eprintf "unknown experiment id(s): %s\n" (String.concat ", " missing);
@@ -878,12 +883,234 @@ let cache_cmd =
   let doc = "Inspect or reset the persistent DSE result cache." in
   Cmd.group (Cmd.info "cache" ~doc) [ stats; clear ]
 
+(* --- serve: the multi-client evaluation daemon --- *)
+
+module Serve_protocol = Gap_serve.Protocol
+module Serve_server = Gap_serve.Server
+module Serve_load = Gap_serve.Load
+
+let resolve_addr s =
+  match Serve_protocol.addr_of_string s with
+  | Ok addr -> Ok addr
+  | Error e ->
+      Printf.eprintf "%s\n" e;
+      Error 124
+
+let serve_config addr domains store no_store capacity queue_bound fair_share
+    batch_max history =
+  {
+    (Serve_server.default_config addr) with
+    Serve_server.domains;
+    store = (if no_store then None else Some store);
+    capacity;
+    queue_bound;
+    fair_share;
+    batch_max;
+    history;
+  }
+
+let run_serve addr domains store no_store capacity queue_bound fair_share
+    batch_max history =
+  match resolve_addr addr with
+  | Error rc -> rc
+  | Ok addr -> (
+      let cfg =
+        serve_config addr domains store no_store capacity queue_bound
+          fair_share batch_max history
+      in
+      let t = Serve_server.create cfg in
+      match Serve_server.start t with
+      | () ->
+          Printf.eprintf "serving on %s (%d domain%s, queue bound %d)\n%!"
+            (Serve_protocol.addr_to_string addr)
+            domains
+            (if domains = 1 then "" else "s")
+            queue_bound;
+          Serve_server.wait t;
+          Printf.eprintf "server stopped\n";
+          0
+      | exception Unix.Unix_error (e, fn, arg) ->
+          Printf.eprintf "bind %s: %s (%s %s)\n"
+            (Serve_protocol.addr_to_string addr)
+            (Unix.error_message e) fn arg;
+          1)
+
+let queue_bound_arg =
+  Arg.(value & opt int 64
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:"Max queued evaluations per client before its reads block \
+                (socket backpressure).")
+
+let fair_share_arg =
+  Arg.(value & opt int 8
+      & info [ "fair-share" ] ~docv:"N"
+          ~doc:"Max jobs one client contributes per round-robin scheduling pass.")
+
+let batch_max_arg =
+  Arg.(value & opt int 256
+      & info [ "batch-max" ] ~docv:"N" ~doc:"Max jobs per worker-pool batch.")
+
+let serve_history_arg =
+  Arg.(value & opt (some string) None
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:"Append a host-tagged snapshot of the daemon's counters to \
+                $(docv) on shutdown.")
+
+let serve_cmd =
+  let addr_arg =
+    Arg.(required & pos 0 (some string) None
+        & info [] ~docv:"ADDR"
+            ~doc:"Socket to serve on: a filesystem path (Unix-domain; any \
+                  string containing '/'), HOST:PORT, or a bare PORT on loopback.")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 4096
+        & info [ "capacity" ] ~docv:"N" ~doc:"In-memory LRU capacity.")
+  in
+  let doc =
+    "Run the evaluation daemon: JSONL requests (eval, sweep, pareto, stats, \
+     ping, shutdown) over the socket, all clients sharing one \
+     content-addressed result cache. Identical in-flight points coalesce to \
+     a single evaluation; per-client queues are bounded and scheduled \
+     round-robin; a poisoned request returns a typed stage error. Blocks \
+     until a shutdown request arrives."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run_serve
+          $ addr_arg $ domains_arg $ store_arg $ no_store_arg $ capacity_arg
+          $ queue_bound_arg $ fair_share_arg $ batch_max_arg $ serve_history_arg)
+
+let run_bench_serve addr clients waves unique domains queue_bound fair_share
+    batch_max json_path history min_coalesce =
+  match resolve_addr addr with
+  | Error rc -> rc
+  | Ok addr -> (
+      let cfg =
+        serve_config addr domains "unused" true 65536 queue_bound fair_share
+          batch_max None
+      in
+      let t = Serve_server.create cfg in
+      match Serve_server.start t with
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "bind %s: %s\n"
+            (Serve_protocol.addr_to_string addr)
+            (Unix.error_message e);
+          1
+      | () ->
+          let r = Serve_load.run ~clients ~waves ~unique ~addr ~server:t () in
+          Serve_server.stop t;
+          (match addr with
+          | Serve_protocol.Unix_sock path ->
+              (try Sys.remove path with Sys_error _ -> ())
+          | Serve_protocol.Tcp _ -> ());
+          let meta = Gap_obs.History.meta_now () in
+          let doc =
+            Gap_obs.Json.Obj
+              [
+                ("meta", Gap_obs.History.meta_json meta);
+                ("serve", Serve_load.to_json r);
+              ]
+          in
+          Option.iter (fun path -> write_json_doc path doc) json_path;
+          Option.iter
+            (fun store ->
+              Gap_obs.History.append store
+                (Gap_obs.History.make ~meta ~label:"bench-serve"
+                   [
+                     ("serve.p50_ns", r.Serve_load.p50_ns);
+                     ("serve.p99_ns", r.Serve_load.p99_ns);
+                     ("serve.mean_ns", r.Serve_load.mean_ns);
+                     ("serve.throughput_rps", r.Serve_load.throughput_rps);
+                     ("serve.coalesce_rate", r.Serve_load.coalesce_rate);
+                   ]))
+            history;
+          Printf.printf
+            "serve bench: %d clients, %d requests, %d errors\n\
+             latency: p50 %.3f ms, p99 %.3f ms, mean %.3f ms, max %.3f ms\n\
+             throughput: %.0f req/s over %.2f s\n\
+             server: %d evals, %d coalesced, %d cache hits, %d batches (max %d)\n\
+             coalesce rate %.3f, cache hit rate %.3f\n"
+            r.Serve_load.clients r.Serve_load.requests r.Serve_load.errors
+            (r.Serve_load.p50_ns /. 1e6)
+            (r.Serve_load.p99_ns /. 1e6)
+            (r.Serve_load.mean_ns /. 1e6)
+            (r.Serve_load.max_ns /. 1e6)
+            r.Serve_load.throughput_rps
+            (r.Serve_load.wall_ns /. 1e9)
+            r.Serve_load.server.Serve_server.evals
+            r.Serve_load.server.Serve_server.coalesced
+            r.Serve_load.server.Serve_server.cache_hits
+            r.Serve_load.server.Serve_server.batches
+            r.Serve_load.server.Serve_server.max_batch
+            r.Serve_load.coalesce_rate r.Serve_load.cache_hit_rate;
+          let rc = if r.Serve_load.errors > 0 then 1 else 0 in
+          match min_coalesce with
+          | Some m when r.Serve_load.coalesce_rate < m ->
+              Printf.eprintf
+                "bench serve: coalesce rate %.3f below required %.3f\n"
+                r.Serve_load.coalesce_rate m;
+              1
+          | _ -> rc)
+
+let bench_cmd =
+  let serve =
+    let addr_arg =
+      Arg.(value & opt string "./bench-serve.sock"
+          & info [ "addr" ] ~docv:"ADDR"
+              ~doc:"Socket the in-process daemon serves on for the run \
+                    (default a Unix socket in the working directory, removed \
+                    afterwards).")
+    in
+    let clients_arg =
+      Arg.(value & opt int 256
+          & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client connections.")
+    in
+    let waves_arg =
+      Arg.(value & opt int 8
+          & info [ "waves" ] ~docv:"N"
+              ~doc:"Barrier-synchronized waves in which every client requests \
+                    the same fresh point (the coalescing path).")
+    in
+    let unique_arg =
+      Arg.(value & opt int 2
+          & info [ "unique" ] ~docv:"N"
+              ~doc:"Fresh points per client that no other client requests \
+                    (the queueing path).")
+    in
+    let json_arg =
+      Arg.(value & opt (some string) None
+          & info [ "json" ] ~docv:"FILE"
+              ~doc:"Write the benchmark document (host meta, latency \
+                    percentiles, server counters) to $(docv).")
+    in
+    let min_coalesce_arg =
+      Arg.(value & opt (some float) None
+          & info [ "min-coalesce-rate" ] ~docv:"R"
+              ~doc:"Exit non-zero unless coalesced/(coalesced+evals) reaches \
+                    $(docv) (0..1).")
+    in
+    let doc =
+      "Start an in-process daemon, drive it with hundreds of concurrent \
+       clients (synchronized waves on shared points plus per-client unique \
+       points), and report latency percentiles, throughput, and \
+       coalesce/cache effectiveness."
+    in
+    Cmd.v (Cmd.info "serve" ~doc)
+      Term.(const run_bench_serve
+            $ addr_arg $ clients_arg $ waves_arg $ unique_arg $ domains_arg
+            $ queue_bound_arg $ fair_share_arg $ batch_max_arg $ json_arg
+            $ serve_history_arg $ min_coalesce_arg)
+  in
+  let doc = "Load benchmarks (see also the bechamel harness under bench/)." in
+  Cmd.group (Cmd.info "bench" ~doc) [ serve ]
+
 let main =
   let doc = "reproduction of Chinnery & Keutzer, 'Closing the Gap Between ASIC and Custom' (DAC 2000)" in
   Cmd.group
     (Cmd.info "repro" ~version:"1.0" ~doc)
     [ list_cmd; run_cmd; all_cmd; resume_cmd; faults_cmd; analysis_cmd;
       check_cmd; dump_cmd; libdump_cmd; validate_json_cmd;
-      sweep_cmd; pareto_cmd; cache_cmd; report_cmd; export_trace_cmd ]
+      sweep_cmd; pareto_cmd; cache_cmd; report_cmd; export_trace_cmd;
+      serve_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -131,13 +131,18 @@ let find t p =
 
 let evict_lru t =
   (* O(n) scan; evictions only happen past [capacity], far off the sweep
-     hot path *)
+     hot path. Ties on the tick (every entry loaded from a store carries
+     tick 0 until touched) break on the key, not on Hashtbl iteration
+     order, so the surviving set — and therefore the flushed store — is
+     byte-identical across runs whatever order the table hashed to. *)
+  let better b e =
+    b.e_tick < e.e_tick
+    || (b.e_tick = e.e_tick && String.compare b.e_key e.e_key <= 0)
+  in
   let victim =
     Hashtbl.fold
       (fun _ e acc ->
-        match acc with
-        | Some b when b.e_tick <= e.e_tick -> acc
-        | _ -> Some e)
+        match acc with Some b when better b e -> acc | _ -> Some e)
       t.tbl None
   in
   match victim with
@@ -172,6 +177,13 @@ let flush t =
           (Json.to_string ~pretty:true (store_json entries) ^ "\n");
         t.dirty <- false
       end
+
+(* key-sorted listing: renders and stores derived from it are byte-identical
+   across runs regardless of insertion order *)
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+  |> List.sort (fun a b -> String.compare a.e_key b.e_key)
+  |> List.map (fun e -> (e.e_point, e.e_metrics))
 
 let stats t =
   {

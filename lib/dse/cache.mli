@@ -38,6 +38,11 @@ val flush : t -> unit
     Entries are written sorted by key, so equal caches produce
     byte-identical files. *)
 
+val entries : t -> (Space.point * Eval.metrics) list
+(** Every live entry, sorted by cache key — deterministic whatever order
+    the hash table iterates in, so listings and documents built from it
+    stay byte-identical across runs. *)
+
 val stats : t -> stats
 val hit_rate : stats -> float
 (** [hits / (hits + misses)]; 0 when no lookups happened. *)

@@ -49,7 +49,12 @@ let map ?(domains = 1) ?(policy = Supervisor.default_policy) ~stage f jobs =
       spawned;
     (match main_err with Some e -> raise e | None -> ());
     let orphaned = ref [] in
-    Array.iteri (fun i r -> if r = None then orphaned := i :: !orphaned) results;
+    (* Option.is_none, not polymorphic [= None]: the slots hold arbitrary
+       ['b] payloads (closures, abstract blocks) that structural equality
+       must never be asked to walk *)
+    Array.iteri
+      (fun i r -> if Option.is_none r then orphaned := i :: !orphaned)
+      results;
     if !dead > 0 || !orphaned <> [] then begin
       Obs.incr "dse.pool.degraded";
       Obs.event "dse.pool.degrade"

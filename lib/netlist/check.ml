@@ -353,7 +353,7 @@ type gate_state = {
 }
 
 let gate_state : gate_state option ref = ref None
-let gates_on () = !gate_state <> None
+let gates_on () = Option.is_some !gate_state
 
 let with_gates ?(strict = false) ?(config = default_config) f =
   let st = { g_config = config; strict; log = [] } in

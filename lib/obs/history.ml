@@ -2,10 +2,13 @@
 
    One JSON object per line in BENCH_history.jsonl: a labelled, host-tagged
    snapshot of named metrics (ns/run, total span ns, ...) plus a host
-   calibration number measured at record time. Appends rewrite the file
-   through Util.Atomic_io (read-all + write) so a crash can never leave a
-   torn line; a truncated tail from a killed writer is dropped on read,
-   like Trace does.
+   calibration number measured at record time. An append is one O_APPEND
+   write of one line: concurrent writers (the serve daemon plus a CLI run,
+   two parallel CI jobs) interleave whole lines instead of silently
+   dropping each other's entries the way the old read-all + rewrite cycle
+   did. A truncated tail from a killed writer is dropped on read, like
+   Trace does; [compact] rewrites the file through Util.Atomic_io
+   (temp + rename) to shed such tails.
 
    Diffing two entries normalizes each wall-clock ratio by the ratio of the
    calibration numbers, so "this host is 1.4x slower than the one that
@@ -159,17 +162,40 @@ let read path =
         in
         go [] lines
 
+(* One O_APPEND write per entry. The kernel serializes O_APPEND writes, so
+   two processes (or threads) appending concurrently each land a whole line
+   — the previous read-modify-write-through-rename implementation let the
+   slower writer clobber the faster one's entry. *)
 let append path e =
-  let existing, _truncated =
-    match read path with Ok (es, t) -> (es, t) | Error _ -> ([], None)
+  let line = Json.to_string (to_json e) ^ "\n" in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
   in
-  let buf = Buffer.create 4096 in
-  List.iter
-    (fun e ->
-      Buffer.add_string buf (Json.to_string (to_json e));
-      Buffer.add_char buf '\n')
-    (existing @ [ e ]);
-  Gap_util.Atomic_io.write_string path (Buffer.contents buf)
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let len = String.length line in
+      let n = Unix.write_substring fd line 0 len in
+      if n <> len then
+        (* regular files complete single writes; anything else is a real
+           I/O failure worth surfacing *)
+        raise (Sys_error (Printf.sprintf "%s: short history append" path)))
+
+(* Compaction is the one place temp+rename survives: rewrite the file from
+   its parseable entries, shedding any truncated tail a killed writer left.
+   Concurrent appends during the rewrite can be lost, so call it from
+   housekeeping paths only, never racing a live daemon. *)
+let compact path =
+  match read path with
+  | Error _ -> ()
+  | Ok (entries, _truncated) ->
+      let buf = Buffer.create 4096 in
+      List.iter
+        (fun e ->
+          Buffer.add_string buf (Json.to_string (to_json e));
+          Buffer.add_char buf '\n')
+        entries;
+      Gap_util.Atomic_io.write_string path (Buffer.contents buf)
 
 (* selector: "last" / "prev" / "@N" (0-based index) / a label (latest
    entry carrying it) *)

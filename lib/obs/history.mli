@@ -2,11 +2,12 @@
     regression diffing.
 
     One JSON object per line: a labelled, host-tagged snapshot of named
-    metrics plus a calibration number measured at record time. Appends
-    rewrite the whole file atomically; a truncated final line from a killed
-    writer is dropped on read. Diffs normalize wall-clock ratios by the two
-    entries' calibration ratio, so a slower host does not read as a
-    regression. *)
+    metrics plus a calibration number measured at record time. An append is
+    a single [O_APPEND] write of one line, so concurrent writers (daemon +
+    CLI, parallel CI jobs) never drop each other's entries; a truncated
+    final line from a killed writer is dropped on read and shed for good by
+    {!compact}. Diffs normalize wall-clock ratios by the two entries'
+    calibration ratio, so a slower host does not read as a regression. *)
 
 type meta = {
   host : string;
@@ -43,6 +44,14 @@ val read : string -> (entry list * string option, string) result
     dropped. A missing file reads as ([], None)). *)
 
 val append : string -> entry -> unit
+(** One [O_APPEND] write of one JSONL line — atomic against concurrent
+    appenders (the whole line lands, interleaved with other writers'
+    whole lines, never torn across them). *)
+
+val compact : string -> unit
+(** Rewrite the store (temp + rename) from its parseable entries, dropping
+    a truncated tail. Not safe against concurrent {!append}ers: an entry
+    landing mid-rewrite is lost — housekeeping use only. *)
 
 val find : entry list -> string -> entry option
 (** Selector: ["last"], ["prev"], ["@N"] (0-based index), or a label (the

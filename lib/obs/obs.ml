@@ -84,9 +84,15 @@ type agg = {
 
 type recorder = {
   lock : Mutex.t;
-  stack : frame list ref Domain.DLS.key;
-      (* span stacks are domain-local: worker domains (the DSE pool, MC
-         shards) may open spans concurrently, and each gets its own root *)
+  stacks : (int * int, frame list ref) Hashtbl.t;
+      (* span stacks are keyed by (domain id, thread id): worker domains
+         (the DSE pool, MC shards) and server threads (the serve daemon
+         handles every client on its own thread within one domain) may open
+         spans concurrently, and each execution context gets its own root.
+         A plain DLS stack is not enough — systhreads within a domain share
+         DLS, so two client threads would race on one stack ref. The table
+         is consulted under [lock]; the ref itself is only ever touched by
+         its owning thread. *)
   mutable cur_exp : string;
   aggs : (string, agg) Hashtbl.t;
   mutable agg_order : agg list; (* reverse first-open order *)
@@ -109,7 +115,7 @@ let recorder ?trace () =
   Memory
     {
       lock = Mutex.create ();
-      stack = Domain.DLS.new_key (fun () -> ref []);
+      stacks = Hashtbl.create 16;
       cur_exp = "";
       aggs = Hashtbl.create 64;
       agg_order = [];
@@ -139,6 +145,17 @@ let with_sink s f =
 let locked r f =
   Mutex.lock r.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock r.lock) f
+
+(* the calling context's span stack; created on first use *)
+let stack_of r =
+  let key = ((Domain.self () :> int), Thread.id (Thread.self ())) in
+  locked r (fun () ->
+      match Hashtbl.find_opt r.stacks key with
+      | Some s -> s
+      | None ->
+          let s = ref [] in
+          Hashtbl.add r.stacks key s;
+          s)
 
 let trace_line r j =
   match r.trace with
@@ -176,7 +193,7 @@ let span ?(attrs = []) name f =
   match !ambient with
   | Noop -> f ()
   | Memory r ->
-      let stack = Domain.DLS.get r.stack in
+      let stack = stack_of r in
       let path, depth =
         match !stack with
         | parent :: _ -> (parent.f_path ^ "/" ^ name, parent.f_depth + 1)
@@ -253,7 +270,7 @@ let annotate kvs =
   match !ambient with
   | Noop -> ()
   | Memory r -> (
-      match !(Domain.DLS.get r.stack) with
+      match !(stack_of r) with
       | fr :: _ -> fr.f_attrs <- fr.f_attrs @ kvs
       | [] -> ())
 

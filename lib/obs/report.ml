@@ -82,8 +82,12 @@ let analyze (tr : Trace.t) =
      encodes the full ancestry, so "children of (exp, P)" is exactly the set
      of aggregated paths one segment below P in the same experiment. *)
   let child_total : (string * string, float) Hashtbl.t = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun (exp, path) n ->
+  (* accumulate in first-open order, not Hashtbl.iter order: float addition
+     is not associative, so a hash-order walk could flip low bits of a
+     parent's child total between runs and break byte-identical renders *)
+  List.iter
+    (fun ((exp, path) as key) ->
+      let n = Hashtbl.find tbl key in
       match parent_path path with
       | Some p ->
           let k = (exp, p) in
@@ -91,7 +95,7 @@ let analyze (tr : Trace.t) =
             (n.n_total_ns
             +. match Hashtbl.find_opt child_total k with Some v -> v | None -> 0.)
       | None -> ())
-    tbl;
+    (List.rev !order);
   let nodes =
     List.rev_map
       (fun key ->
@@ -156,7 +160,10 @@ let critical_path t =
             (fun n ->
               n.n_exp = cur.n_exp
               && n.n_depth = cur.n_depth + 1
-              && parent_path n.n_path = Some cur.n_path)
+              &&
+              match parent_path n.n_path with
+              | Some p -> String.equal p cur.n_path
+              | None -> false)
             t.nodes
         in
         match heaviest children with

@@ -46,7 +46,7 @@ type state = {
 }
 
 let ambient : state option ref = ref None
-let armed () = !ambient <> None
+let armed () = Option.is_some !ambient
 
 let locked st f =
   Mutex.lock st.lock;

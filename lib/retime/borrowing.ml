@@ -27,7 +27,7 @@ let feasible ?(ring = false) ~stage_delays ~period clocking =
       stage_delays;
     if !ok then Some !t else None
   in
-  if not ring then propagate 0. <> None
+  if not ring then Option.is_some (propagate 0.)
   else begin
     (* fixpoint around the loop: departures must be self-consistent *)
     let rec iterate t0 rounds =

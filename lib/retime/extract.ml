@@ -74,7 +74,7 @@ let feasible t ~period_ps =
         Digraph.add_edge check ~weight:((period_ps *. regs) -. t.delays.(u)) u v)
       (Digraph.succ t.graph u)
   done;
-  Digraph.feasible_potentials check <> None
+  Option.is_some (Digraph.feasible_potentials check)
 
 let sta_period_ps nl = (Gap_sta.Sta.analyze nl).Gap_sta.Sta.min_period_ps
 

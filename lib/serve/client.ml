@@ -1,0 +1,85 @@
+module Json = Gap_obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+}
+
+let connect addr =
+  let sa = Protocol.sockaddr_of_addr addr in
+  let domain = Unix.domain_of_sockaddr sa in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sa
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    next_id = 1;
+  }
+
+let connect_retry ?(attempts = 50) ?(delay_s = 0.05) addr =
+  let rec go n =
+    match connect addr with
+    | t -> Ok t
+    | exception Unix.Unix_error (e, _, _) ->
+        if n <= 1 then
+          Error
+            (Printf.sprintf "connect %s: %s"
+               (Protocol.addr_to_string addr)
+               (Unix.error_message e))
+        else begin
+          Unix.sleepf delay_s;
+          go (n - 1)
+        end
+  in
+  go (max 1 attempts)
+
+let close t =
+  close_out_noerr t.oc;
+  close_in_noerr t.ic
+
+let send_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let raw_roundtrip t line =
+  match
+    send_line t line;
+    input_line t.ic
+  with
+  | resp -> Ok resp
+  | exception End_of_file -> Error "connection closed"
+  | exception Sys_error e -> Error e
+
+let request t op =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let line = Json.to_string (Protocol.request_to_json { Protocol.id; op }) in
+  match raw_roundtrip t line with
+  | Error e -> Error (Protocol.Bad_request ("transport: " ^ e))
+  | Ok resp_line -> (
+      match Json.of_string resp_line with
+      | Error e -> Error (Protocol.Bad_request ("malformed response: " ^ e))
+      | Ok j -> (
+          match Protocol.response_of_json j with
+          | Error e -> Error (Protocol.Bad_request e)
+          | Ok r when r.Protocol.r_id <> id ->
+              Error
+                (Protocol.Bad_request
+                   (Printf.sprintf "response id %d for request %d"
+                      r.Protocol.r_id id))
+          | Ok r -> r.Protocol.body))
+
+let eval t p = request t (Protocol.Eval p)
+
+let ping t =
+  match request t Protocol.Ping with Ok _ -> true | Error _ -> false
+
+let shutdown t =
+  match request t Protocol.Shutdown with Ok _ | Error _ -> ()

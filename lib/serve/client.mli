@@ -1,0 +1,33 @@
+(** Blocking JSONL client for the [repro serve] daemon.
+
+    One connection, one outstanding request at a time: the daemon answers a
+    connection's requests in order, so a request is a write of one line and
+    a read of one line. Concurrency comes from opening more clients (the
+    load generator opens hundreds). Not thread-safe; share nothing. *)
+
+type t
+
+val connect : Protocol.addr -> t
+(** @raise Unix.Unix_error when nothing listens there. *)
+
+val connect_retry :
+  ?attempts:int -> ?delay_s:float -> Protocol.addr -> (t, string) result
+(** Retry [connect] (default 50 attempts, 0.05s apart) — for racing a
+    daemon that is still binding its socket. *)
+
+val request : t -> Protocol.op -> (Protocol.Json.t, Protocol.err) result
+(** Send one request (ids are assigned internally) and block for its
+    response. Protocol violations — unparsable line, id mismatch, closed
+    socket — surface as [Error (Bad_request _)]. *)
+
+val eval : t -> Gap_dse.Space.point -> (Protocol.Json.t, Protocol.err) result
+val ping : t -> bool
+val shutdown : t -> unit
+(** Fire a shutdown request; the response (or a closed socket) is
+    absorbed. *)
+
+val raw_roundtrip : t -> string -> (string, string) result
+(** Send an arbitrary line verbatim and read one response line — for
+    protocol-abuse tests. *)
+
+val close : t -> unit

@@ -1,0 +1,171 @@
+module Json = Gap_obs.Json
+module Obs = Gap_obs.Obs
+module Space = Gap_dse.Space
+
+type result = {
+  clients : int;
+  waves : int;
+  unique : int;
+  requests : int;
+  errors : int;
+  wall_ns : float;
+  p50_ns : float;
+  p99_ns : float;
+  max_ns : float;
+  mean_ns : float;
+  throughput_rps : float;
+  server : Server.stats;
+  coalesce_rate : float;
+  cache_hit_rate : float;
+}
+
+(* Cyclic barrier: all parties block until the last arrives, generation
+   counter distinguishes successive waves. *)
+type barrier = {
+  bm : Mutex.t;
+  bc : Condition.t;
+  parties : int;
+  mutable arrived : int;
+  mutable gen : int;
+}
+
+let barrier_make parties =
+  { bm = Mutex.create (); bc = Condition.create (); parties; arrived = 0; gen = 0 }
+
+let barrier_await b =
+  Mutex.lock b.bm;
+  let g = b.gen in
+  b.arrived <- b.arrived + 1;
+  if b.arrived = b.parties then begin
+    b.arrived <- 0;
+    b.gen <- g + 1;
+    Condition.broadcast b.bc
+  end
+  else
+    while b.gen = g do
+      Condition.wait b.bc b.bm
+    done;
+  Mutex.unlock b.bm
+
+(* Fresh points nobody has evaluated before: nudge the variation sigma off
+   the baseline by a distinct epsilon per point. Wave points live below
+   sigma 1.5, unique points above 2.0, so the phases cannot collide.
+
+   Wave points run the binning Monte Carlo at 1M dies (~100ms): the
+   evaluation must outlast at least one systhread preemption tick, or the
+   compute-bound scheduler never yields the runtime lock mid-eval and the
+   followers — scheduled only after the result lands — all degrade from
+   in-flight coalesces to mere cache hits. Unique points stay cheap; their
+   phase measures queueing, not contention. *)
+let wave_point w =
+  {
+    Space.baseline with
+    Space.sigma_scale = 1.0 +. (0.0001 *. float_of_int (w + 1));
+    binning = true;
+    mc_dies = 1_000_000;
+  }
+
+let unique_point ~unique c u =
+  {
+    Space.baseline with
+    Space.sigma_scale = 2.0 +. (0.0001 *. float_of_int ((c * unique) + u + 1));
+    mc_dies = 16;
+  }
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let run ?(clients = 256) ?(waves = 8) ?(unique = 2) ~addr ~server () =
+  let per_client = waves + unique in
+  let lat = Array.make_matrix clients per_client 0. in
+  let errs = Array.make clients 0 in
+  let barrier = barrier_make clients in
+  let fail = Mutex.create () in
+  let failures = ref [] in
+  let client_body c () =
+    match Client.connect_retry addr with
+    | Error e ->
+        Mutex.lock fail;
+        failures := Printf.sprintf "client %d: %s" c e :: !failures;
+        Mutex.unlock fail;
+        (* release the others: a stuck barrier would hang the whole run *)
+        for _ = 1 to per_client do barrier_await barrier done
+    | Ok cl ->
+        Fun.protect ~finally:(fun () -> Client.close cl)
+          (fun () ->
+            for w = 0 to waves - 1 do
+              barrier_await barrier;
+              let t0 = Obs.now_ns () in
+              (match Client.eval cl (wave_point w) with
+              | Ok _ -> ()
+              | Error _ -> errs.(c) <- errs.(c) + 1);
+              lat.(c).(w) <- Int64.to_float (Int64.sub (Obs.now_ns ()) t0)
+            done;
+            for u = 0 to unique - 1 do
+              barrier_await barrier;
+              let t0 = Obs.now_ns () in
+              (match Client.eval cl (unique_point ~unique c u) with
+              | Ok _ -> ()
+              | Error _ -> errs.(c) <- errs.(c) + 1);
+              lat.(c).(waves + u) <- Int64.to_float (Int64.sub (Obs.now_ns ()) t0)
+            done)
+  in
+  let t0 = Obs.now_ns () in
+  let threads = Array.init clients (fun c -> Thread.create (client_body c) ()) in
+  Array.iter Thread.join threads;
+  let wall_ns = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) in
+  (match !failures with
+  | [] -> ()
+  | f :: _ -> failwith ("load generator: " ^ f));
+  let all = Array.concat (Array.to_list lat) in
+  Array.sort Float.compare all;
+  let requests = Array.length all in
+  let sum = Array.fold_left ( +. ) 0. all in
+  let s = Server.stats server in
+  let eval_requests = s.Server.evals + s.Server.coalesced + s.Server.cache_hits in
+  {
+    clients;
+    waves;
+    unique;
+    requests;
+    errors = Array.fold_left ( + ) 0 errs;
+    wall_ns;
+    p50_ns = percentile all 0.50;
+    p99_ns = percentile all 0.99;
+    max_ns = (if requests = 0 then 0. else all.(requests - 1));
+    mean_ns = (if requests = 0 then 0. else sum /. float_of_int requests);
+    throughput_rps =
+      (if wall_ns <= 0. then 0. else float_of_int requests /. (wall_ns /. 1e9));
+    server = s;
+    coalesce_rate =
+      (let denom = s.Server.coalesced + s.Server.evals in
+       if denom = 0 then 0. else float_of_int s.Server.coalesced /. float_of_int denom);
+    cache_hit_rate =
+      (if eval_requests = 0 then 0.
+       else float_of_int s.Server.cache_hits /. float_of_int eval_requests);
+  }
+
+let to_json r =
+  Json.Obj
+    [
+      ("clients", Json.Int r.clients);
+      ("waves", Json.Int r.waves);
+      ("unique_per_client", Json.Int r.unique);
+      ("requests", Json.Int r.requests);
+      ("errors", Json.Int r.errors);
+      ("wall_ns", Json.Float r.wall_ns);
+      ("p50_ns", Json.Float r.p50_ns);
+      ("p99_ns", Json.Float r.p99_ns);
+      ("max_ns", Json.Float r.max_ns);
+      ("mean_ns", Json.Float r.mean_ns);
+      ("throughput_rps", Json.Float r.throughput_rps);
+      ("evals", Json.Int r.server.Server.evals);
+      ("coalesced", Json.Int r.server.Server.coalesced);
+      ("cache_hits", Json.Int r.server.Server.cache_hits);
+      ("batches", Json.Int r.server.Server.batches);
+      ("max_batch", Json.Int r.server.Server.max_batch);
+      ("coalesce_rate", Json.Float r.coalesce_rate);
+      ("cache_hit_rate", Json.Float r.cache_hit_rate);
+    ]

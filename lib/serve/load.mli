@@ -1,0 +1,46 @@
+(** Load generator for the [repro serve] daemon — the [repro bench serve]
+    backend.
+
+    Drives [clients] concurrent connections through two phases:
+
+    - [waves] barrier-synchronized waves in which every client requests the
+      {e same} fresh point at once — the coalescing path under maximum
+      contention (ideal cost: one evaluation per wave);
+    - [unique] points per client that no other client asks for — the
+      queueing/fairness path (ideal cost: one evaluation each).
+
+    Every request's latency is recorded; the result carries the merged
+    percentile summary plus the server's own counters, so the benchmark can
+    assert on coalescing effectiveness, not just throughput. *)
+
+type result = {
+  clients : int;
+  waves : int;
+  unique : int;
+  requests : int;  (** eval requests issued *)
+  errors : int;  (** requests answered with a typed error *)
+  wall_ns : float;  (** whole run, first connect to last response *)
+  p50_ns : float;
+  p99_ns : float;
+  max_ns : float;
+  mean_ns : float;
+  throughput_rps : float;
+  server : Server.stats;  (** daemon counters after the run *)
+  coalesce_rate : float;
+      (** coalesced / (coalesced + evals) over the daemon's lifetime *)
+  cache_hit_rate : float;  (** cache hits / eval requests *)
+}
+
+val run :
+  ?clients:int ->
+  ?waves:int ->
+  ?unique:int ->
+  addr:Protocol.addr ->
+  server:Server.t ->
+  unit ->
+  result
+(** Defaults: 256 clients, 8 waves, 2 unique points per client. The
+    [server] handle is only read for its counters; the traffic itself goes
+    through [addr] like any external client's would. *)
+
+val to_json : result -> Protocol.Json.t

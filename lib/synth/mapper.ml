@@ -129,7 +129,8 @@ let compute_best ctx =
                 | None -> ()
                 | Some tf ->
                     let arr, af = evaluate_choice ctx id cut cell tf in
-                    if b.choice = None || better ctx (arr, af) (b.arrival, b.area_flow)
+                    if Option.is_none b.choice
+                       || better ctx (arr, af) (b.arrival, b.area_flow)
                     then begin
                       b.arrival <- arr;
                       b.area_flow <- af;
@@ -138,7 +139,7 @@ let compute_best ctx =
               candidates
           end)
         ctx.cuts.(id);
-      if b.choice = None then
+      if Option.is_none b.choice then
         failwith
           (Printf.sprintf "Mapper: no library match for node %d (library %s)" id
              (Library.name ctx.lib))

@@ -182,12 +182,12 @@ module Csr = struct
     let parent = Array.make n (-1) in
     let cyc = ref None in
     let root = ref 0 in
-    while !cyc = None && !root < n do
+    while Option.is_none !cyc && !root < n do
       if color.(!root) = 0 then begin
         let stack = Stack.create () in
         color.(!root) <- 1;
         Stack.push (!root, ref c.succ_off.(!root)) stack;
-        while !cyc = None && not (Stack.is_empty stack) do
+        while Option.is_none !cyc && not (Stack.is_empty stack) do
           let u, k = Stack.top stack in
           if !k >= c.succ_off.(u + 1) then begin
             color.(u) <- 2;
@@ -278,7 +278,7 @@ let longest_path_ref g ~node_delay =
       Some arr
 
 let topo_order g = Csr.topo_order (freeze g)
-let is_acyclic g = topo_order g <> None
+let is_acyclic g = Option.is_some (topo_order g)
 let find_cycle g = Csr.find_cycle (freeze g)
 let longest_path g ~node_delay = Csr.longest_path (freeze g) ~node_delay
 

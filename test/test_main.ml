@@ -26,4 +26,5 @@ let () =
       ("core", Test_core.suite);
       ("experiments", Test_experiments.suite);
       ("dse", Test_dse.suite);
+      ("serve", Test_serve.suite);
     ]
