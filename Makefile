@@ -1,4 +1,4 @@
-.PHONY: build test check faults sweep report bench-diff serve-bench verify repro bench bench-kernels metrics clean
+.PHONY: build test check faults chaos sweep report bench-diff serve-bench verify repro bench bench-kernels metrics clean
 
 build:
 	dune build
@@ -20,14 +20,26 @@ faults:
 	dune exec bin/repro.exe -- faults --json FAULTS_report.json
 	dune exec bin/repro.exe -- validate-json FAULTS_report.json
 
+# Serve chaos campaign: SIGKILL the daemon mid-workload and at every
+# registered fault site, truncate a segment store at every byte offset,
+# flip bytes before the recoverable tail, interrupt a JSON migration,
+# disconnect / stall / flood clients — then assert the store validates and
+# a warm restart answers byte-identically to a never-killed evaluator.
+# The exit status IS the gate (any failed scenario or uncovered catalog
+# site is non-ok), and the JSON report must validate.
+chaos:
+	dune exec bin/repro.exe -- chaos serve --json FAULTS_serve.json
+	dune exec bin/repro.exe -- validate-json FAULTS_serve.json
+
 # Design-space sweep, cold then warm: the first pass fills the result cache
 # from scratch, the second must serve every point from the store (hit rate
 # 1.0, enforced) and produce a byte-identical table; the sweep document with
-# cache accounting lands in BENCH_sweep.json and must validate.
+# cache accounting lands in BENCH_sweep.json and must validate. The store is
+# an append-only checksummed segment directory (see Gap_dse.Segstore).
 sweep:
-	dune exec bin/repro.exe -- cache clear --store BENCH_dse_cache.json
-	dune exec bin/repro.exe -- sweep smoke --domains 2 --store BENCH_dse_cache.json
-	dune exec bin/repro.exe -- sweep smoke --domains 2 --store BENCH_dse_cache.json \
+	dune exec bin/repro.exe -- cache clear --store BENCH_dse_cache.store
+	dune exec bin/repro.exe -- sweep smoke --domains 2 --store BENCH_dse_cache.store
+	dune exec bin/repro.exe -- sweep smoke --domains 2 --store BENCH_dse_cache.store \
 	  --min-hit-rate 0.99 --json BENCH_sweep.json
 	dune exec bin/repro.exe -- validate-json BENCH_sweep.json
 
@@ -66,9 +78,9 @@ serve-bench:
 	dune exec bin/repro.exe -- validate-json BENCH_serve.json
 
 # The default verification path: build, full test suite, strict lint gates,
-# fault campaign, cold/warm design-space sweep, trace analysis + Perfetto
-# export, kernel history gating, daemon load test.
-verify: build test check faults sweep report bench-diff serve-bench
+# fault campaign, serve chaos campaign, cold/warm design-space sweep, trace
+# analysis + Perfetto export, kernel history gating, daemon load test.
+verify: build test check faults chaos sweep report bench-diff serve-bench
 
 repro:
 	dune exec bin/repro.exe -- all -x

@@ -182,7 +182,26 @@ let run_resume checkpoint =
       Printf.eprintf "resume: %s\n" msg;
       1
 
-let run_faults seed json_path =
+let list_faults () =
+  print_string
+    (Gap_util.Table.render
+       ~aligns:Gap_util.Table.[ Left; Left; Left; Left ]
+       ~header:[ "site"; "layer"; "kinds"; "on injection" ]
+       (List.map
+          (fun (site, kinds, desc) ->
+            [
+              site;
+              Gap_resilience.Fault.layer site;
+              String.concat ","
+                (List.map Gap_resilience.Stage_error.kind_string kinds);
+              desc;
+            ])
+          Gap_resilience.Fault.catalog));
+  0
+
+let run_faults list seed json_path =
+  if list then list_faults ()
+  else begin
   let results = Campaign.run_faults ~seed () in
   print_string (Campaign.faults_table results);
   Option.iter
@@ -196,6 +215,7 @@ let run_faults seed json_path =
     Printf.eprintf
       "faults: some fault sites were silent, uncaught, or not exercised\n";
     1
+  end
   end
 
 let analysis () =
@@ -314,14 +334,22 @@ let faults_cmd =
             ~doc:"Write the campaign report (per site: hits, injections, \
                   retries, degradations, outcome) to $(docv) as JSON.")
   in
+  let list_arg =
+    Arg.(value & flag
+        & info [ "list" ]
+            ~doc:"Print the fault-site registry (site, owning layer, \
+                  applicable kinds, injection semantics) and exit without \
+                  running the campaign.")
+  in
   let doc =
     "Run the deterministic fault-injection campaign: every registered fault \
      site is injected at least once and must recover, degrade, or fail with \
      a typed diagnostic."
   in
   Cmd.v (Cmd.info "faults" ~doc)
-    Term.(const (fun obs seed json -> with_obs obs (fun () -> run_faults seed json))
-          $ obs_term $ seed_arg $ json_arg)
+    Term.(const (fun obs list seed json ->
+              with_obs obs (fun () -> run_faults list seed json))
+          $ obs_term $ list_arg $ seed_arg $ json_arg)
 
 let analysis_cmd =
   let doc = "Print the factor table, residual analysis and methodology comparison." in
@@ -730,7 +758,7 @@ module Dse_space = Gap_dse.Space
 module Dse_sweep = Gap_dse.Sweep
 module Dse_cache = Gap_dse.Cache
 
-let default_store = "dse-cache.json"
+let default_store = "dse-cache.store"
 
 let resolve_preset name =
   match Dse_space.find_preset name with
@@ -786,16 +814,27 @@ let run_pareto preset domains store no_store json_path =
       if r.Dse_sweep.failed <> [] then 1 else 0
 
 let cache_stats store =
-  match Dse_cache.read_store store with
-  | Ok (entries, flow) ->
-      Printf.printf "%s: %d entries, flow %s%s\n" store entries flow
-        (if flow = Gap_dse.Eval.flow_version then ""
+  match Dse_cache.inspect_store store with
+  | Dse_cache.Store i ->
+      Printf.printf
+        "%s: %d entries (%d records), %d segment%s, generation %d, %s, flow %s%s\n"
+        store i.Dse_cache.si_entries i.Dse_cache.si_records
+        i.Dse_cache.si_segments
+        (if i.Dse_cache.si_segments = 1 then "" else "s")
+        i.Dse_cache.si_generation i.Dse_cache.si_format i.Dse_cache.si_flow
+        (if i.Dse_cache.si_flow = Gap_dse.Eval.flow_version then ""
          else Printf.sprintf " (stale; current is %s, reads as cold)"
                 Gap_dse.Eval.flow_version);
+      (match i.Dse_cache.si_torn with
+      | Some note -> Printf.printf "note: %s (recovered on next open)\n" note
+      | None -> ());
       0
-  | Error msg ->
+  | Dse_cache.Missing msg | Dse_cache.Foreign msg ->
       Printf.printf "%s\n" msg;
       0
+  | Dse_cache.Corrupt e ->
+      Printf.eprintf "%s\n" (Gap_resilience.Stage_error.to_string e);
+      1
 
 let cache_clear store =
   Dse_cache.clear store;
@@ -804,8 +843,9 @@ let cache_clear store =
 
 let store_arg =
   Arg.(value & opt string default_store
-      & info [ "store" ] ~docv:"FILE"
-          ~doc:"Persistent result-cache store (JSON, written atomically).")
+      & info [ "store" ] ~docv:"PATH"
+          ~doc:"Persistent result-cache store: an append-only checksummed \
+                segment-store directory (legacy JSON stores migrate on open).")
 
 let no_store_arg =
   Arg.(value & flag
@@ -896,8 +936,8 @@ let resolve_addr s =
       Printf.eprintf "%s\n" e;
       Error 124
 
-let serve_config addr domains store no_store capacity queue_bound fair_share
-    batch_max history =
+let serve_config ?(idle_timeout = 0.) addr domains store no_store capacity
+    queue_bound fair_share batch_max history =
   {
     (Serve_server.default_config addr) with
     Serve_server.domains;
@@ -907,16 +947,17 @@ let serve_config addr domains store no_store capacity queue_bound fair_share
     fair_share;
     batch_max;
     history;
+    idle_timeout_s = (if idle_timeout > 0. then Some idle_timeout else None);
   }
 
 let run_serve addr domains store no_store capacity queue_bound fair_share
-    batch_max history =
+    batch_max history idle_timeout =
   match resolve_addr addr with
   | Error rc -> rc
   | Ok addr -> (
       let cfg =
-        serve_config addr domains store no_store capacity queue_bound
-          fair_share batch_max history
+        serve_config ~idle_timeout addr domains store no_store capacity
+          queue_bound fair_share batch_max history
       in
       let t = Serve_server.create cfg in
       match Serve_server.start t with
@@ -967,6 +1008,13 @@ let serve_cmd =
     Arg.(value & opt int 4096
         & info [ "capacity" ] ~docv:"N" ~doc:"In-memory LRU capacity.")
   in
+  let idle_timeout_arg =
+    Arg.(value & opt float 300.
+        & info [ "idle-timeout" ] ~docv:"SECONDS"
+            ~doc:"Evict a connection silent for $(docv): it gets a typed \
+                  timeout response (if its socket is still writable) and is \
+                  closed. 0 disables eviction.")
+  in
   let doc =
     "Run the evaluation daemon: JSONL requests (eval, sweep, pareto, stats, \
      ping, shutdown) over the socket, all clients sharing one \
@@ -978,7 +1026,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run_serve
           $ addr_arg $ domains_arg $ store_arg $ no_store_arg $ capacity_arg
-          $ queue_bound_arg $ fair_share_arg $ batch_max_arg $ serve_history_arg)
+          $ queue_bound_arg $ fair_share_arg $ batch_max_arg $ serve_history_arg
+          $ idle_timeout_arg)
 
 let run_bench_serve addr clients waves unique domains queue_bound fair_share
     batch_max json_path history min_coalesce =
@@ -1104,6 +1153,49 @@ let bench_cmd =
   let doc = "Load benchmarks (see also the bechamel harness under bench/)." in
   Cmd.group (Cmd.info "bench" ~doc) [ serve ]
 
+(* --- chaos: the serve crash/fault campaign --- *)
+
+let run_chaos_serve json_path =
+  let campaign = Gap_serve.Chaos.run () in
+  print_string (Gap_serve.Chaos.table campaign);
+  if campaign.Gap_serve.Chaos.missing_sites <> [] then
+    Printf.eprintf "coverage gap: catalog site(s) %s claimed by neither campaign\n"
+      (String.concat ", " campaign.Gap_serve.Chaos.missing_sites);
+  Option.iter
+    (fun path ->
+      Gap_util.Atomic_io.write_string path
+        (Gap_obs.Json.to_string ~pretty:true (Gap_serve.Chaos.to_json campaign)
+        ^ "\n"))
+    json_path;
+  if campaign.Gap_serve.Chaos.ok then 0
+  else begin
+    Printf.eprintf "chaos: scenario failures or coverage gaps (see table)\n";
+    1
+  end
+
+let chaos_cmd =
+  let serve =
+    let json_arg =
+      Arg.(value & opt (some string) None
+          & info [ "json" ] ~docv:"FILE"
+              ~doc:"Write the campaign document (scenarios, coverage \
+                    partition, ok gate) to $(docv) as JSON.")
+    in
+    let doc =
+      "Run the serve chaos campaign: SIGKILL a serving process mid-workload, \
+       truncate a store at every byte offset, corrupt records before the \
+       tail, arm every daemon-reachable fault site, interrupt a JSON \
+       migration, and abuse the daemon with vanishing, stalling, and \
+       flooding clients — asserting after each that the store validates and \
+       a warm restart replays byte-identically."
+    in
+    Cmd.v (Cmd.info "serve" ~doc)
+      Term.(const (fun obs json -> with_obs obs (fun () -> run_chaos_serve json))
+            $ obs_term $ json_arg)
+  in
+  let doc = "Crash/fault chaos campaigns." in
+  Cmd.group (Cmd.info "chaos" ~doc) [ serve ]
+
 let main =
   let doc = "reproduction of Chinnery & Keutzer, 'Closing the Gap Between ASIC and Custom' (DAC 2000)" in
   Cmd.group
@@ -1111,6 +1203,6 @@ let main =
     [ list_cmd; run_cmd; all_cmd; resume_cmd; faults_cmd; analysis_cmd;
       check_cmd; dump_cmd; libdump_cmd; validate_json_cmd;
       sweep_cmd; pareto_cmd; cache_cmd; report_cmd; export_trace_cmd;
-      serve_cmd; bench_cmd ]
+      serve_cmd; bench_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval' main)

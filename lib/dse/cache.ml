@@ -1,5 +1,7 @@
 module Json = Gap_obs.Json
 module Obs = Gap_obs.Obs
+module Stage_error = Gap_resilience.Stage_error
+module Supervisor = Gap_resilience.Supervisor
 
 type entry = {
   e_key : string;
@@ -8,15 +10,26 @@ type entry = {
   mutable e_tick : int;  (** last-use stamp for LRU eviction *)
 }
 
+(* Where the persistent side lives. [Lazy_store] defers touching the disk
+   until the first flush — a cache that never flushes never writes, exactly
+   like the old JSON store — and is also the holding state for a foreign or
+   stale-flow legacy file that the first flush replaces. *)
+type backend =
+  | Mem
+  | Seg of Segstore.t
+  | Lazy_store of string
+
 type t = {
   capacity : int;
-  store : string option;
   tbl : (string, entry) Hashtbl.t;
+  mutable backend : backend;
+  mutable pending : entry list;  (* adds since the last flush, newest first *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
   mutable dirty : bool;
+  mutable recovery_note : string option;
 }
 
 type stats = {
@@ -26,6 +39,24 @@ type stats = {
   misses : int;
   evictions : int;
 }
+
+type store_info = {
+  si_entries : int;
+  si_records : int;
+  si_segments : int;
+  si_generation : int;
+  si_flow : string;
+  si_format : string;
+  si_torn : string option;
+}
+
+type store_status =
+  | Store of store_info
+  | Missing of string
+  | Foreign of string
+  | Corrupt of Stage_error.t
+
+(* --- the legacy JSON document (read for migration, written by tests) --- *)
 
 let store_version = 1
 
@@ -45,7 +76,7 @@ let entry_of_json j =
       | _ -> None)
   | _ -> None
 
-let store_json entries =
+let legacy_store_json entries =
   Json.Obj
     [
       ("version", Json.Int store_version);
@@ -62,7 +93,7 @@ let read_file path =
       close_in ic;
       Some s
 
-let parse_store s =
+let parse_legacy s =
   match Json.of_string s with
   | Error e -> Error e
   | Ok j -> (
@@ -76,58 +107,49 @@ let parse_store s =
           Error (Printf.sprintf "store version %d, expected %d" v store_version)
       | _ -> Error "malformed cache store")
 
-let read_store path =
-  match read_file path with
-  | None -> Error (path ^ ": no such file")
-  | Some s -> (
-      match parse_store s with
-      | Ok (flow, es) -> Ok (List.length es, flow)
-      | Error e -> Error (path ^ ": " ^ e))
-
-let create ?(capacity = 4096) ?store () =
-  let t =
-    {
-      capacity = max 1 capacity;
-      store;
-      tbl = Hashtbl.create 64;
-      tick = 0;
-      hits = 0;
-      misses = 0;
-      evictions = 0;
-      dirty = false;
-    }
+let write_legacy_json path pms =
+  let entries =
+    List.map
+      (fun (p, m) ->
+        { e_key = Key.of_point p; e_point = p; e_metrics = m; e_tick = 0 })
+      pms
+    |> List.sort (fun a b -> String.compare a.e_key b.e_key)
   in
-  (match Option.map read_file store with
-  | Some (Some s) -> (
-      match parse_store s with
-      | Ok (flow, entries) when flow = Eval.flow_version ->
-          List.iter
-            (fun e ->
-              if Hashtbl.length t.tbl < t.capacity then
-                Hashtbl.replace t.tbl e.e_key e)
-            entries
-      | Ok _ | Error _ ->
-          (* stale flow version or a foreign/corrupt document: start cold;
-             the next flush rewrites it at the current version *)
-          t.dirty <- true)
-  | Some None | None -> ());
-  t
+  Gap_util.Atomic_io.write_string path
+    (Json.to_string ~pretty:true (legacy_store_json entries) ^ "\n")
 
-let touch t e =
-  t.tick <- t.tick + 1;
-  e.e_tick <- t.tick
+(* --- segment-record payloads --- *)
 
-let find t p =
-  match Hashtbl.find_opt t.tbl (Key.of_point p) with
-  | Some e ->
-      touch t e;
-      t.hits <- t.hits + 1;
-      Obs.incr "dse.cache.hit";
-      Some e.e_metrics
-  | None ->
-      t.misses <- t.misses + 1;
-      Obs.incr "dse.cache.miss";
-      None
+let payload_of_entry e =
+  Json.to_string
+    (Json.Obj
+       [
+         ("point", Space.point_json e.e_point);
+         ("metrics", Eval.to_json e.e_metrics);
+       ])
+
+let entry_of_payload ~store key payload =
+  let fail detail =
+    raise
+      (Stage_error.Stage_failure
+         (Stage_error.Storage_fault
+            { stage = "dse.cache"; store; segment = ""; offset = -1; detail }))
+  in
+  match Json.of_string payload with
+  | Error e -> fail (Printf.sprintf "undecodable record payload (%s): %s" key e)
+  | Ok j -> (
+      match (Json.member "point" j, Json.member "metrics" j) with
+      | Some pj, Some mj -> (
+          match (Space.point_of_json pj, Eval.of_json mj) with
+          | Ok p, Ok m -> { e_key = key; e_point = p; e_metrics = m; e_tick = 0 }
+          | _ -> fail (Printf.sprintf "record %s does not decode to a point" key))
+      | _ -> fail (Printf.sprintf "record %s misses point/metrics" key))
+
+(* --- construction --- *)
+
+let sorted_entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
+  |> List.sort (fun a b -> String.compare a.e_key b.e_key)
 
 let evict_lru t =
   (* O(n) scan; evictions only happen past [capacity], far off the sweep
@@ -152,38 +174,210 @@ let evict_lru t =
       Obs.incr "dse.cache.evict"
   | None -> ()
 
+let migrate_tmp path = path ^ ".migrate"
+
+(* Build a complete segment store from legacy entries at [path ^ ".migrate"],
+   then swap it into place. The file is unlinked only after the replacement
+   store fully exists; a kill between unlink and rename is recovered by
+   [resume_migration] on the next open. *)
+let migrate_json path entries =
+  Obs.incr "dse.cache.migrations";
+  Obs.event "dse.cache.migrate"
+    [ ("store", Json.Str path); ("entries", Json.Int (List.length entries)) ];
+  let tmp = migrate_tmp path in
+  let rec rm_rf p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun n -> rm_rf (Filename.concat p n)) (Sys.readdir p);
+        (try Unix.rmdir p with Unix.Unix_error _ -> ())
+      end
+      else try Sys.remove p with Sys_error _ -> ()
+  in
+  rm_rf tmp;
+  let s, _, _ = Segstore.open_store ~flow:Eval.flow_version tmp in
+  List.iter (fun e -> Segstore.append s ~key:e.e_key (payload_of_entry e)) entries;
+  Segstore.close s;
+  (try Sys.remove path with Sys_error _ -> ());
+  Sys.rename tmp path
+
+let resume_migration path =
+  (* a kill after the legacy file was unlinked but before the rename: the
+     finished replacement store is still parked at the temp path *)
+  if (not (Sys.file_exists path)) && Segstore.is_store (migrate_tmp path) then
+    Sys.rename (migrate_tmp path) path
+
+let create ?(capacity = 4096) ?store () =
+  let t =
+    {
+      capacity = max 1 capacity;
+      tbl = Hashtbl.create 64;
+      backend = Mem;
+      pending = [];
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      dirty = false;
+      recovery_note = None;
+    }
+  in
+  (match store with
+  | None -> ()
+  | Some path ->
+      resume_migration path;
+      let open_seg () =
+        let s, records, note = Segstore.open_store ~flow:Eval.flow_version path in
+        t.recovery_note <- note;
+        List.iter
+          (fun (key, payload) ->
+            (* replay in append order: the last record per key wins *)
+            Hashtbl.replace t.tbl key (entry_of_payload ~store:path key payload))
+          records;
+        while Hashtbl.length t.tbl > t.capacity do
+          evict_lru t
+        done;
+        t.backend <- Seg s
+      in
+      if Sys.file_exists path && Sys.is_directory path then open_seg ()
+      else
+        match Option.bind (if Sys.file_exists path then Some path else None) read_file with
+        | None -> t.backend <- Lazy_store path
+        | Some doc -> (
+            match parse_legacy doc with
+            | Ok (flow, entries) when flow = Eval.flow_version ->
+                (* a healthy legacy JSON store: migrate it on first open *)
+                migrate_json path
+                  (List.filteri (fun i _ -> i < t.capacity) entries);
+                open_seg ()
+            | Ok _ | Error _ ->
+                (* stale flow version or a foreign/corrupt document: start
+                   cold; the first flush replaces it with a segment store
+                   at the current flow *)
+                t.backend <- Lazy_store path;
+                t.dirty <- true));
+  t
+
+let recovery_note t = t.recovery_note
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.e_tick <- t.tick
+
+let find t p =
+  match Hashtbl.find_opt t.tbl (Key.of_point p) with
+  | Some e ->
+      touch t e;
+      t.hits <- t.hits + 1;
+      Obs.incr "dse.cache.hit";
+      Some e.e_metrics
+  | None ->
+      t.misses <- t.misses + 1;
+      Obs.incr "dse.cache.miss";
+      None
+
 let add t p m =
   let key = Key.of_point p in
-  (match Hashtbl.find_opt t.tbl key with
-  | Some e -> touch t e
-  | None ->
-      if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
-      let e = { e_key = key; e_point = p; e_metrics = m; e_tick = 0 } in
-      touch t e;
-      Hashtbl.add t.tbl key e);
+  let e =
+    match Hashtbl.find_opt t.tbl key with
+    | Some e ->
+        touch t e;
+        e
+    | None ->
+        if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+        let e = { e_key = key; e_point = p; e_metrics = m; e_tick = 0 } in
+        touch t e;
+        Hashtbl.add t.tbl key e;
+        e
+  in
+  t.pending <- e :: t.pending;
   t.dirty <- true;
   Obs.incr "dse.cache.store"
 
+(* pending adds, newest-first -> one record per key, sorted for
+   deterministic on-disk order *)
+let pending_records t =
+  let seen = Hashtbl.create 16 in
+  let uniq =
+    List.filter
+      (fun e ->
+        if Hashtbl.mem seen e.e_key then false
+        else begin
+          Hashtbl.add seen e.e_key ();
+          true
+        end)
+      t.pending
+  in
+  List.sort (fun a b -> String.compare a.e_key b.e_key) uniq
+
+let encoded_entries t =
+  List.map (fun e -> (e.e_key, payload_of_entry e)) (sorted_entries t)
+
+(* compaction threshold: rewrite once the log holds enough superseded
+   records that replay cost is dominated by garbage *)
+let compact_due s ~live =
+  let records = Segstore.records s in
+  records > 64 && records > 2 * live
+
+let do_flush t =
+  match t.backend with
+  | Mem -> ()
+  | Lazy_store path ->
+      (* first flush: materialize the store, replacing whatever foreign or
+         stale file sat at the path *)
+      if Sys.file_exists path && not (Sys.is_directory path) then
+        (try Sys.remove path with Sys_error _ -> ());
+      let s, _, _ = Segstore.open_store ~flow:Eval.flow_version path in
+      List.iter
+        (fun e -> Segstore.append s ~key:e.e_key (payload_of_entry e))
+        (sorted_entries t);
+      t.backend <- Seg s;
+      t.pending <- []
+  | Seg s ->
+      if Segstore.stale s then begin
+        (* stale-flow store: one rewrite brings it to the current flow with
+           exactly the live entries (usually none) *)
+        Segstore.rewrite s (encoded_entries t);
+        t.pending <- []
+      end
+      else begin
+        List.iter
+          (fun e ->
+            (* an entry evicted from memory after being queued still
+               persists: the record outlives the LRU, matching a log *)
+            Segstore.append s ~key:e.e_key (payload_of_entry e))
+          (pending_records t);
+        t.pending <- [];
+        if compact_due s ~live:(Hashtbl.length t.tbl) then
+          Segstore.rewrite s (encoded_entries t)
+      end
+
 let flush t =
-  match t.store with
-  | None -> ()
-  | Some path ->
+  match t.backend with
+  | Mem -> ()
+  | Lazy_store _ | Seg _ ->
       if t.dirty then begin
-        let entries =
-          Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
-          |> List.sort (fun a b -> String.compare a.e_key b.e_key)
-        in
-        Gap_util.Atomic_io.write_string path
-          (Json.to_string ~pretty:true (store_json entries) ^ "\n");
+        (* transient append/compaction faults retry here; duplicate appends
+           from a half-done attempt are harmless (last record per key wins) *)
+        Supervisor.retry ~stage:"dse.cache.flush" (fun () -> do_flush t);
         t.dirty <- false
       end
 
+let try_flush t =
+  match flush t with
+  | () -> Ok ()
+  | exception Stage_error.Stage_failure e -> Error e
+
+let compact t =
+  flush t;
+  match t.backend with
+  | Seg s ->
+      Supervisor.retry ~stage:"dse.cache.compact" (fun () ->
+          Segstore.rewrite s (encoded_entries t))
+  | Mem | Lazy_store _ -> ()
+
 (* key-sorted listing: renders and stores derived from it are byte-identical
    across runs regardless of insertion order *)
-let entries t =
-  Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl []
-  |> List.sort (fun a b -> String.compare a.e_key b.e_key)
-  |> List.map (fun e -> (e.e_point, e.e_metrics))
+let entries t = List.map (fun e -> (e.e_point, e.e_metrics)) (sorted_entries t)
 
 let stats t =
   {
@@ -194,10 +388,58 @@ let stats t =
     evictions = t.evictions;
   }
 
+let backend_stats t =
+  match t.backend with
+  | Seg s ->
+      Some
+        ( Segstore.records s,
+          List.length (Segstore.segment_names s),
+          Segstore.generation s )
+  | Mem | Lazy_store _ -> None
+
 let hit_rate s =
   let total = s.hits + s.misses in
   if total = 0 then 0. else float_of_int s.hits /. float_of_int total
 
 let clear path =
-  Gap_util.Atomic_io.write_string path
-    (Json.to_string ~pretty:true (store_json []) ^ "\n")
+  if Sys.file_exists path && not (Sys.is_directory path) then
+    (try Sys.remove path with Sys_error _ -> ());
+  let s, _, _ = Segstore.open_store ~flow:Eval.flow_version path in
+  (* reset even a populated store to an empty fresh generation *)
+  Segstore.rewrite s [];
+  Segstore.close s
+
+let inspect_store path =
+  if not (Sys.file_exists path) then Missing (path ^ ": no such store")
+  else if Sys.is_directory path then
+    match Segstore.validate path with
+    | Error e -> Corrupt e
+    | Ok i ->
+        Store
+          {
+            si_entries = i.Segstore.i_keys;
+            si_records = i.Segstore.i_records;
+            si_segments = i.Segstore.i_segments;
+            si_generation = i.Segstore.i_generation;
+            si_flow = i.Segstore.i_flow;
+            si_format = "segment";
+            si_torn = i.Segstore.i_torn;
+          }
+  else
+    match read_file path with
+    | None -> Missing (path ^ ": unreadable")
+    | Some doc -> (
+        match parse_legacy doc with
+        | Ok (flow, entries) ->
+            let n = List.length entries in
+            Store
+              {
+                si_entries = n;
+                si_records = n;
+                si_segments = 0;
+                si_generation = 0;
+                si_flow = flow;
+                si_format = "json-legacy";
+                si_torn = None;
+              }
+        | Error e -> Foreign (path ^ ": " ^ e))

@@ -1,0 +1,501 @@
+module Json = Gap_obs.Json
+module Obs = Gap_obs.Obs
+module Stage_error = Gap_resilience.Stage_error
+module Fault = Gap_resilience.Fault
+
+(* Record framing: magic 0xA5, u32-LE payload length, u32-LE CRC-32 of the
+   payload, payload = u16-LE key length + key + data. One record, one
+   O_APPEND write: a kill leaves a strict byte prefix, which recovery can
+   always identify and truncate. *)
+
+let magic = '\xA5'
+let header_bytes = 9
+let min_payload = 2
+let max_record_bytes = 1 lsl 24
+let manifest_name = "MANIFEST"
+let manifest_version = 1
+let default_segment_bytes = 256 * 1024
+
+type t = {
+  path : string;
+  segment_bytes : int;
+  mutable generation : int;
+  mutable segments : string list;  (* manifest order; last is active *)
+  mutable fd : Unix.file_descr option;  (* active segment, O_APPEND *)
+  mutable active_bytes : int;
+  mutable records : int;
+  mutable stale : bool;  (* manifest flow differed at open *)
+  flow : string;  (* the flow every write records *)
+}
+
+type info = {
+  i_records : int;
+  i_keys : int;
+  i_segments : int;
+  i_generation : int;
+  i_flow : string;
+  i_bytes : int;
+  i_torn : string option;
+}
+
+let storage_fault ~store ?(segment = "") ?(offset = -1) detail =
+  Stage_error.Storage_fault { stage = "segstore"; store; segment; offset; detail }
+
+let corrupt ~store ~segment ~offset detail =
+  raise (Stage_error.Stage_failure (storage_fault ~store ~segment ~offset detail))
+
+let io_fail ~store detail =
+  raise (Stage_error.Stage_failure (storage_fault ~store detail))
+
+let seg_name ~generation ~seq = Printf.sprintf "seg-%04d-%04d.seg" generation seq
+
+let is_store path =
+  Sys.file_exists path
+  && Sys.is_directory path
+  && Sys.file_exists (Filename.concat path manifest_name)
+
+(* --- manifest --- *)
+
+let manifest_json ~flow ~generation ~segments =
+  Json.Obj
+    [
+      ("version", Json.Int manifest_version);
+      ("flow", Json.Str flow);
+      ("generation", Json.Int generation);
+      ("segments", Json.List (List.map (fun s -> Json.Str s) segments));
+    ]
+
+let write_manifest ~path ~flow ~generation ~segments =
+  Gap_util.Atomic_io.write_string
+    (Filename.concat path manifest_name)
+    (Json.to_string ~pretty:true (manifest_json ~flow ~generation ~segments) ^ "\n")
+
+let read_manifest ~store path =
+  let file = Filename.concat path manifest_name in
+  let doc =
+    match open_in_bin file with
+    | exception Sys_error e -> io_fail ~store ("manifest unreadable: " ^ e)
+    | ic ->
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+  in
+  match Json.of_string doc with
+  | Error e -> corrupt ~store ~segment:manifest_name ~offset:0 ("malformed manifest: " ^ e)
+  | Ok j -> (
+      match
+        ( Json.member "version" j,
+          Json.member "flow" j,
+          Json.member "generation" j,
+          Json.member "segments" j )
+      with
+      | Some (Json.Int v), Some (Json.Str flow), Some (Json.Int generation),
+        Some (Json.List segs)
+        when v = manifest_version ->
+          let segments =
+            List.map
+              (function
+                | Json.Str s -> s
+                | _ ->
+                    corrupt ~store ~segment:manifest_name ~offset:0
+                      "manifest segment list holds a non-string")
+              segs
+          in
+          (flow, generation, segments)
+      | Some (Json.Int v), _, _, _ when v <> manifest_version ->
+          corrupt ~store ~segment:manifest_name ~offset:0
+            (Printf.sprintf "manifest version %d, expected %d" v manifest_version)
+      | _ -> corrupt ~store ~segment:manifest_name ~offset:0 "malformed manifest")
+
+(* --- framing --- *)
+
+let frame ~key payload =
+  let klen = String.length key in
+  if klen > 0xFFFF then invalid_arg "Segstore.append: key too long";
+  let plen = min_payload + klen + String.length payload in
+  if plen > max_record_bytes then invalid_arg "Segstore.append: record too large";
+  let b = Buffer.create (header_bytes + plen) in
+  Buffer.add_char b magic;
+  Buffer.add_int32_le b (Int32.of_int plen);
+  let body = Buffer.create plen in
+  Buffer.add_int16_le body klen;
+  Buffer.add_string body key;
+  Buffer.add_string body payload;
+  let body = Buffer.contents body in
+  Buffer.add_int32_le b (Int32.of_int (Gap_util.Crc32.string body));
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let u32_at s pos = Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF
+let u16_at s pos = String.get_uint16_le s pos
+
+(* Scan one segment's bytes. A torn O_APPEND write leaves a strict prefix of
+   the record, so in the last segment (a) a short header, (b) a record
+   running past EOF, and (c) a defective *final* record are all recoverable
+   tears; the same defects anywhere else — or a wrong magic byte, which no
+   tear can produce at a record boundary but a final-record disk tear still
+   may — are corruption. Returns the surviving records (reverse order
+   appended to [acc]) and the tear offset, if any. *)
+let scan_segment ~store ~segment ~is_last bytes acc =
+  let len = String.length bytes in
+  let recs = ref acc in
+  let tear = ref None in
+  let pos = ref 0 in
+  let fail offset detail =
+    if is_last then begin
+      tear := Some (offset, detail);
+      pos := len (* stop: everything from [offset] is dropped *)
+    end
+    else corrupt ~store ~segment ~offset detail
+  in
+  while !pos < len do
+    let at = !pos in
+    if len - at < header_bytes then fail at "torn record header"
+    else if String.get bytes at <> magic then
+      (* wrong leading byte: a torn append leaves a strict prefix, and the
+         magic is the first byte written, so this is never a tear *)
+      corrupt ~store ~segment ~offset:at "bad record magic"
+    else begin
+      let plen = u32_at bytes (at + 1) in
+      if plen < min_payload || plen > max_record_bytes then
+        corrupt ~store ~segment ~offset:at
+          (Printf.sprintf "implausible record length %d" plen)
+      else if at + header_bytes + plen > len then
+        fail at "torn record body"
+      else begin
+        let crc = u32_at bytes (at + 5) in
+        let body = String.sub bytes (at + header_bytes) plen in
+        if Gap_util.Crc32.string body <> crc then begin
+          if is_last && at + header_bytes + plen = len then
+            (* the final record of the final segment: a device-level tail
+               tear can leave garbage past the torn point, so recover it *)
+            fail at "checksum mismatch in final record"
+          else corrupt ~store ~segment ~offset:at "record checksum mismatch"
+        end
+        else begin
+          let klen = u16_at body 0 in
+          if min_payload + klen > plen then
+            corrupt ~store ~segment ~offset:at "record key overruns payload"
+          else begin
+            let key = String.sub body min_payload klen in
+            let payload =
+              String.sub body (min_payload + klen) (plen - min_payload - klen)
+            in
+            recs := (key, payload) :: !recs;
+            pos := at + header_bytes + plen
+          end
+        end
+      end
+    end
+  done;
+  (!recs, !tear)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- open + recovery --- *)
+
+let open_append ~store file =
+  try Unix.openfile file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  with Unix.Unix_error (e, _, _) ->
+    io_fail ~store
+      (Printf.sprintf "cannot open %s for append: %s" (Filename.basename file)
+         (Unix.error_message e))
+
+let create_fresh ~segment_bytes ~flow path =
+  (try Unix.mkdir path 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let seg = seg_name ~generation:1 ~seq:0 in
+  let fd = open_append ~store:path (Filename.concat path seg) in
+  write_manifest ~path ~flow ~generation:1 ~segments:[ seg ];
+  {
+    path;
+    segment_bytes;
+    generation = 1;
+    segments = [ seg ];
+    fd = Some fd;
+    active_bytes = 0;
+    records = 0;
+    stale = false;
+    flow;
+  }
+
+(* files an interrupted compaction / roll / atomic write can leave behind *)
+let sweep_strays path live =
+  match Sys.readdir path with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun name ->
+          if
+            name <> manifest_name
+            && not (List.mem name live)
+            && (Filename.check_suffix name ".seg"
+               || Filename.check_suffix name ".tmp")
+          then try Sys.remove (Filename.concat path name) with Sys_error _ -> ())
+        names
+
+let open_store ?(segment_bytes = default_segment_bytes) ~flow path =
+  Obs.incr "dse.segstore.open";
+  if Sys.file_exists path && not (Sys.is_directory path) then
+    io_fail ~store:path "not a segment-store directory";
+  if not (is_store path) then begin
+    (* missing entirely, or a directory left without a MANIFEST by a kill
+       during creation (the manifest is written last): start fresh *)
+    if Sys.file_exists path then sweep_strays path [];
+    (create_fresh ~segment_bytes ~flow path, [], None)
+  end
+  else begin
+    let mflow, generation, segments = read_manifest ~store:path path in
+    if segments = [] then
+      corrupt ~store:path ~segment:manifest_name ~offset:0
+        "manifest lists no segments";
+    sweep_strays path segments;
+    let stale = mflow <> flow in
+    let last = List.nth segments (List.length segments - 1) in
+    let note = ref None in
+    let recs = ref [] in
+    let total = ref 0 in
+    if not stale then
+      List.iter
+        (fun seg ->
+          let file = Filename.concat path seg in
+          let bytes =
+            try read_file file
+            with Sys_error e -> io_fail ~store:path ("segment unreadable: " ^ e)
+          in
+          let is_last = String.equal seg last in
+          let acc, tear = scan_segment ~store:path ~segment:seg ~is_last bytes !recs in
+          recs := acc;
+          (match tear with
+          | None -> total := !total + String.length bytes
+          | Some (offset, detail) ->
+              (* truncate exactly the torn tail so the next append starts at
+                 a record boundary *)
+              (try Unix.truncate file offset
+               with Unix.Unix_error (e, _, _) ->
+                 io_fail ~store:path
+                   (Printf.sprintf "cannot truncate torn tail of %s: %s" seg
+                      (Unix.error_message e)));
+              total := !total + offset;
+              Obs.incr "dse.segstore.torn";
+              let n =
+                Printf.sprintf "%s: truncated torn tail at offset %d (%s)" seg
+                  offset detail
+              in
+              Obs.event "segstore.torn_tail"
+                [
+                  ("store", Json.Str path);
+                  ("segment", Json.Str seg);
+                  ("offset", Json.Int offset);
+                  ("detail", Json.Str detail);
+                ];
+              note := Some n))
+        segments;
+    let records = List.rev !recs in
+    let active = Filename.concat path last in
+    let active_bytes =
+      if stale then 0
+      else
+        match Unix.stat active with
+        | { Unix.st_size; _ } -> st_size
+        | exception Unix.Unix_error _ -> 0
+    in
+    let t =
+      {
+        path;
+        segment_bytes;
+        generation;
+        segments;
+        fd = None;
+        active_bytes;
+        records = List.length records;
+        stale;
+        flow;
+      }
+    in
+    if not stale then t.fd <- Some (open_append ~store:path active);
+    (t, records, !note)
+  end
+
+(* --- writes --- *)
+
+let active_fd t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+      let last = List.nth t.segments (List.length t.segments - 1) in
+      let fd = open_append ~store:t.path (Filename.concat t.path last) in
+      t.fd <- Some fd;
+      fd
+
+let write_all ~store fd s =
+  let len = String.length s in
+  let pos = ref 0 in
+  (try
+     while !pos < len do
+       pos := !pos + Unix.write_substring fd s !pos (len - !pos)
+     done
+   with Unix.Unix_error (e, _, _) ->
+     io_fail ~store (Printf.sprintf "append failed: %s" (Unix.error_message e)))
+
+(* split records into segment-sized chunks, at least one segment *)
+let plan_segments t recs =
+  let chunks = ref [] in
+  let current = ref [] in
+  let bytes = ref 0 in
+  List.iter
+    (fun (key, payload) ->
+      let r = frame ~key payload in
+      if !bytes > 0 && !bytes + String.length r > t.segment_bytes then begin
+        chunks := List.rev !current :: !chunks;
+        current := [];
+        bytes := 0
+      end;
+      current := r :: !current;
+      bytes := !bytes + String.length r)
+    recs;
+  chunks := List.rev !current :: !chunks;
+  List.rev !chunks
+
+let rewrite t recs =
+  Fault.point "segstore.compact";
+  Obs.span "segstore.compact" (fun () ->
+      let generation = t.generation + 1 in
+      let chunks = plan_segments t recs in
+      let names =
+        List.mapi (fun seq _ -> seg_name ~generation ~seq) chunks
+      in
+      List.iter2
+        (fun name chunk ->
+          Gap_util.Atomic_io.write_file (Filename.concat t.path name)
+            (fun oc -> List.iter (output_string oc) chunk))
+        names chunks;
+      (* the commit point: a kill before this leaves the old generation
+         live (new files are strays, swept next open); after it, the new *)
+      write_manifest ~path:t.path ~flow:t.flow ~generation ~segments:names;
+      (match t.fd with Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ());
+      t.fd <- None;
+      List.iter
+        (fun seg ->
+          if not (List.mem seg names) then
+            try Sys.remove (Filename.concat t.path seg) with Sys_error _ -> ())
+        t.segments;
+      t.generation <- generation;
+      t.segments <- names;
+      t.records <- List.length recs;
+      t.active_bytes <-
+        (match List.rev names with
+        | last :: _ -> (
+            match Unix.stat (Filename.concat t.path last) with
+            | { Unix.st_size; _ } -> st_size
+            | exception Unix.Unix_error _ -> 0)
+        | [] -> 0);
+      t.stale <- false;
+      Obs.incr "dse.segstore.compact")
+
+let roll t =
+  let seq =
+    (* segment names are seg-<gen>-<seq>; the next seq continues the list *)
+    List.length t.segments
+  in
+  let name = seg_name ~generation:t.generation ~seq in
+  let file = Filename.concat t.path name in
+  let fd = open_append ~store:t.path file in
+  (* manifest gains the (still empty) segment before any record lands in
+     it: a kill in between leaves a valid store either way *)
+  write_manifest ~path:t.path ~flow:t.flow ~generation:t.generation
+    ~segments:(t.segments @ [ name ]);
+  (match t.fd with Some old -> (try Unix.close old with Unix.Unix_error _ -> ()) | None -> ());
+  t.segments <- t.segments @ [ name ];
+  t.fd <- Some fd;
+  t.active_bytes <- 0;
+  Obs.incr "dse.segstore.roll"
+
+let append t ~key payload =
+  if t.stale then begin
+    (* first write after a stale-flow open: reset to an empty generation
+       recorded at the current flow, exactly like the JSON store's
+       rewrite-at-current-version *)
+    Obs.incr "dse.segstore.reset";
+    rewrite t []
+  end;
+  Fault.point "segstore.append";
+  if t.active_bytes >= t.segment_bytes then roll t;
+  let r = frame ~key payload in
+  write_all ~store:t.path (active_fd t) r;
+  t.active_bytes <- t.active_bytes + String.length r;
+  t.records <- t.records + 1;
+  Obs.incr "dse.segstore.append"
+
+let records t = t.records
+let generation t = t.generation
+let segment_names t = t.segments
+let stale t = t.stale
+
+let close t =
+  match t.fd with
+  | Some fd ->
+      t.fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ()
+
+(* --- read-only validation --- *)
+
+let validate path =
+  match
+    if not (Sys.file_exists path) then Error (storage_fault ~store:path "no such store")
+    else if not (Sys.is_directory path) then
+      Error (storage_fault ~store:path "not a segment-store directory")
+    else if not (is_store path) then
+      Error (storage_fault ~store:path "missing MANIFEST")
+    else begin
+      let mflow, generation, segments = read_manifest ~store:path path in
+      let last =
+        match List.rev segments with
+        | l :: _ -> l
+        | [] ->
+            corrupt ~store:path ~segment:manifest_name ~offset:0
+              "manifest lists no segments"
+      in
+      let records = ref 0 in
+      let keys = Hashtbl.create 64 in
+      let bytes = ref 0 in
+      let torn = ref None in
+      List.iter
+        (fun seg ->
+          let body = read_file (Filename.concat path seg) in
+          let is_last = String.equal seg last in
+          let recs, tear =
+            scan_segment ~store:path ~segment:seg ~is_last body []
+          in
+          records := !records + List.length recs;
+          List.iter (fun (k, _) -> Hashtbl.replace keys k ()) recs;
+          bytes := !bytes + String.length body;
+          match tear with
+          | None -> ()
+          | Some (offset, detail) ->
+              torn :=
+                Some
+                  (Printf.sprintf "%s: torn tail at offset %d (%s)" seg offset
+                     detail))
+        segments;
+      Ok
+        {
+          i_records = !records;
+          i_keys = Hashtbl.length keys;
+          i_segments = List.length segments;
+          i_generation = generation;
+          i_flow = mflow;
+          i_bytes = !bytes;
+          i_torn = !torn;
+        }
+    end
+  with
+  | r -> r
+  | exception Stage_error.Stage_failure e -> Error e
+  | exception Sys_error e -> Error (storage_fault ~store:path ("I/O error: " ^ e))

@@ -278,6 +278,77 @@ let driver_dse () =
   in
   ignore (Gap_dse.Sweep.run ~domains:4 ~name:"faults-dse" space)
 
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let with_tmp_store f =
+  let path = Filename.temp_file "gap_faults_store" ".store" in
+  Sys.remove path;
+  Fun.protect ~finally:(fun () -> rm_rf path) (fun () -> f path)
+
+(* cheap distinct points: tiny MC arms so an evaluation costs microseconds *)
+let store_point i =
+  {
+    Gap_dse.Space.baseline with
+    Gap_dse.Space.sigma_scale = 1.0 +. (0.0001 *. float_of_int i);
+    mc_dies = 16;
+  }
+
+let driver_segstore_flush () =
+  with_tmp_store (fun path ->
+      let cache = Gap_dse.Cache.create ~store:path () in
+      for i = 0 to 3 do
+        let p = store_point i in
+        Gap_dse.Cache.add cache p (Gap_dse.Eval.point p)
+      done;
+      (* the flush appends under the cache's own supervisor: an injected
+         transient at [segstore.append] recovers via retry, and the
+         re-appended duplicates are harmless (last record per key wins) *)
+      Gap_dse.Cache.flush cache)
+
+let driver_segstore_compact () =
+  with_tmp_store (fun path ->
+      let cache = Gap_dse.Cache.create ~store:path () in
+      for i = 0 to 3 do
+        let p = store_point i in
+        Gap_dse.Cache.add cache p (Gap_dse.Eval.point p)
+      done;
+      Gap_dse.Cache.flush cache;
+      (* the generation rewrite hits [segstore.compact]; its commit point is
+         the manifest replace, so the retried attempt starts from the intact
+         old generation *)
+      Gap_dse.Cache.compact cache)
+
+let driver_serve_batch () =
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gap_faults_serve_%d.sock" (Unix.getpid ()))
+  in
+  (try Sys.remove sock with Sys_error _ -> ());
+  let addr = Gap_serve.Protocol.Unix_sock sock in
+  let server = Gap_serve.Server.create (Gap_serve.Server.default_config addr) in
+  Gap_serve.Server.start server;
+  Fun.protect
+    ~finally:(fun () -> Gap_serve.Server.stop server)
+    (fun () ->
+      match Gap_serve.Client.connect_retry addr with
+      | Error e -> failwith (Gap_serve.Client.connect_error_to_string e)
+      | Ok cl ->
+          Fun.protect
+            ~finally:(fun () -> Gap_serve.Client.close cl)
+            (fun () ->
+              (* a cache miss forces a scheduler batch, which runs with
+                 [serve.batch] inside its retry scope *)
+              match Gap_serve.Client.eval cl (store_point 0) with
+              | Ok _ -> ()
+              | Error e -> failwith (Gap_serve.Protocol.err_to_string e)))
+
 (* (site, kind, driver name, driver, max skip): [max_skip] bounds the
    seeded skip so the fault always lands within the hits the driver
    generates (e.g. the synth driver maps exactly once) *)
@@ -292,6 +363,9 @@ let plan_catalog =
     ("mc.worker", Stage_error.Worker_kill, "mc-8k-x4", driver_mc, 2);
     ("mc.budget", Stage_error.Deadline, "mc-8k-x4", driver_mc, 0);
     ("dse.worker", Stage_error.Worker_kill, "dse-sweep-x4", driver_dse, 2);
+    ("segstore.append", Stage_error.Transient, "segstore-flush", driver_segstore_flush, 2);
+    ("segstore.compact", Stage_error.Transient, "segstore-compact", driver_segstore_compact, 0);
+    ("serve.batch", Stage_error.Transient, "serve-eval", driver_serve_batch, 0);
   ]
 
 let () =

@@ -30,7 +30,24 @@ let catalog =
     ("dse.worker", [ Stage_error.Worker_kill ],
      "a DSE pool worker domain dies after claiming a point; the pool rejoins and \
       re-runs the orphaned points sequentially under supervision");
+    ("segstore.append", [ Stage_error.Transient ],
+     "a segment-store record append fails transiently before the write; the \
+      cache flush retries and duplicate appends stay harmless (last record \
+      per key wins)");
+    ("segstore.compact", [ Stage_error.Transient ],
+     "a segment-store compaction fails transiently before writing the new \
+      generation; the old generation stays fully valid and the caller \
+      retries");
+    ("serve.batch", [ Stage_error.Transient ],
+     "a server scheduler batch dies before evaluation; the scheduler retries \
+      the batch, then resolves every attached request with a typed error \
+      instead of wedging its clients");
   ]
+
+let layer site =
+  match String.index_opt site '.' with
+  | Some i -> String.sub site 0 i
+  | None -> site
 
 (* armed state: one option read when off; mutex-protected because worker
    domains hit sites too *)

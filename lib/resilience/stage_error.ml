@@ -12,6 +12,13 @@ type t =
     }
   | Worker_failed of { stage : string; worker : int; error : string }
   | Injected of { site : string; kind : fault_kind }
+  | Storage_fault of {
+      stage : string;
+      store : string;
+      segment : string;
+      offset : int;
+      detail : string;
+    }
   | Exhausted_retries of { stage : string; attempts : int; last : t }
   | Interrupted of { stage : string }
   | Unclassified of { stage : string; exn_text : string }
@@ -23,6 +30,7 @@ let stage = function
   | Numeric_fault { stage; _ }
   | Deadline_exceeded { stage; _ }
   | Worker_failed { stage; _ }
+  | Storage_fault { stage; _ }
   | Exhausted_retries { stage; _ }
   | Interrupted { stage }
   | Unclassified { stage; _ } ->
@@ -45,7 +53,8 @@ let kind_of_string = function
 let retryable = function
   | Injected { kind = Transient; _ } | Worker_failed _ -> true
   | Netlist_defect _ | Numeric_fault _ | Deadline_exceeded _
-  | Injected _ | Exhausted_retries _ | Interrupted _ | Unclassified _ ->
+  | Injected _ | Storage_fault _ | Exhausted_retries _ | Interrupted _
+  | Unclassified _ ->
       false
 
 let rec to_string = function
@@ -60,6 +69,11 @@ let rec to_string = function
       Printf.sprintf "[%s] worker %d failed: %s" stage worker error
   | Injected { site; kind } ->
       Printf.sprintf "[%s] injected %s fault" site (kind_string kind)
+  | Storage_fault { stage; store; segment; offset; detail } ->
+      Printf.sprintf "[%s] storage fault in %s (segment %s, offset %d): %s"
+        stage store
+        (if segment = "" then "-" else segment)
+        offset detail
   | Exhausted_retries { stage; attempts; last } ->
       Printf.sprintf "[%s] gave up after %d attempt%s; last error: %s" stage
         attempts
@@ -91,6 +105,14 @@ let rec to_json e =
         [ ("worker", Json.Int worker); ("detail", Json.Str error) ]
   | Injected { kind; _ } ->
       base "injected" [ ("kind", Json.Str (kind_string kind)) ]
+  | Storage_fault { store; segment; offset; detail; _ } ->
+      base "storage-fault"
+        [
+          ("store", Json.Str store);
+          ("segment", Json.Str segment);
+          ("offset", Json.Int offset);
+          ("detail", Json.Str detail);
+        ]
   | Exhausted_retries { attempts; last; _ } ->
       base "exhausted-retries"
         [ ("attempts", Json.Int attempts); ("last", to_json last) ]

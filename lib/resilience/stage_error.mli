@@ -28,6 +28,16 @@ type t =
       (** a worker domain died; [error] is the printed cause *)
   | Injected of { site : string; kind : fault_kind }
       (** a fault deliberately raised by {!Fault} at a named site *)
+  | Storage_fault of {
+      stage : string;
+      store : string;
+      segment : string;
+      offset : int;
+      detail : string;
+    }
+      (** a persistent store failed validation: corruption before the
+          recoverable tail, a malformed manifest, or an I/O failure.
+          [segment] is [""] when the defect is not segment-local. *)
   | Exhausted_retries of { stage : string; attempts : int; last : t }
       (** the retry budget ran out; [last] is the final attempt's error *)
   | Interrupted of { stage : string }

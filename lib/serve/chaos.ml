@@ -1,0 +1,914 @@
+module Json = Gap_obs.Json
+module Obs = Gap_obs.Obs
+module Stage_error = Gap_resilience.Stage_error
+module Fault = Gap_resilience.Fault
+module Space = Gap_dse.Space
+module Eval = Gap_dse.Eval
+module Cache = Gap_dse.Cache
+module Segstore = Gap_dse.Segstore
+
+(* --- outcomes --- *)
+
+type outcome = Passed | Failed of string
+
+type scenario_result = {
+  name : string;
+  detail : string;
+  checks : int;  (** assertions that ran (and held, unless [Failed]) *)
+  outcome : outcome;
+}
+
+type campaign = {
+  scenarios : scenario_result list;
+  chaos_sites : string list;
+  delegated_sites : string list;
+  missing_sites : string list;
+  ok : bool;
+}
+
+exception Check_failed of string
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let scenario name detail f =
+  let n = ref 0 in
+  let check cond msg =
+    incr n;
+    if not cond then raise (Check_failed msg)
+  in
+  let outcome =
+    match f check with
+    | () -> Passed
+    | exception Check_failed m -> Failed m
+    | exception Stage_error.Stage_failure e ->
+        Failed ("uncaught typed error: " ^ Stage_error.to_string e)
+    | exception e -> Failed ("uncaught exception: " ^ Printexc.to_string e)
+  in
+  { name; detail; checks = !n; outcome }
+
+(* --- filesystem helpers --- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let scratch =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let p =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gap_chaos_%d_%d" (Unix.getpid ()) !n)
+    in
+    rm_rf p;
+    p
+
+let with_scratch f =
+  let p = scratch () in
+  Fun.protect ~finally:(fun () -> rm_rf p; rm_rf (p ^ ".migrate")) (fun () -> f p)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+(* flat copy: a segment store holds no subdirectories *)
+let copy_store src dst =
+  Unix.mkdir dst 0o755;
+  Array.iter
+    (fun n -> write_file (Filename.concat dst n) (read_file (Filename.concat src n)))
+    (Sys.readdir src)
+
+(* --- the deterministic workload --- *)
+
+(* distinct points with tiny Monte Carlo arms: an evaluation costs little,
+   and the responses are a pure function of the point, so any warm or
+   restarted run must reproduce them byte-for-byte *)
+let wl_point i =
+  {
+    Space.baseline with
+    Space.sigma_scale = 1.0 +. (0.0001 *. float_of_int (i + 1));
+    mc_dies = 16;
+  }
+
+let workload = List.init 5 wl_point
+
+let reference_responses =
+  lazy (List.map (fun p -> Json.to_string (Eval.to_json (Eval.point p))) workload)
+
+(* --- server plumbing --- *)
+
+let fresh_sock =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gap_chaos_%d_%d.sock" (Unix.getpid ()) !n)
+
+let server_config ?(domains = 1) ?(queue_bound = 64) ?idle_timeout_s ?store addr =
+  {
+    (Server.default_config addr) with
+    Server.domains;
+    queue_bound;
+    store;
+    idle_timeout_s;
+  }
+
+let with_server ?domains ?queue_bound ?idle_timeout_s ?store f =
+  let sock = fresh_sock () in
+  let addr = Protocol.Unix_sock sock in
+  let t =
+    Server.create (server_config ?domains ?queue_bound ?idle_timeout_s ?store addr)
+  in
+  Server.start t;
+  Fun.protect
+    ~finally:(fun () -> Server.stop t)
+    (fun () -> f t addr)
+
+let with_client addr f =
+  match Client.connect_retry addr with
+  | Error e -> raise (Check_failed (Client.connect_error_to_string e))
+  | Ok cl -> Fun.protect ~finally:(fun () -> Client.close cl) (fun () -> f cl)
+
+let eval_all cl pts =
+  List.map
+    (fun p ->
+      match Client.eval cl p with
+      | Ok j -> Ok (Json.to_string j)
+      | Error e -> Error e)
+    pts
+
+let check_warm_identity check store =
+  (* a restarted daemon on the surviving store must answer the whole
+     workload byte-identically to the evaluator itself, serving every
+     stored point from the cache *)
+  with_server ~store (fun t addr ->
+      with_client addr (fun cl ->
+          let got = eval_all cl workload in
+          List.iteri
+            (fun i r ->
+              match (r, List.nth (Lazy.force reference_responses) i) with
+              | Ok s, expect ->
+                  check (s = expect)
+                    (Printf.sprintf "warm response %d differs from reference" i)
+              | Error e, _ ->
+                  raise
+                    (Check_failed
+                       (Printf.sprintf "warm eval %d failed: %s" i
+                          (Protocol.err_to_string e))))
+            got;
+          let s = Server.stats t in
+          check
+            (s.Server.evals + s.Server.cache_hits = List.length workload)
+            "warm run lost responses");
+      match Segstore.validate store with
+      | Ok info ->
+          check
+            (info.Segstore.i_keys = List.length workload)
+            (Printf.sprintf "store holds %d keys, expected %d"
+               info.Segstore.i_keys (List.length workload))
+      | Error e ->
+          raise (Check_failed ("store invalid after warm run: " ^ Stage_error.to_string e)))
+
+(* --- scenario: SIGKILL a serving process mid-workload --- *)
+
+let scenario_sigkill () =
+  scenario "sigkill-restart"
+    "fork a daemon, SIGKILL it mid-workload, validate the store, replay warm"
+    (fun check ->
+      with_scratch (fun store ->
+          let sock = fresh_sock () in
+          let addr = Protocol.Unix_sock sock in
+          match Unix.fork () with
+          | 0 ->
+              (* child: serve until killed; never return into the campaign *)
+              (try
+                 let t = Server.create (server_config ~store addr) in
+                 Server.start t;
+                 Server.wait t
+               with _ -> ());
+              Unix._exit 0
+          | pid ->
+              Fun.protect
+                ~finally:(fun () ->
+                  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                  (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+                  try Sys.remove sock with Sys_error _ -> ())
+                (fun () ->
+                  with_client addr (fun cl ->
+                      (* land two results, then kill without warning *)
+                      List.iteri
+                        (fun i r ->
+                          match r with
+                          | Ok _ -> ()
+                          | Error e ->
+                              raise
+                                (Check_failed
+                                   (Printf.sprintf "pre-kill eval %d failed: %s" i
+                                      (Protocol.err_to_string e))))
+                        (eval_all cl [ wl_point 0; wl_point 1 ]);
+                      Unix.kill pid Sys.sigkill;
+                      ignore (Unix.waitpid [] pid));
+                  (match Segstore.validate store with
+                  | Ok info ->
+                      check
+                        (info.Segstore.i_keys <= List.length workload)
+                        "killed store holds more keys than were evaluated"
+                  | Error e ->
+                      raise
+                        (Check_failed
+                           ("store invalid after SIGKILL: " ^ Stage_error.to_string e)));
+                  check_warm_identity check store)))
+
+(* --- scenario: torn-append matrix over every byte offset --- *)
+
+let scenario_torn_matrix () =
+  scenario "torn-append-matrix"
+    "truncate a valid store at every byte offset of its segment; recovery \
+     must yield exactly the longest whole-record prefix"
+    (fun check ->
+      with_scratch (fun base ->
+          let t, _, _ = Segstore.open_store ~flow:Eval.flow_version base in
+          (* varied record sizes so offsets land in every frame field *)
+          let recs =
+            List.init 6 (fun i ->
+                ( Printf.sprintf "key-%02d" i,
+                  String.init (17 + (13 * i)) (fun j ->
+                      Char.chr (32 + ((i + (7 * j)) mod 95))) ))
+          in
+          List.iter (fun (k, v) -> Segstore.append t ~key:k v) recs;
+          let seg =
+            match Segstore.segment_names t with
+            | [ s ] -> s
+            | l ->
+                raise
+                  (Check_failed
+                     (Printf.sprintf "expected 1 segment, found %d" (List.length l)))
+          in
+          Segstore.close t;
+          let seg_path = Filename.concat base seg in
+          let bytes = read_file seg_path in
+          let len = String.length bytes in
+          (* record end offsets: header (9) + 2-byte keylen + key + payload *)
+          let ends =
+            List.rev
+              (fst
+                 (List.fold_left
+                    (fun (acc, off) (k, v) ->
+                      let e = off + 9 + 2 + String.length k + String.length v in
+                      (e :: acc, e))
+                    ([ 0 ], 0)
+                    recs))
+          in
+          check (List.nth ends (List.length recs) = len) "frame arithmetic drifted";
+          for off = 0 to len do
+            let cut = scratch () in
+            Fun.protect
+              ~finally:(fun () -> rm_rf cut)
+              (fun () ->
+                copy_store base cut;
+                write_file (Filename.concat cut seg) (String.sub bytes 0 off);
+                let surviving =
+                  List.length (List.filter (fun e -> e <= off) ends) - 1
+                in
+                match Segstore.validate cut with
+                | Ok info ->
+                    check
+                      (info.Segstore.i_records = surviving)
+                      (Printf.sprintf
+                         "offset %d: recovery kept %d records, expected %d" off
+                         info.Segstore.i_records surviving);
+                    check
+                      (List.mem off ends = (info.Segstore.i_torn = None))
+                      (Printf.sprintf
+                         "offset %d: torn note %s a record boundary" off
+                         (if List.mem off ends then "at" else "missing off"))
+                | Error e ->
+                    raise
+                      (Check_failed
+                         (Printf.sprintf "offset %d: validate rejected a torn tail: %s"
+                            off (Stage_error.to_string e))));
+            (* sampled recovery-write: reopen (truncating the tear) and
+               append; the store must come back fully clean *)
+            if off mod 37 = 3 then begin
+              let cut = scratch () in
+              Fun.protect
+                ~finally:(fun () -> rm_rf cut)
+                (fun () ->
+                  copy_store base cut;
+                  write_file (Filename.concat cut seg) (String.sub bytes 0 off);
+                  let t2, survived, note = Segstore.open_store ~flow:Eval.flow_version cut in
+                  let surviving =
+                    List.length (List.filter (fun e -> e <= off) ends) - 1
+                  in
+                  check (List.length survived = surviving)
+                    (Printf.sprintf "offset %d: reopen kept %d, expected %d" off
+                       (List.length survived) surviving);
+                  check
+                    (survived
+                    = List.filteri (fun i _ -> i < surviving) recs)
+                    (Printf.sprintf "offset %d: surviving prefix not byte-identical" off);
+                  check
+                    ((note <> None) = not (List.mem off ends))
+                    (Printf.sprintf "offset %d: recovery note mismatch" off);
+                  Segstore.append t2 ~key:"post-tear" "appended after recovery";
+                  Segstore.close t2;
+                  match Segstore.validate cut with
+                  | Ok info ->
+                      check
+                        (info.Segstore.i_records = surviving + 1
+                        && info.Segstore.i_torn = None)
+                        (Printf.sprintf "offset %d: store dirty after recovery append" off)
+                  | Error e ->
+                      raise
+                        (Check_failed
+                           (Printf.sprintf "offset %d: invalid after recovery append: %s"
+                              off (Stage_error.to_string e))))
+            end
+          done))
+
+(* --- scenario: corruption before the tail is typed, never repaired --- *)
+
+let scenario_corrupt_pre_tail () =
+  scenario "corrupt-pre-tail"
+    "flip bytes in non-final records; validation must fail with a typed \
+     Storage_fault naming the segment and offset"
+    (fun check ->
+      with_scratch (fun base ->
+          let t, _, _ = Segstore.open_store ~flow:Eval.flow_version base in
+          let recs =
+            List.init 4 (fun i -> (Printf.sprintf "ck-%d" i, String.make 40 'x'))
+          in
+          List.iter (fun (k, v) -> Segstore.append t ~key:k v) recs;
+          let seg = List.hd (Segstore.segment_names t) in
+          Segstore.close t;
+          let seg_path = Filename.concat base seg in
+          let pristine = read_file seg_path in
+          let flip off =
+            let b = Bytes.of_string pristine in
+            Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x5a));
+            write_file seg_path (Bytes.to_string b)
+          in
+          let rec_len = 9 + 2 + 4 + 40 in
+          let expect_fault what off =
+            flip off;
+            (match Segstore.validate base with
+            | Error (Stage_error.Storage_fault { segment; offset; _ }) ->
+                check (segment = seg)
+                  (Printf.sprintf "%s: fault names segment %S, not %S" what segment seg);
+                check (offset >= 0 && offset < String.length pristine)
+                  (Printf.sprintf "%s: fault offset %d out of range" what offset)
+            | Error e ->
+                raise
+                  (Check_failed
+                     (Printf.sprintf "%s: wrong error class: %s" what
+                        (Stage_error.to_string e)))
+            | Ok _ -> raise (Check_failed (what ^ ": corruption validated as clean")));
+            (* opening for use must refuse with the same typed error *)
+            (match Cache.create ~store:base () with
+            | exception Stage_error.Stage_failure (Stage_error.Storage_fault _) -> ()
+            | exception e ->
+                raise
+                  (Check_failed
+                     (Printf.sprintf "%s: open raised %s, not Storage_fault" what
+                        (Printexc.to_string e)))
+            | _ -> raise (Check_failed (what ^ ": open accepted a corrupt store")));
+            check true "reached";
+            write_file seg_path pristine
+          in
+          expect_fault "payload byte of record 0" (rec_len / 2);
+          expect_fault "CRC byte of record 1" (rec_len + 6);
+          expect_fault "magic byte of record 2" (2 * rec_len);
+          (* low byte of record 1's length: the frame stays in bounds but
+             misaligned, so the CRC catches it as pre-tail corruption *)
+          expect_fault "length field of record 1" (rec_len + 1);
+          (* a corrupted length that overshoots the segment end is
+             indistinguishable from a torn append, by construction: the
+             last segment's scan must fall back to tear recovery, keeping
+             exactly the records before the defect *)
+          flip (rec_len + 2);
+          (match Segstore.validate base with
+          | Ok info ->
+              check
+                (info.Segstore.i_records = 1 && info.Segstore.i_torn <> None)
+                "overshooting length not recovered as a tear"
+          | Error e ->
+              raise
+                (Check_failed
+                   ("overshooting length should recover as a tear, got: "
+                   ^ Stage_error.to_string e)));
+          write_file seg_path pristine;
+          match Segstore.validate base with
+          | Ok info ->
+              check (info.Segstore.i_records = 4 && info.Segstore.i_torn = None)
+                "pristine store no longer validates"
+          | Error e ->
+              raise (Check_failed ("pristine store rejected: " ^ Stage_error.to_string e))))
+
+(* --- scenarios: armed fault plans at every daemon-reachable site --- *)
+
+let injected_at site report =
+  match List.assoc_opt site report.Fault.injected with Some n -> n | None -> 0
+
+let scenario_fault_append () =
+  scenario "fault:segstore.append"
+    "transient append fault during batch flushes recovers by retry; store \
+     and warm replay stay intact"
+    (fun check ->
+      with_scratch (fun store ->
+          let result, report =
+            Fault.with_plan
+              [ Fault.spec "segstore.append" Stage_error.Transient ]
+              (fun () ->
+                with_server ~store (fun t addr ->
+                    with_client addr (fun cl ->
+                        List.iteri
+                          (fun i r ->
+                            match r with
+                            | Ok _ -> ()
+                            | Error e ->
+                                raise
+                                  (Check_failed
+                                     (Printf.sprintf "eval %d failed under fault: %s" i
+                                        (Protocol.err_to_string e))))
+                          (eval_all cl workload));
+                    check
+                      ((Server.stats t).Server.flush_failures = 0)
+                      "flush reported failure despite retry budget"))
+          in
+          (match result with
+          | Ok () -> ()
+          | Error e ->
+              raise (Check_failed ("campaign body raised: " ^ Printexc.to_string e)));
+          check (injected_at "segstore.append" report >= 1)
+            "segstore.append site never injected";
+          check_warm_identity check store))
+
+let scenario_fault_compact () =
+  scenario "fault:segstore.compact"
+    "transient compaction fault recovers by retry from the intact old \
+     generation; the live set survives byte-identically"
+    (fun check ->
+      with_scratch (fun store ->
+          let entries_sig c =
+            String.concat "\n"
+              (List.map
+                 (fun (p, m) ->
+                   Json.to_string (Space.point_json p) ^ "=" ^ Json.to_string (Eval.to_json m))
+                 (Cache.entries c))
+          in
+          let c = Cache.create ~store () in
+          List.iter (fun p -> Cache.add c p (Eval.point p)) workload;
+          Cache.flush c;
+          let before = entries_sig c in
+          let gen_before =
+            match Cache.backend_stats c with
+            | Some (_, _, g) -> g
+            | None -> raise (Check_failed "no backend after flush")
+          in
+          let result, report =
+            Fault.with_plan
+              [ Fault.spec "segstore.compact" Stage_error.Transient ]
+              (fun () -> Cache.compact c)
+          in
+          (match result with
+          | Ok () -> ()
+          | Error e ->
+              raise
+                (Check_failed ("compact did not recover: " ^ Printexc.to_string e)));
+          check (injected_at "segstore.compact" report >= 1)
+            "segstore.compact site never injected";
+          check (entries_sig c = before) "live set changed across faulted compaction";
+          (match Cache.backend_stats c with
+          | Some (records, _, g) ->
+              check (g > gen_before) "compaction did not advance the generation";
+              check (records = List.length workload) "compaction lost or duplicated records"
+          | None -> raise (Check_failed "backend vanished after compaction"));
+          (match Segstore.validate store with
+          | Ok info ->
+              check (info.Segstore.i_torn = None) "compacted store reports a torn tail"
+          | Error e ->
+              raise
+                (Check_failed
+                   ("store invalid after faulted compaction: " ^ Stage_error.to_string e)));
+          let c2 = Cache.create ~store () in
+          check (entries_sig c2 = before) "reloaded live set differs"))
+
+let scenario_fault_batch () =
+  scenario "fault:serve.batch"
+    "transient batch fault recovers invisibly; an exhausted retry budget \
+     resolves the batch with typed per-request errors and the daemon survives"
+    (fun check ->
+      with_scratch (fun store ->
+          let result, report =
+            Fault.with_plan
+              [ Fault.spec "serve.batch" Stage_error.Transient ]
+              (fun () ->
+                with_server ~store (fun _ addr ->
+                    with_client addr (fun cl ->
+                        List.iteri
+                          (fun i r ->
+                            match (r, List.nth (Lazy.force reference_responses) i) with
+                            | Ok s, expect ->
+                                check (s = expect)
+                                  (Printf.sprintf "response %d differs under recovered fault" i)
+                            | Error e, _ ->
+                                raise
+                                  (Check_failed
+                                     (Printf.sprintf "eval %d failed under one-shot fault: %s"
+                                        i (Protocol.err_to_string e))))
+                          (eval_all cl workload))))
+          in
+          (match result with
+          | Ok () -> ()
+          | Error e ->
+              raise (Check_failed ("campaign body raised: " ^ Printexc.to_string e)));
+          check (injected_at "serve.batch" report >= 1) "serve.batch site never injected";
+          (* exhaustion: more consecutive injections than the retry budget *)
+          let result, report =
+            Fault.with_plan
+              [ Fault.spec ~hits:8 "serve.batch" Stage_error.Transient ]
+              (fun () ->
+                with_server (fun t addr ->
+                    with_client addr (fun cl ->
+                        (match Client.eval cl (wl_point 0) with
+                        | Error (Protocol.Bad_request m) ->
+                            (* the wire collapses stage errors client-side;
+                               the typed payload must still carry the
+                               injection *)
+                            check
+                              (contains ~sub:"injected" m)
+                              "exhausted batch error does not carry the typed payload"
+                        | Error e ->
+                            raise
+                              (Check_failed
+                                 ("exhausted batch returned wrong class: "
+                                 ^ Protocol.err_to_string e))
+                        | Ok _ ->
+                            raise (Check_failed "exhausted retry budget still succeeded"));
+                        check (Client.ping cl) "daemon died with the failed batch";
+                        let s = Server.stats t in
+                        check (s.Server.errors >= 1) "typed failure not counted")))
+          in
+          (match result with
+          | Ok () -> ()
+          | Error e ->
+              raise (Check_failed ("campaign body raised: " ^ Printexc.to_string e)));
+          check (injected_at "serve.batch" report >= 3)
+            "exhaustion plan injected fewer faults than the retry budget";
+          check_warm_identity check store))
+
+let scenario_fault_worker () =
+  scenario "fault:dse.worker"
+    "a worker domain killed mid-sweep degrades the pool without losing or \
+     corrupting any response"
+    (fun check ->
+      let result, report =
+        Fault.with_plan
+          [ Fault.spec "dse.worker" Stage_error.Worker_kill ]
+          (fun () ->
+            with_server ~domains:4 (fun _ addr ->
+                with_client addr (fun cl ->
+                    match Client.request cl (Protocol.Sweep "smoke") with
+                    | Ok doc ->
+                        let geti k =
+                          match Json.member k doc with
+                          | Some (Json.Int n) -> n
+                          | _ -> raise (Check_failed ("sweep doc missing " ^ k))
+                        in
+                        check (geti "evaluated" = geti "lattice")
+                          "worker kill lost sweep points";
+                        check (geti "refused" = 0) "worker kill refused points";
+                        (match Json.member "failed" doc with
+                        | Some (Json.List []) -> check true "no failed points"
+                        | _ -> raise (Check_failed "worker kill failed points"))
+                    | Error e ->
+                        raise
+                          (Check_failed
+                             ("sweep failed under worker kill: "
+                             ^ Protocol.err_to_string e)))))
+      in
+      (match result with
+      | Ok () -> ()
+      | Error e -> raise (Check_failed ("campaign body raised: " ^ Printexc.to_string e)));
+      check (injected_at "dse.worker" report >= 1) "dse.worker site never injected")
+
+(* --- scenario: crash-safe JSON migration --- *)
+
+let scenario_migration () =
+  scenario "json-migration"
+    "a legacy JSON store migrates to segments on first open; warm replay is \
+     byte-identical and an interrupted migration resumes"
+    (fun check ->
+      with_scratch (fun store ->
+          let entries = List.map (fun p -> (p, Eval.point p)) workload in
+          Cache.write_legacy_json store entries;
+          with_server ~store (fun t addr ->
+              with_client addr (fun cl ->
+                  List.iteri
+                    (fun i r ->
+                      match (r, List.nth (Lazy.force reference_responses) i) with
+                      | Ok s, expect ->
+                          check (s = expect)
+                            (Printf.sprintf "migrated response %d differs" i)
+                      | Error e, _ ->
+                          raise
+                            (Check_failed
+                               (Printf.sprintf "eval %d failed on migrated store: %s" i
+                                  (Protocol.err_to_string e))))
+                    (eval_all cl workload);
+                  let s = Server.stats t in
+                  check (s.Server.evals = 0)
+                    "migrated store re-evaluated instead of serving warm";
+                  check (s.Server.cache_hits = List.length workload)
+                    "migrated store missed warm hits"));
+          (match Cache.inspect_store store with
+          | Cache.Store i ->
+              check (i.Cache.si_format = "segment") "store did not migrate to segments";
+              check (i.Cache.si_entries = List.length workload) "migration lost entries"
+          | _ -> raise (Check_failed "migrated store not inspectable"));
+          (* interrupted rename window: the segment generation is complete at
+             path^".migrate" and the JSON original is already gone *)
+          let moved = store ^ ".migrate" in
+          rm_rf moved;
+          Sys.rename store moved;
+          let c = Cache.create ~store () in
+          check
+            ((Cache.stats c).Cache.entries = List.length workload)
+            "resumed migration lost entries";
+          check (Sys.file_exists store && Sys.is_directory store)
+            "resumed migration left no store";
+          check (not (Sys.file_exists moved)) "resumed migration left the temp dir"))
+
+(* --- scenarios: misbehaving clients --- *)
+
+let scenario_disconnect () =
+  scenario "client-disconnect"
+    "a client that vanishes mid-request must not wedge the daemon or poison \
+     later clients"
+    (fun check ->
+      with_scratch (fun store ->
+          with_server ~store (fun t addr ->
+              (* fire an eval and hang up without reading the response *)
+              (match Client.connect_retry addr with
+              | Error e -> raise (Check_failed (Client.connect_error_to_string e))
+              | Ok cl ->
+                  Client.send_line cl
+                    (Json.to_string
+                       (Protocol.request_to_json
+                          { Protocol.id = 1; op = Protocol.Eval (wl_point 0) }));
+                  Client.close cl);
+              (* and one that hangs up mid-line *)
+              (match Client.connect_retry addr with
+              | Error e -> raise (Check_failed (Client.connect_error_to_string e))
+              | Ok cl ->
+                  Client.send_raw cl "{\"id\": 2, \"op\": \"ev";
+                  Client.close cl);
+              with_client addr (fun cl ->
+                  check (Client.ping cl) "daemon unreachable after disconnects";
+                  match Client.eval cl (wl_point 1) with
+                  | Ok s ->
+                      check
+                        (Json.to_string s = List.nth (Lazy.force reference_responses) 1)
+                        "response corrupted after disconnects"
+                  | Error e ->
+                      raise
+                        (Check_failed
+                           ("eval failed after disconnects: " ^ Protocol.err_to_string e)));
+              let s = Server.stats t in
+              check (s.Server.clients_seen >= 3) "disconnected clients not registered")))
+
+let scenario_idle_eviction () =
+  scenario "slow-reader-eviction"
+    "a silent connection is evicted at the idle deadline with a typed \
+     timeout response; active clients are untouched"
+    (fun check ->
+      with_server ~idle_timeout_s:0.3 (fun t addr ->
+          let sa = Protocol.sockaddr_of_addr addr in
+          let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          Fun.protect
+            ~finally:(fun () -> try close_out_noerr oc with _ -> ())
+            (fun () ->
+              Unix.connect fd sa;
+              output_string oc "{\"id\": 1, \"op\": \"ping\"}\n";
+              flush oc;
+              check (input_line ic <> "") "no ping response";
+              (* now go silent past the deadline; the daemon must speak first *)
+              (match input_line ic with
+              | line -> (
+                  match Json.of_string line with
+                  | Error e -> raise (Check_failed ("unparsable eviction line: " ^ e))
+                  | Ok j -> (
+                      match Protocol.response_of_json j with
+                      | Ok { Protocol.r_id = 0; body = Error (Protocol.Timeout _) } ->
+                          check true "typed timeout received"
+                      | Ok _ -> raise (Check_failed "eviction response not a typed timeout")
+                      | Error e -> raise (Check_failed ("bad eviction response: " ^ e))))
+              | exception End_of_file ->
+                  (* a hangup without the courtesy line only passes if the
+                     socket genuinely went unwritable; treat as failure to
+                     keep the contract strict *)
+                  raise (Check_failed "evicted without a typed timeout response"));
+              (match input_line ic with
+              | _ -> raise (Check_failed "connection survived its eviction")
+              | exception End_of_file -> check true "connection closed after eviction"));
+          (* an active client outlives many idle periods *)
+          with_client addr (fun cl ->
+              for _ = 1 to 3 do
+                Unix.sleepf 0.1;
+                check (Client.ping cl) "active client evicted"
+              done);
+          let s = Server.stats t in
+          check (s.Server.idle_evictions >= 1) "eviction not counted"))
+
+let scenario_overload () =
+  scenario "overload"
+    "concurrent clients flooding a tiny queue bound all complete correctly \
+     through backpressure, and the store survives"
+    (fun check ->
+      with_scratch (fun store ->
+          let clients = 4 and per_client = 6 in
+          let results = Array.make clients [] in
+          with_server ~store ~queue_bound:2 (fun t addr ->
+              let threads =
+                Array.init clients (fun c ->
+                    Thread.create
+                      (fun () ->
+                        match Client.connect_retry addr with
+                        | Error e ->
+                            results.(c) <- [ Error (Client.connect_error_to_string e) ]
+                        | Ok cl ->
+                            Fun.protect
+                              ~finally:(fun () -> Client.close cl)
+                              (fun () ->
+                                results.(c) <-
+                                  List.init per_client (fun i ->
+                                      let p =
+                                        {
+                                          (wl_point 0) with
+                                          Space.sigma_scale =
+                                            2.0
+                                            +. (0.0001
+                                               *. float_of_int ((c * per_client) + i));
+                                        }
+                                      in
+                                      match Client.eval cl p with
+                                      | Ok j -> Ok (Json.to_string j)
+                                      | Error e -> Error (Protocol.err_to_string e))))
+                      ())
+              in
+              Array.iter Thread.join threads;
+              Array.iteri
+                (fun c rs ->
+                  check (List.length rs = per_client)
+                    (Printf.sprintf "client %d lost responses" c);
+                  List.iteri
+                    (fun i r ->
+                      match r with
+                      | Ok _ -> ()
+                      | Error e ->
+                          raise
+                            (Check_failed
+                               (Printf.sprintf "client %d response %d: %s" c i e)))
+                    rs)
+                results;
+              let s = Server.stats t in
+              check (s.Server.evals = clients * per_client)
+                (Printf.sprintf "expected %d evals, ran %d" (clients * per_client)
+                   s.Server.evals));
+          match Segstore.validate store with
+          | Ok info ->
+              check
+                (info.Segstore.i_keys = clients * per_client)
+                "store lost entries under overload";
+              check (info.Segstore.i_torn = None) "store torn after graceful stop"
+          | Error e ->
+              raise
+                (Check_failed ("store invalid after overload: " ^ Stage_error.to_string e))))
+
+(* --- coverage --- *)
+
+(* sites this campaign arms itself, from the daemon inward *)
+let chaos_sites = [ "segstore.append"; "segstore.compact"; "serve.batch"; "dse.worker" ]
+
+(* flow layers whose sites the [repro faults] campaign owns; its own
+   module-initialisation assert keeps that campaign total over the catalog *)
+let delegated_layers = [ "synth"; "sta"; "place"; "mc"; "dse" ]
+
+let coverage () =
+  let catalog_sites = List.map (fun (s, _, _) -> s) Fault.catalog in
+  let delegated =
+    List.filter
+      (fun s -> (not (List.mem s chaos_sites)) && List.mem (Fault.layer s) delegated_layers)
+      catalog_sites
+  in
+  let missing =
+    List.filter
+      (fun s -> (not (List.mem s chaos_sites)) && not (List.mem s delegated))
+      catalog_sites
+  in
+  (delegated, missing)
+
+(* --- the campaign --- *)
+
+let run () =
+  (* explicit sequencing: the fork scenario MUST run before anything spawns
+     a worker domain (OCaml 5 forbids fork afterwards), and a list literal
+     does not promise evaluation order *)
+  let s_sigkill = scenario_sigkill () in
+  let s_torn = scenario_torn_matrix () in
+  let s_corrupt = scenario_corrupt_pre_tail () in
+  let s_append = scenario_fault_append () in
+  let s_compact = scenario_fault_compact () in
+  let s_batch = scenario_fault_batch () in
+  let s_worker = scenario_fault_worker () in
+  let s_migrate = scenario_migration () in
+  let s_disconnect = scenario_disconnect () in
+  let s_idle = scenario_idle_eviction () in
+  let s_overload = scenario_overload () in
+  let scenarios =
+    [
+      s_sigkill; s_torn; s_corrupt; s_append; s_compact; s_batch; s_worker;
+      s_migrate; s_disconnect; s_idle; s_overload;
+    ]
+  in
+  let delegated, missing = coverage () in
+  let ok =
+    missing = []
+    && List.for_all
+         (fun s -> match s.outcome with Passed -> s.checks > 0 | Failed _ -> false)
+         scenarios
+  in
+  { scenarios; chaos_sites; delegated_sites = delegated; missing_sites = missing; ok }
+
+let to_json c =
+  let scenario_json s =
+    Json.Obj
+      ([
+         ("name", Json.Str s.name);
+         ("detail", Json.Str s.detail);
+         ("checks", Json.Int s.checks);
+         ( "outcome",
+           Json.Str (match s.outcome with Passed -> "passed" | Failed _ -> "failed") );
+       ]
+      @ match s.outcome with Passed -> [] | Failed m -> [ ("error", Json.Str m) ])
+  in
+  let strs l = Json.List (List.map (fun s -> Json.Str s) l) in
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("campaign", Json.Str "serve-chaos");
+      ("scenarios", Json.List (List.map scenario_json c.scenarios));
+      ( "coverage",
+        Json.Obj
+          [
+            ("chaos", strs c.chaos_sites);
+            ("delegated", strs c.delegated_sites);
+            ("missing", strs c.missing_sites);
+          ] );
+      ( "totals",
+        Json.Obj
+          [
+            ("scenarios", Json.Int (List.length c.scenarios));
+            ( "checks",
+              Json.Int (List.fold_left (fun a s -> a + s.checks) 0 c.scenarios) );
+            ( "failed",
+              Json.Int
+                (List.length
+                   (List.filter
+                      (fun s -> match s.outcome with Failed _ -> true | _ -> false)
+                      c.scenarios)) );
+          ] );
+      ("ok", Json.Bool c.ok);
+    ]
+
+let table c =
+  Gap_util.Table.render
+    ~aligns:Gap_util.Table.[ Left; Right; Left ]
+    ~header:[ "scenario"; "checks"; "outcome" ]
+    (List.map
+       (fun s ->
+         [
+           s.name;
+           string_of_int s.checks;
+           (match s.outcome with Passed -> "passed" | Failed m -> "FAILED: " ^ m);
+         ])
+       c.scenarios)

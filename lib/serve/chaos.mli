@@ -1,0 +1,49 @@
+(** The serve chaos campaign: crash-only storage and daemon robustness,
+    proven by doing the damage.
+
+    Each scenario wrecks a real store or a real daemon in a specific way —
+    SIGKILL mid-workload, truncation at {e every} byte offset of a segment,
+    bit-flips before the recoverable tail, armed fault plans at every
+    daemon-reachable injection site, interrupted JSON migrations, clients
+    that vanish, stall, or flood — and then asserts the two crash-only
+    contracts: the store always validates (recovery keeps exactly the
+    longest whole-record prefix, anything worse is a typed
+    [Storage_fault]), and a warm restart answers the workload
+    byte-identically to the never-killed evaluator.
+
+    Coverage is explicit: the campaign partitions {!Gap_resilience.Fault.catalog}
+    into the sites it arms itself and the sites delegated to the
+    [repro faults] flow campaign; a catalog site claimed by neither fails
+    the gate. [repro chaos serve] runs it and [make chaos] writes the
+    result to [FAULTS_serve.json], where any non-[ok] document fails
+    [make verify] — a scenario cannot fail silently. *)
+
+type outcome = Passed | Failed of string
+
+type scenario_result = {
+  name : string;
+  detail : string;
+  checks : int;  (** assertions that ran (and held, unless [Failed]) *)
+  outcome : outcome;
+}
+
+type campaign = {
+  scenarios : scenario_result list;
+  chaos_sites : string list;  (** catalog sites this campaign armed *)
+  delegated_sites : string list;
+      (** catalog sites owned by the [repro faults] campaign *)
+  missing_sites : string list;  (** claimed by neither — fails the gate *)
+  ok : bool;
+}
+
+val run : unit -> campaign
+(** Run every scenario. Never raises: damage is confined to scratch
+    directories and in-process daemons, and a scenario's failure is carried
+    in its {!outcome}. Forks once (the SIGKILL scenario), so call it before
+    the process spawns threads of its own. *)
+
+val to_json : campaign -> Gap_obs.Json.t
+(** The [FAULTS_serve.json] document: per-scenario outcomes, the coverage
+    partition, totals, and the [ok] gate. *)
+
+val table : campaign -> string

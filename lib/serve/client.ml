@@ -22,22 +22,55 @@ let connect addr =
     next_id = 1;
   }
 
-let connect_retry ?(attempts = 50) ?(delay_s = 0.05) addr =
-  let rec go n =
+type connect_error =
+  | Connect_timeout of {
+      addr : string;
+      attempts : int;
+      elapsed_s : float;
+      last_error : string;
+    }
+
+let connect_error_to_string = function
+  | Connect_timeout { addr; attempts; elapsed_s; last_error } ->
+      Printf.sprintf "connect %s: timed out after %d attempt%s in %.2fs (last error: %s)"
+        addr attempts
+        (if attempts = 1 then "" else "s")
+        elapsed_s last_error
+
+(* Deterministic exponential backoff: attempt [k] sleeps
+   [min max_delay_s (base_delay_s * 2^k)] — no jitter, so a failing
+   connect produces the same attempt schedule every run. The total
+   [deadline_s] budget caps the loop: the final sleep is clipped to the
+   time remaining, and one last attempt fires at the deadline so a daemon
+   that binds exactly then is still caught. *)
+let connect_retry ?(base_delay_s = 0.01) ?(max_delay_s = 0.5) ?(deadline_s = 5.0)
+    addr =
+  let start = Unix.gettimeofday () in
+  let deadline_s = Float.max 0. deadline_s in
+  let rec go k =
     match connect addr with
     | t -> Ok t
     | exception Unix.Unix_error (e, _, _) ->
-        if n <= 1 then
+        let last_error = Unix.error_message e in
+        let elapsed = Unix.gettimeofday () -. start in
+        if elapsed >= deadline_s then
           Error
-            (Printf.sprintf "connect %s: %s"
-               (Protocol.addr_to_string addr)
-               (Unix.error_message e))
+            (Connect_timeout
+               {
+                 addr = Protocol.addr_to_string addr;
+                 attempts = k + 1;
+                 elapsed_s = elapsed;
+                 last_error;
+               })
         else begin
-          Unix.sleepf delay_s;
-          go (n - 1)
+          let backoff =
+            Float.min max_delay_s (base_delay_s *. Float.pow 2. (float_of_int k))
+          in
+          Unix.sleepf (Float.min backoff (deadline_s -. elapsed));
+          go (k + 1)
         end
   in
-  go (max 1 attempts)
+  go 0
 
 let close t =
   close_out_noerr t.oc;
@@ -46,6 +79,10 @@ let close t =
 let send_line t line =
   output_string t.oc line;
   output_char t.oc '\n';
+  flush t.oc
+
+let send_raw t s =
+  output_string t.oc s;
   flush t.oc
 
 let raw_roundtrip t line =

@@ -10,10 +10,27 @@ type t
 val connect : Protocol.addr -> t
 (** @raise Unix.Unix_error when nothing listens there. *)
 
+type connect_error =
+  | Connect_timeout of {
+      addr : string;
+      attempts : int;  (** connect attempts made, including the last *)
+      elapsed_s : float;
+      last_error : string;  (** rendered errno of the final failure *)
+    }
+
+val connect_error_to_string : connect_error -> string
+
 val connect_retry :
-  ?attempts:int -> ?delay_s:float -> Protocol.addr -> (t, string) result
-(** Retry [connect] (default 50 attempts, 0.05s apart) — for racing a
-    daemon that is still binding its socket. *)
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  ?deadline_s:float ->
+  Protocol.addr ->
+  (t, connect_error) result
+(** Retry [connect] under deterministic exponential backoff — attempt [k]
+    waits [min max_delay_s (base_delay_s * 2^k)] (defaults 0.01s doubling
+    to 0.5s) — until the total [deadline_s] budget (default 5s) runs out,
+    then a typed {!Connect_timeout}. For racing a daemon that is still
+    binding its socket. *)
 
 val request : t -> Protocol.op -> (Protocol.Json.t, Protocol.err) result
 (** Send one request (ids are assigned internally) and block for its
@@ -29,5 +46,13 @@ val shutdown : t -> unit
 val raw_roundtrip : t -> string -> (string, string) result
 (** Send an arbitrary line verbatim and read one response line — for
     protocol-abuse tests. *)
+
+val send_line : t -> string -> unit
+(** Send one line without reading a response — for chaos scenarios that
+    hang up mid-request. *)
+
+val send_raw : t -> string -> unit
+(** Send bytes with no newline — an unterminated request for the same
+    scenarios. *)
 
 val close : t -> unit

@@ -88,7 +88,9 @@ let run ?(clients = 256) ?(waves = 8) ?(unique = 2) ~addr ~server () =
     match Client.connect_retry addr with
     | Error e ->
         Mutex.lock fail;
-        failures := Printf.sprintf "client %d: %s" c e :: !failures;
+        failures :=
+          Printf.sprintf "client %d: %s" c (Client.connect_error_to_string e)
+          :: !failures;
         Mutex.unlock fail;
         (* release the others: a stuck barrier would hang the whole run *)
         for _ = 1 to per_client do barrier_await barrier done

@@ -15,6 +15,7 @@ type request = { id : int; op : op }
 type err =
   | Bad_request of string
   | Overloaded of string
+  | Timeout of string
   | Stage of Stage_error.t
 
 type response = { r_id : int; body : (Json.t, err) result }
@@ -73,6 +74,8 @@ let err_to_json = function
       Json.Obj [ ("kind", Json.Str "bad-request"); ("detail", Json.Str m) ]
   | Overloaded m ->
       Json.Obj [ ("kind", Json.Str "overloaded"); ("detail", Json.Str m) ]
+  | Timeout m ->
+      Json.Obj [ ("kind", Json.Str "timeout"); ("detail", Json.Str m) ]
   | Stage e ->
       Json.Obj [ ("kind", Json.Str "stage"); ("stage_error", Stage_error.to_json e) ]
 
@@ -82,6 +85,7 @@ let err_of_json j =
   in
   match Json.member "kind" j with
   | Some (Json.Str "overloaded") -> Overloaded (detail ())
+  | Some (Json.Str "timeout") -> Timeout (detail ())
   | Some (Json.Str "stage") ->
       (* the client side needs the rendering, not the taxonomy: carry the
          payload as an opaque bad-request if it does not parse *)
@@ -91,6 +95,7 @@ let err_of_json j =
 let err_to_string = function
   | Bad_request m -> "bad request: " ^ m
   | Overloaded m -> "overloaded: " ^ m
+  | Timeout m -> "timeout: " ^ m
   | Stage e -> "stage error: " ^ Stage_error.to_string e
 
 let response_to_json r =

@@ -31,6 +31,9 @@ type err =
           survives; only this request fails *)
   | Overloaded of string
       (** the daemon is shutting down or refused to queue the work *)
+  | Timeout of string
+      (** the connection sat idle past the daemon's deadline and is being
+          evicted; sent best-effort before the socket closes *)
   | Stage of Gap_resilience.Stage_error.t
       (** a poisoned evaluation: the supervised stage's typed error *)
 

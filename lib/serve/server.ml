@@ -2,6 +2,8 @@ module Json = Gap_obs.Json
 module Obs = Gap_obs.Obs
 module History = Gap_obs.History
 module Stage_error = Gap_resilience.Stage_error
+module Fault = Gap_resilience.Fault
+module Supervisor = Gap_resilience.Supervisor
 module Space = Gap_dse.Space
 module Eval = Gap_dse.Eval
 module Key = Gap_dse.Key
@@ -18,6 +20,7 @@ type config = {
   fair_share : int;
   batch_max : int;
   history : string option;
+  idle_timeout_s : float option;
 }
 
 let default_config addr =
@@ -30,6 +33,7 @@ let default_config addr =
     fair_share = 8;
     batch_max = 256;
     history = None;
+    idle_timeout_s = None;
   }
 
 (* One in-flight evaluation. Requests for the same key attach to the same
@@ -57,6 +61,8 @@ type stats = {
   batches : int;
   max_batch : int;
   clients_seen : int;
+  idle_evictions : int;
+  flush_failures : int;
 }
 
 type t = {
@@ -87,6 +93,8 @@ type t = {
   mutable n_batches : int;
   mutable max_batch : int;
   mutable clients_seen : int;
+  mutable n_idle_evictions : int;
+  mutable n_flush_failures : int;
 }
 
 let create cfg =
@@ -120,6 +128,8 @@ let create cfg =
     n_batches = 0;
     max_batch = 0;
     clients_seen = 0;
+    n_idle_evictions = 0;
+    n_flush_failures = 0;
   }
 
 let locked t f =
@@ -211,9 +221,32 @@ let resolve_batch t batch outcomes =
           reap_client t cl
       | None -> ())
     batch;
-  (* one atomic store rewrite per batch: a kill at any instant leaves the
-     previous or the new store, never a torn file *)
-  Cache.flush t.cache
+  (* one crash-only append per batch: a kill at any instant leaves at worst
+     a torn tail recovery truncates. A failing disk must not kill the
+     scheduler — the typed error is recorded and the pending records stay
+     queued for the next batch's attempt. *)
+  match Cache.try_flush t.cache with
+  | Ok () -> ()
+  | Error e ->
+      t.n_flush_failures <- t.n_flush_failures + 1;
+      Obs.incr "serve.flush_failures";
+      Obs.event "serve.flush_failed" [ ("error", Stage_error.to_json e) ]
+
+(* Run one batch through the supervised pool. [Fault.point "serve.batch"]
+   sits inside the retry scope, so an injected transient recovers invisibly;
+   on exhaustion every slot in the batch resolves with the typed error
+   instead of the scheduler dying and wedging its clients. *)
+let eval_batch t pts =
+  let run () =
+    Obs.span "serve.batch"
+      ~attrs:[ ("jobs", Json.Int (Array.length pts)) ]
+      (fun () ->
+        Fault.point "serve.batch";
+        Pool.map ~domains:t.cfg.domains ~stage:"serve.eval" Eval.point pts)
+  in
+  match Supervisor.retry ~stage:"serve.batch" run with
+  | outcomes -> outcomes
+  | exception Stage_error.Stage_failure e -> Array.map (fun _ -> Error e) pts
 
 let scheduler_loop t =
   let running = ref true in
@@ -238,19 +271,19 @@ let scheduler_loop t =
       let pts = Array.map (fun s -> s.sl_point) batch in
       (* every evaluation runs through the supervised pool: a poisoned
          point produces a typed Stage_error outcome, never a dead server *)
-      let outcomes =
-        Obs.span "serve.batch"
-          ~attrs:[ ("jobs", Json.Int (Array.length batch)) ]
-          (fun () ->
-            Pool.map ~domains:t.cfg.domains ~stage:"serve.eval" Eval.point pts)
-      in
+      let outcomes = eval_batch t pts in
       locked t (fun () ->
           resolve_batch t batch outcomes;
           Condition.broadcast t.done_cond)
     end
   done;
   locked t (fun () ->
-      Cache.flush t.cache;
+      (match Cache.try_flush t.cache with
+      | Ok () -> ()
+      | Error e ->
+          t.n_flush_failures <- t.n_flush_failures + 1;
+          Obs.incr "serve.flush_failures";
+          Obs.event "serve.flush_failed" [ ("error", Stage_error.to_json e) ]);
       Condition.broadcast t.done_cond)
 
 (* --- the request paths (called from connection threads) --- *)
@@ -415,6 +448,8 @@ let stats t =
         batches = t.n_batches;
         max_batch = t.max_batch;
         clients_seen = t.clients_seen;
+        idle_evictions = t.n_idle_evictions;
+        flush_failures = t.n_flush_failures;
       })
 
 let stats_json t =
@@ -430,6 +465,8 @@ let stats_json t =
           ("batches", Json.Int t.n_batches);
           ("max_batch", Json.Int t.max_batch);
           ("clients_seen", Json.Int t.clients_seen);
+          ("idle_evictions", Json.Int t.n_idle_evictions);
+          ("flush_failures", Json.Int t.n_flush_failures);
           ("queue_bound", Json.Int t.cfg.queue_bound);
           ("fair_share", Json.Int t.cfg.fair_share);
           ("domains", Json.Int t.cfg.domains);
@@ -494,7 +531,13 @@ let stop t =
       (fun fd ->
         try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
       conns;
-    locked t (fun () -> Cache.flush t.cache);
+    locked t (fun () ->
+        match Cache.try_flush t.cache with
+        | Ok () -> ()
+        | Error e ->
+            t.n_flush_failures <- t.n_flush_failures + 1;
+            Obs.incr "serve.flush_failures";
+            Obs.event "serve.flush_failed" [ ("error", Stage_error.to_json e) ]);
     (match t.cfg.history with
     | Some store ->
         let s = stats t in
@@ -541,8 +584,55 @@ let handle_request t cl req =
 let remove_conn t fd =
   locked t (fun () -> t.conns <- List.filter (fun c -> c != fd) t.conns)
 
+(* A line-at-a-time socket reader built on [select], so a connection thread
+   parked on a silent client wakes up when the idle deadline passes instead
+   of blocking in [read] forever. Carries its own buffer of bytes read past
+   the last newline. *)
+type read_outcome = Line of string | Eof | Idle
+
+let conn_reader fd =
+  let pending = ref "" in
+  let chunk = Bytes.create 4096 in
+  let take_line () =
+    match String.index_opt !pending '\n' with
+    | None -> None
+    | Some i ->
+        let line = String.sub !pending 0 i in
+        pending := String.sub !pending (i + 1) (String.length !pending - i - 1);
+        Some line
+  in
+  let rec next timeout_s =
+    match take_line () with
+    | Some l -> Line l
+    | None -> (
+        let readable =
+          match timeout_s with
+          | None -> true (* no deadline: block in read itself *)
+          | Some s -> (
+              match Unix.select [ fd ] [] [] s with
+              | [], _, _ -> false
+              | _ -> true
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> true)
+        in
+        if not readable then Idle
+        else
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 ->
+              (* EOF with unterminated leftover: deliver it as a last line *)
+              if !pending = "" then Eof
+              else begin
+                let l = !pending in
+                pending := "";
+                Line l
+              end
+          | n ->
+              pending := !pending ^ Bytes.sub_string chunk 0 n;
+              next timeout_s
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> next timeout_s)
+  in
+  next
+
 let handle_conn t fd =
-  let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let cl = locked t (fun () -> register_client t) in
   let respond resp =
@@ -550,13 +640,36 @@ let handle_conn t fd =
     output_char oc '\n';
     flush oc
   in
+  let next_line = conn_reader fd in
   (try
      let running = ref true in
      while !running do
-       match input_line ic with
-       | exception End_of_file -> running := false
-       | line when String.trim line = "" -> ()
-       | line ->
+       match next_line t.cfg.idle_timeout_s with
+       | Eof -> running := false
+       | Idle ->
+           (* evict, but tell the client why if its socket still accepts a
+              write: a typed timeout beats a bare hangup *)
+           let timeout = Option.value ~default:0. t.cfg.idle_timeout_s in
+           locked t (fun () -> t.n_idle_evictions <- t.n_idle_evictions + 1);
+           Obs.incr "serve.idle_evictions";
+           (match Unix.select [] [ fd ] [] 0. with
+           | _, _ :: _, _ ->
+               (try
+                  respond
+                    {
+                      Protocol.r_id = 0;
+                      body =
+                        Error
+                          (Protocol.Timeout
+                             (Printf.sprintf
+                                "idle for more than %gs; disconnecting" timeout));
+                    }
+                with Sys_error _ | Unix.Unix_error _ -> ())
+           | _ -> ()
+           | exception Unix.Unix_error _ -> ());
+           running := false
+       | Line line when String.trim line = "" -> ()
+       | Line line ->
            (* every request runs under a span; spans are thread-safe, so
               concurrent connection threads each keep their own stack *)
            Obs.span "serve.request" (fun () ->
@@ -591,8 +704,8 @@ let handle_conn t fd =
   | End_of_file -> ());
   locked t (fun () -> release_client t cl);
   remove_conn t fd;
-  (try close_out_noerr oc with _ -> ());
-  (try close_in_noerr ic with _ -> ())
+  (* closing the out channel closes the underlying fd *)
+  (try close_out_noerr oc with _ -> ())
 
 let accept_loop t fd =
   let running = ref true in

@@ -20,9 +20,13 @@
     consuming the socket, so the kernel's TCP/unix-socket buffers push back
     on the client) until results drain.
 
-    Kill-safety: the persistent store is only ever written through
-    [Gap_util.Atomic_io] (flushed after every batch), so killing the daemon
-    at any instant leaves a valid store on disk. *)
+    Kill-safety: the persistent store is a crash-only {!Gap_dse.Segstore}
+    segment store — each batch appends its fresh results as checksummed
+    records in a single write — so killing the daemon at any instant leaves
+    a store recovery can validate (at worst a torn tail it truncates). A
+    flush that fails with a typed storage error is counted, recorded as a
+    [serve.flush_failed] event, and retried with the next batch; it never
+    kills the scheduler. *)
 
 type config = {
   addr : Protocol.addr;
@@ -34,11 +38,15 @@ type config = {
   batch_max : int;  (** max jobs per [Pool.map] batch *)
   history : string option;
       (** append a labelled run snapshot here on shutdown *)
+  idle_timeout_s : float option;
+      (** evict a connection silent for this long: its reader thread sends a
+          typed [Timeout] response (best-effort, if the socket is writable)
+          and closes. [None] (default) never evicts. *)
 }
 
 val default_config : Protocol.addr -> config
 (** domains 1, no store, capacity 4096, queue_bound 64, fair_share 8,
-    batch_max 256, no history. *)
+    batch_max 256, no history, no idle timeout. *)
 
 type t
 
@@ -74,6 +82,8 @@ type stats = {
   batches : int;  (** scheduler batches run *)
   max_batch : int;  (** largest batch *)
   clients_seen : int;
+  idle_evictions : int;  (** connections dropped by the idle deadline *)
+  flush_failures : int;  (** batch flushes that returned a typed error *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,28 @@
+(* IEEE CRC-32 (reflected polynomial 0xEDB88320), table-driven.
+   Pure OCaml: the segment store must checksum records without any C
+   dependency, and the table fits in 256 immediates. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update";
+  let tbl = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := tbl.((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+let string s = update 0 s ~pos:0 ~len:(String.length s)
+
+let bytes b ~pos ~len = update 0 (Bytes.unsafe_to_string b) ~pos ~len

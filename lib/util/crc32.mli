@@ -1,0 +1,17 @@
+(** IEEE CRC-32 (polynomial 0xEDB88320, reflected), pure OCaml.
+
+    The checksum guarding every {!Gap_dse.Segstore} record. Values fit in a
+    native [int] on 64-bit hosts (the only hosts the domain pool supports)
+    and match the zlib/PNG convention: [string "123456789"] is
+    [0xCBF43926]. *)
+
+val string : string -> int
+(** CRC-32 of the whole string. *)
+
+val bytes : Bytes.t -> pos:int -> len:int -> int
+(** CRC-32 of a byte slice. @raise Invalid_argument on a bad range. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** Incremental form: [update crc s ~pos ~len] extends [crc] (start from 0)
+    with a slice, so a framed record can be checksummed without copying.
+    @raise Invalid_argument on a bad range. *)

@@ -26,5 +26,6 @@ let () =
       ("core", Test_core.suite);
       ("experiments", Test_experiments.suite);
       ("dse", Test_dse.suite);
+      ("segstore", Test_segstore.suite);
       ("serve", Test_serve.suite);
     ]

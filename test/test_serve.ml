@@ -13,6 +13,7 @@ module Cache = Gap_dse.Cache
 module Obs = Gap_obs.Obs
 module Json = Gap_obs.Json
 module History = Gap_obs.History
+module Stage_error = Gap_resilience.Stage_error
 
 let fresh_sock =
   let n = ref 0 in
@@ -38,7 +39,7 @@ let with_server ?store ?(domains = 1) ?(queue_bound = 64) f =
 
 let with_client addr f =
   match Client.connect_retry addr with
-  | Error e -> Alcotest.fail ("connect: " ^ e)
+  | Error e -> Alcotest.fail ("connect: " ^ Client.connect_error_to_string e)
   | Ok cl -> Fun.protect ~finally:(fun () -> Client.close cl) (fun () -> f cl)
 
 (* distinct fresh points per call site so tests never share cache keys *)
@@ -231,11 +232,19 @@ let test_sweep_and_pareto_ops () =
           | Error (Protocol.Bad_request _) -> ()
           | _ -> Alcotest.fail "unknown preset not rejected"))
 
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
 let test_store_survives_restart () =
-  let store = Filename.temp_file "gap_serve_store" ".json" in
+  let store = Filename.temp_file "gap_serve_store" ".store" in
   Sys.remove store;
   Fun.protect
-    ~finally:(fun () -> if Sys.file_exists store then Sys.remove store)
+    ~finally:(fun () -> rm_rf store)
     (fun () ->
       let p = fresh_point () in
       let first =
@@ -245,9 +254,14 @@ let test_store_survives_restart () =
                 | Ok j -> Json.to_string j
                 | Error e -> Alcotest.fail (Protocol.err_to_string e)))
       in
-      (match Cache.read_store store with
-      | Ok (entries, _) -> Alcotest.(check int) "store holds the entry" 1 entries
-      | Error e -> Alcotest.fail ("store unreadable after stop: " ^ e));
+      (match Cache.inspect_store store with
+      | Cache.Store i ->
+          Alcotest.(check int) "store holds the entry" 1 i.Cache.si_entries
+      | Cache.Missing m | Cache.Foreign m ->
+          Alcotest.fail ("store unreadable after stop: " ^ m)
+      | Cache.Corrupt e ->
+          Alcotest.fail
+            ("store unreadable after stop: " ^ Stage_error.to_string e));
       with_server ~store (fun t addr ->
           with_client addr (fun cl ->
               (match Client.eval cl p with
@@ -269,7 +283,7 @@ let test_stop_idempotent_and_refuses_new_conns () =
   Server.stop t;
   Server.stop t;
   Server.wait t;
-  (match Client.connect_retry ~attempts:3 ~delay_s:0.01 addr with
+  (match Client.connect_retry ~base_delay_s:0.01 ~deadline_s:0.05 addr with
   | Error _ -> ()
   | Ok cl ->
       (* a socket file may linger only if stop failed to unlink it *)

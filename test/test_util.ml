@@ -363,6 +363,40 @@ let test_table_to_csv () =
     csv;
   Alcotest.(check string) "no header, no rows" "" (Gap_util.Table.to_csv [])
 
+(* --- crc32 --- *)
+
+module Crc32 = Gap_util.Crc32
+
+let test_crc32_reference_vectors () =
+  (* zlib/PNG convention known-answer vectors *)
+  Alcotest.(check int) "empty" 0 (Crc32.string "");
+  Alcotest.(check int) "check value" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "single a" 0xE8B7BE43 (Crc32.string "a");
+  Alcotest.(check int) "abc" 0x352441C2 (Crc32.string "abc");
+  Alcotest.(check int) "quick brown fox" 0x414FA339
+    (Crc32.string "The quick brown fox jumps over the lazy dog")
+
+let test_crc32_incremental_matches_whole () =
+  let s = "123456789" in
+  let split = Crc32.update (Crc32.update 0 s ~pos:0 ~len:4) s ~pos:4 ~len:5 in
+  Alcotest.(check int) "split update = whole" (Crc32.string s) split;
+  let b = Bytes.of_string ("xx" ^ s ^ "yy") in
+  Alcotest.(check int) "bytes slice = string" (Crc32.string s)
+    (Crc32.bytes b ~pos:2 ~len:9);
+  Alcotest.check_raises "bad range raises"
+    (Invalid_argument "Crc32.update") (fun () ->
+      ignore (Crc32.bytes b ~pos:10 ~len:100))
+
+let crc32_detects_single_bit_flips_property =
+  QCheck.Test.make ~name:"crc32 detects any single bit flip" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 1 64)) (pair small_nat small_nat))
+    (fun (s, (byte_seed, bit)) ->
+      let b = Bytes.of_string s in
+      let i = byte_seed mod Bytes.length b in
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+      Crc32.string (Bytes.to_string b) <> Crc32.string s)
+
 (* --- hash: FNV-1a 64 --- *)
 
 module Hash = Gap_util.Hash
@@ -538,6 +572,9 @@ let suite =
     QCheck_alcotest.to_alcotest csr_matches_reference_property;
     ("table render", `Quick, test_table_render);
     ("table to_csv", `Quick, test_table_to_csv);
+    ("crc32 reference vectors", `Quick, test_crc32_reference_vectors);
+    ("crc32 incremental", `Quick, test_crc32_incremental_matches_whole);
+    QCheck_alcotest.to_alcotest crc32_detects_single_bit_flips_property;
     ("hash reference vectors", `Quick, test_hash_reference_vectors);
     ("hash combinators", `Quick, test_hash_combinators);
     QCheck_alcotest.to_alcotest hash_field_split_property;
