@@ -1,4 +1,4 @@
-.PHONY: build test check faults chaos sweep report bench-diff serve-bench verify repro bench bench-kernels metrics clean
+.PHONY: build test check faults chaos sweep report bench-diff serve-bench e11 verify repro bench bench-kernels metrics clean
 
 build:
 	dune build
@@ -77,10 +77,23 @@ serve-bench:
 	  --min-coalesce-rate 0.25
 	dune exec bin/repro.exe -- validate-json BENCH_serve.json
 
+# Three-way FPGA/ASIC/custom gap measurement (E11): implement every Charm
+# variant's fixture suite through both technology backends, gate the
+# measured area/frequency/dynamic-power ratios on the Charm constants
+# (exit status IS the gate), write the measurement document with factor
+# products to BENCH_e11.json, and render the pipeline-stage-resolved slack
+# table from the run's metrics.
+e11:
+	dune exec bin/repro.exe -- fpga-gap --json BENCH_e11.json \
+	  --metrics-json BENCH_e11_metrics.json
+	dune exec bin/repro.exe -- validate-json BENCH_e11.json
+	dune exec bin/repro.exe -- report --by-stage BENCH_e11_metrics.json
+
 # The default verification path: build, full test suite, strict lint gates,
 # fault campaign, serve chaos campaign, cold/warm design-space sweep, trace
-# analysis + Perfetto export, kernel history gating, daemon load test.
-verify: build test check faults chaos sweep report bench-diff serve-bench
+# analysis + Perfetto export, kernel history gating, daemon load test,
+# Charm-gated FPGA measurement.
+verify: build test check faults chaos sweep report bench-diff serve-bench e11
 
 repro:
 	dune exec bin/repro.exe -- all -x

@@ -659,6 +659,105 @@ let run_report_diff a b gate history_path =
 
 let default_history = "BENCH_history.jsonl"
 
+(* --by-stage: pipeline-stage-resolved slack from a metrics JSON document.
+   Histograms are not in the JSONL trace stream, so this reads the
+   --metrics-json artifact and reconstructs each sta.slack_by_stage.<s>
+   histogram against the STA slack bucket bounds (zero-count buckets are
+   omitted on emission; percentiles need the full layout back). *)
+let run_report_by_stage path =
+  let module Json = Gap_obs.Json in
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e ->
+      Printf.eprintf "%s\n" e;
+      1
+  | s -> (
+      match Json.of_string s with
+      | Error e ->
+          Printf.eprintf "%s: malformed JSON: %s\n" path e;
+          1
+      | Ok doc ->
+          let num = function
+            | Some (Json.Float f) -> f
+            | Some (Json.Int i) -> float_of_int i
+            | _ -> nan
+          in
+          let bounds = Gap_sta.Sta.slack_bounds_ps in
+          let prefix = "sta.slack_by_stage." in
+          let plen = String.length prefix in
+          let hists =
+            match Json.member "histograms" doc with
+            | Some (Json.List l) -> l
+            | _ -> []
+          in
+          let stages =
+            List.filter_map
+              (fun h ->
+                match Json.member "name" h with
+                | Some (Json.Str n)
+                  when String.length n > plen && String.sub n 0 plen = prefix ->
+                    Some (String.sub n plen (String.length n - plen), h)
+                | _ -> None)
+              hists
+            |> List.sort compare
+          in
+          if stages = [] then begin
+            Printf.eprintf
+              "%s: no sta.slack_by_stage.* histograms (capture one with \
+               --metrics-json on an STA-running command)\n"
+              path;
+            1
+          end
+          else begin
+            Printf.printf "pipeline-stage slack (%s)\n" path;
+            Printf.printf "%-6s %10s %12s %12s %12s %12s %14s\n" "stage"
+              "endpoints" "worst_ps" "mean_ps" "p50_ps" "p90_ps" "total_ps";
+            List.iter
+              (fun (stage, h) ->
+                let n =
+                  match Json.member "n" h with Some (Json.Int n) -> n | _ -> 0
+                in
+                let sum = num (Json.member "sum" h) in
+                let min_v = num (Json.member "min" h) in
+                let counts = Array.make (Array.length bounds + 1) 0 in
+                (match Json.member "buckets" h with
+                | Some (Json.List bs) ->
+                    List.iter
+                      (fun b ->
+                        let c =
+                          match Json.member "count" b with
+                          | Some (Json.Int c) -> c
+                          | _ -> 0
+                        in
+                        let idx =
+                          match Json.member "le" b with
+                          | Some (Json.Float le) -> (
+                              match
+                                Array.to_list bounds
+                                |> List.mapi (fun i x -> (i, x))
+                                |> List.find_opt (fun (_, x) -> x = le)
+                              with
+                              | Some (i, _) -> i
+                              | None -> Array.length bounds)
+                          | _ -> Array.length bounds
+                        in
+                        counts.(idx) <- counts.(idx) + c)
+                      bs
+                | _ -> ());
+                let p q = Gap_obs.Report.hist_percentile ~bounds ~counts q in
+                Printf.printf "%-6s %10d %12.1f %12.1f %12.1f %12.1f %14.1f\n"
+                  stage n min_v
+                  (if n = 0 then 0. else sum /. float_of_int n)
+                  (p 50.) (p 90.) sum)
+              stages;
+            0
+          end)
+
 let report_cmd =
   let args_arg =
     Arg.(value & pos_all string []
@@ -694,14 +793,28 @@ let report_cmd =
         & info [ "history" ] ~docv:"FILE"
             ~doc:"History store consulted for $(b,--diff) selectors.")
   in
-  let run args diff gate top json history =
-    match (diff, args) with
-    | false, [ trace ] -> run_report_analyze trace top json
-    | false, _ ->
+  let by_stage_arg =
+    Arg.(value & flag
+        & info [ "by-stage" ]
+            ~doc:"Render the pipeline-stage-resolved slack table from a \
+                  metrics JSON document (a $(b,--metrics-json) artifact) \
+                  instead of analyzing a trace.")
+  in
+  let run args diff by_stage gate top json history =
+    match (diff, by_stage, args) with
+    | false, true, [ metrics ] -> run_report_by_stage metrics
+    | false, true, _ ->
+        prerr_endline "report --by-stage: expected exactly one METRICS.json argument";
+        2
+    | true, true, _ ->
+        prerr_endline "report: --diff and --by-stage are mutually exclusive";
+        2
+    | false, false, [ trace ] -> run_report_analyze trace top json
+    | false, false, _ ->
         prerr_endline "report: expected exactly one TRACE argument";
         2
-    | true, [ a; b ] -> run_report_diff a b gate history
-    | true, _ ->
+    | true, false, [ a; b ] -> run_report_diff a b gate history
+    | true, false, _ ->
         prerr_endline "report --diff: expected exactly two sides (A B)";
         2
   in
@@ -711,8 +824,8 @@ let report_cmd =
      regressions."
   in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const run $ args_arg $ diff_arg $ gate_arg $ top_arg $ json_arg
-          $ history_arg)
+    Term.(const run $ args_arg $ diff_arg $ by_stage_arg $ gate_arg $ top_arg
+          $ json_arg $ history_arg)
 
 let export_trace_cmd =
   let trace_arg =
@@ -1196,6 +1309,57 @@ let chaos_cmd =
   let doc = "Crash/fault chaos campaigns." in
   Cmd.group (Cmd.info "chaos" ~doc) [ serve ]
 
+(* --- fpga-gap: the three-way FPGA / ASIC / custom measurement (E11) --- *)
+
+let run_fpga_gap vectors json_path =
+  let t = Gap_fpga.Gap3.run ~vectors () in
+  print_string (Gap_fpga.Gap3.render t);
+  (* the pipelined showcase: its STA emits the sta.slack_by_stage.*
+     histograms, so a --metrics-json capture of this command feeds
+     [repro report --by-stage] a multi-stage table *)
+  let d = Gap_fpga.Gap3.stage_demo () in
+  Printf.printf
+    "\npipelined cla16 on the fabric: %.2f ns -> %.2f ns over %d stages\n"
+    (d.Gap_fpga.Gap3.pipeline.Gap_retime.Pipeline.period_before_ps /. 1000.)
+    (d.Gap_fpga.Gap3.pipeline.Gap_retime.Pipeline.period_after_ps /. 1000.)
+    d.Gap_fpga.Gap3.pipeline.Gap_retime.Pipeline.stages;
+  List.iter
+    (fun (st : Gap_sta.Sta.stage_slack) ->
+      Printf.printf "  stage %s: %d endpoints, worst slack %.0f ps\n"
+        (Gap_sta.Sta.stage_label st.Gap_sta.Sta.stage)
+        st.Gap_sta.Sta.endpoints st.Gap_sta.Sta.worst_ps)
+    d.Gap_fpga.Gap3.stage_slacks;
+  Option.iter (fun p -> write_json_doc p (Gap_fpga.Gap3.to_json t)) json_path;
+  if Gap_fpga.Gap3.ok t then 0
+  else begin
+    Printf.eprintf "fpga-gap: measured ratio(s) outside the Charm tolerance\n";
+    1
+  end
+
+let fpga_gap_cmd =
+  let vectors_arg =
+    Arg.(value & opt int Gap_fpga.Gap3.default_vectors
+        & info [ "vectors" ] ~docv:"N"
+            ~doc:"Random vectors per design for the dynamic-power estimate.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Write the measurement document (per-variant ratios, factor \
+                  products, Charm gates) to $(docv) as JSON.")
+  in
+  let doc =
+    "Measure the FPGA/ASIC gap by implementing each Charm variant's fixture \
+     suite through both technology backends, decompose it into factor \
+     products, chain the paper's ASIC->custom model for the three-way \
+     FPGA/ASIC/custom table, and gate the measured ratios against the Charm \
+     constants; exits non-zero outside tolerance."
+  in
+  Cmd.v (Cmd.info "fpga-gap" ~doc)
+    Term.(const (fun obs vectors json ->
+              with_obs obs (fun () -> run_fpga_gap vectors json))
+          $ obs_term $ vectors_arg $ json_arg)
+
 let main =
   let doc = "reproduction of Chinnery & Keutzer, 'Closing the Gap Between ASIC and Custom' (DAC 2000)" in
   Cmd.group
@@ -1203,6 +1367,6 @@ let main =
     [ list_cmd; run_cmd; all_cmd; resume_cmd; faults_cmd; analysis_cmd;
       check_cmd; dump_cmd; libdump_cmd; validate_json_cmd;
       sweep_cmd; pareto_cmd; cache_cmd; report_cmd; export_trace_cmd;
-      serve_cmd; bench_cmd; chaos_cmd ]
+      serve_cmd; bench_cmd; chaos_cmd; fpga_gap_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -12,7 +12,10 @@ type metrics = {
   composite : float;
 }
 
-let flow_version = "gap-dse-1"
+(* bumped to 2 when the backend axis landed: older stores hold points keyed
+   without a backend field, and serving them for the enlarged space would
+   alias ASIC results onto FPGA points — a version bump reads them cold *)
+let flow_version = "gap-dse-2"
 
 (* The paper's Sec. 3 maximum contributions — the anchors every axis
    interpolates toward. Their product is the x17.8 the composite must
@@ -169,21 +172,37 @@ let point p =
         *. (Lazy.force baseline_delay_ps /. delay_ps)
         *. if p.Space.domino then 1.6 else 1.
       in
-      {
-        delay_ps;
-        freq_mhz = 1e6 /. delay_ps;
-        area;
-        power;
-        factors =
-          [
-            ("pipelining", f_pipe);
-            ("floorplanning", f_floor);
-            ("sizing", f_sizing);
-            ("domino", f_domino);
-            ("variation", f_var);
-          ];
-        composite;
-      })
+      let m =
+        {
+          delay_ps;
+          freq_mhz = 1e6 /. delay_ps;
+          area;
+          power;
+          factors =
+            [
+              ("pipelining", f_pipe);
+              ("floorplanning", f_floor);
+              ("sizing", f_sizing);
+              ("domino", f_domino);
+              ("variation", f_var);
+            ];
+          composite;
+        }
+      in
+      match p.Space.backend with
+      | Space.Asic -> m
+      | Space.Fpga ->
+          (* the FPGA backend in the modeled DSE is the Charm logic-variant
+             architecture gap on top of the point's design practices; the
+             design-practice factors themselves are backend-orthogonal *)
+          let r = Gap_tech.Charm.ratios Gap_tech.Charm.Logic in
+          {
+            m with
+            delay_ps = m.delay_ps *. r.Gap_tech.Charm.freq;
+            freq_mhz = m.freq_mhz /. r.Gap_tech.Charm.freq;
+            area = m.area *. r.Gap_tech.Charm.area;
+            power = m.power *. r.Gap_tech.Charm.dynamic_power;
+          })
 
 let to_json m =
   Json.Obj

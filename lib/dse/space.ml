@@ -1,6 +1,7 @@
 module Json = Gap_obs.Json
 
 type sizing = Minimal | Typical | Rich_tilos
+type backend = Asic | Fpga
 
 type point = {
   depth : int;
@@ -12,6 +13,7 @@ type point = {
   binning : bool;
   sigma_scale : float;
   mc_dies : int;
+  backend : backend;
 }
 
 type t = {
@@ -24,6 +26,7 @@ type t = {
   binnings : bool list;
   sigma_scales : float list;
   mc_dies : int list;
+  backends : backend list;
 }
 
 let size s =
@@ -31,6 +34,7 @@ let size s =
   * List.length s.skew_fracs * List.length s.dominos
   * List.length s.floorplans * List.length s.binnings
   * List.length s.sigma_scales * List.length s.mc_dies
+  * List.length s.backends
 
 let enumerate s =
   (* row-major: later axes vary fastest; plain nested list comprehension so
@@ -51,19 +55,23 @@ let enumerate s =
                             (fun binning ->
                               List.concat_map
                                 (fun sigma_scale ->
-                                  List.map
+                                  List.concat_map
                                     (fun mc_dies ->
-                                      {
-                                        depth;
-                                        logic_fo4;
-                                        sizing;
-                                        skew_frac;
-                                        domino;
-                                        floorplan;
-                                        binning;
-                                        sigma_scale;
-                                        mc_dies;
-                                      })
+                                      List.map
+                                        (fun backend ->
+                                          {
+                                            depth;
+                                            logic_fo4;
+                                            sizing;
+                                            skew_frac;
+                                            domino;
+                                            floorplan;
+                                            binning;
+                                            sigma_scale;
+                                            mc_dies;
+                                            backend;
+                                          })
+                                        s.backends)
                                     s.mc_dies)
                                 s.sigma_scales)
                             s.binnings)
@@ -85,6 +93,7 @@ let baseline =
     binning = false;
     sigma_scale = 1.0;
     mc_dies = 4000;
+    backend = Asic;
   }
 
 let custom_corner =
@@ -112,6 +121,7 @@ let fixed =
     binnings = [ baseline.binning ];
     sigma_scales = [ baseline.sigma_scale ];
     mc_dies = [ baseline.mc_dies ];
+    backends = [ baseline.backend ];
   }
 
 let presets =
@@ -139,6 +149,15 @@ let presets =
         floorplans = [ false; true ];
         binnings = [ false; true ];
       } );
+    ( "backend",
+      "ASIC standard cells vs FPGA soft logic across the depth x sizing \
+       lattice (8 points)",
+      {
+        fixed with
+        depths = [ 1; 4 ];
+        sizings = [ Minimal; Rich_tilos ];
+        backends = [ Asic; Fpga ];
+      } );
     ( "variation",
       "binning gain vs process spread and Monte Carlo resolution (18 points)",
       {
@@ -165,9 +184,16 @@ let sizing_of_name = function
   | "rich-tilos" -> Some Rich_tilos
   | _ -> None
 
+let backend_name = function Asic -> "asic" | Fpga -> "fpga"
+
+let backend_of_name = function
+  | "asic" -> Some Asic
+  | "fpga" -> Some Fpga
+  | _ -> None
+
 let to_canonical p =
   Printf.sprintf
-    "depth=%d;logic_fo4=%s;sizing=%s;skew=%s;domino=%b;floorplan=%b;binning=%b;sigma=%s;dies=%d"
+    "depth=%d;logic_fo4=%s;sizing=%s;skew=%s;domino=%b;floorplan=%b;binning=%b;sigma=%s;dies=%d;backend=%s"
     p.depth
     (Json.float_repr p.logic_fo4)
     (sizing_name p.sizing)
@@ -175,6 +201,7 @@ let to_canonical p =
     p.domino p.floorplan p.binning
     (Json.float_repr p.sigma_scale)
     p.mc_dies
+    (backend_name p.backend)
 
 let point_json p =
   Json.Obj
@@ -188,9 +215,21 @@ let point_json p =
       ("binning", Json.Bool p.binning);
       ("sigma_scale", Json.Float p.sigma_scale);
       ("mc_dies", Json.Int p.mc_dies);
+      ("backend", Json.Str (backend_name p.backend));
     ]
 
 let point_of_json j =
+  (* points persisted before the backend axis existed carry no "backend"
+     field: they were all ASIC evaluations, so the missing field defaults *)
+  let backend =
+    match Json.member "backend" j with
+    | None -> Ok Asic
+    | Some (Json.Str b) -> (
+        match backend_of_name b with
+        | Some b -> Ok b
+        | None -> Error (Printf.sprintf "unknown backend %S" b))
+    | Some _ -> Error "malformed backend field"
+  in
   let num = function
     | Some (Json.Float f) -> Some f
     | Some (Json.Int i) -> Some (float_of_int i)
@@ -216,8 +255,8 @@ let point_of_json j =
       Some (Json.Bool binning),
       Some sigma_scale,
       Some (Json.Int mc_dies) ) -> (
-      match sizing_of_name sz with
-      | Some sizing ->
+      match (sizing_of_name sz, backend) with
+      | Some sizing, Ok backend ->
           Ok
             {
               depth;
@@ -229,6 +268,8 @@ let point_of_json j =
               binning;
               sigma_scale;
               mc_dies;
+              backend;
             }
-      | None -> Error (Printf.sprintf "unknown sizing policy %S" sz))
+      | None, _ -> Error (Printf.sprintf "unknown sizing policy %S" sz)
+      | _, Error e -> Error e)
   | _ -> Error "malformed design-space point"

@@ -13,6 +13,11 @@ type sizing = Minimal | Typical | Rich_tilos
 (** Drive-sizing policy: two-drive library with no sizing, a typical
     ASIC flow, or the rich library with TILOS critical-path sizing. *)
 
+type backend = Asic | Fpga
+(** Technology backend: ASIC standard cells through the synthesis flow, or
+    the LUT fabric through [Gap_fpga.Backend] (modeled in {!Eval} by the
+    Charm logic-variant ratios). *)
+
 type point = {
   depth : int;  (** pipeline stages *)
   logic_fo4 : float;  (** total logic per instruction, FO4 (44 ASIC, 36 custom) *)
@@ -23,6 +28,7 @@ type point = {
   binning : bool;  (** best-fab speed binning vs slow-fab worst-case rating *)
   sigma_scale : float;  (** multiplier on the variation model's sigmas *)
   mc_dies : int;  (** Monte Carlo sample count for the variation arm *)
+  backend : backend;  (** implementation technology the point evaluates on *)
 }
 
 type t = {
@@ -35,6 +41,7 @@ type t = {
   binnings : bool list;
   sigma_scales : float list;
   mc_dies : int list;
+  backends : backend list;
 }
 
 val size : t -> int
@@ -58,13 +65,16 @@ val custom_corner : point
 val presets : (string * string * t) list
 (** [(name, description, space)]: ["smoke"] (4 points, CI), ["depth-x-sizing"]
     (depth times sizing-policy lattice), ["factor-axes"] (the paper's factor
-    corners, 2^7 lattice), ["variation"] (sigma times sample-count sweep). *)
+    corners, 2^7 lattice), ["backend"] (ASIC vs FPGA across the depth times
+    sizing lattice), ["variation"] (sigma times sample-count sweep). *)
 
 val find_preset : string -> t option
 val preset_names : unit -> string list
 
 val sizing_name : sizing -> string
 val sizing_of_name : string -> sizing option
+val backend_name : backend -> string
+val backend_of_name : string -> backend option
 
 val to_canonical : point -> string
 (** Canonical one-line rendering, field order fixed; the content the cache
@@ -73,3 +83,6 @@ val to_canonical : point -> string
 
 val point_json : point -> Gap_obs.Json.t
 val point_of_json : Gap_obs.Json.t -> (point, string) result
+(** Inverse of {!point_json}. A document without a ["backend"] field parses
+    as {!Asic}: points persisted before the axis existed were all ASIC
+    evaluations. *)

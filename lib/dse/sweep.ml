@@ -98,10 +98,12 @@ let axis_cells (p : Space.point) =
     (if p.Space.binning then "yes" else "no");
     Json.float_repr p.Space.sigma_scale;
     string_of_int p.Space.mc_dies;
+    Space.backend_name p.Space.backend;
   ]
 
 let axis_header =
-  [ "depth"; "fo4"; "sizing"; "skew"; "domino"; "fplan"; "bin"; "sigma"; "dies" ]
+  [ "depth"; "fo4"; "sizing"; "skew"; "domino"; "fplan"; "bin"; "sigma"; "dies";
+    "tech" ]
 
 let table r =
   let rows =

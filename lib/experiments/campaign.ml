@@ -253,6 +253,20 @@ let driver_annotate () =
   in
   ()
 
+let driver_fpga () =
+  (* same defense-in-depth as [driver_annotate]: strict gates catch a
+     NaN hop delay as a typed Gate_failed, the supervised STA NaN scan is
+     the second line; the transient lutmap fault is retried inside the
+     backend itself *)
+  let (_ : Gap_fpga.Backend.impl), (_ : Gap_netlist.Check.gate_report list) =
+    Gap_netlist.Check.with_gates ~strict:true (fun () ->
+        Gap_fpga.Backend.implement
+          (Gap_fpga.Backend.fpga ())
+          ~name:"cla16"
+          (Gap_datapath.Adders.cla_adder 16))
+  in
+  ()
+
 let driver_mc () =
   let model = Gap_variation.Model.make Gap_variation.Model.mature in
   ignore
@@ -274,6 +288,7 @@ let driver_dse () =
       binnings = [ true ];
       sigma_scales = [ 0.75; 1.0 ];
       mc_dies = [ 2048; 4096 ];
+      backends = [ Gap_dse.Space.Asic ];
     }
   in
   ignore (Gap_dse.Sweep.run ~domains:4 ~name:"faults-dse" space)
@@ -360,6 +375,8 @@ let plan_catalog =
     ("place.sweep", Stage_error.Transient, "place-cla16", driver_place, 20);
     ("place.sweep", Stage_error.Deadline, "place-cla16", driver_place, 20);
     ("place.parasitic", Stage_error.Corrupt, "annotate-cla16", driver_annotate, 10);
+    ("gap_fpga.lutmap", Stage_error.Transient, "fpga-cla16", driver_fpga, 0);
+    ("gap_fpga.route", Stage_error.Corrupt, "fpga-cla16", driver_fpga, 20);
     ("mc.worker", Stage_error.Worker_kill, "mc-8k-x4", driver_mc, 2);
     ("mc.budget", Stage_error.Deadline, "mc-8k-x4", driver_mc, 0);
     ("dse.worker", Stage_error.Worker_kill, "dse-sweep-x4", driver_dse, 2);

@@ -10,6 +10,7 @@ let all =
     ("E8", "dynamic logic", E8_dynamic_logic.run);
     ("E9", "process variation and binning", E9_process_variation.run);
     ("E10", "residual gap analysis", E10_residual.run);
+    ("E11", "FPGA/ASIC/custom three-way gap", E11_fpga_gap.run);
   ]
 
 let extensions =

@@ -1,0 +1,69 @@
+module Netlist = Gap_netlist.Netlist
+module Check = Gap_netlist.Check
+module Library = Gap_liberty.Library
+module Sta = Gap_sta.Sta
+module Obs = Gap_obs.Obs
+module Supervisor = Gap_resilience.Supervisor
+
+type impl = {
+  netlist : Netlist.t;
+  sta : Sta.t;
+  area_um2 : float;
+  min_period_ps : float;
+  freq_mhz : float;
+}
+
+type t = {
+  name : string;
+  tech : Gap_tech.Tech.t;
+  implement : ?name:string -> Gap_logic.Aig.t -> impl;
+}
+
+let impl_of ~netlist ~sta =
+  {
+    netlist;
+    sta;
+    area_um2 = Netlist.area_um2 netlist;
+    min_period_ps = sta.Sta.min_period_ps;
+    freq_mhz = Sta.frequency_mhz sta;
+  }
+
+let asic ?effort ~lib () =
+  {
+    name = "asic";
+    tech = Library.tech lib;
+    implement =
+      (fun ?name g ->
+        (* delegate to the unchanged ASIC flow: the backend abstraction must
+           add nothing — tests assert byte-identity with a direct
+           [Flow.run] *)
+        let o = Gap_synth.Flow.run ~lib ?effort ?name g in
+        impl_of ~netlist:o.Gap_synth.Flow.netlist ~sta:o.Gap_synth.Flow.sta);
+  }
+
+let fpga ?(fabric = Fabric.logic) () =
+  {
+    name = Printf.sprintf "fpga-%s" (Gap_tech.Charm.variant_name fabric.Fabric.variant);
+    tech = Fabric.tech fabric;
+    implement =
+      (fun ?name g ->
+        Obs.span "fpga.flow" (fun () ->
+            let g = Obs.span "fpga.balance" (fun () -> Gap_synth.Balance.balance g) in
+            (* mapping is pure (fresh netlist each call), so a transient
+               failure at the [gap_fpga.lutmap] fault point is retried *)
+            let r =
+              Supervisor.retry ~stage:"fpga.lutmap" (fun () ->
+                  Obs.span "fpga.lutmap" (fun () -> Lutmap.map ~fabric ?name g))
+            in
+            let nl = r.Lutmap.netlist in
+            Check.gate ~stage:"fpga.lutmap" nl;
+            Obs.span "fpga.route" (fun () -> Route.annotate ~fabric nl);
+            Check.gate ~stage:"fpga.route" nl;
+            let sta =
+              Supervisor.retry ~stage:"fpga.sta" (fun () ->
+                  Obs.span "fpga.sta" (fun () -> Sta.analyze nl))
+            in
+            impl_of ~netlist:nl ~sta));
+  }
+
+let implement b ?name g = b.implement ?name g

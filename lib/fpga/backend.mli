@@ -1,0 +1,34 @@
+(** Pluggable technology backends.
+
+    A backend turns an AIG into an implemented design — mapped netlist plus
+    its timing — through one [implement] entry point, so experiments, DSE
+    drivers and the serve daemon can target ASIC standard cells or an FPGA
+    fabric without caring which:
+
+    - {!asic} wraps the existing [Gap_synth.Flow.run] unchanged (tests
+      assert the wrapper is byte-identical to calling the flow directly);
+    - {!fpga} runs balance -> {!Lutmap} -> {!Route} -> [Gap_sta.Sta.analyze]
+      on the same netlist/STA substrate, with the same ambient check gates
+      ([fpga.lutmap], [fpga.route]) and supervised retry discipline as the
+      ASIC flow.
+
+    Both emit netlists that [Gap_place.Placer] and [Gap_retime.Pipeline]
+    accept unchanged. *)
+
+type impl = {
+  netlist : Gap_netlist.Netlist.t;
+  sta : Gap_sta.Sta.t;
+  area_um2 : float;
+  min_period_ps : float;
+  freq_mhz : float;
+}
+
+type t = {
+  name : string;
+  tech : Gap_tech.Tech.t;
+  implement : ?name:string -> Gap_logic.Aig.t -> impl;
+}
+
+val asic : ?effort:Gap_synth.Flow.effort -> lib:Gap_liberty.Library.t -> unit -> t
+val fpga : ?fabric:Fabric.t -> unit -> t
+val implement : t -> ?name:string -> Gap_logic.Aig.t -> impl

@@ -1,0 +1,64 @@
+(** FPGA fabric description: the technology half of the {!Backend}.
+
+    A fabric fixes the LUT size, the LUT read delay/area/input load, the
+    per-hop delay and capacitance of the programmable interconnect, and the
+    register parameters. Delay and power still flow through the standard
+    {!Gap_liberty.Cell} linear model and {!Gap_sta.Sta} — the fabric only
+    decides what cells and wire parasitics the mapped netlist carries, so
+    STA and placement run unchanged against either technology.
+
+    Constants are calibrated against {!Gap_tech.Charm}: the fixture-suite
+    FPGA/ASIC ratios land on the Charm targets for each variant. *)
+
+type t = {
+  name : string;
+  variant : Gap_tech.Charm.variant;
+  lut_k : int;  (** LUT input count; cuts are enumerated k-feasible *)
+  lut_delay_ps : float;  (** LUT read through the config mux *)
+  lut_drive_res_kohm : float;
+  lut_input_cap_ff : float;
+  lut_tile_area_um2 : float;  (** logic + configuration + routing share *)
+  tile_route_frac : float;
+      (** fraction of the tile that is programmable routing; used for the
+          modeled area/power factor split *)
+  hop_delay_ps : float;  (** one switch-box hop *)
+  hop_cap_ff : float;
+  hop_fanout_base : int;  (** fanouts reached per extra hop level *)
+  flop_setup_ps : float;
+  flop_clk_to_q_ps : float;
+  flop_input_cap_ff : float;
+  flop_tile_area_um2 : float;
+}
+
+val logic : t
+(** Soft logic only; calibrated to x35 area / x3.4 freq / x14 power. *)
+
+val logic_dsp : t
+(** Hard DSP blocks; calibrated to x25 / x3.5 / x12 on the DSP fixtures. *)
+
+val logic_memory : t
+(** Hard block RAM; calibrated to x33 / x3.5 / x14 on the memory fixtures. *)
+
+val of_variant : Gap_tech.Charm.variant -> t
+
+val tech : t -> Gap_tech.Tech.t
+(** {!Gap_tech.Tech.fpga_025um}: the ASIC reference process frame, so
+    measured ratios are pure architecture gaps. *)
+
+val hops : t -> fanout:int -> int
+(** Switch-box hops a net traverses: one to the first sink plus a log-radix
+    fanout tree. The fixed-fabric replacement for the parasitic estimator. *)
+
+val lut_name : Gap_logic.Truthtable.t -> string
+
+val lut_cell : t -> Gap_logic.Truthtable.t -> Gap_liberty.Cell.t
+(** A LUT instance configured with the given function; the cell's [func] is
+    the real cut truth table, so simulation-driven power estimation works. *)
+
+val flop_cell : t -> Gap_liberty.Cell.t
+
+val library : t -> Gap_liberty.Library.t
+(** Minimal library (inverter/buffer LUT1 prototypes plus the fabric flop)
+    backing mapped netlists; pipelining pulls its registers from here. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+(** LUT-based technology mapping over the {!Gap_synth.Cuts} enumeration.
+
+    Covers an AIG with k-input LUT instances (k from the fabric), choosing
+    per node the depth-minimal cut with a fewest-leaves tie-break. The
+    emitted {!Gap_netlist.Netlist.t} carries one freshly-configured LUT cell
+    per covered node whose [func] is the actual cut truth table, so every
+    downstream consumer — STA, check gates, power simulation, placement —
+    works on it unchanged.
+
+    Fault site [gap_fpga.lutmap] fires at stage entry (mapping is pure, so
+    the backend retries it under supervision). *)
+
+type result = {
+  netlist : Gap_netlist.Netlist.t;
+  luts : int;
+  levels : int;  (** LUT depth of the cover *)
+}
+
+val map : fabric:Fabric.t -> ?name:string -> Gap_logic.Aig.t -> result

@@ -1,0 +1,20 @@
+module Netlist = Gap_netlist.Netlist
+module Fault = Gap_resilience.Fault
+
+(* Fixed-fabric routing annotation: per-net wire delay and capacitance are a
+   function of the fanout-driven hop count alone, replacing the ASIC
+   placement parasitic estimator. Deterministic and placement-free — the
+   interconnect is prefabricated, only the switch settings differ. *)
+let annotate ~(fabric : Fabric.t) nl =
+  for net = 0 to Netlist.num_nets nl - 1 do
+    match Netlist.driver_of nl net with
+    | Netlist.From_const _ | Netlist.Undriven -> ()
+    | Netlist.From_input _ | Netlist.From_cell _ ->
+        let fanout = List.length (Netlist.sinks_of nl net) in
+        if fanout > 0 then begin
+          let h = float_of_int (Fabric.hops fabric ~fanout) in
+          Netlist.set_wire_delay_ps nl net
+            (Fault.corrupt_float "gap_fpga.route" (h *. fabric.Fabric.hop_delay_ps));
+          Netlist.set_wire_cap_ff nl net (h *. fabric.Fabric.hop_cap_ff)
+        end
+  done

@@ -1,0 +1,13 @@
+(** Fixed-fabric routing model.
+
+    Annotates every driven net with [hops x hop_delay_ps] wire delay and
+    [hops x hop_cap_ff] wire capacitance, where the hop count comes from
+    {!Fabric.hops} on the net's fanout — the programmable-interconnect
+    replacement for {!Gap_place.Wire_estimate}. Idempotent; re-run it after
+    a netlist rewrite (e.g. pipelining) to cover new nets.
+
+    Fault site [gap_fpga.route] can corrupt an annotated delay to NaN;
+    strict check gates and the supervised STA NaN scan both reject the
+    corruption with a typed diagnostic. *)
+
+val annotate : fabric:Fabric.t -> Gap_netlist.Netlist.t -> unit

@@ -38,6 +38,12 @@ let catalog =
      "a segment-store compaction fails transiently before writing the new \
       generation; the old generation stays fully valid and the caller \
       retries");
+    ("gap_fpga.lutmap", [ Stage_error.Transient ],
+     "LUT covering fails transiently at stage entry; the FPGA backend \
+      retries the pure mapping");
+    ("gap_fpga.route", [ Stage_error.Corrupt ],
+     "a fixed-fabric routing hop delay is corrupted to NaN; strict gates \
+      and the supervised STA NaN scan reject it with a typed diagnostic");
     ("serve.batch", [ Stage_error.Transient ],
      "a server scheduler batch dies before evaluation; the scheduler retries \
       the batch, then resolves every attached request with a typed error \

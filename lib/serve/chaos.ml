@@ -811,7 +811,7 @@ let chaos_sites = [ "segstore.append"; "segstore.compact"; "serve.batch"; "dse.w
 
 (* flow layers whose sites the [repro faults] campaign owns; its own
    module-initialisation assert keeps that campaign total over the catalog *)
-let delegated_layers = [ "synth"; "sta"; "place"; "mc"; "dse" ]
+let delegated_layers = [ "synth"; "sta"; "place"; "mc"; "dse"; "gap_fpga" ]
 
 let coverage () =
   let catalog_sites = List.map (fun (s, _, _) -> s) Fault.catalog in

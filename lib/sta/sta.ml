@@ -50,11 +50,59 @@ type t = {
   period_ps : float;
   critical : path;
   endpoint_count : int;
+  clock_skew_ps : float;
+}
+
+(* --- pipeline-stage attribution ---
+
+   The stage of an endpoint is the register depth of its data cone: paths
+   from primary inputs to the first flop rank are stage 1, between flop
+   ranks 1 and 2 stage 2, and so on; primary outputs land in the stage after
+   the deepest register feeding them. Depth is structural (over drivers, not
+   the worst-path predecessor chain), so every endpoint has a stage even
+   when another path is critical. *)
+
+let stage_label st = Printf.sprintf "s%02d" st
+
+let reg_depths nl =
+  let nnets = Netlist.num_nets nl in
+  (* -2 = unvisited, -1 = on the recursion stack: a register feedback loop
+     (counter, FSM) re-entering its own cone restarts the count — the loop
+     is its own stage boundary *)
+  let memo = Array.make (max 1 nnets) (-2) in
+  let rec depth_of net =
+    if memo.(net) >= 0 then memo.(net)
+    else if memo.(net) = -1 then 0
+    else begin
+      memo.(net) <- -1;
+      let d =
+        match Netlist.driver_of nl net with
+        | Netlist.From_input _ | Netlist.From_const _ | Netlist.Undriven -> 0
+        | Netlist.From_cell i when Netlist.is_flop nl i ->
+            1 + depth_of (Netlist.fanin nl i 0)
+        | Netlist.From_cell i ->
+            let m = ref 0 in
+            Netlist.iter_fanins nl i (fun f ->
+                let df = depth_of f in
+                if df > !m then m := df);
+            !m
+      in
+      memo.(net) <- d;
+      d
+    end
+  in
+  depth_of
+
+type stage_slack = {
+  stage : int;
+  worst_ps : float;
+  total_ps : float;
+  endpoints : int;
 }
 
 (* Setup requirement of a flop endpoint: data must arrive [setup + skew]
    before the capturing edge. *)
-let endpoint_margin cfg cell =
+let endpoint_margin (cfg : config) cell =
   match Cell.seq_timing cell with
   | Some seq -> seq.Cell.setup_ps +. cfg.clock_skew_ps
   | None -> 0.
@@ -210,12 +258,19 @@ let analyze_body cfg nl =
         d
       end
     in
+    (* pipeline-stage-resolved slack: which register-to-register stage each
+       endpoint closes, so a report can say "stage 3 is the one that doesn't
+       make timing" instead of one whole-design histogram *)
+    let stage_of = reg_depths nl in
     List.iter
       (fun (net, margin, _) ->
         let slack = period -. margin -. arrival.(net) in
         Obs.observe ~bounds:slack_bounds_ps "sta.endpoint_slack_ps" slack;
         Obs.observe ~bounds:slack_bounds_ps
           ("sta.slack_by_depth." ^ depth_bucket (logic_depth net))
+          slack;
+        Obs.observe ~bounds:slack_bounds_ps
+          ("sta.slack_by_stage." ^ stage_label (1 + stage_of net))
           slack)
       !endpoints
   end;
@@ -227,6 +282,7 @@ let analyze_body cfg nl =
     period_ps = period;
     critical;
     endpoint_count = List.length !endpoints;
+    clock_skew_ps = cfg.clock_skew_ps;
   }
 
 let analyze ?(config = default_config) nl =
@@ -254,6 +310,36 @@ let analyze ?(config = default_config) nl =
       t)
 
 let slack t net = t.required.(net) -. t.arrival.(net)
+
+let slack_by_stage nl t =
+  let depth_of = reg_depths nl in
+  let tbl = Hashtbl.create 16 in
+  let add net margin =
+    let stage = 1 + depth_of net in
+    let slack = t.period_ps -. margin -. t.arrival.(net) in
+    let w, tot, n =
+      try Hashtbl.find tbl stage with Not_found -> (infinity, 0., 0)
+    in
+    Hashtbl.replace tbl stage (Float.min w slack, tot +. slack, n + 1)
+  in
+  List.iter
+    (fun i ->
+      let cell = Netlist.cell_of nl i in
+      let margin =
+        match Cell.seq_timing cell with
+        | Some seq -> seq.Cell.setup_ps +. t.clock_skew_ps
+        | None -> 0.
+      in
+      add (Netlist.fanin nl i 0) margin)
+    (Netlist.flops nl);
+  for port = 0 to Netlist.num_outputs nl - 1 do
+    add (Netlist.output_net nl port) 0.
+  done;
+  Hashtbl.fold
+    (fun stage (w, tot, n) acc ->
+      { stage; worst_ps = w; total_ps = tot; endpoints = n } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.stage b.stage)
 
 let net_criticality t net =
   let s = slack t net in

@@ -30,9 +30,18 @@ val default_config : config
 val config_with_skew : float -> config
 
 val depth_bucket : int -> string
-(** Logic-depth band used for the stage-resolved slack histograms
+(** Logic-depth band used for the depth-resolved slack histograms
     ([sta.slack_by_depth.<bucket>] through {!Gap_obs}): ["01_04"],
     ["05_08"], ["09_12"], ["13_16"], ["17_24"], ["25_up"]. *)
+
+val slack_bounds_ps : float array
+(** Bucket bounds shared by every slack histogram ([sta.endpoint_slack_ps],
+    [sta.slack_by_depth.*], [sta.slack_by_stage.*]); [repro report
+    --by-stage] uses them to reconstruct percentiles from emitted metrics. *)
+
+val stage_label : int -> string
+(** Pipeline-stage suffix of the [sta.slack_by_stage.<label>] histograms:
+    [stage_label 3 = "s03"]. *)
 
 type step = {
   what : string;  (** human-readable point, e.g. ["u12:NAND2_X2"] *)
@@ -57,12 +66,28 @@ type t = {
   period_ps : float;  (** the period slacks are reported against *)
   critical : path;
   endpoint_count : int;
+  clock_skew_ps : float;  (** the skew budget the analysis was run with *)
 }
 
 val analyze : ?config:config -> Gap_netlist.Netlist.t -> t
 
 val slack : t -> int -> float
 (** Per-net slack. *)
+
+type stage_slack = {
+  stage : int;  (** 1-based: stage 1 is primary inputs to the first flop rank *)
+  worst_ps : float;
+  total_ps : float;
+  endpoints : int;
+}
+
+val slack_by_stage : Gap_netlist.Netlist.t -> t -> stage_slack list
+(** Pipeline-stage-resolved slack, attributed by register-to-register stage
+    boundaries (the structural register depth of each endpoint's data cone).
+    Computed on demand from an existing analysis — the STA hot path is
+    untouched. Stages are sorted ascending; the per-stage endpoint counts
+    sum to [endpoint_count], and the minimum [worst_ps] over stages equals
+    the whole-design worst slack. *)
 
 val net_criticality : t -> int -> float
 (** [1.] on the critical path, decreasing with slack; used by placement. *)

@@ -79,7 +79,26 @@ let asic_035um =
     metal_layers = 4;
   }
 
-let all_presets = [ asic_035um; asic_025um; custom_025um; asic_018um; custom_018um ]
+let fpga_025um =
+  (* An island-style FPGA fabric on the same 0.25um process frame as
+     [asic_025um]: identical transistors and wire parasitics, so every
+     FPGA/ASIC ratio measured against it is a pure architecture gap (LUTs,
+     configuration overhead, programmable routing) with the process
+     cancelled — the same-node comparison the Charm fpga2asic data makes.
+     Fabrics carry more metal for the programmable interconnect. *)
+  {
+    name = "0.25um FPGA fabric (Al)";
+    drawn_um = 0.25;
+    leff_um = 0.18;
+    vdd_v = 2.5;
+    interconnect = Aluminum;
+    wire_r_kohm_per_um = 0.12e-3;
+    wire_c_ff_per_um = 0.25;
+    metal_layers = 6;
+  }
+
+let all_presets =
+  [ asic_035um; asic_025um; custom_025um; asic_018um; custom_018um; fpga_025um ]
 
 let pp ppf t =
   Format.fprintf ppf "%s: Leff %.2fum, FO4 %.0f ps, Vdd %.1f V, %s, %d metal"

@@ -48,6 +48,12 @@ val custom_018um : t
 val asic_035um : t
 (** Previous-generation 0.35um ASIC process, for scaling comparisons. *)
 
+val fpga_025um : t
+(** Island-style FPGA fabric on the same process frame as {!asic_025um}
+    (identical Leff, Vdd, wire parasitics), so FPGA/ASIC comparisons against
+    it isolate the architecture gap the way the Charm same-node data does;
+    see {!Charm} and [Gap_fpga.Fabric]. *)
+
 val all_presets : t list
 
 val pp : Format.formatter -> t -> unit

@@ -73,6 +73,50 @@ let test_space_canonical_roundtrip () =
       | Error e -> Alcotest.fail e)
     (all_preset_points ())
 
+(* --- the backend axis --- *)
+
+let fpga_point = { Space.baseline with Space.backend = Space.Fpga }
+
+let test_backend_axis_distinct () =
+  Alcotest.(check bool) "canonical strings differ" false
+    (Space.to_canonical Space.baseline = Space.to_canonical fpga_point);
+  Alcotest.(check bool) "cache keys differ" false
+    (Key.of_point Space.baseline = Key.of_point fpga_point);
+  let backend_preset = Option.get (Space.find_preset "backend") in
+  Alcotest.(check int) "backend preset is 8 points" 8 (Space.size backend_preset);
+  let backends =
+    List.sort_uniq compare
+      (List.map (fun p -> p.Space.backend) (Space.enumerate backend_preset))
+  in
+  Alcotest.(check int) "both backends enumerated" 2 (List.length backends)
+
+let test_point_of_json_backend_defaults_to_asic () =
+  (* documents persisted before the axis existed carry no backend field *)
+  let stripped =
+    match Space.point_json Space.baseline with
+    | Json.Obj kvs -> Json.Obj (List.filter (fun (k, _) -> k <> "backend") kvs)
+    | j -> j
+  in
+  (match Space.point_of_json stripped with
+  | Ok p -> Alcotest.(check bool) "defaults to Asic" true (p.Space.backend = Space.Asic)
+  | Error e -> Alcotest.fail e);
+  match Space.point_of_json (Space.point_json fpga_point) with
+  | Ok p -> Alcotest.(check bool) "fpga round-trips" true (p.Space.backend = Space.Fpga)
+  | Error e -> Alcotest.fail e
+
+let test_eval_fpga_charm_scaling () =
+  let asic = Eval.point Space.baseline in
+  let fpga = Eval.point fpga_point in
+  let r = Gap_tech.Charm.ratios Gap_tech.Charm.Logic in
+  Alcotest.(check (float 1e-9)) "delay x freq gap"
+    (asic.Eval.delay_ps *. r.Gap_tech.Charm.freq) fpga.Eval.delay_ps;
+  Alcotest.(check (float 1e-9)) "area x area gap"
+    (asic.Eval.area *. r.Gap_tech.Charm.area) fpga.Eval.area;
+  Alcotest.(check (float 1e-9)) "power x power gap"
+    (asic.Eval.power *. r.Gap_tech.Charm.dynamic_power) fpga.Eval.power;
+  Alcotest.(check bool) "factors are backend-orthogonal" true
+    (asic.Eval.factors = fpga.Eval.factors)
+
 (* --- keys: collision-freedom and order-stability over every preset --- *)
 
 let test_keys_distinct_and_stable () =
@@ -207,6 +251,28 @@ let test_cache_flow_version_mismatch_reads_cold () =
       let n, flow = store_summary path in
       Alcotest.(check string) "rewritten at current flow" Eval.flow_version flow;
       Alcotest.(check int) "only the fresh entry survives" 1 n)
+
+let test_pre_backend_store_not_served () =
+  (* a store written at the pre-backend-axis flow version must read cold:
+     its keys were hashed without the backend field, and serving them into
+     the enlarged space would alias ASIC results onto FPGA points *)
+  with_tmp_store (fun path ->
+      let c = Cache.create ~store:path () in
+      Cache.add c Space.baseline (Eval.point Space.baseline);
+      Cache.flush c;
+      let manifest = Filename.concat path Segstore.manifest_name in
+      let ic = open_in_bin manifest in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check bool) "current flow is gap-dse-2" true
+        (Eval.flow_version = "gap-dse-2");
+      let stale = replace_substring ~from:"gap-dse-2" ~into:"gap-dse-1" s in
+      Gap_util.Atomic_io.write_string manifest stale;
+      let c2 = Cache.create ~store:path () in
+      Alcotest.(check bool) "pre-backend entry not served" true
+        (Cache.find c2 Space.baseline = None);
+      Alcotest.(check bool) "fpga point also cold" true
+        (Cache.find c2 fpga_point = None))
 
 let test_cache_corrupt_store_reads_cold () =
   with_tmp_store (fun path ->
@@ -382,6 +448,10 @@ let suite =
   [
     ("space enumeration", `Quick, test_space_enumeration);
     ("space canonical round-trip", `Quick, test_space_canonical_roundtrip);
+    ("backend axis distinct points/keys", `Quick, test_backend_axis_distinct);
+    ("backend field defaults to asic", `Quick, test_point_of_json_backend_defaults_to_asic);
+    ("fpga eval applies Charm ratios", `Quick, test_eval_fpga_charm_scaling);
+    ("pre-backend store reads cold", `Quick, test_pre_backend_store_not_served);
     ("keys distinct and stable", `Quick, test_keys_distinct_and_stable);
     ("eval corner composite x17.8", `Quick, test_eval_corner_composite);
     ("eval baseline composite 1.0", `Quick, test_eval_baseline_composite);

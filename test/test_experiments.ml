@@ -26,7 +26,7 @@ let experiment_case (id, title, run) =
       assert_all_pass r )
 
 let test_registry_complete () =
-  Alcotest.(check int) "ten experiments" 10 (List.length Registry.all);
+  Alcotest.(check int) "eleven experiments" 11 (List.length Registry.all);
   Alcotest.(check int) "eight extensions" 8 (List.length Registry.extensions);
   List.iteri
     (fun i (id, _, _) ->

@@ -1,0 +1,139 @@
+(* Tests for Gap_fpga: the backend abstraction adds nothing to the ASIC
+   flow (byte-identity), LUT mapping produces clean functionally-plausible
+   netlists, the Charm calibration gates hold, and pipeline-stage-resolved
+   STA slack is a partition of the whole-design endpoint set. *)
+
+module Netlist = Gap_netlist.Netlist
+module Check = Gap_netlist.Check
+module Verilog = Gap_netlist.Verilog
+module Cell = Gap_liberty.Cell
+module Sta = Gap_sta.Sta
+module Flow = Gap_synth.Flow
+module Charm = Gap_tech.Charm
+module Fabric = Gap_fpga.Fabric
+module Lutmap = Gap_fpga.Lutmap
+module Backend = Gap_fpga.Backend
+module Gap3 = Gap_fpga.Gap3
+
+let cla16 () = Gap_datapath.Adders.cla_adder 16
+let alu8 () = Gap_datapath.Alu.alu 8
+
+(* --- the ASIC wrapper must be the flow, byte for byte --- *)
+
+let test_asic_backend_matches_flow () =
+  let lib =
+    Gap_liberty.Libgen.make Gap_tech.Tech.asic_025um Gap_liberty.Libgen.rich
+  in
+  let b = Backend.asic ~lib () in
+  let i = Backend.implement b ~name:"cla16" (cla16 ()) in
+  let o = Flow.run ~lib ~name:"cla16" (cla16 ()) in
+  Alcotest.(check (float 0.)) "identical min period"
+    o.Flow.sta.Sta.min_period_ps i.Backend.min_period_ps;
+  Alcotest.(check (float 0.)) "identical area"
+    (Netlist.area_um2 o.Flow.netlist) i.Backend.area_um2;
+  Alcotest.(check string) "identical structural Verilog"
+    (Verilog.write o.Flow.netlist)
+    (Verilog.write i.Backend.netlist)
+
+(* --- LUT mapping --- *)
+
+let test_lut_netlist_clean_and_bounded () =
+  let b = Backend.fpga () in
+  let i = Backend.implement b ~name:"alu8" (alu8 ()) in
+  let nl = i.Backend.netlist in
+  Alcotest.(check bool) "no Error diagnostics" true (Check.is_clean nl);
+  for inst = 0 to Netlist.num_instances nl - 1 do
+    let cell = Netlist.cell_of nl inst in
+    if not (Netlist.is_flop nl inst) then begin
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is a LUT" cell.Cell.name)
+        true
+        (String.length cell.Cell.base >= 3 && String.sub cell.Cell.base 0 3 = "LUT");
+      Alcotest.(check bool) "fan-in within k" true
+        (cell.Cell.n_inputs <= Fabric.logic.Fabric.lut_k)
+    end
+  done;
+  Alcotest.(check bool) "positive period" true (i.Backend.min_period_ps > 0.)
+
+let test_lutmap_simulates_like_aig () =
+  (* the mapped netlist must compute the same function as the source AIG *)
+  let g = cla16 () in
+  let r = Lutmap.map ~fabric:Fabric.logic ~name:"cla16" g in
+  let nl = r.Lutmap.netlist in
+  let n_in = Netlist.num_inputs nl in
+  let st = Gap_netlist.Sim.initial nl in
+  let rng = Random.State.make [| 0x5eed |] in
+  for _ = 1 to 64 do
+    let inputs = Array.init n_in (fun _ -> Random.State.bool rng) in
+    let want = Gap_logic.Aig.eval g inputs in
+    let got = Gap_netlist.Sim.eval nl st inputs in
+    Alcotest.(check (array bool)) "vector matches" want got
+  done
+
+(* --- Charm calibration gates --- *)
+
+let test_charm_gates_hold () =
+  let t = Gap3.run () in
+  List.iter
+    (fun (g : Gap3.gate) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: x%.2f within 15%% of x%.1f" g.Gap3.metric
+           g.Gap3.measured g.Gap3.target_v)
+        true g.Gap3.ok)
+    (Gap3.gates t);
+  Alcotest.(check bool) "overall ok" true (Gap3.ok t);
+  (* the three-way composition is the literal product of its legs *)
+  Alcotest.(check (float 1e-9)) "FPGA->custom product"
+    (t.Gap3.logic.Gap3.freq_ratio *. t.Gap3.asic_custom_speed)
+    t.Gap3.fpga_custom_speed
+
+(* --- stage-resolved slack --- *)
+
+let test_stage_slack_partitions_endpoints () =
+  let i = Backend.implement (Backend.fpga ()) ~name:"cla16" (cla16 ()) in
+  let nl = i.Backend.netlist in
+  let r = Gap_retime.Pipeline.pipeline ~stages:4 nl in
+  Alcotest.(check int) "4 stages requested" 4 r.Gap_retime.Pipeline.stages;
+  Gap_fpga.Route.annotate ~fabric:Fabric.logic nl;
+  let sta = Sta.analyze nl in
+  let stages = Sta.slack_by_stage nl sta in
+  Alcotest.(check int) "one bucket per pipeline stage" 4 (List.length stages);
+  Alcotest.(check (list int)) "stages ascending" [ 1; 2; 3; 4 ]
+    (List.map (fun s -> s.Sta.stage) stages);
+  Alcotest.(check int) "endpoint partition is total"
+    sta.Sta.endpoint_count
+    (List.fold_left (fun acc s -> acc + s.Sta.endpoints) 0 stages);
+  (* analyzed at its own min period: the binding stage closes at exactly
+     zero slack and no stage is negative *)
+  let worsts = List.map (fun s -> s.Sta.worst_ps) stages in
+  Alcotest.(check (float 1e-6)) "binding stage at zero slack" 0.
+    (List.fold_left Float.min infinity worsts);
+  List.iter
+    (fun w -> Alcotest.(check bool) "no negative stage slack" true (w >= -1e-6))
+    worsts;
+  List.iter
+    (fun (s : Sta.stage_slack) ->
+      Alcotest.(check bool) "worst <= mean" true
+        (s.Sta.worst_ps
+        <= (s.Sta.total_ps /. float_of_int (max 1 s.Sta.endpoints)) +. 1e-9))
+    stages
+
+let test_stage_slack_combinational_is_one_stage () =
+  let i = Backend.implement (Backend.fpga ()) ~name:"cla16" (cla16 ()) in
+  let sta = i.Backend.sta in
+  match Sta.slack_by_stage i.Backend.netlist sta with
+  | [ s ] ->
+      Alcotest.(check int) "stage 1" 1 s.Sta.stage;
+      Alcotest.(check int) "all endpoints in it" sta.Sta.endpoint_count
+        s.Sta.endpoints
+  | l -> Alcotest.failf "expected one stage, got %d" (List.length l)
+
+let suite =
+  [
+    ("asic backend is the flow, byte for byte", `Quick, test_asic_backend_matches_flow);
+    ("lut netlist clean and k-bounded", `Quick, test_lut_netlist_clean_and_bounded);
+    ("lut mapping preserves the function", `Quick, test_lutmap_simulates_like_aig);
+    ("charm calibration gates hold", `Slow, test_charm_gates_hold);
+    ("stage slack partitions endpoints", `Quick, test_stage_slack_partitions_endpoints);
+    ("combinational design is one stage", `Quick, test_stage_slack_combinational_is_one_stage);
+  ]

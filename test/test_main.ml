@@ -26,6 +26,7 @@ let () =
       ("core", Test_core.suite);
       ("experiments", Test_experiments.suite);
       ("dse", Test_dse.suite);
+      ("fpga", Test_fpga.suite);
       ("segstore", Test_segstore.suite);
       ("serve", Test_serve.suite);
     ]
